@@ -1,0 +1,94 @@
+// Experiment E8 — Caching von Array-Daten (thesis §3.6): a skewed (Zipf)
+// stream of box queries against a migrated object, with a byte-bounded
+// super-tile cache under each eviction strategy, plus a no-cache baseline.
+//
+// Expected shape: any cache beats none by a wide margin on skewed streams;
+// recency/frequency policies (LRU/LFU) beat FIFO; the size-aware policy
+// helps when super-tile sizes vary.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/workload.h"
+
+namespace heaven {
+namespace {
+
+constexpr double kObjectMiB = 8.0;
+constexpr int kNumQueries = 60;
+constexpr double kZipfTheta = 0.9;
+
+void RunCacheWorkload(benchmark::State& state, EvictionPolicy policy,
+                      uint64_t capacity_bytes) {
+  const MdInterval domain = benchutil::CubeDomainForMiB(kObjectMiB);
+
+  for (auto _ : state) {
+    HeavenOptions options = benchutil::DefaultOptions();
+    options.supertile_bytes = 256 << 10;
+    options.cache.policy = policy;
+    options.cache.capacity_bytes = capacity_bytes;
+    benchutil::DbHandle handle = benchutil::MakeDb(options);
+    const ObjectId id = benchutil::InsertObject(&handle, "run", domain, 8);
+    if (!handle.db->ExportObject(id).ok()) {
+      state.SkipWithError("export failed");
+      return;
+    }
+    const double archive_seconds = handle.db->TapeSeconds();
+
+    // Zipf-skewed hot spots over a 4x4x4 grid of anchor positions.
+    Rng rng(99);
+    for (int q = 0; q < kNumQueries; ++q) {
+      const uint64_t rank = rng.Zipf(64, kZipfTheta);
+      const double anchor =
+          static_cast<double>(rank % 16) / 16.0;
+      const MdInterval box = benchutil::SelectivityBox(domain, 0.02, anchor);
+      if (!handle.db->ReadRegion(id, box).ok()) {
+        state.SkipWithError("read failed");
+        return;
+      }
+    }
+    state.SetIterationTime(handle.db->TapeSeconds() - archive_seconds);
+    const double hits =
+        static_cast<double>(handle.db->stats()->Get(Ticker::kCacheHits));
+    const double misses =
+        static_cast<double>(handle.db->stats()->Get(Ticker::kCacheMisses));
+    state.counters["hit_rate_pct"] =
+        hits + misses > 0 ? 100.0 * hits / (hits + misses) : 0.0;
+    state.counters["evictions"] = static_cast<double>(
+        handle.db->stats()->Get(Ticker::kCacheEvictions));
+    state.counters["st_tape_reads"] = static_cast<double>(
+        handle.db->stats()->Get(Ticker::kSuperTilesRead));
+  }
+}
+
+// 1.5 MiB cache against an 8 MiB object: real eviction pressure.
+constexpr uint64_t kCacheBytes = 3 * (512ull << 10);
+
+void BM_Cache_None(benchmark::State& state) {
+  RunCacheWorkload(state, EvictionPolicy::kLru, /*capacity_bytes=*/1);
+}
+void BM_Cache_Lru(benchmark::State& state) {
+  RunCacheWorkload(state, EvictionPolicy::kLru, kCacheBytes);
+}
+void BM_Cache_Lfu(benchmark::State& state) {
+  RunCacheWorkload(state, EvictionPolicy::kLfu, kCacheBytes);
+}
+void BM_Cache_Fifo(benchmark::State& state) {
+  RunCacheWorkload(state, EvictionPolicy::kFifo, kCacheBytes);
+}
+void BM_Cache_SizeAware(benchmark::State& state) {
+  RunCacheWorkload(state, EvictionPolicy::kSizeAware, kCacheBytes);
+}
+
+#define CACHE_ARGS \
+  ->UseManualTime()->Unit(benchmark::kSecond)->Iterations(1)
+
+BENCHMARK(BM_Cache_None) CACHE_ARGS;
+BENCHMARK(BM_Cache_Lru) CACHE_ARGS;
+BENCHMARK(BM_Cache_Lfu) CACHE_ARGS;
+BENCHMARK(BM_Cache_Fifo) CACHE_ARGS;
+BENCHMARK(BM_Cache_SizeAware) CACHE_ARGS;
+
+}  // namespace
+}  // namespace heaven
+
+BENCHMARK_MAIN();

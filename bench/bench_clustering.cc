@@ -1,0 +1,96 @@
+// Experiment E6 — Intra-/Inter-Super-Tile-Clustering (thesis §3.3): export
+// several objects with clustering enabled vs disabled, then run a sweep of
+// box queries and count media exchanges and seek time on the read path.
+//
+// Expected shape: with clustering, spatially adjacent super-tiles sit
+// physically adjacent on one cartridge, so queries cost ~1 exchange and
+// short forward seeks; the naive scattered layout ping-pongs cartridges.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/workload.h"
+
+namespace heaven {
+namespace {
+
+constexpr double kObjectMiB = 4.0;
+constexpr int kNumObjects = 3;
+constexpr int kNumQueries = 6;
+
+void RunClustering(benchmark::State& state, bool clustering,
+                   IntraOrder intra_order) {
+  const MdInterval domain = benchutil::CubeDomainForMiB(kObjectMiB);
+
+  for (auto _ : state) {
+    HeavenOptions options = benchutil::DefaultOptions();
+    options.inter_clustering = clustering;
+    options.intra_order = intra_order;
+    options.supertile_bytes = 128 << 10;
+    options.cache.capacity_bytes = 1;  // disable caching: measure raw tape
+    benchutil::DbHandle handle = benchutil::MakeDb(options);
+
+    std::vector<ObjectId> objects;
+    for (int i = 0; i < kNumObjects; ++i) {
+      objects.push_back(benchutil::InsertObject(
+          &handle, "obj" + std::to_string(i), domain,
+          static_cast<uint64_t>(i + 10)));
+      if (!handle.db->ExportObject(objects.back()).ok()) {
+        state.SkipWithError("export failed");
+        return;
+      }
+    }
+    const double archive_seconds = handle.db->TapeSeconds();
+    const uint64_t exchanges_before =
+        handle.db->stats()->Get(Ticker::kTapeMediaExchanges);
+    const uint64_t seek_s_before =
+        handle.db->stats()->Get(Ticker::kTapeSeekSeconds);
+
+    // Sweeping query pattern per object (simulation post-processing).
+    for (int q = 0; q < kNumQueries; ++q) {
+      const double anchor = 0.12 * q;
+      const MdInterval box =
+          benchutil::SelectivityBox(domain, 0.08, anchor);
+      const ObjectId id = objects[static_cast<size_t>(q % kNumObjects)];
+      if (!handle.db->ReadRegion(id, box).ok()) {
+        state.SkipWithError("read failed");
+        return;
+      }
+    }
+    state.SetIterationTime(handle.db->TapeSeconds() - archive_seconds);
+    state.counters["exchanges"] = static_cast<double>(
+        handle.db->stats()->Get(Ticker::kTapeMediaExchanges) -
+        exchanges_before);
+    state.counters["seek_s"] = static_cast<double>(
+        handle.db->stats()->Get(Ticker::kTapeSeekSeconds) - seek_s_before);
+  }
+}
+
+void BM_Clustering_On(benchmark::State& state) {
+  RunClustering(state, true, IntraOrder::kRowMajor);
+}
+
+void BM_Clustering_ZOrderIntra(benchmark::State& state) {
+  RunClustering(state, true, IntraOrder::kZOrder);
+}
+
+void BM_Clustering_Off(benchmark::State& state) {
+  RunClustering(state, false, IntraOrder::kInsertion);
+}
+
+BENCHMARK(BM_Clustering_On)
+    ->UseManualTime()
+    ->Unit(benchmark::kSecond)
+    ->Iterations(1);
+BENCHMARK(BM_Clustering_ZOrderIntra)
+    ->UseManualTime()
+    ->Unit(benchmark::kSecond)
+    ->Iterations(1);
+BENCHMARK(BM_Clustering_Off)
+    ->UseManualTime()
+    ->Unit(benchmark::kSecond)
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace heaven
+
+BENCHMARK_MAIN();

@@ -1,0 +1,74 @@
+// Experiment E1 — Datenexport (thesis §4.3.1): export performance of the
+// naive RasDaMan-style tile-at-a-time export versus HEAVEN's super-tile
+// export, over a sweep of object sizes.
+//
+// Reported time is *simulated tape seconds* (manual time); counters give
+// media exchanges and tape seeks. Expected shape: tile-at-a-time pays one
+// positioning (and often an exchange) per tile and loses by an order of
+// magnitude; the gap widens with object size.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/workload.h"
+
+namespace heaven {
+namespace {
+
+using benchutil::DbHandle;
+
+void RunExport(benchmark::State& state, bool tile_at_a_time) {
+  const double mebibytes = static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    HeavenOptions options = benchutil::DefaultOptions();
+    DbHandle handle = benchutil::MakeDb(options);
+    const MdInterval domain = benchutil::CubeDomainForMiB(mebibytes);
+    const ObjectId id = benchutil::InsertObject(&handle, "obj", domain, 1);
+
+    const double tape_before = handle.db->TapeSeconds();
+    Status status = tile_at_a_time
+                        ? handle.db->ExportObjectTileAtATime(id)
+                        : handle.db->ExportObject(id);
+    if (!status.ok()) {
+      state.SkipWithError(status.ToString().c_str());
+      return;
+    }
+    state.SetIterationTime(handle.db->TapeSeconds() - tape_before);
+    state.counters["exchanges"] = static_cast<double>(
+        handle.db->stats()->Get(Ticker::kTapeMediaExchanges));
+    state.counters["seeks"] =
+        static_cast<double>(handle.db->stats()->Get(Ticker::kTapeSeeks));
+    state.counters["supertiles"] =
+        static_cast<double>(handle.db->RegisteredSuperTiles());
+    state.counters["MiB"] = mebibytes;
+  }
+}
+
+void BM_Export_TileAtATime(benchmark::State& state) {
+  RunExport(state, /*tile_at_a_time=*/true);
+}
+
+void BM_Export_Heaven(benchmark::State& state) {
+  RunExport(state, /*tile_at_a_time=*/false);
+}
+
+BENCHMARK(BM_Export_TileAtATime)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseManualTime()
+    ->Unit(benchmark::kSecond)
+    ->Iterations(1);
+BENCHMARK(BM_Export_Heaven)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseManualTime()
+    ->Unit(benchmark::kSecond)
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace heaven
+
+BENCHMARK_MAIN();

@@ -1,0 +1,103 @@
+// Experiment E9 — Object-Framing (thesis §3.7): non-hypercube range
+// queries. A diagonal band of boxes (a shape whose bounding box covers the
+// whole object) is retrieved with the framing extension versus as its
+// bounding hull, over a sweep of band widths.
+//
+// Expected shape: framed retrieval moves only the fraction of super-tiles
+// the band touches; the bounding-box request always pays for the full
+// hull — the gap is the hull-to-frame volume ratio.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/workload.h"
+#include "common/logging.h"
+
+namespace heaven {
+namespace {
+
+// A 2-D scene; frames are diagonal staircases of `width`-cell squares.
+constexpr int64_t kEdge = 512;
+
+ObjectFrame DiagonalBand(int64_t width) {
+  std::vector<MdInterval> boxes;
+  for (int64_t start = 0; start + width <= kEdge; start += width) {
+    boxes.emplace_back(MdPoint{start, start},
+                       MdPoint{std::min(start + width - 1, kEdge - 1),
+                               std::min(start + width - 1, kEdge - 1)});
+  }
+  auto frame = ObjectFrame::FromBoxes(boxes);
+  HEAVEN_CHECK(frame.ok());
+  return std::move(frame).value();
+}
+
+void RunFraming(benchmark::State& state, bool use_frame) {
+  const int64_t width = state.range(0);
+  const MdInterval domain({0, 0}, {kEdge - 1, kEdge - 1});
+
+  for (auto _ : state) {
+    HeavenOptions options = benchutil::DefaultOptions();
+    options.disk_tile_bytes = 4 << 10;   // 45x45-cell tiles
+    options.supertile_bytes = 16 << 10;
+    options.cache.capacity_bytes = 1;
+    benchutil::DbHandle handle = benchutil::MakeDb(options);
+    auto id = handle.db->InsertObject(
+        handle.collection, "scene",
+        benchutil::ClimateField(domain, 9, CellType::kUShort));
+    if (!id.ok()) {
+      state.SkipWithError("insert failed");
+      return;
+    }
+    if (!handle.db->ExportObject(*id).ok()) {
+      state.SkipWithError("export failed");
+      return;
+    }
+    const double archive_seconds = handle.db->TapeSeconds();
+
+    const ObjectFrame frame = DiagonalBand(width);
+    Status status;
+    if (use_frame) {
+      status = handle.db->ReadFrame(*id, frame).status();
+    } else {
+      auto bbox = frame.BoundingBox();
+      status = handle.db->ReadRegion(*id, *bbox).status();
+    }
+    if (!status.ok()) {
+      state.SkipWithError(status.ToString().c_str());
+      return;
+    }
+    state.SetIterationTime(handle.db->TapeSeconds() - archive_seconds);
+    state.counters["band_width"] = static_cast<double>(width);
+    state.counters["frame_pct_of_hull"] =
+        100.0 * static_cast<double>(frame.CellCount()) /
+        static_cast<double>(domain.CellCount());
+    state.counters["MiB_from_tape"] =
+        static_cast<double>(
+            handle.db->stats()->Get(Ticker::kSuperTileBytesRead)) /
+        (1 << 20);
+  }
+}
+
+void BM_Framing_Frame(benchmark::State& state) { RunFraming(state, true); }
+void BM_Framing_BoundingBox(benchmark::State& state) {
+  RunFraming(state, false);
+}
+
+BENCHMARK(BM_Framing_Frame)
+    ->Arg(64)
+    ->Arg(128)
+    ->Arg(256)
+    ->UseManualTime()
+    ->Unit(benchmark::kSecond)
+    ->Iterations(1);
+BENCHMARK(BM_Framing_BoundingBox)
+    ->Arg(64)
+    ->Arg(128)
+    ->Arg(256)
+    ->UseManualTime()
+    ->Unit(benchmark::kSecond)
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace heaven
+
+BENCHMARK_MAIN();

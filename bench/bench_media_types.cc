@@ -1,0 +1,78 @@
+// Experiment — tertiary media technology comparison (thesis Kapitel 2.2,
+// "Arten von Tertiärspeichermedien"): the same archive + retrieval
+// workload on the three tape classes and the magneto-optical jukebox.
+//
+// Expected shape: within the tape classes, faster positioning/transfer
+// wins monotonically; the magneto-optical jukebox beats even fast tape on
+// this positioning-heavy pattern thanks to near-random access — but pays
+// with an order of magnitude less capacity per medium (9 GB platters vs
+// 100 GB cartridges). The trade-off is what makes HEAVEN's drive-aware
+// super-tile size adaptation necessary.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/workload.h"
+
+namespace heaven {
+namespace {
+
+constexpr double kObjectMiB = 4.0;
+constexpr double kScale = 100.0;
+
+void RunMediaType(benchmark::State& state, const TapeDriveProfile& profile) {
+  const MdInterval domain = benchutil::CubeDomainForMiB(kObjectMiB);
+  for (auto _ : state) {
+    HeavenOptions options = benchutil::DefaultOptions();
+    options.library.profile = ScaledProfile(profile, kScale);
+    options.library.num_media = 16;  // MO platters are small
+    options.supertile_bytes = 128 << 10;
+    options.cache.capacity_bytes = 1;
+    benchutil::DbHandle handle = benchutil::MakeDb(options);
+    const ObjectId id = benchutil::InsertObject(&handle, "run", domain, 21);
+    if (!handle.db->ExportObject(id).ok()) {
+      state.SkipWithError("export failed");
+      return;
+    }
+    const double archive_seconds = handle.db->TapeSeconds();
+
+    // Eight scattered 1 % queries: a positioning-heavy access pattern.
+    for (int q = 0; q < 8; ++q) {
+      const MdInterval box =
+          benchutil::SelectivityBox(domain, 0.01, 0.11 * q);
+      if (!handle.db->ReadRegion(id, box).ok()) {
+        state.SkipWithError("read failed");
+        return;
+      }
+    }
+    state.SetIterationTime(handle.db->TapeSeconds() - archive_seconds);
+    state.counters["archive_s"] = archive_seconds;
+    state.counters["exchanges"] = static_cast<double>(
+        handle.db->stats()->Get(Ticker::kTapeMediaExchanges));
+  }
+}
+
+void BM_Media_SlowTape(benchmark::State& state) {
+  RunMediaType(state, SlowTapeProfile());
+}
+void BM_Media_MidTape(benchmark::State& state) {
+  RunMediaType(state, MidTapeProfile());
+}
+void BM_Media_FastTape(benchmark::State& state) {
+  RunMediaType(state, FastTapeProfile());
+}
+void BM_Media_MagnetoOptical(benchmark::State& state) {
+  RunMediaType(state, MagnetoOpticalProfile());
+}
+
+#define MEDIA_ARGS \
+  ->UseManualTime()->Unit(benchmark::kSecond)->Iterations(1)
+
+BENCHMARK(BM_Media_SlowTape) MEDIA_ARGS;
+BENCHMARK(BM_Media_MidTape) MEDIA_ARGS;
+BENCHMARK(BM_Media_FastTape) MEDIA_ARGS;
+BENCHMARK(BM_Media_MagnetoOptical) MEDIA_ARGS;
+
+}  // namespace
+}  // namespace heaven
+
+BENCHMARK_MAIN();

@@ -1,0 +1,77 @@
+// Experiment E10 — precomputed operation results (thesis §3.8): a stream
+// of repeated condenser (aggregation) queries over migrated objects, with
+// the precomputed-results catalog enabled versus disabled.
+//
+// Expected shape: with the catalog, every repeated aggregation is answered
+// without touching tape, so total time collapses to roughly the cost of
+// the distinct first computations.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/workload.h"
+
+namespace heaven {
+namespace {
+
+constexpr double kObjectMiB = 4.0;
+constexpr int kDistinctRegions = 4;
+
+void RunPrecomputed(benchmark::State& state, bool enabled) {
+  const int repetitions = static_cast<int>(state.range(0));
+  const MdInterval domain = benchutil::CubeDomainForMiB(kObjectMiB);
+
+  for (auto _ : state) {
+    HeavenOptions options = benchutil::DefaultOptions();
+    options.enable_precomputed = enabled;
+    options.cache.capacity_bytes = 1;  // isolate the catalog's effect
+    benchutil::DbHandle handle = benchutil::MakeDb(options);
+    const ObjectId id = benchutil::InsertObject(&handle, "run", domain, 11);
+    if (!handle.db->ExportObject(id).ok()) {
+      state.SkipWithError("export failed");
+      return;
+    }
+    const double archive_seconds = handle.db->TapeSeconds();
+
+    for (int r = 0; r < repetitions; ++r) {
+      const MdInterval region = benchutil::SelectivityBox(
+          domain, 0.05, 0.2 * (r % kDistinctRegions));
+      auto value = handle.db->Aggregate(id, Condenser::kAvg, region);
+      if (!value.ok()) {
+        state.SkipWithError(value.status().ToString().c_str());
+        return;
+      }
+    }
+    state.SetIterationTime(handle.db->TapeSeconds() - archive_seconds);
+    state.counters["catalog_hits"] = static_cast<double>(
+        handle.db->stats()->Get(Ticker::kPrecomputedHits));
+    state.counters["queries"] = repetitions;
+  }
+}
+
+void BM_Aggregate_WithCatalog(benchmark::State& state) {
+  RunPrecomputed(state, true);
+}
+
+void BM_Aggregate_WithoutCatalog(benchmark::State& state) {
+  RunPrecomputed(state, false);
+}
+
+BENCHMARK(BM_Aggregate_WithCatalog)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->UseManualTime()
+    ->Unit(benchmark::kSecond)
+    ->Iterations(1);
+BENCHMARK(BM_Aggregate_WithoutCatalog)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->UseManualTime()
+    ->Unit(benchmark::kSecond)
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace heaven
+
+BENCHMARK_MAIN();

@@ -1,0 +1,78 @@
+// Experiment E3 — Datenretrieval durch das TS-System (thesis §4.4.1): the
+// pre-HEAVEN baseline. Objects live as flat files behind an HSM; a subset
+// query of any selectivity stages the *complete* file from tape first.
+//
+// Reported time is simulated seconds per query. Expected shape: a flat
+// line — retrieval cost is independent of selectivity because the file is
+// the smallest access granularity. Compare against bench_retrieval_heaven.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/workload.h"
+#include "tertiary/hsm_system.h"
+
+namespace heaven {
+namespace {
+
+constexpr double kObjectMiB = 8.0;
+constexpr double kScale = 250.0;  // see ScaledProfile
+
+void BM_Retrieval_HsmFileGranularity(benchmark::State& state) {
+  const double selectivity = static_cast<double>(state.range(0)) / 100.0;
+  const MdInterval domain = benchutil::CubeDomainForMiB(kObjectMiB);
+  const MddArray data = benchutil::ClimateField(domain, 3);
+
+  for (auto _ : state) {
+    Statistics stats;
+    TapeLibraryOptions library_options;
+    library_options.profile = ScaledProfile(MidTapeProfile(), kScale);
+    library_options.num_drives = 2;
+    library_options.num_media = 8;
+    TapeLibrary library(library_options, &stats);
+    HsmOptions hsm_options;
+    HsmSystem hsm(&library, hsm_options, &stats);
+    if (!hsm.StoreFile("run.raw", data.tile().data()).ok()) {
+      state.SkipWithError("store failed");
+      return;
+    }
+    const double archive_seconds = library.ElapsedSeconds();
+
+    // The query: a box of the requested selectivity. File granularity
+    // forces staging the whole object, then cutting the box on disk.
+    const MdInterval box = benchutil::SelectivityBox(domain, selectivity);
+    std::string staged;
+    if (!hsm.ReadFileRange("run.raw", 0, data.size_bytes(), &staged).ok()) {
+      state.SkipWithError("stage failed");
+      return;
+    }
+    Tile full(domain, data.cell_type(), std::move(staged));
+    auto subset = full.ExtractRegion(box);
+    if (!subset.ok()) {
+      state.SkipWithError("extract failed");
+      return;
+    }
+    state.SetIterationTime(library.ElapsedSeconds() - archive_seconds);
+    state.counters["selectivity_pct"] = selectivity * 100.0;
+    state.counters["MiB_staged"] =
+        static_cast<double>(stats.Get(Ticker::kHsmBytesStaged)) / (1 << 20);
+    state.counters["MiB_needed"] =
+        static_cast<double>(subset->size_bytes()) / (1 << 20);
+  }
+}
+
+BENCHMARK(BM_Retrieval_HsmFileGranularity)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(5)
+    ->Arg(10)
+    ->Arg(25)
+    ->Arg(50)
+    ->Arg(100)
+    ->UseManualTime()
+    ->Unit(benchmark::kSecond)
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace heaven
+
+BENCHMARK_MAIN();

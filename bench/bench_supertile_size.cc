@@ -1,0 +1,83 @@
+// Experiment E5 — automatic super-tile size adaptation (thesis §3.2.4):
+// sweep the super-tile size and measure retrieval time for a fixed 10 %
+// box query, on two drive classes. The analytic model's predicted optimum
+// (OptimalSuperTileBytes) is reported alongside.
+//
+// Expected shape: a U-curve — tiny super-tiles drown in positionings,
+// huge ones in overfetch — with the analytic optimum near the valley.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/workload.h"
+#include "heaven/size_adaptation.h"
+
+namespace heaven {
+namespace {
+
+constexpr double kObjectMiB = 8.0;
+constexpr double kSelectivity = 0.10;
+constexpr double kScale = 250.0;
+
+void RunSweep(benchmark::State& state, const TapeDriveProfile& profile) {
+  const uint64_t supertile_kib = static_cast<uint64_t>(state.range(0));
+  const MdInterval domain = benchutil::CubeDomainForMiB(kObjectMiB);
+
+  for (auto _ : state) {
+    HeavenOptions options = benchutil::DefaultOptions();
+    options.library.profile = ScaledProfile(profile, kScale);
+    options.supertile_bytes = supertile_kib << 10;
+    benchutil::DbHandle handle = benchutil::MakeDb(options);
+    const ObjectId id = benchutil::InsertObject(&handle, "run", domain, 5);
+    if (!handle.db->ExportObject(id).ok()) {
+      state.SkipWithError("export failed");
+      return;
+    }
+    const double archive_seconds = handle.db->TapeSeconds();
+    // Average over several query positions; clear the cache in between so
+    // every query pays the true tape cost.
+    const double kAnchors[] = {0.05, 0.25, 0.45, 0.65, 0.85};
+    for (double anchor : kAnchors) {
+      const MdInterval box =
+          benchutil::SelectivityBox(domain, kSelectivity, anchor);
+      if (!handle.db->ReadRegion(id, box).ok()) {
+        state.SkipWithError("read failed");
+        return;
+      }
+      handle.db->cache()->Clear();
+    }
+    state.SetIterationTime((handle.db->TapeSeconds() - archive_seconds) /
+                           (sizeof(kAnchors) / sizeof(kAnchors[0])));
+    state.counters["supertile_KiB"] = static_cast<double>(supertile_kib);
+
+    // The adaptation's pick for this query volume, in the same scaled
+    // units (KiB), for comparison with the sweep's empirical valley.
+    const uint64_t query_bytes = static_cast<uint64_t>(
+        benchutil::SelectivityBox(domain, kSelectivity).CellCount() * 4);
+    state.counters["analytic_opt_KiB"] = static_cast<double>(
+        OptimalSuperTileBytes(ScaledProfile(profile, kScale), query_bytes,
+                              /*min_bytes=*/1 << 10) >>
+        10);
+  }
+}
+
+void BM_SuperTileSize_MidTape(benchmark::State& state) {
+  RunSweep(state, MidTapeProfile());
+}
+
+void BM_SuperTileSize_SlowTape(benchmark::State& state) {
+  RunSweep(state, SlowTapeProfile());
+}
+
+#define SWEEP                                                              \
+  ->Arg(16)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096)->Arg(8192)           \
+      ->UseManualTime()                                                    \
+      ->Unit(benchmark::kSecond)                                          \
+      ->Iterations(1)
+
+BENCHMARK(BM_SuperTileSize_MidTape) SWEEP;
+BENCHMARK(BM_SuperTileSize_SlowTape) SWEEP;
+
+}  // namespace
+}  // namespace heaven
+
+BENCHMARK_MAIN();

@@ -1,0 +1,67 @@
+// Experiment E2 — Entkoppelter TCT Export (thesis §4.3.2): the
+// client-visible cost of insert + migration with the synchronous export
+// path versus the decoupled Tertiary-storage Communication Thread.
+//
+// Reported time is the *client clock* in simulated seconds: disk costs plus
+// any tape time the client had to wait for. Expected shape: the decoupled
+// client time stays at disk-insert level, independent of the tape library,
+// while the synchronous path grows with object size.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/workload.h"
+
+namespace heaven {
+namespace {
+
+void RunInsertExport(benchmark::State& state, bool decoupled) {
+  const double mebibytes = static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    HeavenOptions options = benchutil::DefaultOptions();
+    options.decoupled_export = decoupled;
+    benchutil::DbHandle handle = benchutil::MakeDb(options);
+    const MdInterval domain = benchutil::CubeDomainForMiB(mebibytes);
+
+    const ObjectId id = benchutil::InsertObject(&handle, "obj", domain, 2);
+    Status status = handle.db->ExportObject(id);
+    if (status.ok() && decoupled) status = handle.db->DrainExports();
+    if (!status.ok()) {
+      state.SkipWithError(status.ToString().c_str());
+      return;
+    }
+    // Client-visible seconds (the TCT's tape work is not on this clock).
+    state.SetIterationTime(handle.db->ClientSeconds());
+    state.counters["tape_s"] = handle.db->TapeSeconds();
+    state.counters["MiB"] = mebibytes;
+  }
+}
+
+void BM_InsertExport_Synchronous(benchmark::State& state) {
+  RunInsertExport(state, /*decoupled=*/false);
+}
+
+void BM_InsertExport_DecoupledTct(benchmark::State& state) {
+  RunInsertExport(state, /*decoupled=*/true);
+}
+
+BENCHMARK(BM_InsertExport_Synchronous)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseManualTime()
+    ->Unit(benchmark::kSecond)
+    ->Iterations(1);
+BENCHMARK(BM_InsertExport_DecoupledTct)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseManualTime()
+    ->Unit(benchmark::kSecond)
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace heaven
+
+BENCHMARK_MAIN();

@@ -1,0 +1,84 @@
+#include "bench/workload.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace heaven::benchutil {
+
+DbHandle MakeDb(const HeavenOptions& options) {
+  DbHandle handle;
+  handle.env = std::make_unique<MemEnv>();
+  auto db = HeavenDb::Open(handle.env.get(), "/bench", options);
+  HEAVEN_CHECK(db.ok()) << db.status().ToString();
+  handle.db = std::move(db).value();
+  auto collection = handle.db->CreateCollection("bench");
+  HEAVEN_CHECK(collection.ok());
+  handle.collection = collection.value();
+  return handle;
+}
+
+HeavenOptions DefaultOptions(double scale) {
+  HeavenOptions options;
+  options.library.profile = ScaledProfile(MidTapeProfile(), scale);
+  options.library.num_drives = 2;
+  options.library.num_media = 8;
+  options.disk_tile_bytes = 32 << 10;
+  options.supertile_bytes = 512 << 10;
+  options.cache.capacity_bytes = 64ull << 20;
+  return options;
+}
+
+MddArray ClimateField(const MdInterval& domain, uint64_t seed,
+                      CellType type) {
+  MddArray data(domain, type);
+  Rng rng(seed);
+  const double phase = rng.NextDouble() * 6.28;
+  data.Generate([&](const MdPoint& p) {
+    double v = 15.0 + 5.0 * std::sin(phase + 0.05 * static_cast<double>(p[0]));
+    for (size_t d = 1; d < p.dims(); ++d) {
+      v -= 0.02 * static_cast<double>(d) * static_cast<double>(p[d]);
+    }
+    return v;
+  });
+  return data;
+}
+
+MdInterval CubeDomainForMiB(double mebibytes) {
+  const double cells = mebibytes * (1 << 20) / 4.0;  // float cells
+  const int64_t edge =
+      std::max<int64_t>(4, static_cast<int64_t>(std::cbrt(cells)));
+  return MdInterval({0, 0, 0}, {edge - 1, edge - 1, edge - 1});
+}
+
+MdInterval SelectivityBox(const MdInterval& domain, double selectivity,
+                          double anchor01) {
+  HEAVEN_CHECK(selectivity > 0.0 && selectivity <= 1.0);
+  const double edge_fraction =
+      std::pow(selectivity, 1.0 / static_cast<double>(domain.dims()));
+  std::vector<int64_t> lo(domain.dims());
+  std::vector<int64_t> hi(domain.dims());
+  for (size_t d = 0; d < domain.dims(); ++d) {
+    const int64_t extent = std::max<int64_t>(
+        1, static_cast<int64_t>(edge_fraction *
+                                static_cast<double>(domain.Extent(d))));
+    const int64_t max_lo = domain.hi(d) - extent + 1;
+    lo[d] = domain.lo(d) +
+            std::min<int64_t>(
+                max_lo - domain.lo(d),
+                static_cast<int64_t>(anchor01 *
+                                     static_cast<double>(domain.Extent(d))));
+    hi[d] = lo[d] + extent - 1;
+  }
+  return MdInterval(MdPoint(std::move(lo)), MdPoint(std::move(hi)));
+}
+
+ObjectId InsertObject(DbHandle* handle, const std::string& name,
+                      const MdInterval& domain, uint64_t seed) {
+  auto id = handle->db->InsertObject(handle->collection, name,
+                                     ClimateField(domain, seed));
+  HEAVEN_CHECK(id.ok()) << id.status().ToString();
+  return id.value();
+}
+
+}  // namespace heaven::benchutil

@@ -1,0 +1,46 @@
+#ifndef HEAVEN_BENCH_WORKLOAD_H_
+#define HEAVEN_BENCH_WORKLOAD_H_
+
+#include <memory>
+
+#include "common/env.h"
+#include "common/rng.h"
+#include "heaven/heaven_db.h"
+
+namespace heaven::benchutil {
+
+/// A database plus the environment that owns its bytes.
+struct DbHandle {
+  std::unique_ptr<MemEnv> env;
+  std::unique_ptr<HeavenDb> db;
+  CollectionId collection = 0;
+};
+
+/// Opens a fresh in-memory database with the given options.
+DbHandle MakeDb(const HeavenOptions& options);
+
+/// Default experiment options: mid-range tape library whose transfer rates
+/// are scaled by `scale` (see ScaledProfile) so MiB-sized experiment
+/// objects reproduce the cost ratios of the thesis's multi-GB objects.
+HeavenOptions DefaultOptions(double scale = 250.0);
+
+/// Synthetic climate-model field: smooth gradients plus deterministic
+/// noise. Reproducible from `seed`.
+MddArray ClimateField(const MdInterval& domain, uint64_t seed,
+                      CellType type = CellType::kFloat);
+
+/// A 3-D domain whose float payload is approximately `mebibytes` MiB.
+MdInterval CubeDomainForMiB(double mebibytes);
+
+/// An axis-aligned box containing ~`selectivity` (0..1] of the domain's
+/// cells, anchored at `anchor01` (0..1 along each axis).
+MdInterval SelectivityBox(const MdInterval& domain, double selectivity,
+                          double anchor01 = 0.3);
+
+/// Inserts a ClimateField object named `name`; dies on failure.
+ObjectId InsertObject(DbHandle* handle, const std::string& name,
+                      const MdInterval& domain, uint64_t seed);
+
+}  // namespace heaven::benchutil
+
+#endif  // HEAVEN_BENCH_WORKLOAD_H_

@@ -1,0 +1,212 @@
+// heaven_shell: an interactive RasQL shell and administration tool.
+//
+// Commands (one per line):
+//   \help                          this text
+//   \create <collection>           create a collection
+//   \gen <coll> <name> <domain> <type> [expr]
+//                                  insert a synthetic object, e.g.
+//                                  \gen demo cube [0:63,0:63] double ramp
+//                                  (expr: ramp | zero | checker | noise)
+//   \export <name>                 migrate an object to tape
+//   \reimport <name>               copy it back to disk
+//   \drop <name>                   delete an object
+//   \ls                            list collections and objects
+//   \stats                         statistics + clocks
+//   \quit                          exit
+//   anything else                  executed as a RasQL statement, e.g.
+//                                  select avg_cells(cube[0:31,*:*]) from demo
+//                                  create collection x | export cube | ...
+//
+// Run:  ./heaven_shell          (in-memory database, simulated tape)
+//       echo "..." | ./heaven_shell   (scriptable)
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "common/env.h"
+#include "common/rng.h"
+#include "heaven/heaven_db.h"
+#include "rasql/executor.h"
+#include "rasql/statements.h"
+
+namespace {
+
+using namespace heaven;
+
+void PrintHelp() {
+  std::printf(
+      "commands: \\create <coll> | \\gen <coll> <name> <domain> <type> "
+      "[ramp|zero|checker|noise] | \\export <name> | \\reimport <name> | "
+      "\\drop <name> | \\ls | \\reclaim <m> | \\trace [on|off] | \\stats | "
+      "\\quit | <rasql statement>\n");
+}
+
+Status Generate(HeavenDb* db, std::istringstream* args) {
+  std::string coll_name, name, domain_text, type_name, expr = "ramp";
+  *args >> coll_name >> name >> domain_text >> type_name;
+  if (type_name.empty()) {
+    return Status::InvalidArgument(
+        "usage: \\gen <coll> <name> <domain> <type> [expr]");
+  }
+  *args >> expr;
+  auto collection = db->engine()->catalog()->FindCollection(coll_name);
+  if (!collection.has_value()) {
+    return Status::NotFound("collection " + coll_name);
+  }
+  HEAVEN_ASSIGN_OR_RETURN(MdInterval domain, MdInterval::Parse(domain_text));
+  HEAVEN_ASSIGN_OR_RETURN(CellType type, ParseCellType(type_name));
+  MddArray data(domain, type);
+  Rng rng(42);
+  if (expr == "ramp") {
+    data.Generate([](const MdPoint& p) {
+      double v = 0.0;
+      for (size_t d = 0; d < p.dims(); ++d) {
+        v = v * 100.0 + static_cast<double>(p[d] % 100);
+      }
+      return v;
+    });
+  } else if (expr == "zero") {
+    data.Generate([](const MdPoint&) { return 0.0; });
+  } else if (expr == "checker") {
+    data.Generate([](const MdPoint& p) {
+      int64_t parity = 0;
+      for (size_t d = 0; d < p.dims(); ++d) parity += p[d] / 8;
+      return static_cast<double>(parity % 2);
+    });
+  } else if (expr == "noise") {
+    data.Generate(
+        [&rng](const MdPoint&) { return static_cast<double>(rng.Uniform(100)); });
+  } else {
+    return Status::InvalidArgument("unknown generator: " + expr);
+  }
+  HEAVEN_ASSIGN_OR_RETURN(ObjectId id,
+                          db->InsertObject(*collection, name, data));
+  std::printf("inserted object %llu: %s %s of %s (%llu bytes)\n",
+              static_cast<unsigned long long>(id), name.c_str(),
+              domain.ToString().c_str(), type_name.c_str(),
+              static_cast<unsigned long long>(data.size_bytes()));
+  return Status::Ok();
+}
+
+Status RunCommand(HeavenDb* db, const std::string& line) {
+  std::istringstream args(line);
+  std::string command;
+  args >> command;
+  if (command == "\\help") {
+    PrintHelp();
+    return Status::Ok();
+  }
+  if (command == "\\create") {
+    std::string name;
+    args >> name;
+    HEAVEN_ASSIGN_OR_RETURN(CollectionId id, db->CreateCollection(name));
+    std::printf("created collection %llu: %s\n",
+                static_cast<unsigned long long>(id), name.c_str());
+    return Status::Ok();
+  }
+  if (command == "\\gen") return Generate(db, &args);
+  if (command == "\\export" || command == "\\reimport" ||
+      command == "\\drop") {
+    std::string name;
+    args >> name;
+    HEAVEN_ASSIGN_OR_RETURN(ObjectDescriptor object, db->FindObject(name));
+    if (command == "\\export") {
+      HEAVEN_RETURN_IF_ERROR(db->ExportObject(object.object_id));
+      std::printf("exported %s (%zu super-tiles registered, tape %.1f s)\n",
+                  name.c_str(), db->RegisteredSuperTiles(),
+                  db->TapeSeconds());
+    } else if (command == "\\reimport") {
+      HEAVEN_RETURN_IF_ERROR(db->ReimportObject(object.object_id));
+      std::printf("reimported %s to disk\n", name.c_str());
+    } else {
+      HEAVEN_RETURN_IF_ERROR(db->DeleteObject(object.object_id));
+      std::printf("dropped %s\n", name.c_str());
+    }
+    return Status::Ok();
+  }
+  if (command == "\\ls") {
+    for (const auto& [coll_id, coll_name] :
+         db->engine()->catalog()->ListCollections()) {
+      std::printf("collection %s\n", coll_name.c_str());
+      for (const ObjectDescriptor& object :
+           db->engine()->catalog()->ListObjects(coll_id)) {
+        size_t on_disk = 0;
+        size_t on_tape = 0;
+        for (const TileDescriptor& tile :
+             db->engine()->catalog()->ListTiles(object.object_id)) {
+          (tile.location == TileLocation::kDisk ? on_disk : on_tape) += 1;
+        }
+        std::printf("  %-20s %s %-8s tiles: %zu disk / %zu tape\n",
+                    object.name.c_str(), object.domain.ToString().c_str(),
+                    CellTypeName(object.cell_type).c_str(), on_disk, on_tape);
+      }
+    }
+    return Status::Ok();
+  }
+  if (command == "\\reclaim") {
+    uint32_t medium = 0;
+    args >> medium;
+    HEAVEN_ASSIGN_OR_RETURN(uint64_t reclaimed, db->ReclaimMedium(medium));
+    std::printf("reclaimed %llu dead bytes from medium %u\n",
+                static_cast<unsigned long long>(reclaimed), medium);
+    return Status::Ok();
+  }
+  if (command == "\\trace") {
+    std::string mode;
+    args >> mode;
+    if (mode == "on") {
+      db->library()->EnableTrace(true);
+      std::printf("tape trace enabled\n");
+    } else if (mode == "off") {
+      db->library()->EnableTrace(false);
+      std::printf("tape trace disabled\n");
+    } else {
+      std::printf("%s", FormatTapeTrace(db->library()->Trace()).c_str());
+    }
+    return Status::Ok();
+  }
+  if (command == "\\stats") {
+    std::printf("client: %.2f s   tape: %.2f s\n%s", db->ClientSeconds(),
+                db->TapeSeconds(), db->stats()->ToString().c_str());
+    return Status::Ok();
+  }
+  // Everything else: a RasQL statement (SELECT / CREATE / DROP / EXPORT /
+  // REIMPORT).
+  HEAVEN_ASSIGN_OR_RETURN(rasql::StatementResult result,
+                          rasql::ExecuteStatement(db, line));
+  std::printf("%s\n", result.ToString().c_str());
+  return Status::Ok();
+}
+
+}  // namespace
+
+int main() {
+  MemEnv env;
+  HeavenOptions options;
+  options.library.profile = MidTapeProfile();
+  options.library.num_drives = 2;
+  options.library.num_media = 8;
+  options.disk_tile_bytes = 64 << 10;
+
+  auto db = HeavenDb::Open(&env, "/shell", options);
+  if (!db.ok()) {
+    std::fprintf(stderr, "open failed: %s\n", db.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("HEAVEN shell — \\help for commands\n");
+  std::string line;
+  while (true) {
+    std::printf("heaven> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    if (line.empty()) continue;
+    if (line == "\\quit" || line == "\\q") break;
+    Status status = RunCommand(db.value().get(), line);
+    if (!status.ok()) {
+      std::printf("error: %s\n", status.ToString().c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,154 @@
+#include "array/cell_type.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace heaven {
+
+size_t CellTypeSize(CellType type) {
+  switch (type) {
+    case CellType::kChar:
+    case CellType::kOctet:
+      return 1;
+    case CellType::kShort:
+    case CellType::kUShort:
+      return 2;
+    case CellType::kLong:
+    case CellType::kULong:
+    case CellType::kFloat:
+      return 4;
+    case CellType::kDouble:
+      return 8;
+  }
+  HEAVEN_CHECK(false) << "unknown cell type";
+  return 0;
+}
+
+std::string CellTypeName(CellType type) {
+  switch (type) {
+    case CellType::kChar:
+      return "char";
+    case CellType::kOctet:
+      return "octet";
+    case CellType::kShort:
+      return "short";
+    case CellType::kUShort:
+      return "ushort";
+    case CellType::kLong:
+      return "long";
+    case CellType::kULong:
+      return "ulong";
+    case CellType::kFloat:
+      return "float";
+    case CellType::kDouble:
+      return "double";
+  }
+  return "unknown";
+}
+
+Result<CellType> ParseCellType(const std::string& name) {
+  if (name == "char") return CellType::kChar;
+  if (name == "octet") return CellType::kOctet;
+  if (name == "short") return CellType::kShort;
+  if (name == "ushort") return CellType::kUShort;
+  if (name == "long") return CellType::kLong;
+  if (name == "ulong") return CellType::kULong;
+  if (name == "float") return CellType::kFloat;
+  if (name == "double") return CellType::kDouble;
+  return Status::InvalidArgument("unknown cell type: " + name);
+}
+
+double ReadCellAsDouble(CellType type, const char* ptr) {
+  switch (type) {
+    case CellType::kChar: {
+      int8_t v;
+      std::memcpy(&v, ptr, 1);
+      return v;
+    }
+    case CellType::kOctet: {
+      uint8_t v;
+      std::memcpy(&v, ptr, 1);
+      return v;
+    }
+    case CellType::kShort: {
+      int16_t v;
+      std::memcpy(&v, ptr, 2);
+      return v;
+    }
+    case CellType::kUShort: {
+      uint16_t v;
+      std::memcpy(&v, ptr, 2);
+      return v;
+    }
+    case CellType::kLong: {
+      int32_t v;
+      std::memcpy(&v, ptr, 4);
+      return v;
+    }
+    case CellType::kULong: {
+      uint32_t v;
+      std::memcpy(&v, ptr, 4);
+      return v;
+    }
+    case CellType::kFloat: {
+      float v;
+      std::memcpy(&v, ptr, 4);
+      return v;
+    }
+    case CellType::kDouble: {
+      double v;
+      std::memcpy(&v, ptr, 8);
+      return v;
+    }
+  }
+  HEAVEN_CHECK(false) << "unknown cell type";
+  return 0.0;
+}
+
+void WriteCellFromDouble(CellType type, double value, char* ptr) {
+  switch (type) {
+    case CellType::kChar: {
+      int8_t v = static_cast<int8_t>(value);
+      std::memcpy(ptr, &v, 1);
+      return;
+    }
+    case CellType::kOctet: {
+      uint8_t v = static_cast<uint8_t>(value);
+      std::memcpy(ptr, &v, 1);
+      return;
+    }
+    case CellType::kShort: {
+      int16_t v = static_cast<int16_t>(value);
+      std::memcpy(ptr, &v, 2);
+      return;
+    }
+    case CellType::kUShort: {
+      uint16_t v = static_cast<uint16_t>(value);
+      std::memcpy(ptr, &v, 2);
+      return;
+    }
+    case CellType::kLong: {
+      int32_t v = static_cast<int32_t>(value);
+      std::memcpy(ptr, &v, 4);
+      return;
+    }
+    case CellType::kULong: {
+      uint32_t v = static_cast<uint32_t>(value);
+      std::memcpy(ptr, &v, 4);
+      return;
+    }
+    case CellType::kFloat: {
+      float v = static_cast<float>(value);
+      std::memcpy(ptr, &v, 4);
+      return;
+    }
+    case CellType::kDouble: {
+      std::memcpy(ptr, &value, 8);
+      return;
+    }
+  }
+  HEAVEN_CHECK(false) << "unknown cell type";
+}
+
+}  // namespace heaven

@@ -1,0 +1,40 @@
+#ifndef HEAVEN_ARRAY_CELL_TYPE_H_
+#define HEAVEN_ARRAY_CELL_TYPE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace heaven {
+
+/// Base cell types of the array data model (rasdaman's atomic base types).
+enum class CellType : uint8_t {
+  kChar = 0,   // int8
+  kOctet = 1,  // uint8
+  kShort = 2,  // int16
+  kUShort = 3,  // uint16
+  kLong = 4,   // int32
+  kULong = 5,  // uint32
+  kFloat = 6,
+  kDouble = 7,
+};
+
+/// Cell size in bytes.
+size_t CellTypeSize(CellType type);
+
+/// Lowercase type name as used by the query language ("char", "double", ...).
+std::string CellTypeName(CellType type);
+
+/// Parses a type name; InvalidArgument for unknown names.
+Result<CellType> ParseCellType(const std::string& name);
+
+/// Reads the cell at `ptr` widened to double (for condensers / induced ops).
+double ReadCellAsDouble(CellType type, const char* ptr);
+
+/// Writes `value` narrowed to the cell type at `ptr`.
+void WriteCellFromDouble(CellType type, double value, char* ptr);
+
+}  // namespace heaven
+
+#endif  // HEAVEN_ARRAY_CELL_TYPE_H_

@@ -1,0 +1,148 @@
+#include "array/compression.h"
+
+#include "common/logging.h"
+
+namespace heaven {
+
+std::string CompressionName(Compression codec) {
+  switch (codec) {
+    case Compression::kNone:
+      return "none";
+    case Compression::kRle:
+      return "rle";
+    case Compression::kDeltaRle:
+      return "delta+rle";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// PackBits-style RLE: control byte c in [0,127] => copy c+1 literal
+/// bytes; c in [129,255] => repeat the next byte 257-c times; 128 unused.
+std::string RleEncode(std::string_view data) {
+  std::string out;
+  out.reserve(data.size() / 2 + 16);
+  size_t i = 0;
+  while (i < data.size()) {
+    // Measure the run at i.
+    size_t run = 1;
+    while (i + run < data.size() && data[i + run] == data[i] && run < 128) {
+      ++run;
+    }
+    if (run >= 3) {
+      out.push_back(static_cast<char>(257 - run));
+      out.push_back(data[i]);
+      i += run;
+      continue;
+    }
+    // Literal run: until the next >=3 repeat or 128 bytes.
+    size_t literal_start = i;
+    size_t literal_len = 0;
+    while (i < data.size() && literal_len < 128) {
+      size_t next_run = 1;
+      while (i + next_run < data.size() && data[i + next_run] == data[i] &&
+             next_run < 3) {
+        ++next_run;
+      }
+      if (next_run >= 3) break;
+      i += next_run;
+      literal_len += next_run;
+    }
+    // Clamp to 128 (the loop may overshoot by up to 2).
+    if (literal_len > 128) {
+      i -= literal_len - 128;
+      literal_len = 128;
+    }
+    out.push_back(static_cast<char>(literal_len - 1));
+    out.append(data.substr(literal_start, literal_len));
+  }
+  return out;
+}
+
+Result<std::string> RleDecode(std::string_view data, size_t expected_size) {
+  std::string out;
+  out.reserve(expected_size);
+  size_t i = 0;
+  while (i < data.size()) {
+    const uint8_t control = static_cast<uint8_t>(data[i++]);
+    if (control <= 127) {
+      const size_t n = control + 1;
+      if (i + n > data.size()) return Status::Corruption("RLE literal overrun");
+      if (out.size() + n > expected_size) {
+        return Status::Corruption("RLE output exceeds expected size");
+      }
+      out.append(data.substr(i, n));
+      i += n;
+    } else if (control == 128) {
+      return Status::Corruption("RLE reserved control byte");
+    } else {
+      const size_t n = 257 - control;
+      if (i >= data.size()) return Status::Corruption("RLE repeat overrun");
+      if (out.size() + n > expected_size) {
+        return Status::Corruption("RLE output exceeds expected size");
+      }
+      out.append(n, data[i++]);
+    }
+  }
+  if (out.size() != expected_size) {
+    return Status::Corruption("RLE output size mismatch");
+  }
+  return out;
+}
+
+/// Per-byte delta with the given stride: out[i] = in[i] - in[i-stride].
+std::string DeltaEncode(std::string_view data, size_t stride) {
+  std::string out(data);
+  for (size_t i = out.size(); i-- > stride;) {
+    out[i] = static_cast<char>(static_cast<uint8_t>(out[i]) -
+                               static_cast<uint8_t>(data[i - stride]));
+  }
+  return out;
+}
+
+void DeltaDecodeInPlace(std::string* data, size_t stride) {
+  for (size_t i = stride; i < data->size(); ++i) {
+    (*data)[i] = static_cast<char>(static_cast<uint8_t>((*data)[i]) +
+                                   static_cast<uint8_t>((*data)[i - stride]));
+  }
+}
+
+}  // namespace
+
+std::string Compress(Compression codec, std::string_view data,
+                     size_t stride) {
+  HEAVEN_CHECK(stride >= 1);
+  switch (codec) {
+    case Compression::kNone:
+      return std::string(data);
+    case Compression::kRle:
+      return RleEncode(data);
+    case Compression::kDeltaRle:
+      return RleEncode(DeltaEncode(data, stride));
+  }
+  HEAVEN_CHECK(false) << "unknown codec";
+  return {};
+}
+
+Result<std::string> Decompress(Compression codec, std::string_view data,
+                               size_t expected_size, size_t stride) {
+  switch (codec) {
+    case Compression::kNone:
+      if (data.size() != expected_size) {
+        return Status::Corruption("uncompressed size mismatch");
+      }
+      return std::string(data);
+    case Compression::kRle:
+      return RleDecode(data, expected_size);
+    case Compression::kDeltaRle: {
+      HEAVEN_ASSIGN_OR_RETURN(std::string out,
+                              RleDecode(data, expected_size));
+      DeltaDecodeInPlace(&out, stride);
+      return out;
+    }
+  }
+  return Status::InvalidArgument("unknown codec");
+}
+
+}  // namespace heaven

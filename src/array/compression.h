@@ -1,0 +1,41 @@
+#ifndef HEAVEN_ARRAY_COMPRESSION_H_
+#define HEAVEN_ARRAY_COMPRESSION_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace heaven {
+
+/// Payload codecs for tile data inside super-tile containers. Tape
+/// bandwidth is the scarce resource of the tertiary tier, so shrinking the
+/// payload directly shrinks transfer time (at negligible CPU cost compared
+/// to tape latency).
+enum class Compression : uint8_t {
+  kNone = 0,
+  /// PackBits-style byte run-length encoding — effective on rasters with
+  /// constant regions (masks, classified imagery, fill values).
+  kRle = 1,
+  /// Per-byte delta with `stride` equal to the cell size, then RLE —
+  /// effective on smooth integer rasters where neighbouring cells differ
+  /// by little (the delta stream is mostly zero bytes).
+  kDeltaRle = 2,
+};
+
+std::string CompressionName(Compression codec);
+
+/// Compresses `data`. For kDeltaRle, `stride` must be the cell size in
+/// bytes (1 is always safe). kNone returns a copy.
+std::string Compress(Compression codec, std::string_view data,
+                     size_t stride = 1);
+
+/// Inverse of Compress. `expected_size` is validated against the output
+/// (Corruption on mismatch); it also bounds memory for corrupt inputs.
+Result<std::string> Decompress(Compression codec, std::string_view data,
+                               size_t expected_size, size_t stride = 1);
+
+}  // namespace heaven
+
+#endif  // HEAVEN_ARRAY_COMPRESSION_H_

@@ -1,0 +1,151 @@
+#include "array/md_interval.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace heaven {
+
+MdInterval::MdInterval(MdPoint lo, MdPoint hi)
+    : lo_(std::move(lo)), hi_(std::move(hi)) {
+  HEAVEN_CHECK(lo_.dims() == hi_.dims()) << "dimension mismatch";
+  for (size_t d = 0; d < lo_.dims(); ++d) {
+    HEAVEN_CHECK(lo_[d] <= hi_[d])
+        << "empty interval in dim " << d << ": " << lo_[d] << ">" << hi_[d];
+  }
+}
+
+Result<MdInterval> MdInterval::Parse(const std::string& text) {
+  if (text.size() < 2 || text.front() != '[' || text.back() != ']') {
+    return Status::InvalidArgument("interval must look like [l:h,...]: " +
+                                   text);
+  }
+  std::vector<int64_t> lo;
+  std::vector<int64_t> hi;
+  std::string body = text.substr(1, text.size() - 2);
+  std::istringstream in(body);
+  std::string part;
+  while (std::getline(in, part, ',')) {
+    size_t colon = part.find(':');
+    if (colon == std::string::npos) {
+      return Status::InvalidArgument("missing ':' in interval part: " + part);
+    }
+    try {
+      int64_t l = std::stoll(part.substr(0, colon));
+      int64_t h = std::stoll(part.substr(colon + 1));
+      if (l > h) {
+        return Status::InvalidArgument("lo > hi in interval part: " + part);
+      }
+      lo.push_back(l);
+      hi.push_back(h);
+    } catch (const std::exception&) {
+      return Status::InvalidArgument("bad integer in interval part: " + part);
+    }
+  }
+  if (lo.empty()) return Status::InvalidArgument("empty interval: " + text);
+  return MdInterval(MdPoint(std::move(lo)), MdPoint(std::move(hi)));
+}
+
+uint64_t MdInterval::CellCount() const {
+  uint64_t count = 1;
+  for (size_t d = 0; d < dims(); ++d) {
+    count *= static_cast<uint64_t>(Extent(d));
+  }
+  return count;
+}
+
+bool MdInterval::Contains(const MdPoint& p) const {
+  if (p.dims() != dims()) return false;
+  for (size_t d = 0; d < dims(); ++d) {
+    if (p[d] < lo_[d] || p[d] > hi_[d]) return false;
+  }
+  return true;
+}
+
+bool MdInterval::Contains(const MdInterval& other) const {
+  if (other.dims() != dims()) return false;
+  for (size_t d = 0; d < dims(); ++d) {
+    if (other.lo_[d] < lo_[d] || other.hi_[d] > hi_[d]) return false;
+  }
+  return true;
+}
+
+bool MdInterval::Intersects(const MdInterval& other) const {
+  if (other.dims() != dims()) return false;
+  for (size_t d = 0; d < dims(); ++d) {
+    if (other.hi_[d] < lo_[d] || other.lo_[d] > hi_[d]) return false;
+  }
+  return true;
+}
+
+std::optional<MdInterval> MdInterval::Intersection(
+    const MdInterval& other) const {
+  if (!Intersects(other)) return std::nullopt;
+  MdPoint lo(dims());
+  MdPoint hi(dims());
+  for (size_t d = 0; d < dims(); ++d) {
+    lo[d] = std::max(lo_[d], other.lo_[d]);
+    hi[d] = std::min(hi_[d], other.hi_[d]);
+  }
+  return MdInterval(std::move(lo), std::move(hi));
+}
+
+MdInterval MdInterval::Hull(const MdInterval& other) const {
+  HEAVEN_CHECK(other.dims() == dims()) << "dimension mismatch";
+  MdPoint lo(dims());
+  MdPoint hi(dims());
+  for (size_t d = 0; d < dims(); ++d) {
+    lo[d] = std::min(lo_[d], other.lo_[d]);
+    hi[d] = std::max(hi_[d], other.hi_[d]);
+  }
+  return MdInterval(std::move(lo), std::move(hi));
+}
+
+MdInterval MdInterval::Translate(const MdPoint& offset) const {
+  return MdInterval(lo_ + offset, hi_ + offset);
+}
+
+uint64_t MdInterval::LinearOffset(const MdPoint& p) const {
+  HEAVEN_DCHECK(Contains(p)) << p.ToString() << " not in " << ToString();
+  uint64_t offset = 0;
+  for (size_t d = 0; d < dims(); ++d) {
+    offset = offset * static_cast<uint64_t>(Extent(d)) +
+             static_cast<uint64_t>(p[d] - lo_[d]);
+  }
+  return offset;
+}
+
+MdPoint MdInterval::PointAt(uint64_t linear_offset) const {
+  MdPoint p(dims());
+  for (size_t i = dims(); i-- > 0;) {
+    uint64_t extent = static_cast<uint64_t>(Extent(i));
+    p[i] = lo_[i] + static_cast<int64_t>(linear_offset % extent);
+    linear_offset /= extent;
+  }
+  return p;
+}
+
+std::string MdInterval::ToString() const {
+  std::ostringstream out;
+  out << "[";
+  for (size_t d = 0; d < dims(); ++d) {
+    if (d > 0) out << ",";
+    out << lo_[d] << ":" << hi_[d];
+  }
+  out << "]";
+  return out.str();
+}
+
+void MdPointIterator::Next() {
+  HEAVEN_DCHECK(!done_);
+  for (size_t i = box_.dims(); i-- > 0;) {
+    if (point_[i] < box_.hi(i)) {
+      ++point_[i];
+      return;
+    }
+    point_[i] = box_.lo(i);
+  }
+  done_ = true;
+}
+
+}  // namespace heaven

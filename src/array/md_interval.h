@@ -1,0 +1,91 @@
+#ifndef HEAVEN_ARRAY_MD_INTERVAL_H_
+#define HEAVEN_ARRAY_MD_INTERVAL_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "array/md_point.h"
+
+namespace heaven {
+
+/// A closed axis-aligned box in n-dimensional cell space (rasdaman's
+/// r_Minterval): per dimension an inclusive [lo, hi] interval. This is the
+/// spatial domain of arrays, tiles and super-tiles, and the shape of trim
+/// (range) queries.
+class MdInterval {
+ public:
+  MdInterval() = default;
+
+  /// Constructs from per-dimension bounds; lo[i] <= hi[i] must hold.
+  MdInterval(MdPoint lo, MdPoint hi);
+
+  /// Parses "[l0:h0,l1:h1,...]".
+  static Result<MdInterval> Parse(const std::string& text);
+
+  size_t dims() const { return lo_.dims(); }
+  const MdPoint& lo() const { return lo_; }
+  const MdPoint& hi() const { return hi_; }
+  int64_t lo(size_t d) const { return lo_[d]; }
+  int64_t hi(size_t d) const { return hi_[d]; }
+
+  /// Number of cells along dimension d.
+  int64_t Extent(size_t d) const { return hi_[d] - lo_[d] + 1; }
+
+  /// Total number of cells in the box.
+  uint64_t CellCount() const;
+
+  bool Contains(const MdPoint& p) const;
+  bool Contains(const MdInterval& other) const;
+  bool Intersects(const MdInterval& other) const;
+
+  /// Intersection box; nullopt when disjoint.
+  std::optional<MdInterval> Intersection(const MdInterval& other) const;
+
+  /// Smallest box covering both (the closed hull).
+  MdInterval Hull(const MdInterval& other) const;
+
+  /// The box shifted by `offset`.
+  MdInterval Translate(const MdPoint& offset) const;
+
+  /// Row-major linear offset of `p` relative to lo() — the cell index inside
+  /// a buffer laid out with the last dimension contiguous.
+  /// Precondition: Contains(p).
+  uint64_t LinearOffset(const MdPoint& p) const;
+
+  /// Inverse of LinearOffset.
+  MdPoint PointAt(uint64_t linear_offset) const;
+
+  bool operator==(const MdInterval& other) const = default;
+
+  /// "[l0:h0,l1:h1,...]".
+  std::string ToString() const;
+
+ private:
+  MdPoint lo_;
+  MdPoint hi_;
+};
+
+/// Iterates over all integer points of an MdInterval in row-major order.
+/// Usage: for (MdPointIterator it(box); !it.Done(); it.Next()) use it.point().
+class MdPointIterator {
+ public:
+  explicit MdPointIterator(const MdInterval& box)
+      : box_(box), point_(box.lo()), done_(box.dims() == 0) {}
+
+  bool Done() const { return done_; }
+  const MdPoint& point() const { return point_; }
+
+  void Next();
+
+ private:
+  MdInterval box_;
+  MdPoint point_;
+  bool done_;
+};
+
+}  // namespace heaven
+
+#endif  // HEAVEN_ARRAY_MD_INTERVAL_H_

@@ -1,0 +1,34 @@
+#include "array/md_point.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace heaven {
+
+MdPoint MdPoint::operator+(const MdPoint& other) const {
+  HEAVEN_CHECK(dims() == other.dims()) << "dimension mismatch";
+  MdPoint result(dims());
+  for (size_t i = 0; i < dims(); ++i) result[i] = coords_[i] + other[i];
+  return result;
+}
+
+MdPoint MdPoint::operator-(const MdPoint& other) const {
+  HEAVEN_CHECK(dims() == other.dims()) << "dimension mismatch";
+  MdPoint result(dims());
+  for (size_t i = 0; i < dims(); ++i) result[i] = coords_[i] - other[i];
+  return result;
+}
+
+std::string MdPoint::ToString() const {
+  std::ostringstream out;
+  out << "[";
+  for (size_t i = 0; i < coords_.size(); ++i) {
+    if (i > 0) out << ",";
+    out << coords_[i];
+  }
+  out << "]";
+  return out.str();
+}
+
+}  // namespace heaven

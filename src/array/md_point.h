@@ -1,0 +1,38 @@
+#ifndef HEAVEN_ARRAY_MD_POINT_H_
+#define HEAVEN_ARRAY_MD_POINT_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace heaven {
+
+/// A point in n-dimensional integer cell space (rasdaman's r_Point).
+class MdPoint {
+ public:
+  MdPoint() = default;
+  explicit MdPoint(size_t dims) : coords_(dims, 0) {}
+  MdPoint(std::initializer_list<int64_t> coords) : coords_(coords) {}
+  explicit MdPoint(std::vector<int64_t> coords) : coords_(std::move(coords)) {}
+
+  size_t dims() const { return coords_.size(); }
+  int64_t operator[](size_t i) const { return coords_[i]; }
+  int64_t& operator[](size_t i) { return coords_[i]; }
+  const std::vector<int64_t>& coords() const { return coords_; }
+
+  bool operator==(const MdPoint& other) const = default;
+
+  MdPoint operator+(const MdPoint& other) const;
+  MdPoint operator-(const MdPoint& other) const;
+
+  /// "[x0,x1,...,xn]".
+  std::string ToString() const;
+
+ private:
+  std::vector<int64_t> coords_;
+};
+
+}  // namespace heaven
+
+#endif  // HEAVEN_ARRAY_MD_POINT_H_

@@ -1,0 +1,11 @@
+#include "array/mdd.h"
+
+namespace heaven {
+
+void MddArray::Generate(const std::function<double(const MdPoint&)>& f) {
+  for (MdPointIterator it(domain()); !it.Done(); it.Next()) {
+    Set(it.point(), f(it.point()));
+  }
+}
+
+}  // namespace heaven

@@ -1,0 +1,82 @@
+#ifndef HEAVEN_ARRAY_MDD_H_
+#define HEAVEN_ARRAY_MDD_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "array/cell_type.h"
+#include "array/md_interval.h"
+#include "array/tile.h"
+#include "common/status.h"
+
+namespace heaven {
+
+/// Identifier types used across the engine.
+using ObjectId = uint64_t;
+using TileId = uint64_t;
+using SuperTileId = uint64_t;
+using CollectionId = uint64_t;
+
+/// A complete multidimensional array held in memory: the logical MDD of the
+/// data model. Used for inserts (the client materializes the object) and as
+/// the result of query evaluation. Internally it is a single tile covering
+/// the full domain.
+class MddArray {
+ public:
+  MddArray() = default;
+  MddArray(MdInterval domain, CellType cell_type)
+      : tile_(std::move(domain), cell_type) {}
+  explicit MddArray(Tile tile) : tile_(std::move(tile)) {}
+
+  const MdInterval& domain() const { return tile_.domain(); }
+  CellType cell_type() const { return tile_.cell_type(); }
+  uint64_t size_bytes() const { return tile_.size_bytes(); }
+  const Tile& tile() const { return tile_; }
+  Tile& mutable_tile() { return tile_; }
+
+  double At(const MdPoint& p) const { return tile_.CellAsDouble(p); }
+  void Set(const MdPoint& p, double value) {
+    tile_.SetCellFromDouble(p, value);
+  }
+
+  /// Fills every cell by evaluating `f` at its point — the synthetic-data
+  /// hook used by examples and workload generators.
+  void Generate(const std::function<double(const MdPoint&)>& f);
+
+  bool operator==(const MddArray& other) const = default;
+
+ private:
+  Tile tile_;
+};
+
+/// Where the payload of a tile currently lives.
+enum class TileLocation : uint8_t {
+  kDisk = 0,      // BLOB in the base storage manager
+  kTertiary = 1,  // inside a super-tile on a tertiary medium
+};
+
+/// Catalog entry for one stored tile.
+struct TileDescriptor {
+  TileId tile_id = 0;
+  MdInterval domain;
+  TileLocation location = TileLocation::kDisk;
+  uint64_t blob_id = 0;        // valid when location == kDisk
+  SuperTileId super_tile = 0;  // valid when location == kTertiary
+  uint64_t size_bytes = 0;
+};
+
+/// Catalog entry for one stored MDD object.
+struct ObjectDescriptor {
+  ObjectId object_id = 0;
+  CollectionId collection_id = 0;
+  std::string name;
+  MdInterval domain;
+  CellType cell_type = CellType::kChar;
+  std::vector<int64_t> tile_extents;  // regular tiling edge lengths
+};
+
+}  // namespace heaven
+
+#endif  // HEAVEN_ARRAY_MDD_H_

@@ -1,0 +1,230 @@
+#include "array/ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace heaven {
+
+Result<MddArray> Trim(const MddArray& a, const MdInterval& region) {
+  if (!a.domain().Contains(region)) {
+    return Status::OutOfRange("trim region " + region.ToString() +
+                              " outside domain " + a.domain().ToString());
+  }
+  HEAVEN_ASSIGN_OR_RETURN(Tile tile, a.tile().ExtractRegion(region));
+  return MddArray(std::move(tile));
+}
+
+Result<MddArray> Slice(const MddArray& a, size_t dim, int64_t coordinate) {
+  const MdInterval& domain = a.domain();
+  if (dim >= domain.dims()) {
+    return Status::InvalidArgument("slice dimension out of range");
+  }
+  if (domain.dims() == 1) {
+    return Status::InvalidArgument("cannot slice a 1-D array");
+  }
+  if (coordinate < domain.lo(dim) || coordinate > domain.hi(dim)) {
+    return Status::OutOfRange("slice coordinate outside domain");
+  }
+  // Result domain: all dimensions except `dim`.
+  std::vector<int64_t> lo;
+  std::vector<int64_t> hi;
+  for (size_t d = 0; d < domain.dims(); ++d) {
+    if (d == dim) continue;
+    lo.push_back(domain.lo(d));
+    hi.push_back(domain.hi(d));
+  }
+  MdInterval result_domain{MdPoint(std::move(lo)), MdPoint(std::move(hi))};
+  MddArray result(result_domain, a.cell_type());
+  for (MdPointIterator it(result_domain); !it.Done(); it.Next()) {
+    // Re-insert the fixed coordinate to address the source.
+    std::vector<int64_t> src(domain.dims());
+    size_t j = 0;
+    for (size_t d = 0; d < domain.dims(); ++d) {
+      src[d] = (d == dim) ? coordinate : it.point()[j++];
+    }
+    result.Set(it.point(), a.At(MdPoint(std::move(src))));
+  }
+  return result;
+}
+
+namespace {
+
+double ApplyOp(InducedOp op, double lhs, double rhs) {
+  switch (op) {
+    case InducedOp::kAdd:
+      return lhs + rhs;
+    case InducedOp::kSub:
+      return lhs - rhs;
+    case InducedOp::kMul:
+      return lhs * rhs;
+    case InducedOp::kDiv:
+      return rhs == 0.0 ? 0.0 : lhs / rhs;
+    case InducedOp::kMin:
+      return std::min(lhs, rhs);
+    case InducedOp::kMax:
+      return std::max(lhs, rhs);
+  }
+  HEAVEN_CHECK(false) << "unknown induced op";
+  return 0.0;
+}
+
+}  // namespace
+
+Result<MddArray> InducedScalar(const MddArray& a, InducedOp op,
+                               double scalar) {
+  MddArray result(a.domain(), a.cell_type());
+  for (MdPointIterator it(a.domain()); !it.Done(); it.Next()) {
+    result.Set(it.point(), ApplyOp(op, a.At(it.point()), scalar));
+  }
+  return result;
+}
+
+Result<MddArray> InducedBinary(const MddArray& a, const MddArray& b,
+                               InducedOp op) {
+  if (a.domain() != b.domain()) {
+    return Status::InvalidArgument(
+        "induced binary operands must share a domain: " +
+        a.domain().ToString() + " vs " + b.domain().ToString());
+  }
+  if (a.cell_type() != b.cell_type()) {
+    return Status::InvalidArgument("induced binary operands type mismatch");
+  }
+  MddArray result(a.domain(), a.cell_type());
+  for (MdPointIterator it(a.domain()); !it.Done(); it.Next()) {
+    result.Set(it.point(), ApplyOp(op, a.At(it.point()), b.At(it.point())));
+  }
+  return result;
+}
+
+namespace {
+
+bool EvaluateCompare(CompareOp op, double lhs, double rhs) {
+  switch (op) {
+    case CompareOp::kLt:
+      return lhs < rhs;
+    case CompareOp::kLe:
+      return lhs <= rhs;
+    case CompareOp::kGt:
+      return lhs > rhs;
+    case CompareOp::kGe:
+      return lhs >= rhs;
+    case CompareOp::kEq:
+      return lhs == rhs;
+    case CompareOp::kNe:
+      return lhs != rhs;
+  }
+  HEAVEN_CHECK(false) << "unknown compare op";
+  return false;
+}
+
+}  // namespace
+
+Result<MddArray> CompareScalar(const MddArray& a, CompareOp op,
+                               double scalar) {
+  MddArray mask(a.domain(), CellType::kChar);
+  for (MdPointIterator it(a.domain()); !it.Done(); it.Next()) {
+    mask.Set(it.point(),
+             EvaluateCompare(op, a.At(it.point()), scalar) ? 1.0 : 0.0);
+  }
+  return mask;
+}
+
+Result<bool> SomeCells(const MddArray& mask) {
+  for (MdPointIterator it(mask.domain()); !it.Done(); it.Next()) {
+    if (mask.At(it.point()) != 0.0) return true;
+  }
+  return false;
+}
+
+Result<bool> AllCells(const MddArray& mask) {
+  for (MdPointIterator it(mask.domain()); !it.Done(); it.Next()) {
+    if (mask.At(it.point()) == 0.0) return false;
+  }
+  return true;
+}
+
+std::string CondenserName(Condenser c) {
+  switch (c) {
+    case Condenser::kSum:
+      return "add_cells";
+    case Condenser::kAvg:
+      return "avg_cells";
+    case Condenser::kMin:
+      return "min_cells";
+    case Condenser::kMax:
+      return "max_cells";
+    case Condenser::kCount:
+      return "count_cells";
+  }
+  return "unknown";
+}
+
+double Condense(const MddArray& a, Condenser c) {
+  Result<double> result = CondenseRegion(a, c, a.domain());
+  HEAVEN_CHECK(result.ok());
+  return result.value();
+}
+
+Result<double> CondenseRegion(const MddArray& a, Condenser c,
+                              const MdInterval& region) {
+  if (!a.domain().Contains(region)) {
+    return Status::OutOfRange("condense region outside domain");
+  }
+  double sum = 0.0;
+  double min_v = std::numeric_limits<double>::infinity();
+  double max_v = -std::numeric_limits<double>::infinity();
+  uint64_t count = 0;
+  for (MdPointIterator it(region); !it.Done(); it.Next()) {
+    double v = a.At(it.point());
+    sum += v;
+    min_v = std::min(min_v, v);
+    max_v = std::max(max_v, v);
+    ++count;
+  }
+  switch (c) {
+    case Condenser::kSum:
+      return sum;
+    case Condenser::kAvg:
+      return count == 0 ? 0.0 : sum / static_cast<double>(count);
+    case Condenser::kMin:
+      return min_v;
+    case Condenser::kMax:
+      return max_v;
+    case Condenser::kCount:
+      return static_cast<double>(count);
+  }
+  return Status::Internal("unknown condenser");
+}
+
+Result<MddArray> ScaleDown(const MddArray& a, int64_t factor) {
+  if (factor <= 0) return Status::InvalidArgument("scale factor must be > 0");
+  if (factor == 1) return a;
+  const MdInterval& domain = a.domain();
+  std::vector<int64_t> lo(domain.dims());
+  std::vector<int64_t> hi(domain.dims());
+  for (size_t d = 0; d < domain.dims(); ++d) {
+    lo[d] = 0;
+    hi[d] = std::max<int64_t>(0, domain.Extent(d) / factor - 1);
+  }
+  MdInterval result_domain{MdPoint(std::move(lo)), MdPoint(std::move(hi))};
+  MddArray result(result_domain, a.cell_type());
+  for (MdPointIterator it(result_domain); !it.Done(); it.Next()) {
+    // Average the factor^dims source block.
+    std::vector<int64_t> block_lo(domain.dims());
+    std::vector<int64_t> block_hi(domain.dims());
+    for (size_t d = 0; d < domain.dims(); ++d) {
+      block_lo[d] = domain.lo(d) + it.point()[d] * factor;
+      block_hi[d] = std::min(block_lo[d] + factor - 1, domain.hi(d));
+    }
+    MdInterval block{MdPoint(std::move(block_lo)), MdPoint(std::move(block_hi))};
+    HEAVEN_ASSIGN_OR_RETURN(double avg,
+                            CondenseRegion(a, Condenser::kAvg, block));
+    result.Set(it.point(), avg);
+  }
+  return result;
+}
+
+}  // namespace heaven

@@ -1,0 +1,68 @@
+#ifndef HEAVEN_ARRAY_OPS_H_
+#define HEAVEN_ARRAY_OPS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "array/mdd.h"
+#include "common/status.h"
+
+namespace heaven {
+
+/// Array operations of the logical data model: trimming, section (slice),
+/// induced cell-wise operations and condensers (aggregations). These are
+/// the operations the query executor applies after the storage layers have
+/// assembled the needed cells.
+
+/// Trim: the sub-array covering `region` (must lie inside a.domain()).
+Result<MddArray> Trim(const MddArray& a, const MdInterval& region);
+
+/// Section: fixes dimension `dim` to `coordinate`, reducing dimensionality
+/// by one (a 1-D result stays 1-D when dims()==1 is sliced — that is an
+/// error: slicing a 1-D array is rejected).
+Result<MddArray> Slice(const MddArray& a, size_t dim, int64_t coordinate);
+
+/// Induced binary operations between an array and a scalar.
+enum class InducedOp { kAdd, kSub, kMul, kDiv, kMin, kMax };
+
+/// Induced comparisons: cell-wise predicates producing a boolean mask
+/// (a char array of 0/1 over the same domain).
+enum class CompareOp { kLt, kLe, kGt, kGe, kEq, kNe };
+
+/// Applies `op` cell-wise against `scalar`, yielding a 0/1 char mask.
+Result<MddArray> CompareScalar(const MddArray& a, CompareOp op,
+                               double scalar);
+
+/// Quantifier condensers over a 0/1 mask (rasdaman's some_cells /
+/// all_cells): true iff some / every cell is non-zero.
+Result<bool> SomeCells(const MddArray& mask);
+Result<bool> AllCells(const MddArray& mask);
+
+/// Applies `op` cell-wise with `scalar` as right operand; result has the
+/// same domain and cell type (values are narrowed back).
+Result<MddArray> InducedScalar(const MddArray& a, InducedOp op, double scalar);
+
+/// Applies `op` cell-wise between two arrays of identical domain and type.
+Result<MddArray> InducedBinary(const MddArray& a, const MddArray& b,
+                               InducedOp op);
+
+/// Condenser (aggregation) kinds of the query language.
+enum class Condenser { kSum, kAvg, kMin, kMax, kCount };
+
+std::string CondenserName(Condenser c);
+
+/// Aggregates all cells of `a`.
+double Condense(const MddArray& a, Condenser c);
+
+/// Aggregates the cells of `region` only (region must lie in a.domain()).
+Result<double> CondenseRegion(const MddArray& a, Condenser c,
+                              const MdInterval& region);
+
+/// Downscales `a` by integer factor `factor` per dimension using cell
+/// averaging — the "scaling" operation used to ship overview versions of
+/// migrated objects.
+Result<MddArray> ScaleDown(const MddArray& a, int64_t factor);
+
+}  // namespace heaven
+
+#endif  // HEAVEN_ARRAY_OPS_H_

@@ -1,0 +1,342 @@
+#include "array/rtree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <optional>
+
+#include "common/logging.h"
+
+namespace heaven {
+
+struct RTree::Entry {
+  MdInterval box;
+  uint64_t value = 0;             // payload (leaf entries)
+  std::unique_ptr<Node> child;    // subtree (inner entries)
+};
+
+struct RTree::Node {
+  bool leaf = true;
+  Node* parent = nullptr;
+  std::vector<Entry> entries;
+};
+
+namespace {
+
+/// Hull "area" proxy that works in any dimensionality: log-volume, so that
+/// products do not overflow for large extents.
+double LogVolume(const MdInterval& box) {
+  double v = 0.0;
+  for (size_t d = 0; d < box.dims(); ++d) {
+    v += std::log(static_cast<double>(box.Extent(d)));
+  }
+  return v;
+}
+
+double EnlargementCost(const MdInterval& mbr, const MdInterval& box) {
+  return LogVolume(mbr.Hull(box)) - LogVolume(mbr);
+}
+
+}  // namespace
+
+RTree::RTree(size_t max_entries)
+    : max_entries_(std::max<size_t>(4, max_entries)),
+      min_entries_(std::max<size_t>(2, max_entries / 2)),
+      root_(new Node()) {}
+
+RTree::~RTree() = default;
+
+void RTree::Insert(const MdInterval& box, uint64_t value) {
+  Entry entry;
+  entry.box = box;
+  entry.value = value;
+  InsertEntry(std::move(entry), 0);
+  ++size_;
+}
+
+void RTree::InsertEntry(Entry entry, size_t target_level) {
+  Node* node = ChooseNode(entry.box, target_level);
+  if (entry.child) entry.child->parent = node;
+  node->entries.push_back(std::move(entry));
+  if (node->entries.size() > max_entries_) SplitAndPropagate(node);
+}
+
+RTree::Node* RTree::ChooseNode(const MdInterval& box, size_t target_level) {
+  // Level counted from the leaves: leaves are level 0.
+  // Compute current height by walking down the leftmost path.
+  size_t height = 0;
+  for (Node* n = root_.get(); !n->leaf; n = n->entries[0].child.get()) {
+    ++height;
+  }
+  Node* node = root_.get();
+  size_t level = height;
+  while (level > target_level) {
+    HEAVEN_DCHECK(!node->leaf);
+    Entry* best = nullptr;
+    double best_cost = std::numeric_limits<double>::infinity();
+    double best_volume = std::numeric_limits<double>::infinity();
+    for (Entry& e : node->entries) {
+      double cost = EnlargementCost(e.box, box);
+      double volume = LogVolume(e.box);
+      if (cost < best_cost || (cost == best_cost && volume < best_volume)) {
+        best = &e;
+        best_cost = cost;
+        best_volume = volume;
+      }
+    }
+    HEAVEN_CHECK(best != nullptr);
+    best->box = best->box.Hull(box);
+    node = best->child.get();
+    --level;
+  }
+  return node;
+}
+
+void RTree::SplitAndPropagate(Node* node) {
+  // Quadratic split (Guttman): pick the pair wasting the most volume as
+  // seeds, then assign remaining entries greedily.
+  std::vector<Entry> entries = std::move(node->entries);
+  node->entries.clear();
+
+  size_t seed_a = 0;
+  size_t seed_b = 1;
+  double worst = -std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < entries.size(); ++i) {
+    for (size_t j = i + 1; j < entries.size(); ++j) {
+      double waste = LogVolume(entries[i].box.Hull(entries[j].box));
+      if (waste > worst) {
+        worst = waste;
+        seed_a = i;
+        seed_b = j;
+      }
+    }
+  }
+
+  auto sibling = std::make_unique<Node>();
+  sibling->leaf = node->leaf;
+
+  MdInterval mbr_a = entries[seed_a].box;
+  MdInterval mbr_b = entries[seed_b].box;
+  std::vector<Entry> group_a;
+  std::vector<Entry> group_b;
+  group_a.push_back(std::move(entries[seed_a]));
+  group_b.push_back(std::move(entries[seed_b]));
+
+  std::vector<size_t> unassigned;
+  for (size_t i = 0; i < entries.size(); ++i) {
+    if (i != seed_a && i != seed_b) unassigned.push_back(i);
+  }
+  for (size_t u = 0; u < unassigned.size(); ++u) {
+    Entry& e = entries[unassigned[u]];
+    const size_t remaining = unassigned.size() - u;
+    // Force assignment if one group needs every remaining entry to reach
+    // the minimum fill.
+    if (group_a.size() + remaining <= min_entries_) {
+      mbr_a = mbr_a.Hull(e.box);
+      group_a.push_back(std::move(e));
+      continue;
+    }
+    if (group_b.size() + remaining <= min_entries_) {
+      mbr_b = mbr_b.Hull(e.box);
+      group_b.push_back(std::move(e));
+      continue;
+    }
+    double cost_a = EnlargementCost(mbr_a, e.box);
+    double cost_b = EnlargementCost(mbr_b, e.box);
+    if (cost_a < cost_b || (cost_a == cost_b && group_a.size() < group_b.size())) {
+      mbr_a = mbr_a.Hull(e.box);
+      group_a.push_back(std::move(e));
+    } else {
+      mbr_b = mbr_b.Hull(e.box);
+      group_b.push_back(std::move(e));
+    }
+  }
+
+  node->entries = std::move(group_a);
+  sibling->entries = std::move(group_b);
+  for (Entry& e : node->entries) {
+    if (e.child) e.child->parent = node;
+  }
+  for (Entry& e : sibling->entries) {
+    if (e.child) e.child->parent = sibling.get();
+  }
+
+  if (node->parent == nullptr) {
+    // Grow a new root.
+    auto new_root = std::make_unique<Node>();
+    new_root->leaf = false;
+
+    auto old_root = std::move(root_);
+    Entry left;
+    left.box = mbr_a;
+    left.child = std::move(old_root);
+    left.child->parent = new_root.get();
+
+    Entry right;
+    right.box = mbr_b;
+    right.child = std::move(sibling);
+    right.child->parent = new_root.get();
+
+    new_root->entries.push_back(std::move(left));
+    new_root->entries.push_back(std::move(right));
+    root_ = std::move(new_root);
+    return;
+  }
+
+  // Update the parent entry's MBR for `node` and add the sibling.
+  Node* parent = node->parent;
+  for (Entry& e : parent->entries) {
+    if (e.child.get() == node) {
+      e.box = mbr_a;
+      break;
+    }
+  }
+  Entry sib_entry;
+  sib_entry.box = mbr_b;
+  sib_entry.child = std::move(sibling);
+  sib_entry.child->parent = parent;
+  parent->entries.push_back(std::move(sib_entry));
+  if (parent->entries.size() > max_entries_) SplitAndPropagate(parent);
+}
+
+bool RTree::Remove(const MdInterval& box, uint64_t value) {
+  // Find the leaf holding the entry.
+  std::vector<Node*> stack = {root_.get()};
+  Node* leaf = nullptr;
+  size_t index = 0;
+  while (!stack.empty() && leaf == nullptr) {
+    Node* node = stack.back();
+    stack.pop_back();
+    if (node->leaf) {
+      for (size_t i = 0; i < node->entries.size(); ++i) {
+        if (node->entries[i].value == value && node->entries[i].box == box) {
+          leaf = node;
+          index = i;
+          break;
+        }
+      }
+    } else {
+      for (Entry& e : node->entries) {
+        if (e.box.Intersects(box)) stack.push_back(e.child.get());
+      }
+    }
+  }
+  if (leaf == nullptr) return false;
+  leaf->entries.erase(leaf->entries.begin() + static_cast<long>(index));
+  --size_;
+
+  // Condense: walk up from the leaf, detaching every underfull non-root
+  // node; the leaf entries of detached subtrees are re-inserted afterwards.
+  // (Re-insertion at leaf level is simpler than Guttman's level-preserving
+  // variant and HEAVEN only removes entries on delete/re-import.)
+  std::vector<Entry> orphans;
+  auto collect_leaf_entries = [&orphans](Node* node, auto&& self) -> void {
+    if (node->leaf) {
+      for (Entry& e : node->entries) orphans.push_back(std::move(e));
+      return;
+    }
+    for (Entry& e : node->entries) self(e.child.get(), self);
+  };
+
+  Node* node = leaf;
+  while (node->parent != nullptr && node->entries.size() < min_entries_) {
+    Node* parent = node->parent;
+    std::unique_ptr<Node> detached;
+    for (size_t i = 0; i < parent->entries.size(); ++i) {
+      if (parent->entries[i].child.get() == node) {
+        detached = std::move(parent->entries[i].child);
+        parent->entries.erase(parent->entries.begin() + static_cast<long>(i));
+        break;
+      }
+    }
+    HEAVEN_CHECK(detached != nullptr);
+    collect_leaf_entries(detached.get(), collect_leaf_entries);
+    node = parent;
+  }
+  // Collapse a root chain with single children.
+  while (!root_->leaf && root_->entries.size() == 1) {
+    std::unique_ptr<Node> child = std::move(root_->entries[0].child);
+    child->parent = nullptr;
+    root_ = std::move(child);
+  }
+  for (Entry& e : orphans) {
+    InsertEntry(std::move(e), 0);  // size_ unchanged: still the same values
+  }
+  return true;
+}
+
+std::vector<uint64_t> RTree::Search(const MdInterval& query) const {
+  std::vector<std::pair<MdInterval, uint64_t>> entries;
+  SearchNode(root_.get(), query, &entries);
+  std::vector<uint64_t> values;
+  values.reserve(entries.size());
+  for (auto& [box, value] : entries) values.push_back(value);
+  return values;
+}
+
+std::vector<std::pair<MdInterval, uint64_t>> RTree::SearchEntries(
+    const MdInterval& query) const {
+  std::vector<std::pair<MdInterval, uint64_t>> entries;
+  SearchNode(root_.get(), query, &entries);
+  return entries;
+}
+
+void RTree::SearchNode(
+    const Node* node, const MdInterval& query,
+    std::vector<std::pair<MdInterval, uint64_t>>* out) const {
+  for (const Entry& e : node->entries) {
+    if (!e.box.Intersects(query)) continue;
+    if (node->leaf) {
+      out->emplace_back(e.box, e.value);
+    } else {
+      SearchNode(e.child.get(), query, out);
+    }
+  }
+}
+
+size_t RTree::Height() const {
+  size_t height = 0;
+  for (const Node* n = root_.get(); !n->leaf;
+       n = n->entries[0].child.get()) {
+    ++height;
+  }
+  return height;
+}
+
+bool RTree::CheckInvariants() const {
+  // Walk the tree: every inner entry's box must contain its child's boxes,
+  // fill factors must hold (root excepted), all leaves at the same depth.
+  struct Item {
+    const Node* node;
+    size_t depth;
+  };
+  std::vector<Item> stack = {{root_.get(), 0}};
+  std::optional<size_t> leaf_depth;
+  size_t counted = 0;
+  while (!stack.empty()) {
+    auto [node, depth] = stack.back();
+    stack.pop_back();
+    const bool is_root = node == root_.get();
+    if (!is_root && (node->entries.size() < min_entries_ ||
+                     node->entries.size() > max_entries_)) {
+      return false;
+    }
+    if (node->leaf) {
+      if (leaf_depth.has_value() && *leaf_depth != depth) return false;
+      leaf_depth = depth;
+      counted += node->entries.size();
+    } else {
+      for (const Entry& e : node->entries) {
+        if (e.child == nullptr) return false;
+        if (e.child->parent != node) return false;
+        for (const Entry& ce : e.child->entries) {
+          if (!e.box.Contains(ce.box)) return false;
+        }
+        stack.push_back({e.child.get(), depth + 1});
+      }
+    }
+  }
+  return counted == size_;
+}
+
+}  // namespace heaven

@@ -1,0 +1,68 @@
+#ifndef HEAVEN_ARRAY_RTREE_H_
+#define HEAVEN_ARRAY_RTREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "array/md_interval.h"
+
+namespace heaven {
+
+/// Multidimensional spatial index mapping tile domains to tile ids
+/// (rasdaman's R+-tree directory index, here a Guttman R-tree with
+/// quadratic split). Keys in one tree must share dimensionality.
+class RTree {
+ public:
+  /// `max_entries` per node; min is max/2.
+  explicit RTree(size_t max_entries = 16);
+  ~RTree();
+
+  RTree(const RTree&) = delete;
+  RTree& operator=(const RTree&) = delete;
+  RTree(RTree&&) = default;
+  RTree& operator=(RTree&&) = default;
+
+  /// Inserts a (box, value) pair. Boxes may duplicate.
+  void Insert(const MdInterval& box, uint64_t value);
+
+  /// Removes one entry with exactly this box and value; false if absent.
+  bool Remove(const MdInterval& box, uint64_t value);
+
+  /// Values of all entries whose box intersects `query`.
+  std::vector<uint64_t> Search(const MdInterval& query) const;
+
+  /// (box, value) pairs of all entries whose box intersects `query`.
+  std::vector<std::pair<MdInterval, uint64_t>> SearchEntries(
+      const MdInterval& query) const;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Tree height (0 for the empty tree); exposed for tests.
+  size_t Height() const;
+
+  /// Verifies structural invariants (MBR containment, fill factors);
+  /// exposed for property tests.
+  bool CheckInvariants() const;
+
+ private:
+  struct Node;
+  struct Entry;
+
+  void InsertEntry(Entry entry, size_t target_level);
+  Node* ChooseNode(const MdInterval& box, size_t target_level);
+  /// Splits `node` (which is overfull) and propagates upward.
+  void SplitAndPropagate(Node* node);
+  void SearchNode(const Node* node, const MdInterval& query,
+                  std::vector<std::pair<MdInterval, uint64_t>>* out) const;
+
+  size_t max_entries_;
+  size_t min_entries_;
+  std::unique_ptr<Node> root_;
+  size_t size_ = 0;
+};
+
+}  // namespace heaven
+
+#endif  // HEAVEN_ARRAY_RTREE_H_

@@ -1,0 +1,85 @@
+#include "array/tile.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace heaven {
+
+Tile::Tile(MdInterval domain, CellType cell_type)
+    : domain_(std::move(domain)), cell_type_(cell_type) {
+  data_.assign(domain_.CellCount() * CellTypeSize(cell_type_), '\0');
+}
+
+Tile::Tile(MdInterval domain, CellType cell_type, std::string data)
+    : domain_(std::move(domain)), cell_type_(cell_type), data_(std::move(data)) {
+  HEAVEN_CHECK(data_.size() ==
+               domain_.CellCount() * CellTypeSize(cell_type_))
+      << "tile buffer size " << data_.size() << " does not match domain "
+      << domain_.ToString();
+}
+
+const char* Tile::CellPtr(const MdPoint& p) const {
+  return data_.data() + domain_.LinearOffset(p) * cell_size();
+}
+
+char* Tile::MutableCellPtr(const MdPoint& p) {
+  return data_.data() + domain_.LinearOffset(p) * cell_size();
+}
+
+void Tile::Fill(double value) {
+  const size_t cs = cell_size();
+  char cell[8];
+  WriteCellFromDouble(cell_type_, value, cell);
+  for (size_t i = 0; i < data_.size(); i += cs) {
+    std::memcpy(data_.data() + i, cell, cs);
+  }
+}
+
+Status Tile::CopyRegionFrom(const Tile& src, const MdInterval& region) {
+  if (src.cell_type_ != cell_type_) {
+    return Status::InvalidArgument("cell type mismatch in CopyRegionFrom");
+  }
+  if (!src.domain_.Contains(region) || !domain_.Contains(region)) {
+    return Status::OutOfRange("region " + region.ToString() +
+                              " not contained in both tiles");
+  }
+  const size_t cs = cell_size();
+  const size_t last = region.dims() - 1;
+  const size_t run_cells = static_cast<size_t>(region.Extent(last));
+  const size_t run_bytes = run_cells * cs;
+
+  // Iterate over the region with the innermost dimension collapsed into
+  // memcpy runs (both buffers are row-major, so runs are contiguous).
+  if (region.dims() == 1) {
+    std::memcpy(MutableCellPtr(region.lo()), src.CellPtr(region.lo()),
+                run_bytes);
+    return Status::Ok();
+  }
+  MdPoint outer_lo(region.dims() - 1);
+  MdPoint outer_hi(region.dims() - 1);
+  for (size_t d = 0; d < region.dims() - 1; ++d) {
+    outer_lo[d] = region.lo(d);
+    outer_hi[d] = region.hi(d);
+  }
+  MdInterval outer(outer_lo, outer_hi);
+  for (MdPointIterator it(outer); !it.Done(); it.Next()) {
+    MdPoint p(region.dims());
+    for (size_t d = 0; d < region.dims() - 1; ++d) p[d] = it.point()[d];
+    p[last] = region.lo(last);
+    std::memcpy(MutableCellPtr(p), src.CellPtr(p), run_bytes);
+  }
+  return Status::Ok();
+}
+
+Result<Tile> Tile::ExtractRegion(const MdInterval& region) const {
+  if (!domain_.Contains(region)) {
+    return Status::OutOfRange("region " + region.ToString() +
+                              " outside tile domain " + domain_.ToString());
+  }
+  Tile out(region, cell_type_);
+  HEAVEN_RETURN_IF_ERROR(out.CopyRegionFrom(*this, region));
+  return out;
+}
+
+}  // namespace heaven

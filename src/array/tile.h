@@ -1,0 +1,67 @@
+#ifndef HEAVEN_ARRAY_TILE_H_
+#define HEAVEN_ARRAY_TILE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "array/cell_type.h"
+#include "array/md_interval.h"
+#include "common/status.h"
+
+namespace heaven {
+
+/// A tile is a rectangular sub-array: a spatial domain plus a row-major cell
+/// buffer. Tiles are the unit of disk storage and of array-operation
+/// evaluation; super-tiles (src/heaven) group them for tertiary storage.
+class Tile {
+ public:
+  Tile() : cell_type_(CellType::kChar) {}
+
+  /// A zero-initialized tile covering `domain`.
+  Tile(MdInterval domain, CellType cell_type);
+
+  /// Adopts an existing buffer; data.size() must equal
+  /// domain.CellCount() * CellTypeSize(cell_type).
+  Tile(MdInterval domain, CellType cell_type, std::string data);
+
+  const MdInterval& domain() const { return domain_; }
+  CellType cell_type() const { return cell_type_; }
+  size_t cell_size() const { return CellTypeSize(cell_type_); }
+  uint64_t size_bytes() const { return data_.size(); }
+  const std::string& data() const { return data_; }
+  std::string& mutable_data() { return data_; }
+
+  /// Raw pointer to the cell at `p`. Precondition: domain().Contains(p).
+  const char* CellPtr(const MdPoint& p) const;
+  char* MutableCellPtr(const MdPoint& p);
+
+  /// Cell value widened to double.
+  double CellAsDouble(const MdPoint& p) const {
+    return ReadCellAsDouble(cell_type_, CellPtr(p));
+  }
+  void SetCellFromDouble(const MdPoint& p, double value) {
+    WriteCellFromDouble(cell_type_, value, MutableCellPtr(p));
+  }
+
+  /// Sets every cell to `value` (narrowed to the cell type).
+  void Fill(double value);
+
+  /// Copies the cells of `region` from `src` into this tile. `region` must
+  /// be contained in both domains and cell types must match. Copies whole
+  /// innermost-dimension runs with memcpy.
+  Status CopyRegionFrom(const Tile& src, const MdInterval& region);
+
+  /// A new tile holding exactly `region` (must be inside domain()).
+  Result<Tile> ExtractRegion(const MdInterval& region) const;
+
+  bool operator==(const Tile& other) const = default;
+
+ private:
+  MdInterval domain_;
+  CellType cell_type_;
+  std::string data_;
+};
+
+}  // namespace heaven
+
+#endif  // HEAVEN_ARRAY_TILE_H_

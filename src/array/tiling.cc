@@ -1,0 +1,155 @@
+#include "array/tiling.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace heaven {
+
+std::vector<MdInterval> RegularTiling(
+    const MdInterval& domain, const std::vector<int64_t>& tile_extents) {
+  HEAVEN_CHECK(tile_extents.size() == domain.dims())
+      << "tile extents dimensionality mismatch";
+  for (int64_t e : tile_extents) HEAVEN_CHECK(e > 0) << "tile extent <= 0";
+
+  // Number of tiles along each dimension.
+  std::vector<int64_t> counts(domain.dims());
+  for (size_t d = 0; d < domain.dims(); ++d) {
+    counts[d] = (domain.Extent(d) + tile_extents[d] - 1) / tile_extents[d];
+  }
+  MdInterval grid(MdPoint(std::vector<int64_t>(domain.dims(), 0)),
+                  MdPoint([&] {
+                    std::vector<int64_t> hi(domain.dims());
+                    for (size_t d = 0; d < domain.dims(); ++d) {
+                      hi[d] = counts[d] - 1;
+                    }
+                    return hi;
+                  }()));
+
+  std::vector<MdInterval> tiles;
+  tiles.reserve(grid.CellCount());
+  for (MdPointIterator it(grid); !it.Done(); it.Next()) {
+    MdPoint lo(domain.dims());
+    MdPoint hi(domain.dims());
+    for (size_t d = 0; d < domain.dims(); ++d) {
+      lo[d] = domain.lo(d) + it.point()[d] * tile_extents[d];
+      hi[d] = std::min(lo[d] + tile_extents[d] - 1, domain.hi(d));
+    }
+    tiles.emplace_back(std::move(lo), std::move(hi));
+  }
+  return tiles;
+}
+
+std::vector<int64_t> ComputeAlignedTileExtents(const MdInterval& domain,
+                                               CellType cell_type,
+                                               uint64_t target_tile_bytes) {
+  return ComputeDirectionalTileExtents(
+      domain, cell_type, target_tile_bytes,
+      std::vector<double>(domain.dims(), 1.0));
+}
+
+std::vector<int64_t> ComputeDirectionalTileExtents(
+    const MdInterval& domain, CellType cell_type, uint64_t target_tile_bytes,
+    const std::vector<double>& preferences) {
+  HEAVEN_CHECK(preferences.size() == domain.dims());
+  const size_t n = domain.dims();
+  const double target_cells = std::max<double>(
+      1.0, static_cast<double>(target_tile_bytes) /
+               static_cast<double>(CellTypeSize(cell_type)));
+
+  // Start from extents proportional to the preferences with the product
+  // equal to target_cells, then clamp to the domain extents and push the
+  // freed budget into the unclamped dimensions.
+  std::vector<double> weight(preferences);
+  double weight_product = 1.0;
+  for (double w : weight) {
+    HEAVEN_CHECK(w > 0.0) << "preference must be positive";
+    weight_product *= w;
+  }
+  const double scale =
+      std::pow(target_cells / weight_product, 1.0 / static_cast<double>(n));
+
+  std::vector<int64_t> extents(n, 0);
+  std::vector<bool> clamped(n, false);
+  double remaining_cells = target_cells;
+  size_t free_dims = n;
+  // Iterate: clamp dimensions whose ideal edge exceeds the domain.
+  bool changed = true;
+  std::vector<double> ideal(n);
+  for (size_t d = 0; d < n; ++d) ideal[d] = weight[d] * scale;
+  while (changed) {
+    changed = false;
+    for (size_t d = 0; d < n; ++d) {
+      if (clamped[d]) continue;
+      if (ideal[d] >= static_cast<double>(domain.Extent(d))) {
+        clamped[d] = true;
+        extents[d] = domain.Extent(d);
+        remaining_cells /= static_cast<double>(domain.Extent(d));
+        --free_dims;
+        changed = true;
+      }
+    }
+    if (changed && free_dims > 0) {
+      // Re-spread remaining budget over unclamped dims.
+      double unclamped_weight_product = 1.0;
+      for (size_t d = 0; d < n; ++d) {
+        if (!clamped[d]) unclamped_weight_product *= weight[d];
+      }
+      const double s =
+          std::pow(std::max(1.0, remaining_cells) / unclamped_weight_product,
+                   1.0 / static_cast<double>(free_dims));
+      for (size_t d = 0; d < n; ++d) {
+        if (!clamped[d]) ideal[d] = weight[d] * s;
+      }
+    }
+  }
+  for (size_t d = 0; d < n; ++d) {
+    if (!clamped[d]) {
+      extents[d] = std::max<int64_t>(1, static_cast<int64_t>(ideal[d]));
+    }
+  }
+
+  // The floor() above can only shrink tiles, so the byte bound holds unless
+  // every extent hit 1; verify and shrink the longest edge if we overshot.
+  auto tile_bytes = [&] {
+    uint64_t cells = 1;
+    for (int64_t e : extents) cells *= static_cast<uint64_t>(e);
+    return cells * CellTypeSize(cell_type);
+  };
+  while (tile_bytes() > target_tile_bytes) {
+    size_t longest = 0;
+    for (size_t d = 1; d < n; ++d) {
+      if (extents[d] > extents[longest]) longest = d;
+    }
+    if (extents[longest] == 1) break;  // cannot shrink further
+    extents[longest] = (extents[longest] + 1) / 2;
+  }
+  return extents;
+}
+
+Status ValidateTiling(const MdInterval& domain,
+                      const std::vector<MdInterval>& tiles) {
+  uint64_t covered = 0;
+  for (size_t i = 0; i < tiles.size(); ++i) {
+    if (!domain.Contains(tiles[i])) {
+      return Status::Internal("tile " + tiles[i].ToString() +
+                              " outside domain " + domain.ToString());
+    }
+    covered += tiles[i].CellCount();
+    for (size_t j = i + 1; j < tiles.size(); ++j) {
+      if (tiles[i].Intersects(tiles[j])) {
+        return Status::Internal("tiles overlap: " + tiles[i].ToString() +
+                                " and " + tiles[j].ToString());
+      }
+    }
+  }
+  if (covered != domain.CellCount()) {
+    return Status::Internal("tiling covers " + std::to_string(covered) +
+                            " cells, domain has " +
+                            std::to_string(domain.CellCount()));
+  }
+  return Status::Ok();
+}
+
+}  // namespace heaven

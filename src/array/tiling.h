@@ -1,0 +1,42 @@
+#ifndef HEAVEN_ARRAY_TILING_H_
+#define HEAVEN_ARRAY_TILING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "array/cell_type.h"
+#include "array/md_interval.h"
+#include "common/status.h"
+
+namespace heaven {
+
+/// Tiling strategies of the physical data model: an object's domain is
+/// decomposed into non-overlapping tiles that jointly cover it.
+
+/// Decomposes `domain` into a regular grid of tiles with edge lengths
+/// `tile_extents` (the trailing tiles may be smaller at the domain border).
+std::vector<MdInterval> RegularTiling(const MdInterval& domain,
+                                      const std::vector<int64_t>& tile_extents);
+
+/// Computes cube-ish tile edge lengths so one tile holds at most
+/// `target_tile_bytes` of cells of the given type — rasdaman's default
+/// "aligned tiling" with equal preference for all dimensions.
+std::vector<int64_t> ComputeAlignedTileExtents(const MdInterval& domain,
+                                               CellType cell_type,
+                                               uint64_t target_tile_bytes);
+
+/// Directional tiling: edge lengths proportional to per-dimension access
+/// preferences (larger preference => longer edges along that axis), scaled
+/// so a tile holds at most `target_tile_bytes`.
+std::vector<int64_t> ComputeDirectionalTileExtents(
+    const MdInterval& domain, CellType cell_type, uint64_t target_tile_bytes,
+    const std::vector<double>& preferences);
+
+/// Validates a tiling: tiles are pairwise disjoint, all inside `domain`,
+/// and cover every cell of `domain`.
+Status ValidateTiling(const MdInterval& domain,
+                      const std::vector<MdInterval>& tiles);
+
+}  // namespace heaven
+
+#endif  // HEAVEN_ARRAY_TILING_H_

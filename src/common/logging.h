@@ -1,0 +1,70 @@
+#ifndef HEAVEN_COMMON_LOGGING_H_
+#define HEAVEN_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace heaven {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log message, emitted to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Like LogMessage but aborts the process on destruction (CHECK failures).
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line);
+  [[noreturn]] ~FatalLogMessage();
+
+  FatalLogMessage(const FatalLogMessage&) = delete;
+  FatalLogMessage& operator=(const FatalLogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace heaven
+
+#define HEAVEN_LOG(level)                                                 \
+  ::heaven::internal::LogMessage(::heaven::LogLevel::k##level, __FILE__, \
+                                 __LINE__)                                \
+      .stream()
+
+/// Aborts with a message when `condition` is false. Used for programming
+/// errors (violated invariants), never for expected runtime failures.
+#define HEAVEN_CHECK(condition)                                         \
+  if (!(condition))                                                     \
+  ::heaven::internal::FatalLogMessage(__FILE__, __LINE__).stream()      \
+      << "Check failed: " #condition " "
+
+#define HEAVEN_CHECK_OK(expr)                                      \
+  if (::heaven::Status _s = (expr); !_s.ok())                      \
+  ::heaven::internal::FatalLogMessage(__FILE__, __LINE__).stream() \
+      << "Check failed (status): " << _s.ToString() << " "
+
+#define HEAVEN_DCHECK(condition) HEAVEN_CHECK(condition)
+
+#endif  // HEAVEN_COMMON_LOGGING_H_

@@ -1,0 +1,32 @@
+#include "common/rng.h"
+
+#include <cmath>
+#include <vector>
+
+namespace heaven {
+
+uint64_t Rng::Zipf(uint64_t n, double theta) {
+  if (n <= 1) return 0;
+  if (theta <= 0.0) return Uniform(n);
+  // Classic Zipf via the inverse-CDF approximation of Gray et al. ("Quickly
+  // generating billion-record synthetic databases").
+  const double zetan = [&] {
+    double sum = 0.0;
+    for (uint64_t i = 1; i <= n; ++i) sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    return sum;
+  }();
+  const double alpha = 1.0 / (1.0 - theta);
+  const double zeta2 = 1.0 + 1.0 / std::pow(2.0, theta);
+  const double eta =
+      (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+      (1.0 - zeta2 / zetan);
+  const double u = NextDouble();
+  const double uz = u * zetan;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta)) return 1;
+  return static_cast<uint64_t>(
+      static_cast<double>(n) *
+      std::pow(eta * u - eta + 1.0, alpha));
+}
+
+}  // namespace heaven

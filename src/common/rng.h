@@ -1,0 +1,62 @@
+#ifndef HEAVEN_COMMON_RNG_H_
+#define HEAVEN_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace heaven {
+
+/// Deterministic 64-bit RNG (xorshift128+). Used by workload generators and
+/// tests so every experiment is reproducible from its seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    // SplitMix64 seeding avoids the all-zero state.
+    uint64_t z = seed + 0x9e3779b97f4a7c15ULL;
+    s0_ = Mix(&z);
+    s1_ = Mix(&z);
+    if (s0_ == 0 && s1_ == 0) s1_ = 1;
+  }
+
+  uint64_t Next() {
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  /// Uniform in [0, bound). bound must be > 0.
+  uint64_t Uniform(uint64_t bound) { return Next() % bound; }
+
+  /// Uniform in [lo, hi] inclusive.
+  int64_t UniformRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Zipf-distributed rank in [0, n). Higher `theta` means more skew;
+  /// theta == 0 degenerates to uniform. Simple inverse-CDF by rejection on
+  /// the harmonic weights (adequate for workload generation sizes).
+  uint64_t Zipf(uint64_t n, double theta);
+
+ private:
+  static uint64_t Mix(uint64_t* z) {
+    uint64_t v = *z;
+    *z += 0x9e3779b97f4a7c15ULL;
+    v = (v ^ (v >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    v = (v ^ (v >> 27)) * 0x94d049bb133111ebULL;
+    return v ^ (v >> 31);
+  }
+
+  uint64_t s0_;
+  uint64_t s1_;
+};
+
+}  // namespace heaven
+
+#endif  // HEAVEN_COMMON_RNG_H_

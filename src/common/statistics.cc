@@ -1,0 +1,114 @@
+#include "common/statistics.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace heaven {
+
+namespace {
+constexpr int kNumTickers = static_cast<int>(Ticker::kNumTickers);
+}  // namespace
+
+std::string TickerName(Ticker ticker) {
+  switch (ticker) {
+    case Ticker::kTapeMediaExchanges:
+      return "tape.media_exchanges";
+    case Ticker::kTapeSeeks:
+      return "tape.seeks";
+    case Ticker::kTapeSeekSeconds:
+      return "tape.seek_seconds";
+    case Ticker::kTapeBytesRead:
+      return "tape.bytes_read";
+    case Ticker::kTapeBytesWritten:
+      return "tape.bytes_written";
+    case Ticker::kTapeReadRequests:
+      return "tape.read_requests";
+    case Ticker::kTapeWriteRequests:
+      return "tape.write_requests";
+    case Ticker::kRobotMoves:
+      return "robot.moves";
+    case Ticker::kHsmFileStages:
+      return "hsm.file_stages";
+    case Ticker::kHsmFilePurges:
+      return "hsm.file_purges";
+    case Ticker::kHsmBytesStaged:
+      return "hsm.bytes_staged";
+    case Ticker::kSuperTilesWritten:
+      return "supertile.written";
+    case Ticker::kSuperTilesRead:
+      return "supertile.read";
+    case Ticker::kSuperTileBytesRead:
+      return "supertile.bytes_read";
+    case Ticker::kSuperTileBytesWritten:
+      return "supertile.bytes_written";
+    case Ticker::kCacheHits:
+      return "cache.hits";
+    case Ticker::kCacheMisses:
+      return "cache.misses";
+    case Ticker::kCacheEvictions:
+      return "cache.evictions";
+    case Ticker::kCacheBytesAdmitted:
+      return "cache.bytes_admitted";
+    case Ticker::kDiskPageReads:
+      return "disk.page_reads";
+    case Ticker::kDiskPageWrites:
+      return "disk.page_writes";
+    case Ticker::kBufferPoolHits:
+      return "bufferpool.hits";
+    case Ticker::kBufferPoolMisses:
+      return "bufferpool.misses";
+    case Ticker::kQueriesExecuted:
+      return "query.executed";
+    case Ticker::kTilesTouched:
+      return "query.tiles_touched";
+    case Ticker::kCellsReturned:
+      return "query.cells_returned";
+    case Ticker::kPrecomputedHits:
+      return "precomputed.hits";
+    case Ticker::kPrecomputedMisses:
+      return "precomputed.misses";
+    case Ticker::kPrefetchIssued:
+      return "prefetch.issued";
+    case Ticker::kPrefetchUseful:
+      return "prefetch.useful";
+    case Ticker::kNumTickers:
+      break;
+  }
+  return "unknown";
+}
+
+Statistics::Statistics() : counters_(kNumTickers, 0) {}
+
+void Statistics::Record(Ticker ticker, uint64_t count) {
+  HEAVEN_DCHECK(ticker != Ticker::kNumTickers);
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_[static_cast<int>(ticker)] += count;
+}
+
+uint64_t Statistics::Get(Ticker ticker) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_[static_cast<int>(ticker)];
+}
+
+void Statistics::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.assign(kNumTickers, 0);
+}
+
+std::string Statistics::ToString() const {
+  std::vector<uint64_t> snapshot = Snapshot();
+  std::ostringstream out;
+  for (int i = 0; i < kNumTickers; ++i) {
+    if (snapshot[i] == 0) continue;
+    out << TickerName(static_cast<Ticker>(i)) << ": " << snapshot[i] << "\n";
+  }
+  return out.str();
+}
+
+std::vector<uint64_t> Statistics::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+}  // namespace heaven

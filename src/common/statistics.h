@@ -1,0 +1,80 @@
+#ifndef HEAVEN_COMMON_STATISTICS_H_
+#define HEAVEN_COMMON_STATISTICS_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace heaven {
+
+/// Counters maintained across the storage hierarchy. One enum value per
+/// observable event so experiments can report seeks/exchanges/bytes exactly.
+enum class Ticker : int {
+  // Tertiary storage.
+  kTapeMediaExchanges = 0,
+  kTapeSeeks,
+  kTapeSeekSeconds,
+  kTapeBytesRead,
+  kTapeBytesWritten,
+  kTapeReadRequests,
+  kTapeWriteRequests,
+  kRobotMoves,
+  // HSM file layer.
+  kHsmFileStages,
+  kHsmFilePurges,
+  kHsmBytesStaged,
+  // Super-tile machinery.
+  kSuperTilesWritten,
+  kSuperTilesRead,
+  kSuperTileBytesRead,
+  kSuperTileBytesWritten,
+  // Cache.
+  kCacheHits,
+  kCacheMisses,
+  kCacheEvictions,
+  kCacheBytesAdmitted,
+  // Buffer pool / disk.
+  kDiskPageReads,
+  kDiskPageWrites,
+  kBufferPoolHits,
+  kBufferPoolMisses,
+  // Query engine.
+  kQueriesExecuted,
+  kTilesTouched,
+  kCellsReturned,
+  kPrecomputedHits,
+  kPrecomputedMisses,
+  kPrefetchIssued,
+  kPrefetchUseful,
+  kNumTickers,  // must be last
+};
+
+/// Human-readable name of a ticker ("tape.media_exchanges", ...).
+std::string TickerName(Ticker ticker);
+
+/// Thread-safe counter registry, shared by all layers of one HeavenDb
+/// instance (mirrors the RocksDB Statistics idiom).
+class Statistics {
+ public:
+  Statistics();
+
+  void Record(Ticker ticker, uint64_t count = 1);
+  uint64_t Get(Ticker ticker) const;
+  void Reset();
+
+  /// All non-zero counters as "name: value" lines.
+  std::string ToString() const;
+
+  /// Snapshot of every counter, indexed by Ticker.
+  std::vector<uint64_t> Snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<uint64_t> counters_;
+};
+
+}  // namespace heaven
+
+#endif  // HEAVEN_COMMON_STATISTICS_H_

@@ -1,0 +1,179 @@
+#ifndef HEAVEN_COMMON_STATUS_H_
+#define HEAVEN_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace heaven {
+
+/// Canonical error codes used across the HEAVEN code base.
+enum class StatusCode {
+  kOk = 0,
+  kNotFound,
+  kAlreadyExists,
+  kInvalidArgument,
+  kOutOfRange,
+  kFailedPrecondition,
+  kCorruption,
+  kIOError,
+  kResourceExhausted,
+  kAborted,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Returns a short human-readable name for a status code ("NotFound", ...).
+std::string_view StatusCodeToString(StatusCode code);
+
+/// A Status carries the outcome of an operation: success (`ok()`) or an
+/// error code plus message. HEAVEN does not throw exceptions across public
+/// API boundaries; every fallible operation returns Status or Result<T>.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status Ok() { return Status(); }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsIOError() const { return code_ == StatusCode::kIOError; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Result<T> is either a value of type T or an error Status.
+/// The paper-era idiom of out-parameters is replaced with value returns.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value and from error Status, so functions can
+  /// `return value;` or `return Status::NotFound(...)`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {
+    // An OK status without a value would be a malformed Result.
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Precondition: ok(). Accessing the value of an error Result aborts.
+  T& value() & {
+    AbortIfError();
+    return *value_;
+  }
+  const T& value() const& {
+    AbortIfError();
+    return *value_;
+  }
+  T&& value() && {
+    AbortIfError();
+    return std::move(*value_);
+  }
+
+  T* operator->() {
+    AbortIfError();
+    return &*value_;
+  }
+  const T* operator->() const {
+    AbortIfError();
+    return &*value_;
+  }
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+
+ private:
+  void AbortIfError() const;
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+namespace internal {
+/// Aborts the process with a message; used by Result::value() on error.
+[[noreturn]] void DieOnBadResult(const Status& status);
+}  // namespace internal
+
+template <typename T>
+void Result<T>::AbortIfError() const {
+  if (!value_.has_value()) internal::DieOnBadResult(status_);
+}
+
+}  // namespace heaven
+
+/// Propagates an error Status from the current function.
+#define HEAVEN_RETURN_IF_ERROR(expr)                 \
+  do {                                               \
+    ::heaven::Status _heaven_status = (expr);        \
+    if (!_heaven_status.ok()) return _heaven_status; \
+  } while (0)
+
+#define HEAVEN_CONCAT_IMPL(a, b) a##b
+#define HEAVEN_CONCAT(a, b) HEAVEN_CONCAT_IMPL(a, b)
+
+/// Evaluates `rexpr` (a Result<T>); on error returns its Status, otherwise
+/// assigns the value to `lhs`.
+#define HEAVEN_ASSIGN_OR_RETURN(lhs, rexpr)                        \
+  auto HEAVEN_CONCAT(_heaven_result_, __LINE__) = (rexpr);         \
+  if (!HEAVEN_CONCAT(_heaven_result_, __LINE__).ok())              \
+    return HEAVEN_CONCAT(_heaven_result_, __LINE__).status();      \
+  lhs = std::move(HEAVEN_CONCAT(_heaven_result_, __LINE__)).value()
+
+#endif  // HEAVEN_COMMON_STATUS_H_

@@ -1,0 +1,124 @@
+#include "heaven/cache.h"
+
+#include "common/logging.h"
+
+namespace heaven {
+
+std::string EvictionPolicyName(EvictionPolicy policy) {
+  switch (policy) {
+    case EvictionPolicy::kLru:
+      return "LRU";
+    case EvictionPolicy::kLfu:
+      return "LFU";
+    case EvictionPolicy::kFifo:
+      return "FIFO";
+    case EvictionPolicy::kSizeAware:
+      return "size-aware";
+  }
+  return "unknown";
+}
+
+SuperTileCache::SuperTileCache(const CacheOptions& options, Statistics* stats)
+    : options_(options), stats_(stats) {}
+
+void SuperTileCache::Insert(SuperTileId id,
+                            std::shared_ptr<const SuperTile> super_tile,
+                            uint64_t size_bytes) {
+  if (size_bytes > options_.capacity_bytes) return;  // not admissible
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(id);
+  if (it != entries_.end()) {
+    bytes_ -= it->second.size_bytes;
+    entries_.erase(it);
+  }
+  while (bytes_ + size_bytes > options_.capacity_bytes && !entries_.empty()) {
+    EvictOneLocked();
+  }
+  Entry entry;
+  entry.super_tile = std::move(super_tile);
+  entry.size_bytes = size_bytes;
+  entry.inserted_seq = ++seq_;
+  entry.accessed_seq = entry.inserted_seq;
+  bytes_ += size_bytes;
+  entries_.emplace(id, std::move(entry));
+  if (stats_ != nullptr) {
+    stats_->Record(Ticker::kCacheBytesAdmitted, size_bytes);
+  }
+}
+
+std::shared_ptr<const SuperTile> SuperTileCache::Lookup(SuperTileId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(id);
+  if (it == entries_.end()) {
+    if (stats_ != nullptr) stats_->Record(Ticker::kCacheMisses);
+    return nullptr;
+  }
+  it->second.access_count += 1;
+  it->second.accessed_seq = ++seq_;
+  if (stats_ != nullptr) stats_->Record(Ticker::kCacheHits);
+  return it->second.super_tile;
+}
+
+bool SuperTileCache::Contains(SuperTileId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.count(id) > 0;
+}
+
+void SuperTileCache::EvictOneLocked() {
+  HEAVEN_DCHECK(!entries_.empty());
+  auto victim = entries_.begin();
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    const Entry& candidate = it->second;
+    const Entry& current = victim->second;
+    bool better = false;
+    switch (options_.policy) {
+      case EvictionPolicy::kLru:
+        better = candidate.accessed_seq < current.accessed_seq;
+        break;
+      case EvictionPolicy::kLfu:
+        // Tie-break on recency so the cache still ages.
+        better = candidate.access_count < current.access_count ||
+                 (candidate.access_count == current.access_count &&
+                  candidate.accessed_seq < current.accessed_seq);
+        break;
+      case EvictionPolicy::kFifo:
+        better = candidate.inserted_seq < current.inserted_seq;
+        break;
+      case EvictionPolicy::kSizeAware:
+        better = candidate.size_bytes > current.size_bytes ||
+                 (candidate.size_bytes == current.size_bytes &&
+                  candidate.accessed_seq < current.accessed_seq);
+        break;
+    }
+    if (better) victim = it;
+  }
+  bytes_ -= victim->second.size_bytes;
+  entries_.erase(victim);
+  if (stats_ != nullptr) stats_->Record(Ticker::kCacheEvictions);
+}
+
+void SuperTileCache::Erase(SuperTileId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(id);
+  if (it == entries_.end()) return;
+  bytes_ -= it->second.size_bytes;
+  entries_.erase(it);
+}
+
+void SuperTileCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  bytes_ = 0;
+}
+
+uint64_t SuperTileCache::size_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_;
+}
+
+size_t SuperTileCache::entry_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace heaven

@@ -1,0 +1,81 @@
+#ifndef HEAVEN_HEAVEN_CACHE_H_
+#define HEAVEN_HEAVEN_CACHE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/statistics.h"
+#include "common/status.h"
+#include "heaven/super_tile.h"
+
+namespace heaven {
+
+/// Eviction strategies of the disk-resident super-tile cache (the thesis's
+/// "Verdrängungsstrategien"). Retrieval cost from tape is so high that the
+/// cache layer and its policy dominate repeated-access performance.
+enum class EvictionPolicy {
+  kLru,       // least recently used
+  kLfu,       // least frequently used
+  kFifo,      // oldest insertion
+  kSizeAware, // largest object first (greedy space recovery)
+};
+
+std::string EvictionPolicyName(EvictionPolicy policy);
+
+struct CacheOptions {
+  uint64_t capacity_bytes = 1ull << 30;
+  EvictionPolicy policy = EvictionPolicy::kLru;
+};
+
+/// Byte-bounded cache of deserialized super-tiles, keyed by SuperTileId.
+/// Models the disk cache level of HEAVEN's caching hierarchy: super-tiles
+/// fetched from tape are retained here so follow-up queries skip tertiary
+/// storage entirely. Thread-safe.
+class SuperTileCache {
+ public:
+  SuperTileCache(const CacheOptions& options, Statistics* stats);
+
+  /// Inserts (or refreshes) a super-tile, evicting per policy as needed.
+  /// Objects larger than the capacity are not admitted.
+  void Insert(SuperTileId id, std::shared_ptr<const SuperTile> super_tile,
+              uint64_t size_bytes);
+
+  /// The cached super-tile, or nullptr on a miss. Records hit/miss tickers.
+  std::shared_ptr<const SuperTile> Lookup(SuperTileId id);
+
+  /// True without perturbing recency/frequency bookkeeping or tickers.
+  bool Contains(SuperTileId id) const;
+
+  void Erase(SuperTileId id);
+  void Clear();
+
+  uint64_t size_bytes() const;
+  size_t entry_count() const;
+  const CacheOptions& options() const { return options_; }
+
+ private:
+  struct Entry {
+    std::shared_ptr<const SuperTile> super_tile;
+    uint64_t size_bytes = 0;
+    uint64_t access_count = 0;
+    uint64_t inserted_seq = 0;
+    uint64_t accessed_seq = 0;
+  };
+
+  void EvictOneLocked();
+
+  CacheOptions options_;
+  Statistics* stats_;
+
+  mutable std::mutex mu_;
+  std::map<SuperTileId, Entry> entries_;
+  uint64_t bytes_ = 0;
+  uint64_t seq_ = 0;
+};
+
+}  // namespace heaven
+
+#endif  // HEAVEN_HEAVEN_CACHE_H_

@@ -1,0 +1,132 @@
+#include "heaven/clustering.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.h"
+#include "heaven/zorder.h"
+
+namespace heaven {
+
+Status ApplyIntraClustering(std::vector<SuperTileGroup>* groups,
+                            const std::map<TileId, MdInterval>& domains,
+                            IntraOrder order) {
+  if (order == IntraOrder::kInsertion) return Status::Ok();
+  for (SuperTileGroup& group : *groups) {
+    // Collect the domains of the member tiles.
+    std::vector<std::pair<TileId, const MdInterval*>> members;
+    members.reserve(group.tiles.size());
+    for (TileId tile_id : group.tiles) {
+      auto it = domains.find(tile_id);
+      if (it == domains.end()) {
+        return Status::NotFound("tile " + std::to_string(tile_id) +
+                                " missing from domain map");
+      }
+      members.emplace_back(tile_id, &it->second);
+    }
+    if (order == IntraOrder::kRowMajor) {
+      std::stable_sort(members.begin(), members.end(),
+                       [](const auto& a, const auto& b) {
+                         const MdInterval& da = *a.second;
+                         const MdInterval& db = *b.second;
+                         for (size_t d = 0; d < da.dims(); ++d) {
+                           if (da.lo(d) != db.lo(d)) return da.lo(d) < db.lo(d);
+                         }
+                         return false;
+                       });
+    } else {  // kZOrder
+      const MdPoint origin = group.hull.lo();
+      std::stable_sort(members.begin(), members.end(),
+                       [&origin](const auto& a, const auto& b) {
+                         return ZOrderKey(a.second->lo(), origin) <
+                                ZOrderKey(b.second->lo(), origin);
+                       });
+    }
+    group.tiles.clear();
+    for (const auto& [tile_id, domain] : members) group.tiles.push_back(tile_id);
+  }
+  return Status::Ok();
+}
+
+Result<PlacementPlan> PlanPlacement(const std::vector<SuperTileGroup>& groups,
+                                    const TapeLibrary& library,
+                                    bool clustering_enabled) {
+  PlacementPlan plan;
+  plan.write_order.resize(groups.size());
+  plan.medium.resize(groups.size());
+  std::iota(plan.write_order.begin(), plan.write_order.end(), 0);
+  if (groups.empty()) return plan;
+
+  // Free space per medium.
+  std::vector<uint64_t> free_bytes(library.num_media());
+  for (MediumId m = 0; m < library.num_media(); ++m) {
+    HEAVEN_ASSIGN_OR_RETURN(free_bytes[m], library.MediumFreeBytes(m));
+  }
+
+  // Container overhead beyond payload bytes is small; reserve 1% plus a
+  // fixed header allowance.
+  auto group_bytes = [&](size_t i) {
+    return groups[i].payload_bytes + groups[i].payload_bytes / 100 + 256;
+  };
+
+  if (!clustering_enabled) {
+    // Naive baseline: insertion order, scattered round-robin.
+    MediumId next = 0;
+    for (size_t i = 0; i < groups.size(); ++i) {
+      // Find the next medium (round-robin) with room.
+      MediumId chosen = next;
+      bool placed = false;
+      for (uint32_t tries = 0; tries < library.num_media(); ++tries) {
+        const MediumId candidate = (next + tries) % library.num_media();
+        if (free_bytes[candidate] >= group_bytes(i)) {
+          chosen = candidate;
+          placed = true;
+          break;
+        }
+      }
+      if (!placed) {
+        return Status::ResourceExhausted("library is full");
+      }
+      plan.medium[i] = chosen;
+      free_bytes[chosen] -= group_bytes(i);
+      next = (chosen + 1) % library.num_media();
+    }
+    return plan;
+  }
+
+  // Clustered placement: Z-order over hull corners, sequential runs.
+  MdPoint origin = groups[0].hull.lo();
+  for (const SuperTileGroup& group : groups) {
+    for (size_t d = 0; d < origin.dims(); ++d) {
+      origin[d] = std::min(origin[d], group.hull.lo(d));
+    }
+  }
+  std::stable_sort(plan.write_order.begin(), plan.write_order.end(),
+                   [&](size_t a, size_t b) {
+                     return ZOrderKey(groups[a].hull.lo(), origin) <
+                            ZOrderKey(groups[b].hull.lo(), origin);
+                   });
+
+  // Fill the emptiest medium first, spilling only when full.
+  auto pick_emptiest = [&]() {
+    MediumId best = 0;
+    for (MediumId m = 1; m < library.num_media(); ++m) {
+      if (free_bytes[m] > free_bytes[best]) best = m;
+    }
+    return best;
+  };
+  MediumId current = pick_emptiest();
+  for (size_t idx : plan.write_order) {
+    if (free_bytes[current] < group_bytes(idx)) {
+      current = pick_emptiest();
+      if (free_bytes[current] < group_bytes(idx)) {
+        return Status::ResourceExhausted("library is full");
+      }
+    }
+    plan.medium[idx] = current;
+    free_bytes[current] -= group_bytes(idx);
+  }
+  return plan;
+}
+
+}  // namespace heaven

@@ -1,0 +1,55 @@
+#ifndef HEAVEN_HEAVEN_CLUSTERING_H_
+#define HEAVEN_HEAVEN_CLUSTERING_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "array/mdd.h"
+#include "common/status.h"
+#include "heaven/star.h"
+#include "tertiary/tape_library.h"
+
+namespace heaven {
+
+/// Intra-super-tile clustering: the order in which member tiles are laid
+/// out inside the container.
+enum class IntraOrder {
+  kInsertion,  // whatever order the partitioner produced (no clustering)
+  kRowMajor,   // sorted by row-major position of the tile's lower corner
+  kZOrder,     // sorted along the Z-order space-filling curve
+};
+
+/// Reorders the tiles of each group according to `order`. `domains` maps
+/// tile id to its spatial domain.
+Status ApplyIntraClustering(std::vector<SuperTileGroup>* groups,
+                            const std::map<TileId, MdInterval>& domains,
+                            IntraOrder order);
+
+/// Inter-super-tile placement: which medium each super-tile goes to and in
+/// which order the super-tiles are written.
+struct PlacementPlan {
+  /// Indices into the group vector, in write order.
+  std::vector<size_t> write_order;
+  /// Target medium per group (parallel to the group vector).
+  std::vector<MediumId> medium;
+};
+
+/// Plans the placement of super-tile groups onto library media.
+///
+/// With clustering enabled, groups are ordered along the Z-order curve of
+/// their hulls and written as one sequential run per medium, spilling to
+/// the next-emptiest medium only when a cartridge fills up — spatially
+/// adjacent super-tiles end up physically adjacent, so box queries read
+/// sequential extents and rarely cross media.
+///
+/// With clustering disabled (the naive baseline), groups keep insertion
+/// order and are scattered round-robin across all media — the "stored in
+/// generation order" placement the thesis identifies as the bottleneck.
+Result<PlacementPlan> PlanPlacement(const std::vector<SuperTileGroup>& groups,
+                                    const TapeLibrary& library,
+                                    bool clustering_enabled);
+
+}  // namespace heaven
+
+#endif  // HEAVEN_HEAVEN_CLUSTERING_H_

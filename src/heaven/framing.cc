@@ -1,0 +1,124 @@
+#include "heaven/framing.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace heaven {
+
+std::vector<MdInterval> SubtractBox(const MdInterval& a, const MdInterval& b) {
+  std::vector<MdInterval> pieces;
+  auto intersection = a.Intersection(b);
+  if (!intersection.has_value()) {
+    pieces.push_back(a);
+    return pieces;
+  }
+  // Slab decomposition: walk the dimensions; in each, emit the parts of the
+  // remaining band below and above the intersection, then narrow the band
+  // to the intersection range in that dimension and continue.
+  MdPoint band_lo = a.lo();
+  MdPoint band_hi = a.hi();
+  const MdInterval& cut = *intersection;
+  for (size_t d = 0; d < a.dims(); ++d) {
+    if (band_lo[d] < cut.lo(d)) {
+      MdPoint lo = band_lo;
+      MdPoint hi = band_hi;
+      hi[d] = cut.lo(d) - 1;
+      pieces.emplace_back(std::move(lo), std::move(hi));
+    }
+    if (band_hi[d] > cut.hi(d)) {
+      MdPoint lo = band_lo;
+      MdPoint hi = band_hi;
+      lo[d] = cut.hi(d) + 1;
+      pieces.emplace_back(std::move(lo), std::move(hi));
+    }
+    band_lo[d] = cut.lo(d);
+    band_hi[d] = cut.hi(d);
+  }
+  return pieces;
+}
+
+Result<ObjectFrame> ObjectFrame::FromBoxes(
+    const std::vector<MdInterval>& boxes) {
+  if (boxes.empty()) {
+    return Status::InvalidArgument("frame needs at least one box");
+  }
+  const size_t dims = boxes[0].dims();
+  ObjectFrame frame;
+  for (const MdInterval& box : boxes) {
+    if (box.dims() != dims) {
+      return Status::InvalidArgument("frame boxes must share dimensionality");
+    }
+    // Subtract everything already covered, keep the disjoint remainder.
+    std::vector<MdInterval> remainder = {box};
+    for (const MdInterval& covered : frame.disjoint_) {
+      std::vector<MdInterval> next;
+      for (const MdInterval& piece : remainder) {
+        std::vector<MdInterval> split = SubtractBox(piece, covered);
+        next.insert(next.end(), split.begin(), split.end());
+      }
+      remainder = std::move(next);
+      if (remainder.empty()) break;
+    }
+    frame.disjoint_.insert(frame.disjoint_.end(), remainder.begin(),
+                           remainder.end());
+  }
+  return frame;
+}
+
+size_t ObjectFrame::dims() const {
+  return disjoint_.empty() ? 0 : disjoint_[0].dims();
+}
+
+Result<MdInterval> ObjectFrame::BoundingBox() const {
+  if (disjoint_.empty()) {
+    return Status::FailedPrecondition("empty frame has no bounding box");
+  }
+  MdInterval hull = disjoint_[0];
+  for (size_t i = 1; i < disjoint_.size(); ++i) {
+    hull = hull.Hull(disjoint_[i]);
+  }
+  return hull;
+}
+
+uint64_t ObjectFrame::CellCount() const {
+  uint64_t count = 0;
+  for (const MdInterval& box : disjoint_) count += box.CellCount();
+  return count;
+}
+
+bool ObjectFrame::ContainsPoint(const MdPoint& p) const {
+  for (const MdInterval& box : disjoint_) {
+    if (box.Contains(p)) return true;
+  }
+  return false;
+}
+
+bool ObjectFrame::IntersectsBox(const MdInterval& box) const {
+  for (const MdInterval& piece : disjoint_) {
+    if (piece.Intersects(box)) return true;
+  }
+  return false;
+}
+
+std::vector<MdInterval> ObjectFrame::ClipBox(const MdInterval& box) const {
+  std::vector<MdInterval> clipped;
+  for (const MdInterval& piece : disjoint_) {
+    auto intersection = piece.Intersection(box);
+    if (intersection.has_value()) clipped.push_back(*intersection);
+  }
+  return clipped;
+}
+
+std::string ObjectFrame::ToString() const {
+  std::ostringstream out;
+  out << "frame{";
+  for (size_t i = 0; i < disjoint_.size(); ++i) {
+    if (i > 0) out << " + ";
+    out << disjoint_[i].ToString();
+  }
+  out << "}";
+  return out.str();
+}
+
+}  // namespace heaven

@@ -1,0 +1,59 @@
+#ifndef HEAVEN_HEAVEN_FRAMING_H_
+#define HEAVEN_HEAVEN_FRAMING_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "array/md_interval.h"
+#include "common/status.h"
+
+namespace heaven {
+
+/// Object Framing: HEAVEN's query-language extension that frees range
+/// queries from the hypercube shape. A frame is an arbitrary union of
+/// boxes (an orthogonal polytope); only cells inside the frame are
+/// retrieved and returned, instead of the full bounding hull.
+///
+/// Internally the frame is normalized to a *disjoint* box decomposition so
+/// cell counting, containment and tile selection are exact.
+class ObjectFrame {
+ public:
+  ObjectFrame() = default;
+
+  /// Builds a frame from (possibly overlapping) boxes of one
+  /// dimensionality. InvalidArgument on dimension mismatch or empty input.
+  static Result<ObjectFrame> FromBoxes(const std::vector<MdInterval>& boxes);
+
+  size_t dims() const;
+  bool empty() const { return disjoint_.empty(); }
+
+  /// The normalized disjoint decomposition.
+  const std::vector<MdInterval>& disjoint_boxes() const { return disjoint_; }
+
+  /// Smallest hypercube containing the frame — what a framing-less system
+  /// would have to request.
+  Result<MdInterval> BoundingBox() const;
+
+  /// Exact number of cells inside the frame.
+  uint64_t CellCount() const;
+
+  bool ContainsPoint(const MdPoint& p) const;
+  bool IntersectsBox(const MdInterval& box) const;
+
+  /// The portions of `box` that lie inside the frame (disjoint).
+  std::vector<MdInterval> ClipBox(const MdInterval& box) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<MdInterval> disjoint_;
+};
+
+/// Box subtraction: a disjoint set of boxes covering exactly `a` minus `b`.
+/// Up to 2·dims pieces. Exposed for property tests.
+std::vector<MdInterval> SubtractBox(const MdInterval& a, const MdInterval& b);
+
+}  // namespace heaven
+
+#endif  // HEAVEN_HEAVEN_FRAMING_H_

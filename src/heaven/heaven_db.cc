@@ -1,0 +1,984 @@
+#include "heaven/heaven_db.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/logging.h"
+#include "heaven/prefetch.h"
+#include "heaven/size_adaptation.h"
+#include "array/tiling.h"
+
+namespace heaven {
+
+namespace {
+constexpr char kRegistrySection[] = "heaven.supertiles";
+constexpr char kPrecomputedSection[] = "heaven.precomputed";
+}  // namespace
+
+HeavenDb::HeavenDb(Env* env, std::string dir, HeavenOptions options)
+    : env_(env), dir_(std::move(dir)), options_(std::move(options)) {}
+
+Result<std::unique_ptr<HeavenDb>> HeavenDb::Open(Env* env,
+                                                 const std::string& dir,
+                                                 const HeavenOptions& options) {
+  std::unique_ptr<HeavenDb> db(new HeavenDb(env, dir, options));
+  HEAVEN_RETURN_IF_ERROR(db->Init());
+  return db;
+}
+
+Status HeavenDb::Init() {
+  HEAVEN_ASSIGN_OR_RETURN(
+      engine_, StorageEngine::Open(env_, dir_, options_.storage, &stats_));
+  library_ = std::make_unique<TapeLibrary>(options_.library, &stats_,
+                                           env_, dir_ + "/tape");
+  cache_ = std::make_unique<SuperTileCache>(options_.cache, &stats_);
+  precomputed_ = std::make_unique<PrecomputedCatalog>(&stats_);
+  HEAVEN_RETURN_IF_ERROR(LoadRegistry());
+  HEAVEN_RETURN_IF_ERROR(
+      precomputed_->Restore(engine_->catalog()->GetSection(kPrecomputedSection)));
+  if (options_.decoupled_export) {
+    tct_thread_ = std::thread([this] { TctWorker(); });
+  }
+  return Status::Ok();
+}
+
+HeavenDb::~HeavenDb() {
+  if (tct_thread_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(tct_mu_);
+      tct_stop_ = true;
+    }
+    tct_cv_.notify_all();
+    tct_thread_.join();
+  }
+}
+
+Status HeavenDb::LoadRegistry() {
+  const std::string image = engine_->catalog()->GetSection(kRegistrySection);
+  HEAVEN_ASSIGN_OR_RETURN(std::vector<SuperTileMeta> metas,
+                          DeserializeSuperTileMetas(image));
+  std::lock_guard<std::recursive_mutex> lock(db_mu_);
+  registry_.clear();
+  for (SuperTileMeta& meta : metas) {
+    next_supertile_id_ = std::max(next_supertile_id_, meta.id + 1);
+    registry_.emplace(meta.id, std::move(meta));
+  }
+  return Status::Ok();
+}
+
+Status HeavenDb::PersistRegistry() {
+  std::vector<SuperTileMeta> metas;
+  {
+    std::lock_guard<std::recursive_mutex> lock(db_mu_);
+    metas.reserve(registry_.size());
+    for (const auto& [id, meta] : registry_) metas.push_back(meta);
+  }
+  CatalogDelta delta;
+  delta.op = CatalogOp::kSetSection;
+  delta.name = kRegistrySection;
+  delta.payload = SerializeSuperTileMetas(metas);
+  return engine_->ApplyCatalogAtomic(delta);
+}
+
+Status HeavenDb::PersistPrecomputed() {
+  CatalogDelta delta;
+  delta.op = CatalogOp::kSetSection;
+  delta.name = kPrecomputedSection;
+  delta.payload = precomputed_->Serialize();
+  return engine_->ApplyCatalogAtomic(delta);
+}
+
+// ---------------------------------------------------------------- ingest --
+
+Result<CollectionId> HeavenDb::CreateCollection(const std::string& name) {
+  if (engine_->catalog()->FindCollection(name).has_value()) {
+    return Status::AlreadyExists("collection " + name);
+  }
+  const CollectionId id = engine_->catalog()->NextCollectionId();
+  CatalogDelta delta;
+  delta.op = CatalogOp::kAddCollection;
+  delta.collection_id = id;
+  delta.name = name;
+  HEAVEN_RETURN_IF_ERROR(engine_->ApplyCatalogAtomic(delta));
+  return id;
+}
+
+Status HeavenDb::DropCollection(const std::string& name) {
+  std::lock_guard<std::recursive_mutex> lock(db_mu_);
+  auto collection = engine_->catalog()->FindCollection(name);
+  if (!collection.has_value()) {
+    return Status::NotFound("collection " + name);
+  }
+  if (!engine_->catalog()->ListObjects(*collection).empty()) {
+    return Status::FailedPrecondition("collection " + name + " is not empty");
+  }
+  CatalogDelta delta;
+  delta.op = CatalogOp::kRemoveCollection;
+  delta.collection_id = *collection;
+  return engine_->ApplyCatalogAtomic(delta);
+}
+
+Result<ObjectId> HeavenDb::InsertObject(CollectionId collection,
+                                        const std::string& name,
+                                        const MddArray& data,
+                                        std::vector<int64_t> tile_extents) {
+  std::lock_guard<std::recursive_mutex> lock(db_mu_);
+  if (engine_->catalog()->FindObject(name).ok()) {
+    return Status::AlreadyExists("object " + name);
+  }
+  if (tile_extents.empty()) {
+    tile_extents = ComputeAlignedTileExtents(data.domain(), data.cell_type(),
+                                             options_.disk_tile_bytes);
+  }
+  if (tile_extents.size() != data.domain().dims()) {
+    return Status::InvalidArgument("tile extents dimensionality mismatch");
+  }
+
+  ObjectDescriptor object;
+  object.object_id = engine_->catalog()->NextObjectId();
+  object.collection_id = collection;
+  object.name = name;
+  object.domain = data.domain();
+  object.cell_type = data.cell_type();
+  object.tile_extents = tile_extents;
+
+  std::unique_ptr<Transaction> txn = engine_->Begin();
+  CatalogDelta add_object;
+  add_object.op = CatalogOp::kAddObject;
+  add_object.object = object;
+  txn->UpdateCatalog(add_object);
+
+  uint64_t bytes_written = 0;
+  for (const MdInterval& tile_domain :
+       RegularTiling(data.domain(), tile_extents)) {
+    HEAVEN_ASSIGN_OR_RETURN(Tile tile,
+                            data.tile().ExtractRegion(tile_domain));
+    TileDescriptor descriptor;
+    descriptor.tile_id = engine_->catalog()->NextTileId();
+    descriptor.domain = tile_domain;
+    descriptor.location = TileLocation::kDisk;
+    descriptor.blob_id = engine_->blobs()->NextBlobId();
+    descriptor.size_bytes = tile.size_bytes();
+    bytes_written += tile.size_bytes();
+
+    txn->PutBlob(descriptor.blob_id, std::move(tile.mutable_data()));
+    CatalogDelta add_tile;
+    add_tile.op = CatalogOp::kAddTile;
+    add_tile.object_id = object.object_id;
+    add_tile.tile = descriptor;
+    txn->UpdateCatalog(add_tile);
+  }
+  HEAVEN_RETURN_IF_ERROR(txn->Commit());
+  InvalidateTileIndex(object.object_id);
+  client_clock_.Advance(options_.disk.AccessSeconds(bytes_written));
+  HEAVEN_RETURN_IF_ERROR(RunMigrationPolicy());
+  return object.object_id;
+}
+
+Status HeavenDb::RunMigrationPolicy() {
+  if (options_.migrate_high_watermark_bytes == 0) return Status::Ok();
+  if (exporting_) return Status::Ok();  // re-entrancy guard (overviews)
+  if (engine_->blobs()->TotalBytes() <= options_.migrate_high_watermark_bytes) {
+    return Status::Ok();
+  }
+  const uint64_t low_watermark =
+      std::min(options_.migrate_low_watermark_bytes,
+               options_.migrate_high_watermark_bytes);
+  // Oldest objects first (smallest id): the classic HSM ageing heuristic —
+  // fresh inserts are the likeliest to be re-read soon.
+  std::vector<ObjectId> candidates;
+  for (const auto& [collection_id, name] :
+       engine_->catalog()->ListCollections()) {
+    for (const ObjectDescriptor& object :
+         engine_->catalog()->ListObjects(collection_id)) {
+      candidates.push_back(object.object_id);
+    }
+  }
+  std::sort(candidates.begin(), candidates.end());
+  for (ObjectId object_id : candidates) {
+    if (engine_->blobs()->TotalBytes() <= low_watermark) break;
+    if (options_.decoupled_export) {
+      std::lock_guard<std::mutex> lock(tct_mu_);
+      tct_queue_.push_back(object_id);
+      tct_cv_.notify_one();
+    } else {
+      HEAVEN_RETURN_IF_ERROR(ExportObjectSync(object_id));
+    }
+  }
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------- export --
+
+Status HeavenDb::ExportObject(ObjectId object_id) {
+  if (options_.decoupled_export) {
+    // Hand the object over to the TCT; the client does not wait for tape.
+    std::lock_guard<std::mutex> lock(tct_mu_);
+    tct_queue_.push_back(object_id);
+    tct_cv_.notify_one();
+    return Status::Ok();
+  }
+  const double tape_before = library_->ElapsedSeconds();
+  Status status = ExportObjectSync(object_id);
+  client_clock_.Advance(library_->ElapsedSeconds() - tape_before);
+  return status;
+}
+
+Status HeavenDb::ExportObjectSync(ObjectId object_id) {
+  std::lock_guard<std::recursive_mutex> lock(db_mu_);
+  exporting_ = true;
+  struct ExportGuard {
+    bool* flag;
+    ~ExportGuard() { *flag = false; }
+  } guard{&exporting_};
+  HEAVEN_ASSIGN_OR_RETURN(ObjectDescriptor object,
+                          engine_->catalog()->GetObject(object_id));
+  std::vector<TileDescriptor> disk_tiles;
+  for (TileDescriptor& tile : engine_->catalog()->ListTiles(object_id)) {
+    if (tile.location == TileLocation::kDisk) {
+      disk_tiles.push_back(std::move(tile));
+    }
+  }
+  if (disk_tiles.empty()) return Status::Ok();
+
+  // 0. Materialize the browse overview while the data is still disk-fast.
+  if (options_.overview_scale_factor > 1 &&
+      object.name.find("__overview") == std::string::npos &&
+      !engine_->catalog()->FindObject(object.name + "__overview").ok()) {
+    HEAVEN_ASSIGN_OR_RETURN(MddArray full,
+                            ReadRegion(object_id, object.domain));
+    HEAVEN_ASSIGN_OR_RETURN(MddArray overview,
+                            ScaleDown(full, options_.overview_scale_factor));
+    HEAVEN_RETURN_IF_ERROR(InsertObject(object.collection_id,
+                                        object.name + "__overview", overview)
+                               .status());
+  }
+
+  // 1. Super-tile size: configured or adapted to the drive profile.
+  const uint64_t target_bytes =
+      options_.supertile_bytes != 0
+          ? options_.supertile_bytes
+          : OptimalSuperTileBytes(options_.library.profile,
+                                  options_.expected_query_bytes);
+
+  // 2. Partition tiles into super-tile groups (STAR / eSTAR).
+  std::vector<SuperTileGroup> groups;
+  if (options_.partitioner == PartitionerKind::kStar &&
+      !object.tile_extents.empty()) {
+    HEAVEN_ASSIGN_OR_RETURN(
+        groups, StarPartition(disk_tiles, object.domain, object.tile_extents,
+                              target_bytes));
+  } else {
+    HEAVEN_ASSIGN_OR_RETURN(
+        groups, EStarPartition(disk_tiles, target_bytes,
+                               options_.access_preferences));
+  }
+
+  // 3. Intra-super-tile clustering.
+  std::map<TileId, MdInterval> domains;
+  std::map<TileId, const TileDescriptor*> by_id;
+  for (const TileDescriptor& tile : disk_tiles) {
+    domains.emplace(tile.tile_id, tile.domain);
+    by_id.emplace(tile.tile_id, &tile);
+  }
+  HEAVEN_RETURN_IF_ERROR(
+      ApplyIntraClustering(&groups, domains, options_.intra_order));
+
+  // 4. Inter-super-tile placement across media.
+  HEAVEN_ASSIGN_OR_RETURN(
+      PlacementPlan plan,
+      PlanPlacement(groups, *library_, options_.inter_clustering));
+
+  // 5. Build, write and register each super-tile in plan order.
+  std::unique_ptr<Transaction> txn = engine_->Begin();
+  for (size_t idx : plan.write_order) {
+    const SuperTileGroup& group = groups[idx];
+    SuperTile st(next_supertile_id_++, object_id, object.cell_type);
+    for (TileId tile_id : group.tiles) {
+      const TileDescriptor* descriptor = by_id.at(tile_id);
+      HEAVEN_ASSIGN_OR_RETURN(std::string payload,
+                              engine_->blobs()->Get(descriptor->blob_id));
+      HEAVEN_RETURN_IF_ERROR(st.AddTile(
+          tile_id, Tile(descriptor->domain, object.cell_type,
+                        std::move(payload))));
+    }
+    const std::string container = st.Serialize(options_.compression);
+    HEAVEN_ASSIGN_OR_RETURN(uint64_t offset,
+                            library_->Append(plan.medium[idx], container));
+    stats_.Record(Ticker::kSuperTilesWritten);
+    stats_.Record(Ticker::kSuperTileBytesWritten, container.size());
+
+    SuperTileMeta meta;
+    meta.id = st.id();
+    meta.object_id = object_id;
+    meta.medium = plan.medium[idx];
+    meta.offset = offset;
+    meta.size_bytes = container.size();
+    HEAVEN_ASSIGN_OR_RETURN(meta.hull, st.Hull());
+    meta.tile_ids = group.tiles;
+    registry_.emplace(meta.id, meta);
+
+    for (TileId tile_id : group.tiles) {
+      const TileDescriptor* descriptor = by_id.at(tile_id);
+      txn->DeleteBlob(descriptor->blob_id);
+      CatalogDelta update;
+      update.op = CatalogOp::kUpdateTileLocation;
+      update.object_id = object_id;
+      update.tile = *descriptor;
+      update.tile.location = TileLocation::kTertiary;
+      update.tile.blob_id = 0;
+      update.tile.super_tile = meta.id;
+      txn->UpdateCatalog(update);
+    }
+  }
+
+  // Persist the registry in the same transaction as the tile moves.
+  std::vector<SuperTileMeta> metas;
+  metas.reserve(registry_.size());
+  for (const auto& [id, meta] : registry_) metas.push_back(meta);
+  CatalogDelta registry_delta;
+  registry_delta.op = CatalogOp::kSetSection;
+  registry_delta.name = kRegistrySection;
+  registry_delta.payload = SerializeSuperTileMetas(metas);
+  txn->UpdateCatalog(registry_delta);
+
+  return txn->Commit();
+}
+
+Status HeavenDb::ExportObjectTileAtATime(ObjectId object_id) {
+  std::lock_guard<std::recursive_mutex> lock(db_mu_);
+  const double tape_before = library_->ElapsedSeconds();
+  HEAVEN_ASSIGN_OR_RETURN(ObjectDescriptor object,
+                          engine_->catalog()->GetObject(object_id));
+  std::unique_ptr<Transaction> txn = engine_->Begin();
+  MediumId next_medium = 0;
+  for (const TileDescriptor& descriptor :
+       engine_->catalog()->ListTiles(object_id)) {
+    if (descriptor.location != TileLocation::kDisk) continue;
+    HEAVEN_ASSIGN_OR_RETURN(std::string payload,
+                            engine_->blobs()->Get(descriptor.blob_id));
+    // Each tile becomes its own (degenerate) super-tile container, written
+    // wherever the round-robin lands — the naive pre-HEAVEN layout.
+    SuperTile st(next_supertile_id_++, object_id, object.cell_type);
+    HEAVEN_RETURN_IF_ERROR(st.AddTile(
+        descriptor.tile_id,
+        Tile(descriptor.domain, object.cell_type, std::move(payload))));
+    const std::string container = st.Serialize(options_.compression);
+
+    MediumId medium = next_medium;
+    Result<uint64_t> offset = library_->Append(medium, container);
+    for (uint32_t tries = 1; !offset.ok() && tries < library_->num_media();
+         ++tries) {
+      medium = (next_medium + tries) % library_->num_media();
+      offset = library_->Append(medium, container);
+    }
+    if (!offset.ok()) return offset.status();
+    next_medium = (medium + 1) % library_->num_media();
+    stats_.Record(Ticker::kSuperTilesWritten);
+    stats_.Record(Ticker::kSuperTileBytesWritten, container.size());
+
+    SuperTileMeta meta;
+    meta.id = st.id();
+    meta.object_id = object_id;
+    meta.medium = medium;
+    meta.offset = offset.value();
+    meta.size_bytes = container.size();
+    meta.hull = descriptor.domain;
+    meta.tile_ids = {descriptor.tile_id};
+    registry_.emplace(meta.id, meta);
+
+    txn->DeleteBlob(descriptor.blob_id);
+    CatalogDelta update;
+    update.op = CatalogOp::kUpdateTileLocation;
+    update.object_id = object_id;
+    update.tile = descriptor;
+    update.tile.location = TileLocation::kTertiary;
+    update.tile.blob_id = 0;
+    update.tile.super_tile = meta.id;
+    txn->UpdateCatalog(update);
+  }
+  std::vector<SuperTileMeta> metas;
+  metas.reserve(registry_.size());
+  for (const auto& [id, meta] : registry_) metas.push_back(meta);
+  CatalogDelta registry_delta;
+  registry_delta.op = CatalogOp::kSetSection;
+  registry_delta.name = kRegistrySection;
+  registry_delta.payload = SerializeSuperTileMetas(metas);
+  txn->UpdateCatalog(registry_delta);
+  HEAVEN_RETURN_IF_ERROR(txn->Commit());
+  client_clock_.Advance(library_->ElapsedSeconds() - tape_before);
+  return Status::Ok();
+}
+
+Status HeavenDb::DrainExports() {
+  if (!options_.decoupled_export) return Status::Ok();
+  std::unique_lock<std::mutex> lock(tct_mu_);
+  tct_cv_.wait(lock, [this] { return tct_queue_.empty() && !tct_busy_; });
+  return tct_last_error_;
+}
+
+void HeavenDb::TctWorker() {
+  for (;;) {
+    ObjectId object_id = 0;
+    {
+      std::unique_lock<std::mutex> lock(tct_mu_);
+      tct_cv_.wait(lock, [this] { return tct_stop_ || !tct_queue_.empty(); });
+      if (tct_stop_ && tct_queue_.empty()) return;
+      object_id = tct_queue_.front();
+      tct_queue_.pop_front();
+      tct_busy_ = true;
+    }
+    Status status = ExportObjectSync(object_id);
+    {
+      std::lock_guard<std::mutex> lock(tct_mu_);
+      if (!status.ok()) tct_last_error_ = status;
+      tct_busy_ = false;
+    }
+    tct_cv_.notify_all();
+  }
+}
+
+// ----------------------------------------------------------------- query --
+
+Result<ObjectDescriptor> HeavenDb::FindObject(const std::string& name) {
+  return engine_->catalog()->FindObject(name);
+}
+
+Status HeavenDb::FetchSuperTiles(
+    const std::vector<SuperTileId>& ids,
+    std::map<SuperTileId, std::shared_ptr<const SuperTile>>* out) {
+  std::vector<SuperTileRequest> requests;
+  for (SuperTileId id : ids) {
+    if (out->count(id) > 0) continue;
+    std::shared_ptr<const SuperTile> cached = cache_->Lookup(id);
+    if (cached != nullptr) {
+      // Account prefetch usefulness.
+      auto it = std::find(prefetched_.begin(), prefetched_.end(), id);
+      if (it != prefetched_.end()) {
+        stats_.Record(Ticker::kPrefetchUseful);
+        prefetched_.erase(it);
+      }
+      out->emplace(id, std::move(cached));
+      continue;
+    }
+    auto meta_it = registry_.find(id);
+    if (meta_it == registry_.end()) {
+      return Status::NotFound("super-tile " + std::to_string(id) +
+                              " not registered");
+    }
+    requests.push_back({id, meta_it->second.medium, meta_it->second.offset,
+                        meta_it->second.size_bytes});
+  }
+  if (requests.empty()) return Status::Ok();
+
+  requests = ScheduleRequests(std::move(requests), *library_,
+                              options_.schedule_policy);
+  const double tape_before = library_->ElapsedSeconds();
+  MediumId last_medium = requests.back().medium;
+  uint64_t last_end = requests.back().offset + requests.back().size_bytes;
+  for (const SuperTileRequest& request : requests) {
+    std::string container;
+    HEAVEN_RETURN_IF_ERROR(library_->ReadAt(request.medium, request.offset,
+                                            request.size_bytes, &container));
+    HEAVEN_ASSIGN_OR_RETURN(SuperTile st, SuperTile::Deserialize(container));
+    auto shared = std::make_shared<const SuperTile>(std::move(st));
+    cache_->Insert(request.id, shared, request.size_bytes);
+    stats_.Record(Ticker::kSuperTilesRead);
+    stats_.Record(Ticker::kSuperTileBytesRead, request.size_bytes);
+    out->emplace(request.id, std::move(shared));
+  }
+  client_clock_.Advance(library_->ElapsedSeconds() - tape_before);
+  MaybePrefetch(last_medium, last_end);
+  return Status::Ok();
+}
+
+void HeavenDb::MaybePrefetch(MediumId medium, uint64_t last_end_offset) {
+  if (!options_.enable_prefetch || options_.prefetch_depth == 0) return;
+  std::vector<SuperTileId> cached;
+  for (const auto& [id, meta] : registry_) {
+    if (cache_->Contains(id)) cached.push_back(id);
+  }
+  const std::vector<SuperTileId> targets = ChoosePrefetchTargets(
+      registry_, medium, last_end_offset, options_.prefetch_depth, cached);
+  for (SuperTileId id : targets) {
+    const SuperTileMeta& meta = registry_.at(id);
+    std::string container;
+    // Background read: charges tape time but not the client clock.
+    Status status =
+        library_->ReadAt(meta.medium, meta.offset, meta.size_bytes, &container);
+    if (!status.ok()) return;
+    Result<SuperTile> st = SuperTile::Deserialize(container);
+    if (!st.ok()) return;
+    cache_->Insert(id, std::make_shared<const SuperTile>(std::move(st).value()),
+                   meta.size_bytes);
+    prefetched_.push_back(id);
+    stats_.Record(Ticker::kPrefetchIssued);
+  }
+}
+
+Result<std::vector<TileDescriptor>> HeavenDb::TilesIntersecting(
+    ObjectId object_id, const MdInterval& region) {
+  auto index_it = tile_index_.find(object_id);
+  if (index_it == tile_index_.end()) {
+    auto tree = std::make_unique<RTree>();
+    for (const TileDescriptor& tile : engine_->catalog()->ListTiles(object_id)) {
+      tree->Insert(tile.domain, tile.tile_id);
+    }
+    index_it = tile_index_.emplace(object_id, std::move(tree)).first;
+  }
+  std::vector<TileDescriptor> tiles;
+  for (TileId tile_id : index_it->second->Search(region)) {
+    HEAVEN_ASSIGN_OR_RETURN(TileDescriptor tile,
+                            engine_->catalog()->GetTile(object_id, tile_id));
+    tiles.push_back(std::move(tile));
+  }
+  return tiles;
+}
+
+void HeavenDb::InvalidateTileIndex(ObjectId object_id) {
+  tile_index_.erase(object_id);
+}
+
+Status HeavenDb::CollectTiles(
+    ObjectId object_id, const MdInterval& region,
+    std::vector<std::pair<TileDescriptor, Tile>>* out) {
+  HEAVEN_ASSIGN_OR_RETURN(ObjectDescriptor object,
+                          engine_->catalog()->GetObject(object_id));
+  HEAVEN_ASSIGN_OR_RETURN(std::vector<TileDescriptor> needed,
+                          TilesIntersecting(object_id, region));
+  std::vector<SuperTileId> needed_sts;
+  for (const TileDescriptor& tile : needed) {
+    if (tile.location == TileLocation::kTertiary &&
+        std::find(needed_sts.begin(), needed_sts.end(), tile.super_tile) ==
+            needed_sts.end()) {
+      needed_sts.push_back(tile.super_tile);
+    }
+  }
+
+  std::map<SuperTileId, std::shared_ptr<const SuperTile>> supertiles;
+  HEAVEN_RETURN_IF_ERROR(FetchSuperTiles(needed_sts, &supertiles));
+
+  uint64_t disk_bytes = 0;
+  for (TileDescriptor& descriptor : needed) {
+    if (descriptor.location == TileLocation::kDisk) {
+      HEAVEN_ASSIGN_OR_RETURN(std::string payload,
+                              engine_->blobs()->Get(descriptor.blob_id));
+      disk_bytes += payload.size();
+      out->emplace_back(descriptor, Tile(descriptor.domain, object.cell_type,
+                                         std::move(payload)));
+    } else {
+      const auto st_it = supertiles.find(descriptor.super_tile);
+      HEAVEN_CHECK(st_it != supertiles.end());
+      HEAVEN_ASSIGN_OR_RETURN(const Tile* tile,
+                              st_it->second->FindTile(descriptor.tile_id));
+      out->emplace_back(descriptor, *tile);
+    }
+    stats_.Record(Ticker::kTilesTouched);
+  }
+  if (disk_bytes > 0) {
+    client_clock_.Advance(options_.disk.AccessSeconds(disk_bytes));
+  }
+  return Status::Ok();
+}
+
+Result<MddArray> HeavenDb::ReadRegion(ObjectId object_id,
+                                      const MdInterval& region) {
+  std::lock_guard<std::recursive_mutex> lock(db_mu_);
+  HEAVEN_ASSIGN_OR_RETURN(ObjectDescriptor object,
+                          engine_->catalog()->GetObject(object_id));
+  if (!object.domain.Contains(region)) {
+    return Status::OutOfRange("query region " + region.ToString() +
+                              " outside object domain " +
+                              object.domain.ToString());
+  }
+  std::vector<std::pair<TileDescriptor, Tile>> tiles;
+  HEAVEN_RETURN_IF_ERROR(CollectTiles(object_id, region, &tiles));
+
+  MddArray result(region, object.cell_type);
+  for (const auto& [descriptor, tile] : tiles) {
+    auto overlap = tile.domain().Intersection(region);
+    HEAVEN_CHECK(overlap.has_value());
+    HEAVEN_RETURN_IF_ERROR(
+        result.mutable_tile().CopyRegionFrom(tile, *overlap));
+  }
+  stats_.Record(Ticker::kQueriesExecuted);
+  stats_.Record(Ticker::kCellsReturned, region.CellCount());
+  return result;
+}
+
+Result<MddArray> HeavenDb::ReadObject(ObjectId object_id) {
+  HEAVEN_ASSIGN_OR_RETURN(ObjectDescriptor object,
+                          engine_->catalog()->GetObject(object_id));
+  return ReadRegion(object_id, object.domain);
+}
+
+Result<MddArray> HeavenDb::ReadFrame(ObjectId object_id,
+                                     const ObjectFrame& frame) {
+  std::lock_guard<std::recursive_mutex> lock(db_mu_);
+  HEAVEN_ASSIGN_OR_RETURN(ObjectDescriptor object,
+                          engine_->catalog()->GetObject(object_id));
+  HEAVEN_ASSIGN_OR_RETURN(MdInterval bbox, frame.BoundingBox());
+  if (!object.domain.Contains(bbox)) {
+    return Status::OutOfRange("frame " + frame.ToString() +
+                              " outside object domain");
+  }
+
+  // Only tiles intersecting the frame itself (not just the hull) are
+  // touched — this is the whole point of object framing.
+  HEAVEN_ASSIGN_OR_RETURN(std::vector<TileDescriptor> candidates,
+                          TilesIntersecting(object_id, bbox));
+  std::vector<TileDescriptor> needed;
+  std::vector<SuperTileId> needed_sts;
+  for (TileDescriptor& tile : candidates) {
+    if (!frame.IntersectsBox(tile.domain)) continue;
+    if (tile.location == TileLocation::kTertiary &&
+        std::find(needed_sts.begin(), needed_sts.end(), tile.super_tile) ==
+            needed_sts.end()) {
+      needed_sts.push_back(tile.super_tile);
+    }
+    needed.push_back(std::move(tile));
+  }
+  std::map<SuperTileId, std::shared_ptr<const SuperTile>> supertiles;
+  HEAVEN_RETURN_IF_ERROR(FetchSuperTiles(needed_sts, &supertiles));
+
+  MddArray result(bbox, object.cell_type);  // zero-initialized
+  uint64_t disk_bytes = 0;
+  for (const TileDescriptor& descriptor : needed) {
+    Tile tile;
+    if (descriptor.location == TileLocation::kDisk) {
+      HEAVEN_ASSIGN_OR_RETURN(std::string payload,
+                              engine_->blobs()->Get(descriptor.blob_id));
+      disk_bytes += payload.size();
+      tile = Tile(descriptor.domain, object.cell_type, std::move(payload));
+    } else {
+      const auto st_it = supertiles.find(descriptor.super_tile);
+      HEAVEN_CHECK(st_it != supertiles.end());
+      HEAVEN_ASSIGN_OR_RETURN(const Tile* found,
+                              st_it->second->FindTile(descriptor.tile_id));
+      tile = *found;
+    }
+    stats_.Record(Ticker::kTilesTouched);
+    for (const MdInterval& piece : frame.ClipBox(descriptor.domain)) {
+      auto overlap = piece.Intersection(bbox);
+      if (!overlap.has_value()) continue;
+      HEAVEN_RETURN_IF_ERROR(
+          result.mutable_tile().CopyRegionFrom(tile, *overlap));
+    }
+  }
+  if (disk_bytes > 0) {
+    client_clock_.Advance(options_.disk.AccessSeconds(disk_bytes));
+  }
+  stats_.Record(Ticker::kQueriesExecuted);
+  stats_.Record(Ticker::kCellsReturned, frame.CellCount());
+  return result;
+}
+
+Result<double> HeavenDb::Aggregate(ObjectId object_id, Condenser condenser,
+                                   const MdInterval& region) {
+  std::lock_guard<std::recursive_mutex> lock(db_mu_);
+  if (options_.enable_precomputed) {
+    std::optional<double> hit =
+        precomputed_->Lookup(object_id, condenser, region);
+    if (hit.has_value()) {
+      stats_.Record(Ticker::kQueriesExecuted);
+      return *hit;
+    }
+  }
+  HEAVEN_ASSIGN_OR_RETURN(MddArray data, ReadRegion(object_id, region));
+  HEAVEN_ASSIGN_OR_RETURN(double value,
+                          CondenseRegion(data, condenser, region));
+  if (options_.enable_precomputed) {
+    precomputed_->Insert(object_id, condenser, region, value);
+    HEAVEN_RETURN_IF_ERROR(PersistPrecomputed());
+  }
+  return value;
+}
+
+Result<std::vector<MddArray>> HeavenDb::ReadRegions(
+    const std::vector<std::pair<ObjectId, MdInterval>>& queries) {
+  std::lock_guard<std::recursive_mutex> lock(db_mu_);
+  // Phase 1: gather every tertiary super-tile needed by any query so the
+  // scheduler sees the whole batch at once.
+  std::vector<SuperTileId> needed_sts;
+  for (const auto& [object_id, region] : queries) {
+    HEAVEN_ASSIGN_OR_RETURN(std::vector<TileDescriptor> tiles,
+                            TilesIntersecting(object_id, region));
+    for (const TileDescriptor& tile : tiles) {
+      if (tile.location != TileLocation::kTertiary) continue;
+      if (std::find(needed_sts.begin(), needed_sts.end(), tile.super_tile) ==
+          needed_sts.end()) {
+        needed_sts.push_back(tile.super_tile);
+      }
+    }
+  }
+  std::map<SuperTileId, std::shared_ptr<const SuperTile>> supertiles;
+  HEAVEN_RETURN_IF_ERROR(FetchSuperTiles(needed_sts, &supertiles));
+
+  // Phase 2: answer each query (super-tiles now come from the cache).
+  std::vector<MddArray> results;
+  results.reserve(queries.size());
+  for (const auto& [object_id, region] : queries) {
+    HEAVEN_ASSIGN_OR_RETURN(MddArray result, ReadRegion(object_id, region));
+    results.push_back(std::move(result));
+  }
+  return results;
+}
+
+// ------------------------------------------------------- delete / import --
+
+Status HeavenDb::ReimportObject(ObjectId object_id) {
+  std::lock_guard<std::recursive_mutex> lock(db_mu_);
+  HEAVEN_ASSIGN_OR_RETURN(ObjectDescriptor object,
+                          engine_->catalog()->GetObject(object_id));
+  std::vector<TileDescriptor> tertiary_tiles;
+  std::vector<SuperTileId> needed_sts;
+  for (TileDescriptor& tile : engine_->catalog()->ListTiles(object_id)) {
+    if (tile.location != TileLocation::kTertiary) continue;
+    if (std::find(needed_sts.begin(), needed_sts.end(), tile.super_tile) ==
+        needed_sts.end()) {
+      needed_sts.push_back(tile.super_tile);
+    }
+    tertiary_tiles.push_back(std::move(tile));
+  }
+  if (tertiary_tiles.empty()) return Status::Ok();
+
+  std::map<SuperTileId, std::shared_ptr<const SuperTile>> supertiles;
+  HEAVEN_RETURN_IF_ERROR(FetchSuperTiles(needed_sts, &supertiles));
+
+  std::unique_ptr<Transaction> txn = engine_->Begin();
+  uint64_t disk_bytes = 0;
+  for (const TileDescriptor& descriptor : tertiary_tiles) {
+    const auto st_it = supertiles.find(descriptor.super_tile);
+    HEAVEN_CHECK(st_it != supertiles.end());
+    HEAVEN_ASSIGN_OR_RETURN(const Tile* tile,
+                            st_it->second->FindTile(descriptor.tile_id));
+    const BlobId blob_id = engine_->blobs()->NextBlobId();
+    txn->PutBlob(blob_id, tile->data());
+    disk_bytes += tile->size_bytes();
+    CatalogDelta update;
+    update.op = CatalogOp::kUpdateTileLocation;
+    update.object_id = object_id;
+    update.tile = descriptor;
+    update.tile.location = TileLocation::kDisk;
+    update.tile.blob_id = blob_id;
+    update.tile.super_tile = 0;
+    txn->UpdateCatalog(update);
+  }
+  // The object's super-tiles become unreferenced; drop them from the
+  // registry and the cache (the tape extents are dead append-only data).
+  for (SuperTileId id : needed_sts) {
+    registry_.erase(id);
+    cache_->Erase(id);
+  }
+  std::vector<SuperTileMeta> metas;
+  metas.reserve(registry_.size());
+  for (const auto& [id, meta] : registry_) metas.push_back(meta);
+  CatalogDelta registry_delta;
+  registry_delta.op = CatalogOp::kSetSection;
+  registry_delta.name = kRegistrySection;
+  registry_delta.payload = SerializeSuperTileMetas(metas);
+  txn->UpdateCatalog(registry_delta);
+  HEAVEN_RETURN_IF_ERROR(txn->Commit());
+  client_clock_.Advance(options_.disk.AccessSeconds(disk_bytes));
+  precomputed_->InvalidateObject(object_id);
+  return PersistPrecomputed();
+}
+
+Status HeavenDb::UpdateRegion(ObjectId object_id, const MddArray& patch) {
+  std::lock_guard<std::recursive_mutex> lock(db_mu_);
+  HEAVEN_ASSIGN_OR_RETURN(ObjectDescriptor object,
+                          engine_->catalog()->GetObject(object_id));
+  if (!object.domain.Contains(patch.domain())) {
+    return Status::OutOfRange("update region " + patch.domain().ToString() +
+                              " outside object domain " +
+                              object.domain.ToString());
+  }
+  if (patch.cell_type() != object.cell_type) {
+    return Status::InvalidArgument("update cell type mismatch");
+  }
+
+  // Partition the affected tiles by current location.
+  HEAVEN_ASSIGN_OR_RETURN(std::vector<TileDescriptor> affected,
+                          TilesIntersecting(object_id, patch.domain()));
+  std::vector<SuperTileId> needed_sts;
+  for (const TileDescriptor& tile : affected) {
+    if (tile.location == TileLocation::kTertiary &&
+        std::find(needed_sts.begin(), needed_sts.end(), tile.super_tile) ==
+            needed_sts.end()) {
+      needed_sts.push_back(tile.super_tile);
+    }
+  }
+  std::map<SuperTileId, std::shared_ptr<const SuperTile>> supertiles;
+  HEAVEN_RETURN_IF_ERROR(FetchSuperTiles(needed_sts, &supertiles));
+
+  std::unique_ptr<Transaction> txn = engine_->Begin();
+  uint64_t disk_bytes = 0;
+  // Track which tiles leave their super-tiles so empty ones can be dropped.
+  std::map<SuperTileId, size_t> tiles_leaving;
+  for (const TileDescriptor& descriptor : affected) {
+    Tile tile;
+    if (descriptor.location == TileLocation::kDisk) {
+      HEAVEN_ASSIGN_OR_RETURN(std::string payload,
+                              engine_->blobs()->Get(descriptor.blob_id));
+      tile = Tile(descriptor.domain, object.cell_type, std::move(payload));
+    } else {
+      const auto st_it = supertiles.find(descriptor.super_tile);
+      HEAVEN_CHECK(st_it != supertiles.end());
+      HEAVEN_ASSIGN_OR_RETURN(const Tile* found,
+                              st_it->second->FindTile(descriptor.tile_id));
+      tile = *found;
+      ++tiles_leaving[descriptor.super_tile];
+    }
+    auto overlap = tile.domain().Intersection(patch.domain());
+    HEAVEN_CHECK(overlap.has_value());
+    HEAVEN_RETURN_IF_ERROR(tile.CopyRegionFrom(patch.tile(), *overlap));
+
+    const BlobId blob_id = descriptor.location == TileLocation::kDisk
+                               ? descriptor.blob_id
+                               : engine_->blobs()->NextBlobId();
+    disk_bytes += tile.size_bytes();
+    txn->PutBlob(blob_id, std::move(tile.mutable_data()));
+    if (descriptor.location == TileLocation::kTertiary) {
+      CatalogDelta update;
+      update.op = CatalogOp::kUpdateTileLocation;
+      update.object_id = object_id;
+      update.tile = descriptor;
+      update.tile.location = TileLocation::kDisk;
+      update.tile.blob_id = blob_id;
+      update.tile.super_tile = 0;
+      txn->UpdateCatalog(update);
+    }
+  }
+
+  // Drop super-tiles whose every member moved back to disk.
+  bool registry_changed = false;
+  for (const auto& [st_id, leaving] : tiles_leaving) {
+    auto it = registry_.find(st_id);
+    if (it == registry_.end()) continue;
+    if (leaving >= it->second.tile_ids.size()) {
+      cache_->Erase(st_id);
+      registry_.erase(it);
+      registry_changed = true;
+    } else {
+      // Partially updated super-tile: remove the migrated tiles from its
+      // member list so re-reads do not resurrect stale cells.
+      std::vector<TileId>& members = it->second.tile_ids;
+      for (const TileDescriptor& descriptor : affected) {
+        if (descriptor.location == TileLocation::kTertiary &&
+            descriptor.super_tile == st_id) {
+          members.erase(
+              std::remove(members.begin(), members.end(), descriptor.tile_id),
+              members.end());
+        }
+      }
+      registry_changed = true;
+    }
+  }
+  if (registry_changed) {
+    std::vector<SuperTileMeta> metas;
+    metas.reserve(registry_.size());
+    for (const auto& [id, meta] : registry_) metas.push_back(meta);
+    CatalogDelta registry_delta;
+    registry_delta.op = CatalogOp::kSetSection;
+    registry_delta.name = kRegistrySection;
+    registry_delta.payload = SerializeSuperTileMetas(metas);
+    txn->UpdateCatalog(registry_delta);
+  }
+  HEAVEN_RETURN_IF_ERROR(txn->Commit());
+  client_clock_.Advance(options_.disk.AccessSeconds(disk_bytes));
+  precomputed_->InvalidateObject(object_id);
+  return PersistPrecomputed();
+}
+
+Status HeavenDb::DeleteObject(ObjectId object_id) {
+  std::lock_guard<std::recursive_mutex> lock(db_mu_);
+  HEAVEN_ASSIGN_OR_RETURN(ObjectDescriptor object,
+                          engine_->catalog()->GetObject(object_id));
+  (void)object;
+  std::unique_ptr<Transaction> txn = engine_->Begin();
+  for (const TileDescriptor& tile : engine_->catalog()->ListTiles(object_id)) {
+    if (tile.location == TileLocation::kDisk) {
+      txn->DeleteBlob(tile.blob_id);
+    }
+  }
+  CatalogDelta remove;
+  remove.op = CatalogOp::kRemoveObject;
+  remove.object_id = object_id;
+  txn->UpdateCatalog(remove);
+
+  for (auto it = registry_.begin(); it != registry_.end();) {
+    if (it->second.object_id == object_id) {
+      cache_->Erase(it->first);
+      it = registry_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  std::vector<SuperTileMeta> metas;
+  metas.reserve(registry_.size());
+  for (const auto& [id, meta] : registry_) metas.push_back(meta);
+  CatalogDelta registry_delta;
+  registry_delta.op = CatalogOp::kSetSection;
+  registry_delta.name = kRegistrySection;
+  registry_delta.payload = SerializeSuperTileMetas(metas);
+  txn->UpdateCatalog(registry_delta);
+  HEAVEN_RETURN_IF_ERROR(txn->Commit());
+  InvalidateTileIndex(object_id);
+  precomputed_->InvalidateObject(object_id);
+  return PersistPrecomputed();
+}
+
+Result<uint64_t> HeavenDb::ReclaimMedium(MediumId medium) {
+  std::lock_guard<std::recursive_mutex> lock(db_mu_);
+  HEAVEN_ASSIGN_OR_RETURN(uint64_t used_bytes,
+                          library_->MediumUsedBytes(medium));
+  // Live super-tiles on the medium.
+  std::vector<SuperTileMeta*> live;
+  uint64_t live_bytes = 0;
+  for (auto& [id, meta] : registry_) {
+    if (meta.medium == medium) {
+      live.push_back(&meta);
+      live_bytes += meta.size_bytes;
+    }
+  }
+  // Copy them away — ascending offsets, one forward sweep of the source.
+  std::sort(live.begin(), live.end(),
+            [](const SuperTileMeta* a, const SuperTileMeta* b) {
+              return a->offset < b->offset;
+            });
+  for (SuperTileMeta* meta : live) {
+    std::string container;
+    HEAVEN_RETURN_IF_ERROR(library_->ReadAt(meta->medium, meta->offset,
+                                            meta->size_bytes, &container));
+    // Emptiest target other than the source.
+    MediumId target = medium;
+    uint64_t best_free = 0;
+    for (MediumId m = 0; m < library_->num_media(); ++m) {
+      if (m == medium) continue;
+      HEAVEN_ASSIGN_OR_RETURN(uint64_t free_bytes,
+                              library_->MediumFreeBytes(m));
+      if (free_bytes > best_free) {
+        best_free = free_bytes;
+        target = m;
+      }
+    }
+    if (target == medium || best_free < container.size()) {
+      return Status::ResourceExhausted(
+          "no space to relocate super-tiles during reclamation");
+    }
+    HEAVEN_ASSIGN_OR_RETURN(uint64_t offset,
+                            library_->Append(target, container));
+    meta->medium = target;
+    meta->offset = offset;
+  }
+  HEAVEN_RETURN_IF_ERROR(PersistRegistry());
+  HEAVEN_RETURN_IF_ERROR(library_->EraseMedium(medium));
+  return used_bytes - live_bytes;
+}
+
+size_t HeavenDb::RegisteredSuperTiles() const {
+  std::lock_guard<std::recursive_mutex> lock(db_mu_);
+  return registry_.size();
+}
+
+}  // namespace heaven

@@ -1,0 +1,278 @@
+#ifndef HEAVEN_HEAVEN_HEAVEN_DB_H_
+#define HEAVEN_HEAVEN_HEAVEN_DB_H_
+
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "array/mdd.h"
+#include "array/ops.h"
+#include "array/rtree.h"
+#include "common/env.h"
+#include "common/statistics.h"
+#include "common/status.h"
+#include "heaven/cache.h"
+#include "heaven/clustering.h"
+#include "heaven/framing.h"
+#include "heaven/precomputed.h"
+#include "heaven/scheduler.h"
+#include "heaven/star.h"
+#include "storage/storage_engine.h"
+#include "tertiary/hsm_system.h"
+#include "tertiary/tape_library.h"
+
+namespace heaven {
+
+/// Which partitioner groups tiles into super-tiles on export.
+enum class PartitionerKind {
+  kStar,   // regular tilings (grid-aligned groups)
+  kEStar,  // arbitrary tilings / access-preference weighting
+};
+
+/// Configuration of a HEAVEN database instance.
+struct HeavenOptions {
+  StorageOptions storage;
+  TapeLibraryOptions library;
+  CacheOptions cache;
+  /// Disk cost model for client-visible insert/read accounting.
+  DiskProfile disk;
+
+  /// Target tile size for the default (aligned) tiling on insert.
+  uint64_t disk_tile_bytes = 1ull << 20;
+
+  /// Super-tile size; 0 selects automatic adaptation from the drive
+  /// profile and `expected_query_bytes` (see size_adaptation.h).
+  uint64_t supertile_bytes = 0;
+  uint64_t expected_query_bytes = 64ull << 20;
+
+  PartitionerKind partitioner = PartitionerKind::kStar;
+  /// Per-dimension access preferences for eSTAR (empty = uniform).
+  std::vector<double> access_preferences;
+
+  /// Intra-super-tile clustering of member tiles.
+  IntraOrder intra_order = IntraOrder::kRowMajor;
+  /// Inter-super-tile clustering (placement across/within media).
+  bool inter_clustering = true;
+
+  SchedulePolicy schedule_policy = SchedulePolicy::kMediaElevator;
+
+  /// Decoupled export through the Tertiary-storage Communication Thread.
+  bool decoupled_export = false;
+
+  /// Read-ahead of physically following super-tiles after a tape batch.
+  bool enable_prefetch = false;
+  size_t prefetch_depth = 1;
+
+  /// Serve and populate the precomputed-results catalog.
+  bool enable_precomputed = true;
+
+  /// Payload codec for super-tile containers written to tape. Shrinks the
+  /// dominant cost of the tertiary tier (transfer time) on compressible
+  /// rasters; kNone by default.
+  Compression compression = Compression::kNone;
+
+  /// When > 1, ExportObject also materializes a 1:N scaled-down overview
+  /// of the object as a disk-resident sibling named "<name>__overview" —
+  /// the browse product (vgl. EOWEB previews) that stays online while the
+  /// full-resolution data goes to tape. 1 disables.
+  int64_t overview_scale_factor = 1;
+
+  /// Automatic migration ("intelligent Datenauslagerung"): when the
+  /// disk-resident tile volume exceeds the high watermark after an insert,
+  /// whole objects are migrated to tape — oldest first — until the volume
+  /// falls below the low watermark. 0 disables the policy. Migration runs
+  /// on the TCT when decoupled_export is set, otherwise inline (but never
+  /// on the client clock: it is background work either way).
+  uint64_t migrate_high_watermark_bytes = 0;
+  uint64_t migrate_low_watermark_bytes = 0;
+};
+
+/// The HEAVEN database: a multidimensional array DBMS whose storage spans
+/// the full hierarchy — disk BLOBs through the base storage manager and a
+/// robotic tape library behind super-tile containers. Queries are answered
+/// transparently across all levels ("active archive"): the caller never
+/// states where the data lives.
+class HeavenDb {
+ public:
+  static Result<std::unique_ptr<HeavenDb>> Open(Env* env,
+                                                const std::string& dir,
+                                                const HeavenOptions& options);
+  ~HeavenDb();
+
+  HeavenDb(const HeavenDb&) = delete;
+  HeavenDb& operator=(const HeavenDb&) = delete;
+
+  // ---- Schema / ingest ------------------------------------------------
+
+  Result<CollectionId> CreateCollection(const std::string& name);
+
+  /// Removes an empty collection; FailedPrecondition if objects remain.
+  Status DropCollection(const std::string& name);
+
+  /// Inserts an object (tiled with `tile_extents`, or the default aligned
+  /// tiling when empty). Tiles land on disk; migration is a separate step.
+  Result<ObjectId> InsertObject(CollectionId collection,
+                                const std::string& name, const MddArray& data,
+                                std::vector<int64_t> tile_extents = {});
+
+  // ---- Migration (export to tertiary storage) -------------------------
+
+  /// Migrates all disk tiles of the object into super-tiles on tape.
+  /// Synchronous unless options.decoupled_export, in which case the call
+  /// enqueues the work for the TCT and returns after the handoff.
+  Status ExportObject(ObjectId object_id);
+
+  /// The pre-HEAVEN baseline: each tile individually written to tape in
+  /// insertion order with no grouping or clustering (experiment E1).
+  Status ExportObjectTileAtATime(ObjectId object_id);
+
+  /// Blocks until the TCT queue is drained.
+  Status DrainExports();
+
+  /// Copies a migrated object's tiles back to disk BLOBs (re-import).
+  Status ReimportObject(ObjectId object_id);
+
+  /// Updates the cells of `patch.domain()` (which must lie inside the
+  /// object's domain) with the values of `patch` — the thesis's
+  /// delete/update/re-import path. Affected tiles are patched in place on
+  /// disk; tiles currently on tape are re-imported to disk first (tape is
+  /// append-only, so their old super-tile extents become dead data and the
+  /// super-tile is dropped from the registry once no live tile references
+  /// it). Re-export the object afterwards to migrate the new state.
+  /// Precomputed results of the object are invalidated.
+  Status UpdateRegion(ObjectId object_id, const MddArray& patch);
+
+  /// Removes the object (catalog, disk blobs, registry, precomputed).
+  /// Tape extents become unreferenced (tape is append-only).
+  Status DeleteObject(ObjectId object_id);
+
+  /// Tape reorganisation: copies every live super-tile off `medium` onto
+  /// the emptiest other cartridges, then erases the medium — reclaiming
+  /// the dead extents that deletes/updates left behind (tape being
+  /// append-only). Returns the number of reclaimed (dead) bytes.
+  Result<uint64_t> ReclaimMedium(MediumId medium);
+
+  // ---- Queries ---------------------------------------------------------
+
+  Result<ObjectDescriptor> FindObject(const std::string& name);
+
+  /// Box (trim) query across the storage hierarchy.
+  Result<MddArray> ReadRegion(ObjectId object_id, const MdInterval& region);
+
+  /// Whole-object read.
+  Result<MddArray> ReadObject(ObjectId object_id);
+
+  /// Object-framing query: only cells inside the frame are retrieved; the
+  /// result covers the frame's bounding box with cells outside the frame
+  /// zero-filled.
+  Result<MddArray> ReadFrame(ObjectId object_id, const ObjectFrame& frame);
+
+  /// Condenser over a region, served from the precomputed catalog when
+  /// possible; computed results are added to the catalog.
+  Result<double> Aggregate(ObjectId object_id, Condenser condenser,
+                           const MdInterval& region);
+
+  /// Batch of box queries executed under one scheduling pass — the
+  /// query-scheduling experiment path (E7).
+  Result<std::vector<MddArray>> ReadRegions(
+      const std::vector<std::pair<ObjectId, MdInterval>>& queries);
+
+  // ---- Introspection ---------------------------------------------------
+
+  Statistics* stats() { return &stats_; }
+  TapeLibrary* library() { return library_.get(); }
+  SuperTileCache* cache() { return cache_.get(); }
+  StorageEngine* engine() { return engine_.get(); }
+  PrecomputedCatalog* precomputed() { return precomputed_.get(); }
+  const HeavenOptions& options() const { return options_; }
+
+  /// Simulated seconds the tape library has consumed.
+  double TapeSeconds() const { return library_->ElapsedSeconds(); }
+  /// Simulated seconds the *client* has waited (disk costs plus any
+  /// synchronous tape waits). The decoupled TCT export keeps tape time off
+  /// this clock — that is precisely its benefit.
+  double ClientSeconds() const { return client_clock_.Now(); }
+
+  /// Number of super-tiles currently registered on tertiary storage.
+  size_t RegisteredSuperTiles() const;
+
+ private:
+  HeavenDb(Env* env, std::string dir, HeavenOptions options);
+
+  Status Init();
+  Status LoadRegistry();
+  Status PersistRegistry();
+  Status PersistPrecomputed();
+
+  /// Synchronous export implementation shared by the client path and TCT.
+  Status ExportObjectSync(ObjectId object_id);
+
+  /// Enforces the migration watermarks (see HeavenOptions); called after
+  /// inserts.
+  Status RunMigrationPolicy();
+
+  /// Reads the tiles intersecting `region`, from disk or tape, returning
+  /// (descriptor, tile data) pairs. Core of every query path.
+  Status CollectTiles(ObjectId object_id, const MdInterval& region,
+                      std::vector<std::pair<TileDescriptor, Tile>>* out);
+
+  /// Descriptors of the object's tiles whose domains intersect `region`,
+  /// answered from the per-object R-tree tile index (built lazily from the
+  /// catalog, dropped when the object's tile set changes).
+  Result<std::vector<TileDescriptor>> TilesIntersecting(
+      ObjectId object_id, const MdInterval& region);
+
+  /// Drops the cached tile index of an object (tile set changed).
+  void InvalidateTileIndex(ObjectId object_id);
+
+  /// Fetches the given super-tiles from tape (scheduled), populating the
+  /// cache; returns them keyed by id.
+  Status FetchSuperTiles(
+      const std::vector<SuperTileId>& ids,
+      std::map<SuperTileId, std::shared_ptr<const SuperTile>>* out);
+
+  void MaybePrefetch(MediumId medium, uint64_t last_end_offset);
+
+  void TctWorker();
+
+  Env* env_;
+  std::string dir_;
+  HeavenOptions options_;
+  Statistics stats_;
+  SimClock client_clock_;
+
+  std::unique_ptr<StorageEngine> engine_;
+  std::unique_ptr<TapeLibrary> library_;
+  std::unique_ptr<SuperTileCache> cache_;
+  std::unique_ptr<PrecomputedCatalog> precomputed_;
+
+  /// Guards the registry, prefetch bookkeeping and export/read critical
+  /// sections shared with the TCT.
+  mutable std::recursive_mutex db_mu_;
+  std::map<SuperTileId, SuperTileMeta> registry_;
+  SuperTileId next_supertile_id_ = 1;
+  /// Per-object spatial tile index over the catalog (lazy).
+  std::map<ObjectId, std::unique_ptr<RTree>> tile_index_;
+  /// Guards against re-entrant migration while an export is in flight
+  /// (overview materialization inserts an object mid-export).
+  bool exporting_ = false;
+  std::vector<SuperTileId> prefetched_;
+
+  // TCT (Tertiary-storage Communication Thread) state.
+  std::thread tct_thread_;
+  std::mutex tct_mu_;
+  std::condition_variable tct_cv_;
+  std::deque<ObjectId> tct_queue_;
+  bool tct_stop_ = false;
+  bool tct_busy_ = false;
+  Status tct_last_error_;
+};
+
+}  // namespace heaven
+
+#endif  // HEAVEN_HEAVEN_HEAVEN_DB_H_

@@ -1,0 +1,86 @@
+#include "heaven/precomputed.h"
+
+#include <cstring>
+
+#include "common/coding.h"
+
+namespace heaven {
+
+void PrecomputedCatalog::Insert(ObjectId object_id, Condenser condenser,
+                                const MdInterval& region, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_[{object_id, static_cast<int>(condenser), region.ToString()}] =
+      value;
+}
+
+std::optional<double> PrecomputedCatalog::Lookup(ObjectId object_id,
+                                                 Condenser condenser,
+                                                 const MdInterval& region) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(
+      {object_id, static_cast<int>(condenser), region.ToString()});
+  if (it == entries_.end()) {
+    if (stats_ != nullptr) stats_->Record(Ticker::kPrecomputedMisses);
+    return std::nullopt;
+  }
+  if (stats_ != nullptr) stats_->Record(Ticker::kPrecomputedHits);
+  return it->second;
+}
+
+void PrecomputedCatalog::InvalidateObject(ObjectId object_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (std::get<0>(it->first) == object_id) {
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+size_t PrecomputedCatalog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+std::string PrecomputedCatalog::Serialize() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  PutFixed64(&out, entries_.size());
+  for (const auto& [key, value] : entries_) {
+    PutFixed64(&out, std::get<0>(key));
+    PutFixed32(&out, static_cast<uint32_t>(std::get<1>(key)));
+    PutLengthPrefixed(&out, std::get<2>(key));
+    uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(value));
+    std::memcpy(&bits, &value, sizeof(bits));
+    PutFixed64(&out, bits);
+  }
+  return out;
+}
+
+Status PrecomputedCatalog::Restore(std::string_view image) {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  if (image.empty()) return Status::Ok();
+  Decoder dec(image);
+  uint64_t count = 0;
+  HEAVEN_RETURN_IF_ERROR(dec.GetFixed64(&count));
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t object_id = 0;
+    uint32_t condenser = 0;
+    std::string region;
+    uint64_t bits = 0;
+    HEAVEN_RETURN_IF_ERROR(dec.GetFixed64(&object_id));
+    HEAVEN_RETURN_IF_ERROR(dec.GetFixed32(&condenser));
+    HEAVEN_RETURN_IF_ERROR(dec.GetLengthPrefixed(&region));
+    HEAVEN_RETURN_IF_ERROR(dec.GetFixed64(&bits));
+    double value = 0.0;
+    std::memcpy(&value, &bits, sizeof(value));
+    entries_[{object_id, static_cast<int>(condenser), std::move(region)}] =
+        value;
+  }
+  return Status::Ok();
+}
+
+}  // namespace heaven

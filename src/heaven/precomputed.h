@@ -1,0 +1,54 @@
+#ifndef HEAVEN_HEAVEN_PRECOMPUTED_H_
+#define HEAVEN_HEAVEN_PRECOMPUTED_H_
+
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <tuple>
+
+#include "array/mdd.h"
+#include "array/ops.h"
+#include "common/statistics.h"
+#include "common/status.h"
+
+namespace heaven {
+
+/// System catalog of precomputed operation results: materialized condenser
+/// (aggregation) values per (object, condenser, region). When a query's
+/// aggregation matches a catalog entry, the result is served without
+/// touching tape at all — the thesis's "dramatic" query-time reduction for
+/// repeated analytical queries over migrated data.
+class PrecomputedCatalog {
+ public:
+  explicit PrecomputedCatalog(Statistics* stats) : stats_(stats) {}
+
+  /// Records a computed result.
+  void Insert(ObjectId object_id, Condenser condenser,
+              const MdInterval& region, double value);
+
+  /// Exact-match lookup; records hit/miss tickers.
+  std::optional<double> Lookup(ObjectId object_id, Condenser condenser,
+                               const MdInterval& region);
+
+  /// Drops all entries of an object (on delete/update/re-import).
+  void InvalidateObject(ObjectId object_id);
+
+  size_t size() const;
+
+  /// Persistence via the storage catalog's opaque sections.
+  std::string Serialize() const;
+  Status Restore(std::string_view image);
+
+ private:
+  // Key: object, condenser, serialized region text (canonical form).
+  using Key = std::tuple<ObjectId, int, std::string>;
+
+  Statistics* stats_;
+  mutable std::mutex mu_;
+  std::map<Key, double> entries_;
+};
+
+}  // namespace heaven
+
+#endif  // HEAVEN_HEAVEN_PRECOMPUTED_H_

@@ -1,0 +1,37 @@
+#include "heaven/prefetch.h"
+
+#include <algorithm>
+
+namespace heaven {
+
+std::vector<SuperTileId> ChoosePrefetchTargets(
+    const std::map<SuperTileId, SuperTileMeta>& registry, MediumId medium,
+    uint64_t last_end_offset, size_t max_count,
+    const std::vector<SuperTileId>& already_cached) {
+  struct Candidate {
+    uint64_t offset;
+    SuperTileId id;
+  };
+  std::vector<Candidate> candidates;
+  for (const auto& [id, meta] : registry) {
+    if (meta.medium != medium) continue;
+    if (meta.offset < last_end_offset) continue;
+    if (std::find(already_cached.begin(), already_cached.end(), id) !=
+        already_cached.end()) {
+      continue;
+    }
+    candidates.push_back({meta.offset, id});
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.offset < b.offset;
+            });
+  std::vector<SuperTileId> targets;
+  for (const Candidate& c : candidates) {
+    if (targets.size() >= max_count) break;
+    targets.push_back(c.id);
+  }
+  return targets;
+}
+
+}  // namespace heaven

@@ -1,0 +1,29 @@
+#ifndef HEAVEN_HEAVEN_PREFETCH_H_
+#define HEAVEN_HEAVEN_PREFETCH_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "heaven/super_tile.h"
+#include "tertiary/tape_library.h"
+
+namespace heaven {
+
+/// Prefetch policy: after a batch of super-tile fetches ended on `medium`
+/// at byte `last_end_offset`, the cheapest additional reads are the
+/// super-tiles physically next on that medium (the head is already there
+/// and with clustered placement they are also the spatial neighbours, i.e.
+/// the likeliest next requests of a sweeping query pattern).
+///
+/// Returns up to `max_count` super-tile ids from `registry` that start at
+/// or after `last_end_offset` on `medium`, nearest first, skipping ids in
+/// `already_cached`.
+std::vector<SuperTileId> ChoosePrefetchTargets(
+    const std::map<SuperTileId, SuperTileMeta>& registry, MediumId medium,
+    uint64_t last_end_offset, size_t max_count,
+    const std::vector<SuperTileId>& already_cached);
+
+}  // namespace heaven
+
+#endif  // HEAVEN_HEAVEN_PREFETCH_H_

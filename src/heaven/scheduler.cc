@@ -1,0 +1,66 @@
+#include "heaven/scheduler.h"
+
+#include <algorithm>
+#include <map>
+
+namespace heaven {
+
+std::string SchedulePolicyName(SchedulePolicy policy) {
+  switch (policy) {
+    case SchedulePolicy::kFifo:
+      return "FIFO";
+    case SchedulePolicy::kMediaElevator:
+      return "media-elevator";
+  }
+  return "unknown";
+}
+
+std::vector<SuperTileRequest> ScheduleRequests(
+    std::vector<SuperTileRequest> requests, const TapeLibrary& library,
+    SchedulePolicy policy) {
+  if (policy == SchedulePolicy::kFifo || requests.size() <= 1) {
+    return requests;
+  }
+
+  // Bucket by medium, preserving arrival order inside buckets for now.
+  std::map<MediumId, std::vector<SuperTileRequest>> by_medium;
+  std::vector<MediumId> first_seen;  // media in first-arrival order
+  for (SuperTileRequest& request : requests) {
+    auto [it, inserted] = by_medium.try_emplace(request.medium);
+    if (inserted) first_seen.push_back(request.medium);
+    it->second.push_back(std::move(request));
+  }
+
+  // Media already in drives go first (zero exchange cost), then the rest in
+  // first-arrival order.
+  std::stable_sort(first_seen.begin(), first_seen.end(),
+                   [&library](MediumId a, MediumId b) {
+                     return library.IsLoaded(a) && !library.IsLoaded(b);
+                   });
+
+  std::vector<SuperTileRequest> scheduled;
+  scheduled.reserve(requests.size());
+  for (MediumId medium : first_seen) {
+    std::vector<SuperTileRequest>& bucket = by_medium[medium];
+    // Tape elevator: ascending offsets — the head only moves forward.
+    std::stable_sort(bucket.begin(), bucket.end(),
+                     [](const SuperTileRequest& a, const SuperTileRequest& b) {
+                       return a.offset < b.offset;
+                     });
+    for (SuperTileRequest& request : bucket) {
+      scheduled.push_back(std::move(request));
+    }
+  }
+  return scheduled;
+}
+
+uint32_t CountMediumSwitches(const std::vector<SuperTileRequest>& requests) {
+  if (requests.empty()) return 0;
+  uint32_t switches = 0;
+  for (size_t i = 1; i < requests.size(); ++i) {
+    if (requests[i].medium != requests[i - 1].medium) ++switches;
+  }
+  return switches;
+}
+
+}  // namespace heaven

@@ -1,0 +1,36 @@
+#include "heaven/size_adaptation.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace heaven {
+
+uint64_t OptimalSuperTileBytes(const TapeDriveProfile& profile,
+                               uint64_t expected_query_bytes,
+                               uint64_t min_bytes) {
+  const double t_pos = profile.MeanAccessSeconds();
+  const double rate = profile.transfer_bytes_per_s;
+  const double optimum =
+      std::sqrt(static_cast<double>(expected_query_bytes) * t_pos * rate);
+  const uint64_t max_bytes = profile.capacity_bytes / 8;
+  const uint64_t clamped = static_cast<uint64_t>(
+      std::min(static_cast<double>(max_bytes),
+               std::max(static_cast<double>(min_bytes), optimum)));
+  return clamped;
+}
+
+double PredictedRetrievalSeconds(const TapeDriveProfile& profile,
+                                 uint64_t query_bytes,
+                                 uint64_t supertile_bytes) {
+  const double t_pos = profile.MeanAccessSeconds();
+  const double rate = profile.transfer_bytes_per_s;
+  const double positionings =
+      static_cast<double>(query_bytes) / static_cast<double>(supertile_bytes) +
+      1.0;
+  const double transfer =
+      (static_cast<double>(query_bytes) + static_cast<double>(supertile_bytes)) /
+      rate;
+  return positionings * t_pos + transfer;
+}
+
+}  // namespace heaven

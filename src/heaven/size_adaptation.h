@@ -1,0 +1,42 @@
+#ifndef HEAVEN_HEAVEN_SIZE_ADAPTATION_H_
+#define HEAVEN_HEAVEN_SIZE_ADAPTATION_H_
+
+#include <cstdint>
+
+#include "tertiary/drive_profile.h"
+
+namespace heaven {
+
+/// Automatic super-tile size adaptation: derives the super-tile size from
+/// the tape drive's cost parameters and the expected query volume.
+///
+/// Cost model for answering a query needing Q bytes with super-tiles of
+/// size S (all on one medium):
+///
+///   time(S) ≈ (Q/S + 1) · t_pos  +  (Q + S) / rate
+///
+/// — Q/S positionings plus one, and the transfer of the needed bytes plus
+/// one super-tile of boundary overfetch. Minimizing over S gives
+///
+///   S* = sqrt(Q · t_pos · rate)
+///
+/// where t_pos is the drive's mean positioning time and rate its transfer
+/// rate: slower positioning or faster transfer both push toward larger
+/// super-tiles, exactly the adaptation the thesis describes.
+///
+/// The result is clamped to [min_bytes, capacity/8] so a super-tile never
+/// dominates a cartridge.
+uint64_t OptimalSuperTileBytes(const TapeDriveProfile& profile,
+                               uint64_t expected_query_bytes,
+                               uint64_t min_bytes = 1ull << 20);
+
+/// The model's predicted retrieval time for a query of Q bytes when using
+/// super-tiles of size S — exposed so experiments can overlay the analytic
+/// curve on measured sweeps (bench_supertile_size).
+double PredictedRetrievalSeconds(const TapeDriveProfile& profile,
+                                 uint64_t query_bytes,
+                                 uint64_t supertile_bytes);
+
+}  // namespace heaven
+
+#endif  // HEAVEN_HEAVEN_SIZE_ADAPTATION_H_

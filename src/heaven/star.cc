@@ -1,0 +1,176 @@
+#include "heaven/star.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numeric>
+
+#include "common/logging.h"
+#include "heaven/zorder.h"
+
+namespace heaven {
+
+Result<std::vector<SuperTileGroup>> StarPartition(
+    const std::vector<TileDescriptor>& tiles, const MdInterval& object_domain,
+    const std::vector<int64_t>& tile_extents,
+    uint64_t target_supertile_bytes) {
+  if (tiles.empty()) return std::vector<SuperTileGroup>{};
+  const size_t dims = object_domain.dims();
+  if (tile_extents.size() != dims) {
+    return Status::InvalidArgument("tile extents dimensionality mismatch");
+  }
+
+  // Grid dimensions (tiles per axis).
+  std::vector<int64_t> grid(dims);
+  for (size_t d = 0; d < dims; ++d) {
+    grid[d] = (object_domain.Extent(d) + tile_extents[d] - 1) / tile_extents[d];
+  }
+
+  // Map grid coordinates -> tile descriptor.
+  std::map<std::vector<int64_t>, const TileDescriptor*> by_grid;
+  uint64_t max_tile_bytes = 0;
+  for (const TileDescriptor& tile : tiles) {
+    std::vector<int64_t> coord(dims);
+    for (size_t d = 0; d < dims; ++d) {
+      const int64_t shifted = tile.domain.lo(d) - object_domain.lo(d);
+      if (shifted % tile_extents[d] != 0) {
+        return Status::InvalidArgument("tile " + tile.domain.ToString() +
+                                       " not aligned to the tiling grid");
+      }
+      coord[d] = shifted / tile_extents[d];
+      if (coord[d] < 0 || coord[d] >= grid[d]) {
+        return Status::InvalidArgument("tile " + tile.domain.ToString() +
+                                       " outside the tiling grid");
+      }
+    }
+    by_grid[coord] = &tile;
+    max_tile_bytes = std::max(max_tile_bytes, tile.size_bytes);
+  }
+  if (by_grid.size() != tiles.size()) {
+    return Status::InvalidArgument("duplicate tiles on the tiling grid");
+  }
+  if (max_tile_bytes == 0) {
+    return Status::InvalidArgument("tiles with zero size");
+  }
+
+  // Choose the near-cubic group shape: grow each axis in turn while the
+  // worst-case group payload stays within budget.
+  std::vector<int64_t> shape(dims, 1);
+  bool grew = true;
+  while (grew) {
+    grew = false;
+    for (size_t d = 0; d < dims; ++d) {
+      if (shape[d] >= grid[d]) continue;
+      uint64_t group_tiles = 1;
+      for (size_t e = 0; e < dims; ++e) {
+        group_tiles *= static_cast<uint64_t>(e == d ? shape[e] + 1 : shape[e]);
+      }
+      if (group_tiles * max_tile_bytes <= target_supertile_bytes) {
+        ++shape[d];
+        grew = true;
+      }
+    }
+  }
+
+  // Cut the grid into groups of `shape`.
+  std::vector<int64_t> group_counts(dims);
+  for (size_t d = 0; d < dims; ++d) {
+    group_counts[d] = (grid[d] + shape[d] - 1) / shape[d];
+  }
+  MdInterval group_grid(
+      MdPoint(std::vector<int64_t>(dims, 0)), MdPoint([&] {
+        std::vector<int64_t> hi(dims);
+        for (size_t d = 0; d < dims; ++d) hi[d] = group_counts[d] - 1;
+        return hi;
+      }()));
+
+  std::vector<SuperTileGroup> groups;
+  for (MdPointIterator git(group_grid); !git.Done(); git.Next()) {
+    // Grid cell range of this group.
+    std::vector<int64_t> lo(dims);
+    std::vector<int64_t> hi(dims);
+    for (size_t d = 0; d < dims; ++d) {
+      lo[d] = git.point()[d] * shape[d];
+      hi[d] = std::min(lo[d] + shape[d] - 1, grid[d] - 1);
+    }
+    MdInterval cell_range{MdPoint(std::move(lo)), MdPoint(std::move(hi))};
+    SuperTileGroup group;
+    bool first = true;
+    for (MdPointIterator cit(cell_range); !cit.Done(); cit.Next()) {
+      auto it = by_grid.find(cit.point().coords());
+      if (it == by_grid.end()) continue;  // partially exported objects
+      const TileDescriptor* tile = it->second;
+      group.tiles.push_back(tile->tile_id);
+      group.payload_bytes += tile->size_bytes;
+      group.hull = first ? tile->domain : group.hull.Hull(tile->domain);
+      first = false;
+    }
+    if (!group.tiles.empty()) groups.push_back(std::move(group));
+  }
+  return groups;
+}
+
+Result<std::vector<SuperTileGroup>> EStarPartition(
+    const std::vector<TileDescriptor>& tiles, uint64_t target_supertile_bytes,
+    const std::vector<double>& access_preferences) {
+  if (tiles.empty()) return std::vector<SuperTileGroup>{};
+  const size_t dims = tiles[0].domain.dims();
+  if (!access_preferences.empty() && access_preferences.size() != dims) {
+    return Status::InvalidArgument("preference dimensionality mismatch");
+  }
+
+  // Key space origin: component-wise minimum of the lower corners.
+  MdPoint origin = tiles[0].domain.lo();
+  for (const TileDescriptor& tile : tiles) {
+    for (size_t d = 0; d < dims; ++d) {
+      origin[d] = std::min(origin[d], tile.domain.lo(d));
+    }
+  }
+
+  // Preference weighting: an axis with preference w is *compressed* by w in
+  // key space, so tiles differing along a frequently-scanned axis map to
+  // nearby keys and are packed into the same super-tile.
+  struct Keyed {
+    uint64_t key;
+    const TileDescriptor* tile;
+  };
+  std::vector<Keyed> keyed;
+  keyed.reserve(tiles.size());
+  for (const TileDescriptor& tile : tiles) {
+    MdPoint scaled(dims);
+    for (size_t d = 0; d < dims; ++d) {
+      const double pref =
+          access_preferences.empty() ? 1.0 : access_preferences[d];
+      HEAVEN_CHECK(pref > 0.0) << "preference must be positive";
+      scaled[d] = static_cast<int64_t>(
+          static_cast<double>(tile.domain.lo(d) - origin[d]) / pref);
+    }
+    keyed.push_back(
+        {ZOrderKey(scaled, MdPoint(std::vector<int64_t>(dims, 0))), &tile});
+  }
+  std::stable_sort(keyed.begin(), keyed.end(),
+                   [](const Keyed& a, const Keyed& b) {
+                     return a.key < b.key;
+                   });
+
+  // Greedy packing along the curve.
+  std::vector<SuperTileGroup> groups;
+  SuperTileGroup current;
+  bool first = true;
+  for (const Keyed& k : keyed) {
+    const uint64_t tile_bytes = k.tile->size_bytes;
+    if (!first && current.payload_bytes + tile_bytes > target_supertile_bytes) {
+      groups.push_back(std::move(current));
+      current = SuperTileGroup();
+      first = true;
+    }
+    current.tiles.push_back(k.tile->tile_id);
+    current.payload_bytes += tile_bytes;
+    current.hull = first ? k.tile->domain : current.hull.Hull(k.tile->domain);
+    first = false;
+  }
+  if (!current.tiles.empty()) groups.push_back(std::move(current));
+  return groups;
+}
+
+}  // namespace heaven

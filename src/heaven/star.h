@@ -1,0 +1,48 @@
+#ifndef HEAVEN_HEAVEN_STAR_H_
+#define HEAVEN_HEAVEN_STAR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "array/mdd.h"
+#include "common/status.h"
+
+namespace heaven {
+
+/// One planned super-tile: the member tiles (in intra-super-tile cluster
+/// order), their bounding hull and payload size.
+struct SuperTileGroup {
+  std::vector<TileId> tiles;
+  MdInterval hull;
+  uint64_t payload_bytes = 0;
+};
+
+/// STAR — the Super-Tile Algorithm for *regularly tiled* objects.
+///
+/// The object's tiles form a grid; STAR chooses a group shape (tiles per
+/// super-tile along each dimension) that is as close to cubic as possible
+/// while the group payload stays within `target_supertile_bytes`, then cuts
+/// the grid into groups of that shape. Near-cubic groups minimize the
+/// surface-to-volume ratio, i.e. the expected overfetch of box queries.
+/// Tiles inside a group are emitted in row-major order of their grid
+/// position (the default intra-super-tile clustering).
+Result<std::vector<SuperTileGroup>> StarPartition(
+    const std::vector<TileDescriptor>& tiles, const MdInterval& object_domain,
+    const std::vector<int64_t>& tile_extents,
+    uint64_t target_supertile_bytes);
+
+/// eSTAR — the extended Super-Tile Algorithm for *arbitrary* tilings, with
+/// optional per-dimension access preferences.
+///
+/// Tiles are ordered along a (preference-weighted) Z-order space-filling
+/// curve of their lower corners and packed greedily into groups up to the
+/// byte budget. Higher preference along a dimension stretches that axis in
+/// key space, so tiles that a typical access pattern reads together land in
+/// the same super-tile.
+Result<std::vector<SuperTileGroup>> EStarPartition(
+    const std::vector<TileDescriptor>& tiles, uint64_t target_supertile_bytes,
+    const std::vector<double>& access_preferences = {});
+
+}  // namespace heaven
+
+#endif  // HEAVEN_HEAVEN_STAR_H_

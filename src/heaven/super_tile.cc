@@ -1,0 +1,164 @@
+#include "heaven/super_tile.h"
+
+#include "common/coding.h"
+#include "common/logging.h"
+#include "storage/serialize.h"
+
+namespace heaven {
+
+namespace {
+constexpr uint64_t kSuperTileMagic = 0x48454156454e5354ULL;  // "HEAVENST"
+}  // namespace
+
+Status SuperTile::AddTile(TileId tile_id, Tile tile) {
+  if (tile.cell_type() != cell_type_) {
+    return Status::InvalidArgument("tile cell type mismatch in super-tile");
+  }
+  tile_ids_.push_back(tile_id);
+  tiles_.push_back(std::move(tile));
+  return Status::Ok();
+}
+
+Result<const Tile*> SuperTile::FindTile(TileId tile_id) const {
+  for (size_t i = 0; i < tile_ids_.size(); ++i) {
+    if (tile_ids_[i] == tile_id) return &tiles_[i];
+  }
+  return Status::NotFound("tile " + std::to_string(tile_id) +
+                          " not in super-tile " + std::to_string(id_));
+}
+
+Result<MdInterval> SuperTile::Hull() const {
+  if (tiles_.empty()) {
+    return Status::FailedPrecondition("empty super-tile has no hull");
+  }
+  MdInterval hull = tiles_[0].domain();
+  for (size_t i = 1; i < tiles_.size(); ++i) {
+    hull = hull.Hull(tiles_[i].domain());
+  }
+  return hull;
+}
+
+uint64_t SuperTile::PayloadBytes() const {
+  uint64_t total = 0;
+  for (const Tile& tile : tiles_) total += tile.size_bytes();
+  return total;
+}
+
+std::string SuperTile::Serialize(Compression codec) const {
+  std::string body;
+  PutFixed64(&body, id_);
+  PutFixed64(&body, object_id_);
+  body.push_back(static_cast<char>(cell_type_));
+  PutFixed32(&body, static_cast<uint32_t>(tiles_.size()));
+  for (size_t i = 0; i < tiles_.size(); ++i) {
+    PutFixed64(&body, tile_ids_[i]);
+    EncodeInterval(&body, tiles_[i].domain());
+    body.push_back(static_cast<char>(codec));
+    PutLengthPrefixed(&body,
+                      Compress(codec, tiles_[i].data(), tiles_[i].cell_size()));
+  }
+  std::string out;
+  PutFixed64(&out, kSuperTileMagic);
+  PutFixed32(&out, Crc32c(body));
+  PutFixed32(&out, static_cast<uint32_t>(body.size()));
+  out.append(body);
+  return out;
+}
+
+Result<SuperTile> SuperTile::Deserialize(std::string_view data) {
+  Decoder dec(data);
+  uint64_t magic = 0;
+  uint32_t crc = 0;
+  uint32_t body_size = 0;
+  HEAVEN_RETURN_IF_ERROR(dec.GetFixed64(&magic));
+  if (magic != kSuperTileMagic) {
+    return Status::Corruption("bad super-tile magic");
+  }
+  HEAVEN_RETURN_IF_ERROR(dec.GetFixed32(&crc));
+  HEAVEN_RETURN_IF_ERROR(dec.GetFixed32(&body_size));
+  std::string body;
+  HEAVEN_RETURN_IF_ERROR(dec.GetRaw(body_size, &body));
+  if (Crc32c(body) != crc) {
+    return Status::Corruption("super-tile checksum mismatch");
+  }
+
+  Decoder body_dec(body);
+  uint64_t id = 0;
+  uint64_t object_id = 0;
+  HEAVEN_RETURN_IF_ERROR(body_dec.GetFixed64(&id));
+  HEAVEN_RETURN_IF_ERROR(body_dec.GetFixed64(&object_id));
+  std::string type_byte;
+  HEAVEN_RETURN_IF_ERROR(body_dec.GetRaw(1, &type_byte));
+  const CellType cell_type =
+      static_cast<CellType>(static_cast<uint8_t>(type_byte[0]));
+  SuperTile st(id, object_id, cell_type);
+  uint32_t tile_count = 0;
+  HEAVEN_RETURN_IF_ERROR(body_dec.GetFixed32(&tile_count));
+  for (uint32_t i = 0; i < tile_count; ++i) {
+    uint64_t tile_id = 0;
+    MdInterval domain;
+    std::string compressed;
+    HEAVEN_RETURN_IF_ERROR(body_dec.GetFixed64(&tile_id));
+    HEAVEN_RETURN_IF_ERROR(DecodeInterval(&body_dec, &domain));
+    std::string codec_byte;
+    HEAVEN_RETURN_IF_ERROR(body_dec.GetRaw(1, &codec_byte));
+    const Compression codec =
+        static_cast<Compression>(static_cast<uint8_t>(codec_byte[0]));
+    HEAVEN_RETURN_IF_ERROR(body_dec.GetLengthPrefixed(&compressed));
+    HEAVEN_ASSIGN_OR_RETURN(
+        std::string payload,
+        Decompress(codec, compressed,
+                   domain.CellCount() * CellTypeSize(cell_type),
+                   CellTypeSize(cell_type)));
+    HEAVEN_RETURN_IF_ERROR(
+        st.AddTile(tile_id, Tile(domain, cell_type, std::move(payload))));
+  }
+  return st;
+}
+
+std::string SerializeSuperTileMetas(const std::vector<SuperTileMeta>& metas) {
+  std::string out;
+  PutFixed64(&out, metas.size());
+  for (const SuperTileMeta& meta : metas) {
+    PutFixed64(&out, meta.id);
+    PutFixed64(&out, meta.object_id);
+    PutFixed32(&out, meta.medium);
+    PutFixed64(&out, meta.offset);
+    PutFixed64(&out, meta.size_bytes);
+    EncodeInterval(&out, meta.hull);
+    PutFixed32(&out, static_cast<uint32_t>(meta.tile_ids.size()));
+    for (TileId tile_id : meta.tile_ids) PutFixed64(&out, tile_id);
+  }
+  return out;
+}
+
+Result<std::vector<SuperTileMeta>> DeserializeSuperTileMetas(
+    std::string_view image) {
+  std::vector<SuperTileMeta> metas;
+  if (image.empty()) return metas;
+  Decoder dec(image);
+  uint64_t count = 0;
+  HEAVEN_RETURN_IF_ERROR(dec.GetFixed64(&count));
+  metas.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    SuperTileMeta meta;
+    HEAVEN_RETURN_IF_ERROR(dec.GetFixed64(&meta.id));
+    HEAVEN_RETURN_IF_ERROR(dec.GetFixed64(&meta.object_id));
+    HEAVEN_RETURN_IF_ERROR(dec.GetFixed32(&meta.medium));
+    HEAVEN_RETURN_IF_ERROR(dec.GetFixed64(&meta.offset));
+    HEAVEN_RETURN_IF_ERROR(dec.GetFixed64(&meta.size_bytes));
+    HEAVEN_RETURN_IF_ERROR(DecodeInterval(&dec, &meta.hull));
+    uint32_t tile_count = 0;
+    HEAVEN_RETURN_IF_ERROR(dec.GetFixed32(&tile_count));
+    meta.tile_ids.reserve(tile_count);
+    for (uint32_t t = 0; t < tile_count; ++t) {
+      uint64_t tile_id = 0;
+      HEAVEN_RETURN_IF_ERROR(dec.GetFixed64(&tile_id));
+      meta.tile_ids.push_back(tile_id);
+    }
+    metas.push_back(std::move(meta));
+  }
+  return metas;
+}
+
+}  // namespace heaven

@@ -1,0 +1,23 @@
+#ifndef HEAVEN_HEAVEN_ZORDER_H_
+#define HEAVEN_HEAVEN_ZORDER_H_
+
+#include <cstdint>
+
+#include "array/md_point.h"
+
+namespace heaven {
+
+/// Z-order (Morton) key of a point: interleaves the low `bits_per_dim`
+/// bits of each (non-negative, origin-shifted) coordinate. Used as the
+/// spatial ordering for tile clustering inside and across super-tiles —
+/// points close in space get close keys, so writing in key order keeps
+/// spatially adjacent data adjacent on tape.
+///
+/// `origin` shifts coordinates so negative domain corners still map to
+/// non-negative values; coordinates are clamped to `bits_per_dim` bits.
+uint64_t ZOrderKey(const MdPoint& p, const MdPoint& origin,
+                   int bits_per_dim = 16);
+
+}  // namespace heaven
+
+#endif  // HEAVEN_HEAVEN_ZORDER_H_

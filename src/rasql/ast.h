@@ -1,0 +1,72 @@
+#ifndef HEAVEN_RASQL_AST_H_
+#define HEAVEN_RASQL_AST_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "array/md_interval.h"
+#include "array/ops.h"
+
+namespace heaven::rasql {
+
+/// One axis of a subscript `expr[a:b, 5, *:*]`:
+///  - range [lo, hi] (trim),
+///  - a single coordinate (slice, reduces dimensionality),
+///  - wildcard `*:*` (the full extent of that dimension).
+struct SubscriptAxis {
+  enum class Kind { kRange, kSlice, kWildcard } kind = Kind::kWildcard;
+  int64_t lo = 0;
+  int64_t hi = 0;  // == lo for kSlice
+};
+
+enum class ExprKind {
+  kObjectRef,   // bare identifier — a stored MDD object
+  kNumber,      // scalar literal
+  kSubscript,   // child[axes...]
+  kBinary,      // child op child (induced / scalar arithmetic)
+  kCondense,    // add_cells(child), avg_cells(child), ...
+  kFrame,       // frame(child, [box], [box], ...) — the framing extension
+  kScale,       // scale(child, factor)
+  kCompare,     // child cmp rhs — induced comparison producing a 0/1 mask
+  kQuantifier,  // some_cells(child) / all_cells(child)
+};
+
+struct Expr {
+  ExprKind kind = ExprKind::kNumber;
+
+  // kObjectRef
+  std::string object_name;
+  // kNumber
+  double number = 0.0;
+  // kSubscript
+  std::vector<SubscriptAxis> axes;
+  // kBinary
+  InducedOp op = InducedOp::kAdd;
+  // kCompare
+  CompareOp cmp = CompareOp::kLt;
+  // kQuantifier: true = all_cells, false = some_cells
+  bool universal = false;
+  // kCondense
+  Condenser condenser = Condenser::kSum;
+  // kFrame
+  std::vector<MdInterval> frame_boxes;
+  // kScale
+  int64_t scale_factor = 1;
+
+  std::unique_ptr<Expr> child;   // unary kinds / binary lhs
+  std::unique_ptr<Expr> rhs;     // binary rhs
+};
+
+/// A parsed query: `SELECT <expr> FROM <collection>`. The FROM clause names
+/// the collection the object references resolve against.
+struct Query {
+  std::unique_ptr<Expr> select;
+  std::string from;
+};
+
+}  // namespace heaven::rasql
+
+#endif  // HEAVEN_RASQL_AST_H_

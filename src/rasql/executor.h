@@ -1,0 +1,39 @@
+#ifndef HEAVEN_RASQL_EXECUTOR_H_
+#define HEAVEN_RASQL_EXECUTOR_H_
+
+#include <string>
+#include <variant>
+
+#include "array/mdd.h"
+#include "common/status.h"
+#include "heaven/heaven_db.h"
+#include "rasql/ast.h"
+
+namespace heaven::rasql {
+
+/// Result of a query: either a scalar (condenser queries) or an array.
+struct QueryResult {
+  std::variant<double, MddArray> value;
+
+  bool is_scalar() const { return value.index() == 0; }
+  double scalar() const { return std::get<double>(value); }
+  const MddArray& array() const { return std::get<MddArray>(value); }
+
+  std::string ToString() const;
+};
+
+/// Executes a parsed query against a HEAVEN database.
+///
+/// Access pushdown: subscripts directly over object references become
+/// ReadRegion calls (only the needed super-tiles move), condensers directly
+/// over (trimmed) object references go through Aggregate (and thus the
+/// precomputed-results catalog), and frame() maps to ReadFrame. Everything
+/// else is evaluated on materialized arrays.
+Result<QueryResult> Execute(HeavenDb* db, const Query& query);
+
+/// Parses and executes in one step.
+Result<QueryResult> ExecuteString(HeavenDb* db, const std::string& text);
+
+}  // namespace heaven::rasql
+
+#endif  // HEAVEN_RASQL_EXECUTOR_H_

@@ -1,0 +1,138 @@
+#include "rasql/lexer.h"
+
+#include <cctype>
+
+namespace heaven::rasql {
+
+namespace {
+
+std::string ToLower(std::string_view text) {
+  std::string lower;
+  lower.reserve(text.size());
+  for (char c : text) {
+    lower.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  return lower;
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(const std::string& query) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  while (i < query.size()) {
+    const char c = query[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    Token token;
+    token.position = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < query.size() &&
+             (std::isalnum(static_cast<unsigned char>(query[i])) ||
+              query[i] == '_')) {
+        ++i;
+      }
+      token.text = query.substr(start, i - start);
+      const std::string lower = ToLower(token.text);
+      if (lower == "select") {
+        token.kind = TokenKind::kSelect;
+      } else if (lower == "from") {
+        token.kind = TokenKind::kFrom;
+      } else {
+        token.kind = TokenKind::kIdent;
+      }
+      tokens.push_back(std::move(token));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = i;
+      bool has_dot = false;
+      while (i < query.size() &&
+             (std::isdigit(static_cast<unsigned char>(query[i])) ||
+              (!has_dot && query[i] == '.'))) {
+        if (query[i] == '.') has_dot = true;
+        ++i;
+      }
+      token.kind = TokenKind::kNumber;
+      token.text = query.substr(start, i - start);
+      token.number = std::stod(token.text);
+      tokens.push_back(std::move(token));
+      continue;
+    }
+    if (c == '<' || c == '>' || c == '=' || c == '!') {
+      if (c == '=') {
+        token.kind = TokenKind::kEq;
+        token.text = "=";
+        ++i;
+      } else if (i + 1 < query.size() && query[i + 1] == '=') {
+        token.kind = c == '<'   ? TokenKind::kLe
+                     : c == '>' ? TokenKind::kGe
+                                : TokenKind::kNe;
+        token.text = query.substr(i, 2);
+        i += 2;
+      } else if (c == '<') {
+        token.kind = TokenKind::kLt;
+        token.text = "<";
+        ++i;
+      } else if (c == '>') {
+        token.kind = TokenKind::kGt;
+        token.text = ">";
+        ++i;
+      } else {
+        return Status::InvalidArgument("'!' must be followed by '=' at offset " +
+                                       std::to_string(i));
+      }
+      tokens.push_back(std::move(token));
+      continue;
+    }
+    switch (c) {
+      case '[':
+        token.kind = TokenKind::kLBracket;
+        break;
+      case ']':
+        token.kind = TokenKind::kRBracket;
+        break;
+      case '(':
+        token.kind = TokenKind::kLParen;
+        break;
+      case ')':
+        token.kind = TokenKind::kRParen;
+        break;
+      case ':':
+        token.kind = TokenKind::kColon;
+        break;
+      case ',':
+        token.kind = TokenKind::kComma;
+        break;
+      case '+':
+        token.kind = TokenKind::kPlus;
+        break;
+      case '-':
+        token.kind = TokenKind::kMinus;
+        break;
+      case '*':
+        token.kind = TokenKind::kStar;
+        break;
+      case '/':
+        token.kind = TokenKind::kSlash;
+        break;
+      default:
+        return Status::InvalidArgument(
+            "unexpected character '" + std::string(1, c) + "' at offset " +
+            std::to_string(i));
+    }
+    token.text = std::string(1, c);
+    tokens.push_back(std::move(token));
+    ++i;
+  }
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.position = query.size();
+  tokens.push_back(end);
+  return tokens;
+}
+
+}  // namespace heaven::rasql

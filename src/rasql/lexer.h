@@ -1,0 +1,47 @@
+#ifndef HEAVEN_RASQL_LEXER_H_
+#define HEAVEN_RASQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace heaven::rasql {
+
+enum class TokenKind {
+  kIdent,     // object / collection / function names
+  kNumber,    // integer or floating literal
+  kSelect,    // SELECT keyword
+  kFrom,      // FROM keyword
+  kLBracket,  // [
+  kRBracket,  // ]
+  kLParen,    // (
+  kRParen,    // )
+  kColon,     // :
+  kComma,     // ,
+  kPlus,      // +
+  kMinus,     // -
+  kStar,      // * (multiply or wildcard, disambiguated by the parser)
+  kSlash,     // /
+  kLt,        // <
+  kLe,        // <=
+  kGt,        // >
+  kGe,        // >=
+  kEq,        // =
+  kNe,        // !=
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;
+  double number = 0.0;
+  size_t position = 0;  // byte offset in the query, for error messages
+};
+
+/// Tokenizes a query string. Keywords are case-insensitive.
+Result<std::vector<Token>> Tokenize(const std::string& query);
+
+}  // namespace heaven::rasql
+
+#endif  // HEAVEN_RASQL_LEXER_H_

@@ -1,0 +1,291 @@
+#include "rasql/parser.h"
+
+#include <cmath>
+
+namespace heaven::rasql {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Query> ParseQuery() {
+    HEAVEN_RETURN_IF_ERROR(Expect(TokenKind::kSelect, "SELECT"));
+    Query query;
+    HEAVEN_ASSIGN_OR_RETURN(query.select, ParseComparison());
+    HEAVEN_RETURN_IF_ERROR(Expect(TokenKind::kFrom, "FROM"));
+    if (Peek().kind != TokenKind::kIdent) {
+      return ErrorHere("collection name after FROM");
+    }
+    query.from = Next().text;
+    HEAVEN_RETURN_IF_ERROR(Expect(TokenKind::kEnd, "end of query"));
+    return query;
+  }
+
+  Result<std::unique_ptr<Expr>> ParseExprOnly() {
+    HEAVEN_ASSIGN_OR_RETURN(std::unique_ptr<Expr> expr, ParseComparison());
+    HEAVEN_RETURN_IF_ERROR(Expect(TokenKind::kEnd, "end of expression"));
+    return expr;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    const size_t i = std::min(pos_ + ahead, tokens_.size() - 1);
+    return tokens_[i];
+  }
+  const Token& Next() { return tokens_[std::min(pos_++, tokens_.size() - 1)]; }
+  bool Accept(TokenKind kind) {
+    if (Peek().kind == kind) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  Status Expect(TokenKind kind, const std::string& what) {
+    if (!Accept(kind)) return ErrorHere(what);
+    return Status::Ok();
+  }
+  Status ErrorHere(const std::string& expected) const {
+    return Status::InvalidArgument(
+        "expected " + expected + " at offset " +
+        std::to_string(Peek().position) +
+        (Peek().text.empty() ? "" : " (got '" + Peek().text + "')"));
+  }
+
+  Result<std::unique_ptr<Expr>> ParseComparison() {
+    HEAVEN_ASSIGN_OR_RETURN(std::unique_ptr<Expr> lhs, ParseExpr());
+    CompareOp cmp;
+    switch (Peek().kind) {
+      case TokenKind::kLt:
+        cmp = CompareOp::kLt;
+        break;
+      case TokenKind::kLe:
+        cmp = CompareOp::kLe;
+        break;
+      case TokenKind::kGt:
+        cmp = CompareOp::kGt;
+        break;
+      case TokenKind::kGe:
+        cmp = CompareOp::kGe;
+        break;
+      case TokenKind::kEq:
+        cmp = CompareOp::kEq;
+        break;
+      case TokenKind::kNe:
+        cmp = CompareOp::kNe;
+        break;
+      default:
+        return lhs;
+    }
+    Next();
+    HEAVEN_ASSIGN_OR_RETURN(std::unique_ptr<Expr> rhs, ParseExpr());
+    auto node = std::make_unique<Expr>();
+    node->kind = ExprKind::kCompare;
+    node->cmp = cmp;
+    node->child = std::move(lhs);
+    node->rhs = std::move(rhs);
+    return node;
+  }
+
+  Result<std::unique_ptr<Expr>> ParseExpr() {
+    HEAVEN_ASSIGN_OR_RETURN(std::unique_ptr<Expr> lhs, ParseTerm());
+    while (Peek().kind == TokenKind::kPlus ||
+           Peek().kind == TokenKind::kMinus) {
+      const InducedOp op = Next().kind == TokenKind::kPlus ? InducedOp::kAdd
+                                                           : InducedOp::kSub;
+      HEAVEN_ASSIGN_OR_RETURN(std::unique_ptr<Expr> rhs, ParseTerm());
+      auto node = std::make_unique<Expr>();
+      node->kind = ExprKind::kBinary;
+      node->op = op;
+      node->child = std::move(lhs);
+      node->rhs = std::move(rhs);
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  Result<std::unique_ptr<Expr>> ParseTerm() {
+    HEAVEN_ASSIGN_OR_RETURN(std::unique_ptr<Expr> lhs, ParseFactor());
+    while (Peek().kind == TokenKind::kStar ||
+           Peek().kind == TokenKind::kSlash) {
+      const InducedOp op = Next().kind == TokenKind::kStar ? InducedOp::kMul
+                                                           : InducedOp::kDiv;
+      HEAVEN_ASSIGN_OR_RETURN(std::unique_ptr<Expr> rhs, ParseFactor());
+      auto node = std::make_unique<Expr>();
+      node->kind = ExprKind::kBinary;
+      node->op = op;
+      node->child = std::move(lhs);
+      node->rhs = std::move(rhs);
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  Result<std::unique_ptr<Expr>> ParseFactor() {
+    HEAVEN_ASSIGN_OR_RETURN(std::unique_ptr<Expr> expr, ParsePrimary());
+    while (Peek().kind == TokenKind::kLBracket) {
+      HEAVEN_ASSIGN_OR_RETURN(std::vector<SubscriptAxis> axes,
+                              ParseSubscript());
+      auto node = std::make_unique<Expr>();
+      node->kind = ExprKind::kSubscript;
+      node->axes = std::move(axes);
+      node->child = std::move(expr);
+      expr = std::move(node);
+    }
+    return expr;
+  }
+
+  Result<int64_t> ParseSignedInt() {
+    bool negative = Accept(TokenKind::kMinus);
+    if (Peek().kind != TokenKind::kNumber) {
+      return Status::InvalidArgument("expected integer at offset " +
+                                     std::to_string(Peek().position));
+    }
+    const Token& token = Next();
+    const int64_t value = static_cast<int64_t>(token.number);
+    if (static_cast<double>(value) != token.number) {
+      return Status::InvalidArgument("expected integer, got " + token.text);
+    }
+    return negative ? -value : value;
+  }
+
+  Result<std::vector<SubscriptAxis>> ParseSubscript() {
+    HEAVEN_RETURN_IF_ERROR(Expect(TokenKind::kLBracket, "'['"));
+    std::vector<SubscriptAxis> axes;
+    do {
+      SubscriptAxis axis;
+      if (Accept(TokenKind::kStar)) {
+        HEAVEN_RETURN_IF_ERROR(Expect(TokenKind::kColon, "':' after '*'"));
+        HEAVEN_RETURN_IF_ERROR(Expect(TokenKind::kStar, "'*' after ':'"));
+        axis.kind = SubscriptAxis::Kind::kWildcard;
+      } else {
+        HEAVEN_ASSIGN_OR_RETURN(axis.lo, ParseSignedInt());
+        if (Accept(TokenKind::kColon)) {
+          axis.kind = SubscriptAxis::Kind::kRange;
+          HEAVEN_ASSIGN_OR_RETURN(axis.hi, ParseSignedInt());
+          if (axis.lo > axis.hi) {
+            return Status::InvalidArgument("subscript lo > hi");
+          }
+        } else {
+          axis.kind = SubscriptAxis::Kind::kSlice;
+          axis.hi = axis.lo;
+        }
+      }
+      axes.push_back(axis);
+    } while (Accept(TokenKind::kComma));
+    HEAVEN_RETURN_IF_ERROR(Expect(TokenKind::kRBracket, "']'"));
+    return axes;
+  }
+
+  Result<MdInterval> ParseBoxLiteral() {
+    HEAVEN_RETURN_IF_ERROR(Expect(TokenKind::kLBracket, "'['"));
+    std::vector<int64_t> lo;
+    std::vector<int64_t> hi;
+    do {
+      int64_t l = 0;
+      int64_t h = 0;
+      HEAVEN_ASSIGN_OR_RETURN(l, ParseSignedInt());
+      HEAVEN_RETURN_IF_ERROR(Expect(TokenKind::kColon, "':' in box"));
+      HEAVEN_ASSIGN_OR_RETURN(h, ParseSignedInt());
+      if (l > h) return Status::InvalidArgument("box lo > hi");
+      lo.push_back(l);
+      hi.push_back(h);
+    } while (Accept(TokenKind::kComma));
+    HEAVEN_RETURN_IF_ERROR(Expect(TokenKind::kRBracket, "']'"));
+    return MdInterval(MdPoint(std::move(lo)), MdPoint(std::move(hi)));
+  }
+
+  Result<std::unique_ptr<Expr>> ParsePrimary() {
+    if (Peek().kind == TokenKind::kNumber ||
+        (Peek().kind == TokenKind::kMinus &&
+         Peek(1).kind == TokenKind::kNumber)) {
+      const bool negative = Accept(TokenKind::kMinus);
+      auto node = std::make_unique<Expr>();
+      node->kind = ExprKind::kNumber;
+      node->number = Next().number * (negative ? -1.0 : 1.0);
+      return node;
+    }
+    if (Accept(TokenKind::kLParen)) {
+      HEAVEN_ASSIGN_OR_RETURN(std::unique_ptr<Expr> expr, ParseComparison());
+      HEAVEN_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
+      return expr;
+    }
+    if (Peek().kind != TokenKind::kIdent) {
+      return ErrorHere("identifier, number or '('");
+    }
+    const std::string name = Next().text;
+
+    // Function call?
+    if (Accept(TokenKind::kLParen)) {
+      auto node = std::make_unique<Expr>();
+      if (name == "add_cells" || name == "avg_cells" || name == "min_cells" ||
+          name == "max_cells" || name == "count_cells") {
+        node->kind = ExprKind::kCondense;
+        if (name == "add_cells") node->condenser = Condenser::kSum;
+        if (name == "avg_cells") node->condenser = Condenser::kAvg;
+        if (name == "min_cells") node->condenser = Condenser::kMin;
+        if (name == "max_cells") node->condenser = Condenser::kMax;
+        if (name == "count_cells") node->condenser = Condenser::kCount;
+        HEAVEN_ASSIGN_OR_RETURN(node->child, ParseComparison());
+        HEAVEN_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
+        return node;
+      }
+      if (name == "some_cells" || name == "all_cells") {
+        node->kind = ExprKind::kQuantifier;
+        node->universal = name == "all_cells";
+        HEAVEN_ASSIGN_OR_RETURN(node->child, ParseComparison());
+        HEAVEN_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
+        return node;
+      }
+      if (name == "frame") {
+        node->kind = ExprKind::kFrame;
+        HEAVEN_ASSIGN_OR_RETURN(node->child, ParseComparison());
+        HEAVEN_RETURN_IF_ERROR(
+            Expect(TokenKind::kComma, "',' before frame boxes"));
+        do {
+          HEAVEN_ASSIGN_OR_RETURN(MdInterval box, ParseBoxLiteral());
+          node->frame_boxes.push_back(std::move(box));
+        } while (Accept(TokenKind::kComma));
+        HEAVEN_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
+        if (node->frame_boxes.empty()) {
+          return Status::InvalidArgument("frame() needs at least one box");
+        }
+        return node;
+      }
+      if (name == "scale") {
+        node->kind = ExprKind::kScale;
+        HEAVEN_ASSIGN_OR_RETURN(node->child, ParseComparison());
+        HEAVEN_RETURN_IF_ERROR(Expect(TokenKind::kComma, "',' in scale()"));
+        HEAVEN_ASSIGN_OR_RETURN(node->scale_factor, ParseSignedInt());
+        HEAVEN_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
+        return node;
+      }
+      return Status::InvalidArgument("unknown function: " + name);
+    }
+
+    auto node = std::make_unique<Expr>();
+    node->kind = ExprKind::kObjectRef;
+    node->object_name = name;
+    return node;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Query> Parse(const std::string& text) {
+  HEAVEN_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  Parser parser(std::move(tokens));
+  return parser.ParseQuery();
+}
+
+Result<std::unique_ptr<Expr>> ParseExpression(const std::string& text) {
+  HEAVEN_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  Parser parser(std::move(tokens));
+  return parser.ParseExprOnly();
+}
+
+}  // namespace heaven::rasql

@@ -1,0 +1,35 @@
+#ifndef HEAVEN_RASQL_PARSER_H_
+#define HEAVEN_RASQL_PARSER_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "rasql/ast.h"
+#include "rasql/lexer.h"
+
+namespace heaven::rasql {
+
+/// Recursive-descent parser for the RasQL subset:
+///
+///   query      := SELECT expr FROM ident
+///   expr       := term (('+' | '-') term)*
+///   term       := factor (('*' | '/') factor)*
+///   factor     := primary subscript*
+///   primary    := NUMBER
+///               | IDENT                        (object reference)
+///               | IDENT '(' args ')'           (condenser / frame / scale)
+///               | '(' expr ')'
+///   subscript  := '[' axis (',' axis)* ']'
+///   axis       := INT ':' INT | INT | '*' ':' '*'
+///
+/// Condensers: add_cells, avg_cells, min_cells, max_cells, count_cells.
+/// Extensions: frame(expr, box+) — object framing; scale(expr, n).
+Result<Query> Parse(const std::string& text);
+
+/// Parses just an expression (exposed for tests).
+Result<std::unique_ptr<Expr>> ParseExpression(const std::string& text);
+
+}  // namespace heaven::rasql
+
+#endif  // HEAVEN_RASQL_PARSER_H_

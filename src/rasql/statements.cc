@@ -1,0 +1,113 @@
+#include "rasql/statements.h"
+
+#include <cctype>
+
+#include "rasql/lexer.h"
+#include "rasql/parser.h"
+
+namespace heaven::rasql {
+
+namespace {
+
+std::string ToLower(std::string_view text) {
+  std::string lower;
+  lower.reserve(text.size());
+  for (char c : text) {
+    lower.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  return lower;
+}
+
+/// Expects `tokens[*pos]` to be an identifier; returns its text.
+Result<std::string> TakeIdent(const std::vector<Token>& tokens, size_t* pos) {
+  if (tokens[*pos].kind != TokenKind::kIdent) {
+    return Status::InvalidArgument("expected identifier at offset " +
+                                   std::to_string(tokens[*pos].position));
+  }
+  return tokens[(*pos)++].text;
+}
+
+Status ExpectEnd(const std::vector<Token>& tokens, size_t pos) {
+  if (tokens[pos].kind != TokenKind::kEnd) {
+    return Status::InvalidArgument("unexpected trailing input at offset " +
+                                   std::to_string(tokens[pos].position));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<StatementResult> ExecuteStatement(HeavenDb* db,
+                                         const std::string& text) {
+  HEAVEN_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  if (tokens.empty() || tokens[0].kind == TokenKind::kEnd) {
+    return Status::InvalidArgument("empty statement");
+  }
+
+  // SELECT is handled by the query executor.
+  if (tokens[0].kind == TokenKind::kSelect) {
+    HEAVEN_ASSIGN_OR_RETURN(QueryResult query, ExecuteString(db, text));
+    StatementResult result;
+    result.message = query.ToString();
+    result.query = std::move(query);
+    return result;
+  }
+  if (tokens[0].kind != TokenKind::kIdent) {
+    return Status::InvalidArgument("expected a statement keyword");
+  }
+
+  const std::string verb = ToLower(tokens[0].text);
+  size_t pos = 1;
+  StatementResult result;
+
+  if (verb == "create") {
+    HEAVEN_ASSIGN_OR_RETURN(std::string what, TakeIdent(tokens, &pos));
+    if (ToLower(what) != "collection") {
+      return Status::InvalidArgument("expected CREATE COLLECTION");
+    }
+    HEAVEN_ASSIGN_OR_RETURN(std::string name, TakeIdent(tokens, &pos));
+    HEAVEN_RETURN_IF_ERROR(ExpectEnd(tokens, pos));
+    HEAVEN_ASSIGN_OR_RETURN(CollectionId id, db->CreateCollection(name));
+    result.message =
+        "created collection " + name + " (id " + std::to_string(id) + ")";
+    return result;
+  }
+
+  if (verb == "drop") {
+    HEAVEN_ASSIGN_OR_RETURN(std::string what, TakeIdent(tokens, &pos));
+    HEAVEN_ASSIGN_OR_RETURN(std::string name, TakeIdent(tokens, &pos));
+    HEAVEN_RETURN_IF_ERROR(ExpectEnd(tokens, pos));
+    const std::string kind = ToLower(what);
+    if (kind == "collection") {
+      HEAVEN_RETURN_IF_ERROR(db->DropCollection(name));
+      result.message = "dropped collection " + name;
+      return result;
+    }
+    if (kind == "object") {
+      HEAVEN_ASSIGN_OR_RETURN(ObjectDescriptor object, db->FindObject(name));
+      HEAVEN_RETURN_IF_ERROR(db->DeleteObject(object.object_id));
+      result.message = "dropped object " + name;
+      return result;
+    }
+    return Status::InvalidArgument("expected DROP COLLECTION or DROP OBJECT");
+  }
+
+  if (verb == "export" || verb == "reimport") {
+    HEAVEN_ASSIGN_OR_RETURN(std::string name, TakeIdent(tokens, &pos));
+    HEAVEN_RETURN_IF_ERROR(ExpectEnd(tokens, pos));
+    HEAVEN_ASSIGN_OR_RETURN(ObjectDescriptor object, db->FindObject(name));
+    if (verb == "export") {
+      HEAVEN_RETURN_IF_ERROR(db->ExportObject(object.object_id));
+      result.message = "exported " + name + " to tertiary storage";
+    } else {
+      HEAVEN_RETURN_IF_ERROR(db->ReimportObject(object.object_id));
+      result.message = "reimported " + name + " to disk";
+    }
+    return result;
+  }
+
+  return Status::InvalidArgument("unknown statement: " + tokens[0].text);
+}
+
+}  // namespace heaven::rasql

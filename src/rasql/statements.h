@@ -1,0 +1,39 @@
+#ifndef HEAVEN_RASQL_STATEMENTS_H_
+#define HEAVEN_RASQL_STATEMENTS_H_
+
+#include <optional>
+#include <string>
+
+#include "common/status.h"
+#include "heaven/heaven_db.h"
+#include "rasql/executor.h"
+
+namespace heaven::rasql {
+
+/// Result of executing a statement: either a query result (SELECT) or a
+/// human-readable acknowledgement (DDL/DML).
+struct StatementResult {
+  std::optional<QueryResult> query;
+  std::string message;
+
+  std::string ToString() const {
+    return query.has_value() ? query->ToString() : message;
+  }
+};
+
+/// Executes one statement of the full language:
+///
+///   SELECT <expr> FROM <collection>            (see executor.h)
+///   CREATE COLLECTION <name>
+///   DROP OBJECT <name>
+///   DROP COLLECTION <name>                     (must be empty)
+///   EXPORT <object>                            (migrate to tape)
+///   REIMPORT <object>                          (copy back to disk)
+///
+/// Keywords are case-insensitive.
+Result<StatementResult> ExecuteStatement(HeavenDb* db,
+                                         const std::string& text);
+
+}  // namespace heaven::rasql
+
+#endif  // HEAVEN_RASQL_STATEMENTS_H_

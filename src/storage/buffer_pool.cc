@@ -1,0 +1,154 @@
+#include "storage/buffer_pool.h"
+
+#include "common/logging.h"
+
+namespace heaven {
+
+PageHandle::~PageHandle() { Release(); }
+
+PageHandle::PageHandle(PageHandle&& other) noexcept
+    : pool_(other.pool_), page_id_(other.page_id_), frame_(other.frame_) {
+  other.pool_ = nullptr;
+  other.frame_ = nullptr;
+  other.page_id_ = kInvalidPageId;
+}
+
+PageHandle& PageHandle::operator=(PageHandle&& other) noexcept {
+  if (this != &other) {
+    Release();
+    pool_ = other.pool_;
+    page_id_ = other.page_id_;
+    frame_ = other.frame_;
+    other.pool_ = nullptr;
+    other.frame_ = nullptr;
+    other.page_id_ = kInvalidPageId;
+  }
+  return *this;
+}
+
+std::string& PageHandle::data() {
+  HEAVEN_CHECK(valid());
+  return static_cast<BufferPool::Frame*>(frame_)->data;
+}
+
+const std::string& PageHandle::data() const {
+  HEAVEN_CHECK(valid());
+  return static_cast<BufferPool::Frame*>(frame_)->data;
+}
+
+void PageHandle::MarkDirty() {
+  HEAVEN_CHECK(valid());
+  pool_->MarkDirtyInternal(frame_);
+}
+
+void PageHandle::Release() {
+  if (pool_ != nullptr) {
+    pool_->Unpin(page_id_, frame_);
+    pool_ = nullptr;
+    frame_ = nullptr;
+  }
+}
+
+BufferPool::BufferPool(DiskManager* disk, size_t capacity_pages,
+                       Statistics* stats)
+    : disk_(disk), capacity_(std::max<size_t>(1, capacity_pages)),
+      stats_(stats) {}
+
+BufferPool::~BufferPool() {
+  Status status = FlushAll();
+  if (!status.ok()) {
+    HEAVEN_LOG(Error) << "BufferPool flush on destruction failed: "
+                      << status.ToString();
+  }
+}
+
+Result<PageHandle> BufferPool::Fetch(PageId page_id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = frames_.find(page_id);
+  if (it != frames_.end()) {
+    Frame* frame = it->second.get();
+    if (frame->in_lru) {
+      lru_.erase(frame->lru_pos);
+      frame->in_lru = false;
+    }
+    ++frame->pin_count;
+    if (stats_ != nullptr) stats_->Record(Ticker::kBufferPoolHits);
+    return PageHandle(this, page_id, frame);
+  }
+
+  if (stats_ != nullptr) stats_->Record(Ticker::kBufferPoolMisses);
+  while (frames_.size() >= capacity_) {
+    HEAVEN_RETURN_IF_ERROR(EvictOneLocked());
+  }
+
+  auto frame = std::make_unique<Frame>();
+  frame->page_id = page_id;
+  frame->pin_count = 1;
+  Frame* raw = frame.get();
+  // Read outside the map insert would be nicer, but the lock keeps this
+  // simple and the disk manager is itself thread-safe.
+  HEAVEN_RETURN_IF_ERROR(disk_->ReadPage(page_id, &raw->data));
+  frames_.emplace(page_id, std::move(frame));
+  return PageHandle(this, page_id, raw);
+}
+
+Status BufferPool::EvictOneLocked() {
+  if (lru_.empty()) {
+    return Status::ResourceExhausted("all buffer pool frames are pinned");
+  }
+  PageId victim = lru_.back();
+  lru_.pop_back();
+  auto it = frames_.find(victim);
+  HEAVEN_CHECK(it != frames_.end());
+  Frame* frame = it->second.get();
+  HEAVEN_CHECK(frame->pin_count == 0);
+  if (frame->dirty) {
+    HEAVEN_RETURN_IF_ERROR(disk_->WritePage(victim, frame->data));
+  }
+  frames_.erase(it);
+  return Status::Ok();
+}
+
+void BufferPool::Unpin(PageId page_id, void* frame_ptr) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Frame* frame = static_cast<Frame*>(frame_ptr);
+  HEAVEN_CHECK(frame->pin_count > 0);
+  if (--frame->pin_count == 0) {
+    lru_.push_front(page_id);
+    frame->lru_pos = lru_.begin();
+    frame->in_lru = true;
+  }
+}
+
+void BufferPool::MarkDirtyInternal(void* frame_ptr) {
+  std::lock_guard<std::mutex> lock(mu_);
+  static_cast<Frame*>(frame_ptr)->dirty = true;
+}
+
+Status BufferPool::FlushAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [page_id, frame] : frames_) {
+    if (frame->dirty) {
+      HEAVEN_RETURN_IF_ERROR(disk_->WritePage(page_id, frame->data));
+      frame->dirty = false;
+    }
+  }
+  return disk_->Sync();
+}
+
+void BufferPool::Evict(PageId page_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = frames_.find(page_id);
+  if (it == frames_.end()) return;
+  Frame* frame = it->second.get();
+  HEAVEN_CHECK(frame->pin_count == 0) << "evicting a pinned page";
+  if (frame->in_lru) lru_.erase(frame->lru_pos);
+  frames_.erase(it);
+}
+
+size_t BufferPool::cached_pages() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return frames_.size();
+}
+
+}  // namespace heaven

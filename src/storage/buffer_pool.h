@@ -1,0 +1,101 @@
+#ifndef HEAVEN_STORAGE_BUFFER_POOL_H_
+#define HEAVEN_STORAGE_BUFFER_POOL_H_
+
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "common/statistics.h"
+#include "common/status.h"
+#include "storage/disk_manager.h"
+#include "storage/page.h"
+
+namespace heaven {
+
+class BufferPool;
+
+/// RAII pin on a cached page. While a PageHandle is alive the frame cannot
+/// be evicted. Call MarkDirty() after mutating data().
+class PageHandle {
+ public:
+  PageHandle() = default;
+  ~PageHandle();
+
+  PageHandle(const PageHandle&) = delete;
+  PageHandle& operator=(const PageHandle&) = delete;
+  PageHandle(PageHandle&& other) noexcept;
+  PageHandle& operator=(PageHandle&& other) noexcept;
+
+  bool valid() const { return pool_ != nullptr; }
+  PageId page_id() const { return page_id_; }
+  std::string& data();
+  const std::string& data() const;
+  void MarkDirty();
+
+  /// Releases the pin early.
+  void Release();
+
+ private:
+  friend class BufferPool;
+  PageHandle(BufferPool* pool, PageId page_id, void* frame)
+      : pool_(pool), page_id_(page_id), frame_(frame) {}
+
+  BufferPool* pool_ = nullptr;
+  PageId page_id_ = kInvalidPageId;
+  void* frame_ = nullptr;
+};
+
+/// Fixed-capacity LRU page cache with pin counts over a DiskManager.
+/// Thread-safe.
+class BufferPool {
+ public:
+  BufferPool(DiskManager* disk, size_t capacity_pages, Statistics* stats);
+  ~BufferPool();
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Pins the page, reading it from disk on a miss. Fails with
+  /// ResourceExhausted when every frame is pinned.
+  Result<PageHandle> Fetch(PageId page_id);
+
+  /// Writes all dirty frames back and syncs the disk manager.
+  Status FlushAll();
+
+  /// Drops a page from the cache (it must be unpinned); used after FreePage.
+  void Evict(PageId page_id);
+
+  size_t capacity() const { return capacity_; }
+  size_t cached_pages() const;
+
+ private:
+  friend class PageHandle;
+
+  struct Frame {
+    PageId page_id = kInvalidPageId;
+    std::string data;
+    int pin_count = 0;
+    bool dirty = false;
+    std::list<PageId>::iterator lru_pos;  // valid iff pin_count == 0
+    bool in_lru = false;
+  };
+
+  void Unpin(PageId page_id, void* frame);
+  void MarkDirtyInternal(void* frame);
+  /// Evicts one unpinned frame (LRU); Status error if none.
+  Status EvictOneLocked();
+
+  DiskManager* disk_;
+  size_t capacity_;
+  Statistics* stats_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<PageId, std::unique_ptr<Frame>> frames_;
+  std::list<PageId> lru_;  // front = most recent
+};
+
+}  // namespace heaven
+
+#endif  // HEAVEN_STORAGE_BUFFER_POOL_H_

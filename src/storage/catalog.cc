@@ -1,0 +1,279 @@
+#include "storage/catalog.h"
+
+#include <algorithm>
+
+#include "common/coding.h"
+#include "common/logging.h"
+#include "storage/serialize.h"
+
+namespace heaven {
+
+std::string CatalogDelta::Encode() const {
+  std::string out;
+  out.push_back(static_cast<char>(op));
+  PutFixed64(&out, collection_id);
+  PutLengthPrefixed(&out, name);
+  EncodeObjectDescriptor(&out, object);
+  PutFixed64(&out, object_id);
+  EncodeTileDescriptor(&out, tile);
+  PutFixed64(&out, tile_id);
+  PutLengthPrefixed(&out, payload);
+  return out;
+}
+
+Result<CatalogDelta> CatalogDelta::Decode(std::string_view data) {
+  Decoder dec(data);
+  CatalogDelta delta;
+  std::string op_byte;
+  HEAVEN_RETURN_IF_ERROR(dec.GetRaw(1, &op_byte));
+  delta.op = static_cast<CatalogOp>(static_cast<uint8_t>(op_byte[0]));
+  HEAVEN_RETURN_IF_ERROR(dec.GetFixed64(&delta.collection_id));
+  HEAVEN_RETURN_IF_ERROR(dec.GetLengthPrefixed(&delta.name));
+  HEAVEN_RETURN_IF_ERROR(DecodeObjectDescriptor(&dec, &delta.object));
+  HEAVEN_RETURN_IF_ERROR(dec.GetFixed64(&delta.object_id));
+  HEAVEN_RETURN_IF_ERROR(DecodeTileDescriptor(&dec, &delta.tile));
+  HEAVEN_RETURN_IF_ERROR(dec.GetFixed64(&delta.tile_id));
+  HEAVEN_RETURN_IF_ERROR(dec.GetLengthPrefixed(&delta.payload));
+  return delta;
+}
+
+Status Catalog::Apply(const CatalogDelta& delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (delta.op) {
+    case CatalogOp::kAddCollection:
+      collections_[delta.collection_id] = delta.name;
+      next_collection_id_ =
+          std::max(next_collection_id_, delta.collection_id + 1);
+      return Status::Ok();
+    case CatalogOp::kAddObject:
+      objects_[delta.object.object_id] = delta.object;
+      next_object_id_ = std::max(next_object_id_, delta.object.object_id + 1);
+      return Status::Ok();
+    case CatalogOp::kAddTile:
+      tiles_[delta.object_id][delta.tile.tile_id] = delta.tile;
+      next_tile_id_ = std::max(next_tile_id_, delta.tile.tile_id + 1);
+      return Status::Ok();
+    case CatalogOp::kUpdateTileLocation: {
+      auto obj_it = tiles_.find(delta.object_id);
+      if (obj_it == tiles_.end()) {
+        return Status::NotFound("object has no tiles");
+      }
+      auto tile_it = obj_it->second.find(delta.tile.tile_id);
+      if (tile_it == obj_it->second.end()) {
+        return Status::NotFound("tile not in catalog");
+      }
+      tile_it->second.location = delta.tile.location;
+      tile_it->second.blob_id = delta.tile.blob_id;
+      tile_it->second.super_tile = delta.tile.super_tile;
+      return Status::Ok();
+    }
+    case CatalogOp::kRemoveTile: {
+      auto obj_it = tiles_.find(delta.object_id);
+      if (obj_it != tiles_.end()) obj_it->second.erase(delta.tile_id);
+      return Status::Ok();
+    }
+    case CatalogOp::kRemoveObject:
+      objects_.erase(delta.object_id);
+      tiles_.erase(delta.object_id);
+      return Status::Ok();
+    case CatalogOp::kSetSection:
+      sections_[delta.name] = delta.payload;
+      return Status::Ok();
+    case CatalogOp::kRemoveCollection:
+      collections_.erase(delta.collection_id);
+      return Status::Ok();
+  }
+  return Status::InvalidArgument("unknown catalog op");
+}
+
+std::optional<CollectionId> Catalog::FindCollection(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [id, coll_name] : collections_) {
+    if (coll_name == name) return id;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::pair<CollectionId, std::string>> Catalog::ListCollections()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<CollectionId, std::string>> out(collections_.begin(),
+                                                        collections_.end());
+  return out;
+}
+
+Result<ObjectDescriptor> Catalog::GetObject(ObjectId object_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = objects_.find(object_id);
+  if (it == objects_.end()) {
+    return Status::NotFound("object " + std::to_string(object_id));
+  }
+  return it->second;
+}
+
+Result<ObjectDescriptor> Catalog::FindObject(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [id, obj] : objects_) {
+    if (obj.name == name) return obj;
+  }
+  return Status::NotFound("object named " + name);
+}
+
+std::vector<ObjectDescriptor> Catalog::ListObjects(
+    CollectionId collection_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ObjectDescriptor> out;
+  for (const auto& [id, obj] : objects_) {
+    if (obj.collection_id == collection_id) out.push_back(obj);
+  }
+  return out;
+}
+
+Result<TileDescriptor> Catalog::GetTile(ObjectId object_id,
+                                        TileId tile_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto obj_it = tiles_.find(object_id);
+  if (obj_it == tiles_.end()) {
+    return Status::NotFound("object has no tiles");
+  }
+  auto tile_it = obj_it->second.find(tile_id);
+  if (tile_it == obj_it->second.end()) {
+    return Status::NotFound("tile " + std::to_string(tile_id));
+  }
+  return tile_it->second;
+}
+
+std::vector<TileDescriptor> Catalog::ListTiles(ObjectId object_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TileDescriptor> out;
+  auto obj_it = tiles_.find(object_id);
+  if (obj_it == tiles_.end()) return out;
+  out.reserve(obj_it->second.size());
+  for (const auto& [tile_id, tile] : obj_it->second) out.push_back(tile);
+  return out;
+}
+
+std::string Catalog::GetSection(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sections_.find(name);
+  return it == sections_.end() ? std::string() : it->second;
+}
+
+CollectionId Catalog::NextCollectionId() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_collection_id_++;
+}
+
+ObjectId Catalog::NextObjectId() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_object_id_++;
+}
+
+TileId Catalog::NextTileId() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_tile_id_++;
+}
+
+std::string Catalog::Serialize() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  PutFixed64(&out, collections_.size());
+  for (const auto& [id, name] : collections_) {
+    PutFixed64(&out, id);
+    PutLengthPrefixed(&out, name);
+  }
+  PutFixed64(&out, objects_.size());
+  for (const auto& [id, obj] : objects_) {
+    EncodeObjectDescriptor(&out, obj);
+  }
+  PutFixed64(&out, tiles_.size());
+  for (const auto& [object_id, tile_map] : tiles_) {
+    PutFixed64(&out, object_id);
+    PutFixed64(&out, tile_map.size());
+    for (const auto& [tile_id, tile] : tile_map) {
+      EncodeTileDescriptor(&out, tile);
+    }
+  }
+  PutFixed64(&out, sections_.size());
+  for (const auto& [name, payload] : sections_) {
+    PutLengthPrefixed(&out, name);
+    PutLengthPrefixed(&out, payload);
+  }
+  return out;
+}
+
+Status Catalog::Restore(std::string_view image) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Decoder dec(image);
+  uint64_t count = 0;
+
+  HEAVEN_RETURN_IF_ERROR(dec.GetFixed64(&count));
+  std::map<CollectionId, std::string> collections;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t id = 0;
+    std::string name;
+    HEAVEN_RETURN_IF_ERROR(dec.GetFixed64(&id));
+    HEAVEN_RETURN_IF_ERROR(dec.GetLengthPrefixed(&name));
+    collections[id] = std::move(name);
+  }
+
+  HEAVEN_RETURN_IF_ERROR(dec.GetFixed64(&count));
+  std::map<ObjectId, ObjectDescriptor> objects;
+  for (uint64_t i = 0; i < count; ++i) {
+    ObjectDescriptor obj;
+    HEAVEN_RETURN_IF_ERROR(DecodeObjectDescriptor(&dec, &obj));
+    objects[obj.object_id] = std::move(obj);
+  }
+
+  HEAVEN_RETURN_IF_ERROR(dec.GetFixed64(&count));
+  std::map<ObjectId, std::map<TileId, TileDescriptor>> tiles;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t object_id = 0;
+    uint64_t tile_count = 0;
+    HEAVEN_RETURN_IF_ERROR(dec.GetFixed64(&object_id));
+    HEAVEN_RETURN_IF_ERROR(dec.GetFixed64(&tile_count));
+    auto& tile_map = tiles[object_id];
+    for (uint64_t t = 0; t < tile_count; ++t) {
+      TileDescriptor tile;
+      HEAVEN_RETURN_IF_ERROR(DecodeTileDescriptor(&dec, &tile));
+      tile_map[tile.tile_id] = std::move(tile);
+    }
+  }
+
+  HEAVEN_RETURN_IF_ERROR(dec.GetFixed64(&count));
+  std::map<std::string, std::string> sections;
+  for (uint64_t i = 0; i < count; ++i) {
+    std::string name;
+    std::string payload;
+    HEAVEN_RETURN_IF_ERROR(dec.GetLengthPrefixed(&name));
+    HEAVEN_RETURN_IF_ERROR(dec.GetLengthPrefixed(&payload));
+    sections[std::move(name)] = std::move(payload);
+  }
+
+  collections_ = std::move(collections);
+  objects_ = std::move(objects);
+  tiles_ = std::move(tiles);
+  sections_ = std::move(sections);
+  ReseedIdsLocked();
+  return Status::Ok();
+}
+
+void Catalog::ReseedIdsLocked() {
+  next_collection_id_ = 1;
+  for (const auto& [id, name] : collections_) {
+    next_collection_id_ = std::max(next_collection_id_, id + 1);
+  }
+  next_object_id_ = 1;
+  for (const auto& [id, obj] : objects_) {
+    next_object_id_ = std::max(next_object_id_, id + 1);
+  }
+  next_tile_id_ = 1;
+  for (const auto& [object_id, tile_map] : tiles_) {
+    for (const auto& [tile_id, tile] : tile_map) {
+      next_tile_id_ = std::max(next_tile_id_, tile_id + 1);
+    }
+  }
+}
+
+}  // namespace heaven

@@ -1,0 +1,97 @@
+#ifndef HEAVEN_STORAGE_CATALOG_H_
+#define HEAVEN_STORAGE_CATALOG_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "array/mdd.h"
+#include "common/status.h"
+
+namespace heaven {
+
+/// Kinds of catalog mutations. Every mutation is expressed as a
+/// CatalogDelta so it can be WAL-logged, applied and replayed uniformly.
+enum class CatalogOp : uint8_t {
+  kAddCollection = 1,
+  kAddObject = 2,
+  kAddTile = 3,
+  kUpdateTileLocation = 4,
+  kRemoveTile = 5,
+  kRemoveObject = 6,
+  kSetSection = 7,  // opaque named payload for higher layers
+  kRemoveCollection = 8,
+};
+
+/// One catalog mutation; only the fields relevant to `op` are used.
+struct CatalogDelta {
+  CatalogOp op = CatalogOp::kAddCollection;
+  CollectionId collection_id = 0;
+  std::string name;                 // collection name / section name
+  ObjectDescriptor object;          // kAddObject / kRemoveObject(object_id)
+  ObjectId object_id = 0;           // owner of tile ops
+  TileDescriptor tile;              // kAddTile / kUpdateTileLocation
+  TileId tile_id = 0;               // kRemoveTile
+  std::string payload;              // kSetSection
+
+  std::string Encode() const;
+  static Result<CatalogDelta> Decode(std::string_view data);
+};
+
+/// The in-memory system catalog: collections, MDD objects, tile
+/// descriptors, plus opaque named sections used by the HEAVEN layer
+/// (super-tile registry, precomputed-results catalog). Durability is
+/// provided by the storage engine (WAL + checkpoint snapshots of
+/// Serialize()).
+class Catalog {
+ public:
+  Catalog() = default;
+
+  /// Applies a mutation. Idempotent application of replayed deltas is
+  /// required for recovery, so "already exists" cases overwrite.
+  Status Apply(const CatalogDelta& delta);
+
+  // -- Read API -------------------------------------------------------
+
+  std::optional<CollectionId> FindCollection(const std::string& name) const;
+  std::vector<std::pair<CollectionId, std::string>> ListCollections() const;
+
+  Result<ObjectDescriptor> GetObject(ObjectId object_id) const;
+  Result<ObjectDescriptor> FindObject(const std::string& name) const;
+  std::vector<ObjectDescriptor> ListObjects(CollectionId collection_id) const;
+
+  Result<TileDescriptor> GetTile(ObjectId object_id, TileId tile_id) const;
+  std::vector<TileDescriptor> ListTiles(ObjectId object_id) const;
+
+  /// Opaque sections (empty string when unset).
+  std::string GetSection(const std::string& name) const;
+
+  /// Monotonic id allocators (not persisted — the engine re-seeds them from
+  /// the catalog contents after recovery).
+  CollectionId NextCollectionId();
+  ObjectId NextObjectId();
+  TileId NextTileId();
+
+  /// Full snapshot for checkpoints.
+  std::string Serialize() const;
+  Status Restore(std::string_view image);
+
+ private:
+  void ReseedIdsLocked();
+
+  mutable std::mutex mu_;
+  std::map<CollectionId, std::string> collections_;
+  std::map<ObjectId, ObjectDescriptor> objects_;
+  std::map<ObjectId, std::map<TileId, TileDescriptor>> tiles_;
+  std::map<std::string, std::string> sections_;
+  CollectionId next_collection_id_ = 1;
+  ObjectId next_object_id_ = 1;
+  TileId next_tile_id_ = 1;
+};
+
+}  // namespace heaven
+
+#endif  // HEAVEN_STORAGE_CATALOG_H_

@@ -1,0 +1,59 @@
+#ifndef HEAVEN_STORAGE_DISK_MANAGER_H_
+#define HEAVEN_STORAGE_DISK_MANAGER_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/env.h"
+#include "common/statistics.h"
+#include "common/status.h"
+#include "storage/page.h"
+
+namespace heaven {
+
+/// Manages the page file of the base storage manager: page allocation with
+/// a free list, page reads/writes. Page 0 is the header page holding the
+/// free-list head and the page count; data pages start at 1.
+class DiskManager {
+ public:
+  /// Opens (creating if needed) the page file at `path`.
+  static Result<std::unique_ptr<DiskManager>> Open(Env* env,
+                                                   const std::string& path,
+                                                   Statistics* stats);
+
+  /// Allocates a page (reusing freed pages first).
+  Result<PageId> AllocatePage();
+
+  /// Returns a page to the free list.
+  Status FreePage(PageId page_id);
+
+  /// Reads the full page into `out` (resized to kPageSize).
+  Status ReadPage(PageId page_id, std::string* out);
+
+  /// Writes the full page; data.size() must be kPageSize.
+  Status WritePage(PageId page_id, std::string_view data);
+
+  Status Sync();
+
+  /// Total pages ever allocated (including freed), excluding the header.
+  uint64_t NumPages() const;
+
+ private:
+  DiskManager(std::unique_ptr<File> file, Statistics* stats);
+
+  Status LoadHeader();
+  Status StoreHeader();
+
+  std::unique_ptr<File> file_;
+  Statistics* stats_;
+
+  mutable std::mutex mu_;
+  uint64_t num_pages_ = 0;  // data pages, ids 1..num_pages_
+  std::vector<PageId> free_list_;
+};
+
+}  // namespace heaven
+
+#endif  // HEAVEN_STORAGE_DISK_MANAGER_H_

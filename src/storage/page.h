@@ -1,0 +1,17 @@
+#ifndef HEAVEN_STORAGE_PAGE_H_
+#define HEAVEN_STORAGE_PAGE_H_
+
+#include <cstdint>
+
+namespace heaven {
+
+/// Fixed page size of the base storage manager (bytes).
+constexpr size_t kPageSize = 8192;
+
+/// Page number inside the database file; kInvalidPageId marks "none".
+using PageId = uint64_t;
+constexpr PageId kInvalidPageId = ~0ULL;
+
+}  // namespace heaven
+
+#endif  // HEAVEN_STORAGE_PAGE_H_

@@ -1,0 +1,94 @@
+#include "storage/serialize.h"
+
+namespace heaven {
+
+void EncodeInterval(std::string* dst, const MdInterval& interval) {
+  PutFixed32(dst, static_cast<uint32_t>(interval.dims()));
+  for (size_t d = 0; d < interval.dims(); ++d) {
+    PutFixed64(dst, static_cast<uint64_t>(interval.lo(d)));
+    PutFixed64(dst, static_cast<uint64_t>(interval.hi(d)));
+  }
+}
+
+Status DecodeInterval(Decoder* dec, MdInterval* interval) {
+  uint32_t dims = 0;
+  HEAVEN_RETURN_IF_ERROR(dec->GetFixed32(&dims));
+  if (dims > 64) {
+    return Status::Corruption("bad interval dimensionality");
+  }
+  if (dims == 0) {
+    // A default-constructed (dimensionless) interval — used by catalog
+    // deltas whose interval fields are unused.
+    *interval = MdInterval();
+    return Status::Ok();
+  }
+  std::vector<int64_t> lo(dims);
+  std::vector<int64_t> hi(dims);
+  for (uint32_t d = 0; d < dims; ++d) {
+    uint64_t l = 0;
+    uint64_t h = 0;
+    HEAVEN_RETURN_IF_ERROR(dec->GetFixed64(&l));
+    HEAVEN_RETURN_IF_ERROR(dec->GetFixed64(&h));
+    lo[d] = static_cast<int64_t>(l);
+    hi[d] = static_cast<int64_t>(h);
+    if (lo[d] > hi[d]) return Status::Corruption("interval lo > hi");
+  }
+  *interval = MdInterval(MdPoint(std::move(lo)), MdPoint(std::move(hi)));
+  return Status::Ok();
+}
+
+void EncodeObjectDescriptor(std::string* dst, const ObjectDescriptor& obj) {
+  PutFixed64(dst, obj.object_id);
+  PutFixed64(dst, obj.collection_id);
+  PutLengthPrefixed(dst, obj.name);
+  EncodeInterval(dst, obj.domain);
+  dst->push_back(static_cast<char>(obj.cell_type));
+  PutFixed32(dst, static_cast<uint32_t>(obj.tile_extents.size()));
+  for (int64_t e : obj.tile_extents) {
+    PutFixed64(dst, static_cast<uint64_t>(e));
+  }
+}
+
+Status DecodeObjectDescriptor(Decoder* dec, ObjectDescriptor* obj) {
+  HEAVEN_RETURN_IF_ERROR(dec->GetFixed64(&obj->object_id));
+  HEAVEN_RETURN_IF_ERROR(dec->GetFixed64(&obj->collection_id));
+  HEAVEN_RETURN_IF_ERROR(dec->GetLengthPrefixed(&obj->name));
+  HEAVEN_RETURN_IF_ERROR(DecodeInterval(dec, &obj->domain));
+  std::string type_byte;
+  HEAVEN_RETURN_IF_ERROR(dec->GetRaw(1, &type_byte));
+  obj->cell_type = static_cast<CellType>(static_cast<uint8_t>(type_byte[0]));
+  uint32_t extent_count = 0;
+  HEAVEN_RETURN_IF_ERROR(dec->GetFixed32(&extent_count));
+  obj->tile_extents.clear();
+  obj->tile_extents.reserve(extent_count);
+  for (uint32_t i = 0; i < extent_count; ++i) {
+    uint64_t e = 0;
+    HEAVEN_RETURN_IF_ERROR(dec->GetFixed64(&e));
+    obj->tile_extents.push_back(static_cast<int64_t>(e));
+  }
+  return Status::Ok();
+}
+
+void EncodeTileDescriptor(std::string* dst, const TileDescriptor& tile) {
+  PutFixed64(dst, tile.tile_id);
+  EncodeInterval(dst, tile.domain);
+  dst->push_back(static_cast<char>(tile.location));
+  PutFixed64(dst, tile.blob_id);
+  PutFixed64(dst, tile.super_tile);
+  PutFixed64(dst, tile.size_bytes);
+}
+
+Status DecodeTileDescriptor(Decoder* dec, TileDescriptor* tile) {
+  HEAVEN_RETURN_IF_ERROR(dec->GetFixed64(&tile->tile_id));
+  HEAVEN_RETURN_IF_ERROR(DecodeInterval(dec, &tile->domain));
+  std::string loc_byte;
+  HEAVEN_RETURN_IF_ERROR(dec->GetRaw(1, &loc_byte));
+  tile->location =
+      static_cast<TileLocation>(static_cast<uint8_t>(loc_byte[0]));
+  HEAVEN_RETURN_IF_ERROR(dec->GetFixed64(&tile->blob_id));
+  HEAVEN_RETURN_IF_ERROR(dec->GetFixed64(&tile->super_tile));
+  HEAVEN_RETURN_IF_ERROR(dec->GetFixed64(&tile->size_bytes));
+  return Status::Ok();
+}
+
+}  // namespace heaven

@@ -1,0 +1,27 @@
+#ifndef HEAVEN_STORAGE_SERIALIZE_H_
+#define HEAVEN_STORAGE_SERIALIZE_H_
+
+#include <string>
+
+#include "array/md_interval.h"
+#include "array/mdd.h"
+#include "common/coding.h"
+#include "common/status.h"
+
+namespace heaven {
+
+/// Binary serialization of the array-metadata types used by the catalog,
+/// the WAL and the super-tile container format.
+
+void EncodeInterval(std::string* dst, const MdInterval& interval);
+Status DecodeInterval(Decoder* dec, MdInterval* interval);
+
+void EncodeObjectDescriptor(std::string* dst, const ObjectDescriptor& obj);
+Status DecodeObjectDescriptor(Decoder* dec, ObjectDescriptor* obj);
+
+void EncodeTileDescriptor(std::string* dst, const TileDescriptor& tile);
+Status DecodeTileDescriptor(Decoder* dec, TileDescriptor* tile);
+
+}  // namespace heaven
+
+#endif  // HEAVEN_STORAGE_SERIALIZE_H_

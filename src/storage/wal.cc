@@ -1,0 +1,73 @@
+#include "storage/wal.h"
+
+#include "common/coding.h"
+#include "common/logging.h"
+
+namespace heaven {
+
+Result<std::unique_ptr<Wal>> Wal::Open(Env* env, const std::string& path) {
+  HEAVEN_ASSIGN_OR_RETURN(std::unique_ptr<File> file, env->OpenFile(path));
+  HEAVEN_ASSIGN_OR_RETURN(uint64_t size, file->Size());
+  return std::unique_ptr<Wal>(new Wal(std::move(file), size));
+}
+
+Status Wal::Append(const WalRecord& record) {
+  std::string payload;
+  PutFixed64(&payload, record.txn_id);
+  payload.push_back(static_cast<char>(record.op));
+  PutFixed64(&payload, record.blob_id);
+  PutLengthPrefixed(&payload, record.payload);
+
+  std::string framed;
+  PutFixed32(&framed, static_cast<uint32_t>(payload.size()));
+  PutFixed32(&framed, Crc32c(payload));
+  framed.append(payload);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  HEAVEN_RETURN_IF_ERROR(file_->WriteAt(append_offset_, framed));
+  append_offset_ += framed.size();
+  return Status::Ok();
+}
+
+Status Wal::Sync() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return file_->Sync();
+}
+
+Result<std::vector<WalRecord>> Wal::ReadAll() {
+  std::string contents;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (append_offset_ == 0) return std::vector<WalRecord>{};
+    HEAVEN_RETURN_IF_ERROR(file_->ReadAt(0, append_offset_, &contents));
+  }
+  std::vector<WalRecord> records;
+  Decoder dec(contents);
+  while (!dec.done()) {
+    uint32_t length = 0;
+    uint32_t crc = 0;
+    if (!dec.GetFixed32(&length).ok() || !dec.GetFixed32(&crc).ok()) break;
+    std::string payload;
+    if (!dec.GetRaw(length, &payload).ok()) break;  // torn tail
+    if (Crc32c(payload) != crc) break;              // corrupt tail
+    Decoder body(payload);
+    WalRecord record;
+    HEAVEN_RETURN_IF_ERROR(body.GetFixed64(&record.txn_id));
+    std::string op_byte;
+    HEAVEN_RETURN_IF_ERROR(body.GetRaw(1, &op_byte));
+    record.op = static_cast<WalOp>(static_cast<uint8_t>(op_byte[0]));
+    HEAVEN_RETURN_IF_ERROR(body.GetFixed64(&record.blob_id));
+    HEAVEN_RETURN_IF_ERROR(body.GetLengthPrefixed(&record.payload));
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+Status Wal::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  HEAVEN_RETURN_IF_ERROR(file_->Truncate(0));
+  append_offset_ = 0;
+  return file_->Sync();
+}
+
+}  // namespace heaven

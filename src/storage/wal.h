@@ -1,0 +1,65 @@
+#ifndef HEAVEN_STORAGE_WAL_H_
+#define HEAVEN_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/env.h"
+#include "common/status.h"
+
+namespace heaven {
+
+/// Operations recorded in the write-ahead log. The log is redo-only:
+/// uncommitted data never reaches the blob store, so recovery replays the
+/// operations of committed transactions in log order.
+enum class WalOp : uint8_t {
+  kPutBlob = 1,
+  kDeleteBlob = 2,
+  kCatalogUpdate = 3,
+  kCommit = 4,
+  kAbort = 5,
+};
+
+struct WalRecord {
+  uint64_t txn_id = 0;
+  WalOp op = WalOp::kCommit;
+  uint64_t blob_id = 0;    // for kPutBlob / kDeleteBlob
+  std::string payload;     // blob bytes or serialized catalog delta
+
+  bool operator==(const WalRecord& other) const = default;
+};
+
+/// Append-only write-ahead log with per-record CRC32C. Torn/corrupt tails
+/// are tolerated on recovery (the valid prefix is replayed).
+class Wal {
+ public:
+  static Result<std::unique_ptr<Wal>> Open(Env* env, const std::string& path);
+
+  Status Append(const WalRecord& record);
+  Status Sync();
+
+  /// Reads every valid record from the start of the log. A corrupt record
+  /// terminates the scan (its suffix is ignored) — crash-consistent
+  /// behaviour for a torn final write.
+  Result<std::vector<WalRecord>> ReadAll();
+
+  /// Discards the log contents (after a checkpoint made them redundant).
+  Status Reset();
+
+  uint64_t SizeBytes() const { return append_offset_; }
+
+ private:
+  Wal(std::unique_ptr<File> file, uint64_t size)
+      : file_(std::move(file)), append_offset_(size) {}
+
+  std::unique_ptr<File> file_;
+  std::mutex mu_;
+  uint64_t append_offset_;
+};
+
+}  // namespace heaven
+
+#endif  // HEAVEN_STORAGE_WAL_H_

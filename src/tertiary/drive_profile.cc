@@ -1,0 +1,74 @@
+#include "tertiary/drive_profile.h"
+
+namespace heaven {
+
+// Spool speeds are chosen so that MeanAccessSeconds() (seek to the middle
+// of a full cartridge) lands on the thesis's published 27–95 s range.
+
+TapeDriveProfile SlowTapeProfile() {
+  TapeDriveProfile p;
+  p.name = "slow-tape (DLT7000-class)";
+  p.robot_exchange_s = 40.0;
+  p.load_s = 25.0;
+  p.unload_s = 17.0;
+  p.seek_overhead_s = 3.0;
+  p.capacity_bytes = 35ull << 30;                 // 35 GB cartridge
+  p.spool_bytes_per_s =
+      (static_cast<double>(p.capacity_bytes) / 2.0) / 92.0;  // mean ~95 s
+  p.transfer_bytes_per_s = 5e6;                   // 5 MB/s
+  return p;
+}
+
+TapeDriveProfile MidTapeProfile() {
+  TapeDriveProfile p;
+  p.name = "mid-tape (AIT-class)";
+  p.robot_exchange_s = 25.0;
+  p.load_s = 15.0;
+  p.unload_s = 10.0;
+  p.seek_overhead_s = 2.0;
+  p.capacity_bytes = 50ull << 30;                 // 50 GB cartridge
+  p.spool_bytes_per_s =
+      (static_cast<double>(p.capacity_bytes) / 2.0) / 58.0;  // mean ~60 s
+  p.transfer_bytes_per_s = 12e6;                  // 12 MB/s
+  return p;
+}
+
+TapeDriveProfile FastTapeProfile() {
+  TapeDriveProfile p;
+  p.name = "fast-tape (LTO-class)";
+  p.robot_exchange_s = 12.0;
+  p.load_s = 10.0;
+  p.unload_s = 7.0;
+  p.seek_overhead_s = 1.5;
+  p.capacity_bytes = 100ull << 30;                // 100 GB cartridge
+  p.spool_bytes_per_s =
+      (static_cast<double>(p.capacity_bytes) / 2.0) / 25.5;  // mean ~27 s
+  p.transfer_bytes_per_s = 20e6;                  // 20 MB/s
+  return p;
+}
+
+TapeDriveProfile ScaledProfile(const TapeDriveProfile& profile,
+                               double factor) {
+  TapeDriveProfile p = profile;
+  p.name += " (x" + std::to_string(static_cast<int>(factor)) + " scaled)";
+  p.transfer_bytes_per_s /= factor;
+  p.spool_bytes_per_s /= factor;
+  p.capacity_bytes = static_cast<uint64_t>(
+      static_cast<double>(p.capacity_bytes) / factor);
+  return p;
+}
+
+TapeDriveProfile MagnetoOpticalProfile() {
+  TapeDriveProfile p;
+  p.name = "magneto-optical jukebox";
+  p.robot_exchange_s = 8.0;
+  p.load_s = 5.0;
+  p.unload_s = 3.0;
+  p.seek_overhead_s = 0.05;
+  p.capacity_bytes = 9ull << 30;                  // 9 GB platter
+  p.spool_bytes_per_s = 2e9;                      // random access-ish
+  p.transfer_bytes_per_s = 6e6;                   // 6 MB/s
+  return p;
+}
+
+}  // namespace heaven

@@ -1,0 +1,85 @@
+#ifndef HEAVEN_TERTIARY_DRIVE_PROFILE_H_
+#define HEAVEN_TERTIARY_DRIVE_PROFILE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace heaven {
+
+/// Cost parameters of one tape-drive class. The thesis characterizes
+/// tertiary storage by media-exchange time 12–40 s, mean access
+/// (positioning) time 27–95 s and a transfer rate roughly half of
+/// contemporary disks; the three built-in profiles span that range.
+struct TapeDriveProfile {
+  std::string name;
+  /// Robot arm move for one cartridge swap (seconds).
+  double robot_exchange_s = 25.0;
+  /// Thread/load a cartridge into the drive (seconds).
+  double load_s = 15.0;
+  /// Unload/eject (seconds).
+  double unload_s = 10.0;
+  /// Fixed per-positioning overhead (seconds).
+  double seek_overhead_s = 2.0;
+  /// Longitudinal spooling speed in bytes/second (locate speed).
+  double spool_bytes_per_s = 500e6;
+  /// Sustained read/write transfer rate in bytes/second.
+  double transfer_bytes_per_s = 15e6;
+  /// Cartridge capacity in bytes.
+  uint64_t capacity_bytes = 100ull << 30;
+
+  /// Seconds to move the head by `distance` bytes.
+  double SeekSeconds(uint64_t distance) const {
+    return seek_overhead_s +
+           static_cast<double>(distance) / spool_bytes_per_s;
+  }
+
+  /// Seconds to transfer `n` bytes once positioned.
+  double TransferSeconds(uint64_t n) const {
+    return static_cast<double>(n) / transfer_bytes_per_s;
+  }
+
+  /// Mean positioning time (to the middle of a full tape) — the figure the
+  /// thesis quotes as "mittlere Zugriffszeit".
+  double MeanAccessSeconds() const {
+    return SeekSeconds(capacity_bytes / 2);
+  }
+};
+
+/// Slow end of the thesis's parameter range (mean access ~95 s,
+/// exchange 40 s) — a DLT7000-class library.
+TapeDriveProfile SlowTapeProfile();
+
+/// Middle of the range (mean access ~60 s, exchange 25 s) — AIT-class.
+TapeDriveProfile MidTapeProfile();
+
+/// Fast end (mean access ~27 s, exchange 12 s) — LTO-class.
+TapeDriveProfile FastTapeProfile();
+
+/// Magneto-optical jukebox: much faster positioning, smaller media and a
+/// lower transfer rate — the alternative TS technology the thesis surveys.
+TapeDriveProfile MagnetoOpticalProfile();
+
+/// Returns `profile` with its transfer and spool rates divided by `factor`
+/// (positioning overheads unchanged) and capacity shrunk accordingly.
+///
+/// Rationale: experiments store real bytes, so datasets are limited to
+/// laptop scale, while the thesis's regime is hundreds of GB per object
+/// where *transfer volume* — not positioning — dominates. Scaling the rates
+/// down by F makes an N-byte experiment behave exactly like an (F·N)-byte
+/// run on the unscaled drive, preserving every cost ratio the experiments
+/// measure. EXPERIMENTS.md states the factor wherever it is used.
+TapeDriveProfile ScaledProfile(const TapeDriveProfile& profile, double factor);
+
+/// Cost parameters of the disk tier used to contrast DB-resident access.
+struct DiskProfile {
+  double seek_s = 0.008;
+  double transfer_bytes_per_s = 40e6;
+
+  double AccessSeconds(uint64_t n) const {
+    return seek_s + static_cast<double>(n) / transfer_bytes_per_s;
+  }
+};
+
+}  // namespace heaven
+
+#endif  // HEAVEN_TERTIARY_DRIVE_PROFILE_H_

@@ -1,0 +1,126 @@
+#include "tertiary/hsm_system.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace heaven {
+
+HsmSystem::HsmSystem(TapeLibrary* library, const HsmOptions& options,
+                     Statistics* stats)
+    : library_(library), options_(options), stats_(stats) {}
+
+Status HsmSystem::StoreFile(const std::string& name, std::string_view data) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (files_.count(name) > 0) {
+    return Status::AlreadyExists("HSM file " + name);
+  }
+  const MediumId medium = library_->MediumWithMostFreeSpace();
+  HEAVEN_ASSIGN_OR_RETURN(uint64_t offset, library_->Append(medium, data));
+  FileMeta meta;
+  meta.medium = medium;
+  meta.offset = offset;
+  meta.size = data.size();
+  files_[name] = meta;
+  return Status::Ok();
+}
+
+Status HsmSystem::StageLocked(const std::string& name, const FileMeta& meta) {
+  if (staged_.count(name) > 0) {
+    // Refresh LRU position.
+    stage_lru_.remove(name);
+    stage_lru_.push_front(name);
+    return Status::Ok();
+  }
+  EvictForLocked(meta.size);
+  std::string contents;
+  HEAVEN_RETURN_IF_ERROR(
+      library_->ReadAt(meta.medium, meta.offset, meta.size, &contents));
+  // Writing the staged copy to the cache disk costs disk time too.
+  library_->clock()->Advance(options_.disk.AccessSeconds(meta.size));
+  staged_bytes_ += contents.size();
+  staged_.emplace(name, std::move(contents));
+  stage_lru_.push_front(name);
+  if (stats_ != nullptr) {
+    stats_->Record(Ticker::kHsmFileStages);
+    stats_->Record(Ticker::kHsmBytesStaged, meta.size);
+  }
+  return Status::Ok();
+}
+
+void HsmSystem::EvictForLocked(uint64_t needed_bytes) {
+  while (!stage_lru_.empty() &&
+         staged_bytes_ + needed_bytes > options_.disk_cache_bytes) {
+    const std::string victim = stage_lru_.back();
+    stage_lru_.pop_back();
+    auto it = staged_.find(victim);
+    if (it != staged_.end()) {
+      staged_bytes_ -= it->second.size();
+      staged_.erase(it);
+      if (stats_ != nullptr) stats_->Record(Ticker::kHsmFilePurges);
+    }
+  }
+}
+
+Status HsmSystem::ReadFileRange(const std::string& name, uint64_t offset,
+                                uint64_t n, std::string* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(name);
+  if (it == files_.end()) return Status::NotFound("HSM file " + name);
+  if (offset + n > it->second.size) {
+    return Status::OutOfRange("range beyond HSM file size");
+  }
+  // File granularity: the whole file must be staged first.
+  HEAVEN_RETURN_IF_ERROR(StageLocked(name, it->second));
+  library_->clock()->Advance(options_.disk.AccessSeconds(n));
+  out->assign(staged_[name], offset, n);
+  return Status::Ok();
+}
+
+Result<std::string> HsmSystem::ReadFile(const std::string& name) {
+  std::string out;
+  uint64_t size = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = files_.find(name);
+    if (it == files_.end()) return Status::NotFound("HSM file " + name);
+    size = it->second.size;
+  }
+  HEAVEN_RETURN_IF_ERROR(ReadFileRange(name, 0, size, &out));
+  return out;
+}
+
+Status HsmSystem::PurgeFile(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = staged_.find(name);
+  if (it == staged_.end()) return Status::NotFound("not staged: " + name);
+  staged_bytes_ -= it->second.size();
+  staged_.erase(it);
+  stage_lru_.remove(name);
+  if (stats_ != nullptr) stats_->Record(Ticker::kHsmFilePurges);
+  return Status::Ok();
+}
+
+bool HsmSystem::IsStaged(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return staged_.count(name) > 0;
+}
+
+bool HsmSystem::FileExists(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return files_.count(name) > 0;
+}
+
+Result<uint64_t> HsmSystem::FileSize(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(name);
+  if (it == files_.end()) return Status::NotFound("HSM file " + name);
+  return it->second.size;
+}
+
+uint64_t HsmSystem::StagedBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return staged_bytes_;
+}
+
+}  // namespace heaven

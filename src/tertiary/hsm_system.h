@@ -1,0 +1,77 @@
+#ifndef HEAVEN_TERTIARY_HSM_SYSTEM_H_
+#define HEAVEN_TERTIARY_HSM_SYSTEM_H_
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "common/statistics.h"
+#include "common/status.h"
+#include "tertiary/tape_library.h"
+
+namespace heaven {
+
+struct HsmOptions {
+  /// Capacity of the disk staging cache in bytes.
+  uint64_t disk_cache_bytes = 4ull << 30;
+  /// Cost model of the staging disk.
+  DiskProfile disk;
+};
+
+/// A hierarchical storage management system of the UniTree/ADSM class the
+/// thesis describes: a *file-granularity* staging layer in front of the
+/// tape library. Any access — even to a single byte — stages the complete
+/// file from tape to the disk cache first. This is exactly the deficiency
+/// HEAVEN's sub-object (super-tile) granularity removes, and it serves as
+/// the baseline in the retrieval experiments.
+class HsmSystem {
+ public:
+  HsmSystem(TapeLibrary* library, const HsmOptions& options,
+            Statistics* stats);
+
+  /// Migrates a named file to tape (placed on the emptiest cartridge).
+  Status StoreFile(const std::string& name, std::string_view data);
+
+  /// Reads `n` bytes at `offset`. Stages the whole file on a cache miss.
+  Status ReadFileRange(const std::string& name, uint64_t offset, uint64_t n,
+                       std::string* out);
+
+  /// Reads the complete file (staging it on a miss).
+  Result<std::string> ReadFile(const std::string& name);
+
+  /// Drops a file from the staging cache (tape copy remains).
+  Status PurgeFile(const std::string& name);
+
+  bool IsStaged(const std::string& name) const;
+  bool FileExists(const std::string& name) const;
+  Result<uint64_t> FileSize(const std::string& name) const;
+
+  uint64_t StagedBytes() const;
+
+ private:
+  struct FileMeta {
+    MediumId medium = 0;
+    uint64_t offset = 0;
+    uint64_t size = 0;
+  };
+
+  /// Ensures the file is in the disk cache; pays tape + disk write costs.
+  Status StageLocked(const std::string& name, const FileMeta& meta);
+  void EvictForLocked(uint64_t needed_bytes);
+
+  TapeLibrary* library_;
+  HsmOptions options_;
+  Statistics* stats_;
+
+  mutable std::mutex mu_;
+  std::map<std::string, FileMeta> files_;
+  std::map<std::string, std::string> staged_;   // name -> contents
+  std::list<std::string> stage_lru_;            // front = most recent
+  uint64_t staged_bytes_ = 0;
+};
+
+}  // namespace heaven
+
+#endif  // HEAVEN_TERTIARY_HSM_SYSTEM_H_

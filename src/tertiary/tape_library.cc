@@ -1,0 +1,319 @@
+#include "tertiary/tape_library.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace heaven {
+
+TapeLibrary::TapeLibrary(const TapeLibraryOptions& options, Statistics* stats)
+    : options_(options), stats_(stats) {
+  HEAVEN_CHECK(options_.num_drives >= 1);
+  HEAVEN_CHECK(options_.num_media >= 1);
+  drives_.resize(options_.num_drives);
+  media_.resize(options_.num_media);
+}
+
+TapeLibrary::TapeLibrary(const TapeLibraryOptions& options, Statistics* stats,
+                         Env* env, const std::string& dir)
+    : TapeLibrary(options, stats) {
+  env_ = env;
+  dir_ = dir;
+  HEAVEN_CHECK_OK(LoadPersistedMedia());
+}
+
+std::string TapeLibrary::MediumPath(MediumId medium) const {
+  return dir_ + "/medium_" + std::to_string(medium) + ".tape";
+}
+
+Status TapeLibrary::LoadPersistedMedia() {
+  if (env_ == nullptr) return Status::Ok();
+  HEAVEN_RETURN_IF_ERROR(env_->CreateDirIfMissing(dir_));
+  std::lock_guard<std::mutex> lock(mu_);
+  for (MediumId m = 0; m < media_.size(); ++m) {
+    HEAVEN_ASSIGN_OR_RETURN(media_[m].file, env_->OpenFile(MediumPath(m)));
+    HEAVEN_ASSIGN_OR_RETURN(uint64_t size, media_[m].file->Size());
+    if (size > 0) {
+      HEAVEN_RETURN_IF_ERROR(
+          media_[m].file->ReadAt(0, size, &media_[m].data));
+    }
+  }
+  return Status::Ok();
+}
+
+Result<DriveId> TapeLibrary::EnsureLoadedLocked(MediumId medium_id) {
+  if (medium_id >= media_.size()) {
+    return Status::InvalidArgument("bad medium id");
+  }
+  Medium& medium = media_[medium_id];
+  if (medium.loaded) {
+    drives_[medium.drive].last_used_seq = ++use_seq_;
+    return medium.drive;
+  }
+
+  // Pick a free drive, else unload the least-recently-used one.
+  DriveId drive_id = 0;
+  bool found_free = false;
+  for (DriveId d = 0; d < drives_.size(); ++d) {
+    if (!drives_[d].occupied) {
+      drive_id = d;
+      found_free = true;
+      break;
+    }
+  }
+  const TapeDriveProfile& profile = options_.profile;
+  if (!found_free) {
+    drive_id = 0;
+    for (DriveId d = 1; d < drives_.size(); ++d) {
+      if (drives_[d].last_used_seq < drives_[drive_id].last_used_seq) {
+        drive_id = d;
+      }
+    }
+    Drive& drive = drives_[drive_id];
+    media_[drive.medium].loaded = false;
+    clock_.Advance(profile.unload_s + profile.robot_exchange_s);
+    if (stats_ != nullptr) stats_->Record(Ticker::kRobotMoves);
+    drive.occupied = false;
+  }
+
+  // Robot fetches the cartridge and the drive threads it.
+  clock_.Advance(profile.robot_exchange_s + profile.load_s);
+  if (stats_ != nullptr) {
+    stats_->Record(Ticker::kRobotMoves);
+    stats_->Record(Ticker::kTapeMediaExchanges);
+  }
+  Drive& drive = drives_[drive_id];
+  drive.occupied = true;
+  drive.medium = medium_id;
+  drive.head_position = 0;  // load rewinds
+  drive.last_used_seq = ++use_seq_;
+  medium.loaded = true;
+  medium.drive = drive_id;
+  RecordTraceLocked(TapeTraceEvent::Kind::kExchange, medium_id, 0, 0,
+                    profile.robot_exchange_s + profile.load_s);
+  return drive_id;
+}
+
+void TapeLibrary::SeekLocked(DriveId drive_id, uint64_t offset) {
+  // Every discrete request pays the fixed positioning overhead, even when
+  // head-contiguous: linear tape drives stop between commands and must
+  // backhitch/reposition before the next transfer.
+  Drive& drive = drives_[drive_id];
+  const uint64_t distance = drive.head_position > offset
+                                ? drive.head_position - offset
+                                : offset - drive.head_position;
+  const double seconds = options_.profile.SeekSeconds(distance);
+  clock_.Advance(seconds);
+  if (stats_ != nullptr) {
+    stats_->Record(Ticker::kTapeSeeks);
+    stats_->Record(Ticker::kTapeSeekSeconds,
+                   static_cast<uint64_t>(seconds + 0.5));
+  }
+  RecordTraceLocked(TapeTraceEvent::Kind::kSeek, drive.medium, offset,
+                    distance, seconds);
+  drive.head_position = offset;
+}
+
+Result<uint64_t> TapeLibrary::Append(MediumId medium_id,
+                                     std::string_view data) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (medium_id >= media_.size()) {
+    return Status::InvalidArgument("bad medium id");
+  }
+  Medium& medium = media_[medium_id];
+  if (medium.data.size() + data.size() > options_.profile.capacity_bytes) {
+    return Status::ResourceExhausted("medium " + std::to_string(medium_id) +
+                                     " is full");
+  }
+  HEAVEN_ASSIGN_OR_RETURN(DriveId drive_id, EnsureLoadedLocked(medium_id));
+  const uint64_t offset = medium.data.size();
+  SeekLocked(drive_id, offset);
+  clock_.Advance(options_.profile.TransferSeconds(data.size()));
+  if (medium.file != nullptr) {
+    HEAVEN_RETURN_IF_ERROR(medium.file->WriteAt(medium.data.size(), data));
+  }
+  medium.data.append(data);
+  drives_[drive_id].head_position = medium.data.size();
+  if (stats_ != nullptr) {
+    stats_->Record(Ticker::kTapeWriteRequests);
+    stats_->Record(Ticker::kTapeBytesWritten, data.size());
+  }
+  RecordTraceLocked(TapeTraceEvent::Kind::kWrite, medium_id, offset,
+                    data.size(), options_.profile.TransferSeconds(data.size()));
+  return offset;
+}
+
+Status TapeLibrary::ReadAt(MediumId medium_id, uint64_t offset, uint64_t n,
+                           std::string* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (medium_id >= media_.size()) {
+    return Status::InvalidArgument("bad medium id");
+  }
+  Medium& medium = media_[medium_id];
+  if (offset + n > medium.data.size()) {
+    return Status::OutOfRange("read past end of written extent");
+  }
+  HEAVEN_ASSIGN_OR_RETURN(DriveId drive_id, EnsureLoadedLocked(medium_id));
+  SeekLocked(drive_id, offset);
+  clock_.Advance(options_.profile.TransferSeconds(n));
+  out->assign(medium.data, offset, n);
+  drives_[drive_id].head_position = offset + n;
+  if (stats_ != nullptr) {
+    stats_->Record(Ticker::kTapeReadRequests);
+    stats_->Record(Ticker::kTapeBytesRead, n);
+  }
+  RecordTraceLocked(TapeTraceEvent::Kind::kRead, medium_id, offset, n,
+                    options_.profile.TransferSeconds(n));
+  return Status::Ok();
+}
+
+Status TapeLibrary::EraseMedium(MediumId medium_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (medium_id >= media_.size()) {
+    return Status::InvalidArgument("bad medium id");
+  }
+  Medium& medium = media_[medium_id];
+  if (medium.loaded) {
+    Drive& drive = drives_[medium.drive];
+    clock_.Advance(options_.profile.unload_s +
+                   options_.profile.robot_exchange_s);
+    if (stats_ != nullptr) stats_->Record(Ticker::kRobotMoves);
+    drive.occupied = false;
+    medium.loaded = false;
+  }
+  RecordTraceLocked(TapeTraceEvent::Kind::kErase, medium_id, 0,
+                    medium.data.size(), 0.0);
+  if (medium.file != nullptr) {
+    HEAVEN_RETURN_IF_ERROR(medium.file->Truncate(0));
+  }
+  medium.data.clear();
+  return Status::Ok();
+}
+
+Status TapeLibrary::CorruptByteForTesting(MediumId medium_id,
+                                          uint64_t offset) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (medium_id >= media_.size()) {
+    return Status::InvalidArgument("bad medium id");
+  }
+  Medium& medium = media_[medium_id];
+  if (offset >= medium.data.size()) {
+    return Status::OutOfRange("offset beyond written extent");
+  }
+  medium.data[offset] = static_cast<char>(medium.data[offset] ^ 0x40);
+  if (medium.file != nullptr) {
+    HEAVEN_RETURN_IF_ERROR(
+        medium.file->WriteAt(offset, std::string_view(&medium.data[offset], 1)));
+  }
+  return Status::Ok();
+}
+
+Result<uint64_t> TapeLibrary::MediumUsedBytes(MediumId medium_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (medium_id >= media_.size()) {
+    return Status::InvalidArgument("bad medium id");
+  }
+  return static_cast<uint64_t>(media_[medium_id].data.size());
+}
+
+Result<uint64_t> TapeLibrary::MediumFreeBytes(MediumId medium_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (medium_id >= media_.size()) {
+    return Status::InvalidArgument("bad medium id");
+  }
+  return options_.profile.capacity_bytes - media_[medium_id].data.size();
+}
+
+MediumId TapeLibrary::MediumWithMostFreeSpace() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MediumId best = 0;
+  size_t best_used = media_[0].data.size();
+  for (MediumId m = 1; m < media_.size(); ++m) {
+    if (media_[m].data.size() < best_used) {
+      best = m;
+      best_used = media_[m].data.size();
+    }
+  }
+  return best;
+}
+
+bool TapeLibrary::IsLoaded(MediumId medium_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (medium_id >= media_.size()) return false;
+  return media_[medium_id].loaded;
+}
+
+Result<uint64_t> TapeLibrary::HeadPosition(MediumId medium_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (medium_id >= media_.size()) {
+    return Status::InvalidArgument("bad medium id");
+  }
+  const Medium& medium = media_[medium_id];
+  if (!medium.loaded) return Status::FailedPrecondition("medium not loaded");
+  return drives_[medium.drive].head_position;
+}
+
+void TapeLibrary::RecordTraceLocked(TapeTraceEvent::Kind kind,
+                                    MediumId medium, uint64_t offset,
+                                    uint64_t bytes, double seconds) {
+  if (!trace_enabled_) return;
+  TapeTraceEvent event;
+  event.kind = kind;
+  event.medium = medium;
+  event.offset = offset;
+  event.bytes = bytes;
+  event.seconds = seconds;
+  event.clock = clock_.Now();
+  trace_.push_back(event);
+}
+
+void TapeLibrary::EnableTrace(bool enabled) {
+  std::lock_guard<std::mutex> lock(mu_);
+  trace_enabled_ = enabled;
+}
+
+bool TapeLibrary::trace_enabled() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return trace_enabled_;
+}
+
+std::vector<TapeTraceEvent> TapeLibrary::Trace() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return trace_;
+}
+
+void TapeLibrary::ClearTrace() {
+  std::lock_guard<std::mutex> lock(mu_);
+  trace_.clear();
+}
+
+std::string FormatTapeTrace(const std::vector<TapeTraceEvent>& trace) {
+  std::ostringstream out;
+  for (const TapeTraceEvent& event : trace) {
+    char kind = '?';
+    switch (event.kind) {
+      case TapeTraceEvent::Kind::kExchange:
+        kind = 'X';
+        break;
+      case TapeTraceEvent::Kind::kSeek:
+        kind = 'S';
+        break;
+      case TapeTraceEvent::Kind::kRead:
+        kind = 'R';
+        break;
+      case TapeTraceEvent::Kind::kWrite:
+        kind = 'W';
+        break;
+      case TapeTraceEvent::Kind::kErase:
+        kind = 'E';
+        break;
+    }
+    out << kind << " m" << event.medium << " @" << event.offset << " +"
+        << event.bytes << " " << event.seconds << "s t=" << event.clock
+        << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace heaven

@@ -1,0 +1,164 @@
+#include "heaven/cache.h"
+
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace heaven {
+namespace {
+
+std::shared_ptr<const SuperTile> MakeSt(SuperTileId id) {
+  auto st = std::make_shared<SuperTile>(id, 1, CellType::kChar);
+  Tile tile(MdInterval({0}, {9}), CellType::kChar);
+  HEAVEN_CHECK(st->AddTile(id * 10, std::move(tile)).ok());
+  return st;
+}
+
+CacheOptions Opts(uint64_t capacity, EvictionPolicy policy) {
+  CacheOptions options;
+  options.capacity_bytes = capacity;
+  options.policy = policy;
+  return options;
+}
+
+TEST(CacheTest, InsertLookupHit) {
+  Statistics stats;
+  SuperTileCache cache(Opts(1000, EvictionPolicy::kLru), &stats);
+  cache.Insert(1, MakeSt(1), 100);
+  auto hit = cache.Lookup(1);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->id(), 1u);
+  EXPECT_EQ(stats.Get(Ticker::kCacheHits), 1u);
+  EXPECT_EQ(cache.size_bytes(), 100u);
+}
+
+TEST(CacheTest, MissRecorded) {
+  Statistics stats;
+  SuperTileCache cache(Opts(1000, EvictionPolicy::kLru), &stats);
+  EXPECT_EQ(cache.Lookup(7), nullptr);
+  EXPECT_EQ(stats.Get(Ticker::kCacheMisses), 1u);
+}
+
+TEST(CacheTest, OversizedObjectNotAdmitted) {
+  Statistics stats;
+  SuperTileCache cache(Opts(100, EvictionPolicy::kLru), &stats);
+  cache.Insert(1, MakeSt(1), 200);
+  EXPECT_FALSE(cache.Contains(1));
+  EXPECT_EQ(cache.entry_count(), 0u);
+}
+
+TEST(CacheTest, ReinsertReplacesAndAdjustsBytes) {
+  Statistics stats;
+  SuperTileCache cache(Opts(1000, EvictionPolicy::kLru), &stats);
+  cache.Insert(1, MakeSt(1), 100);
+  cache.Insert(1, MakeSt(1), 300);
+  EXPECT_EQ(cache.size_bytes(), 300u);
+  EXPECT_EQ(cache.entry_count(), 1u);
+}
+
+TEST(CacheTest, EraseAndClear) {
+  Statistics stats;
+  SuperTileCache cache(Opts(1000, EvictionPolicy::kLru), &stats);
+  cache.Insert(1, MakeSt(1), 100);
+  cache.Insert(2, MakeSt(2), 100);
+  cache.Erase(1);
+  EXPECT_FALSE(cache.Contains(1));
+  EXPECT_EQ(cache.size_bytes(), 100u);
+  cache.Clear();
+  EXPECT_EQ(cache.entry_count(), 0u);
+  EXPECT_EQ(cache.size_bytes(), 0u);
+}
+
+TEST(CacheTest, LruEvictsLeastRecentlyUsed) {
+  Statistics stats;
+  SuperTileCache cache(Opts(300, EvictionPolicy::kLru), &stats);
+  cache.Insert(1, MakeSt(1), 100);
+  cache.Insert(2, MakeSt(2), 100);
+  cache.Insert(3, MakeSt(3), 100);
+  ASSERT_NE(cache.Lookup(1), nullptr);  // 2 becomes LRU
+  cache.Insert(4, MakeSt(4), 100);
+  EXPECT_TRUE(cache.Contains(1));
+  EXPECT_FALSE(cache.Contains(2));
+  EXPECT_TRUE(cache.Contains(3));
+  EXPECT_TRUE(cache.Contains(4));
+  EXPECT_EQ(stats.Get(Ticker::kCacheEvictions), 1u);
+}
+
+TEST(CacheTest, LfuEvictsLeastFrequentlyUsed) {
+  Statistics stats;
+  SuperTileCache cache(Opts(300, EvictionPolicy::kLfu), &stats);
+  cache.Insert(1, MakeSt(1), 100);
+  cache.Insert(2, MakeSt(2), 100);
+  cache.Insert(3, MakeSt(3), 100);
+  // Access 1 thrice, 3 once; 2 has zero accesses.
+  cache.Lookup(1);
+  cache.Lookup(1);
+  cache.Lookup(1);
+  cache.Lookup(3);
+  cache.Insert(4, MakeSt(4), 100);
+  EXPECT_TRUE(cache.Contains(1));
+  EXPECT_FALSE(cache.Contains(2));
+  EXPECT_TRUE(cache.Contains(3));
+}
+
+TEST(CacheTest, FifoEvictsOldestInsertion) {
+  Statistics stats;
+  SuperTileCache cache(Opts(300, EvictionPolicy::kFifo), &stats);
+  cache.Insert(1, MakeSt(1), 100);
+  cache.Insert(2, MakeSt(2), 100);
+  cache.Insert(3, MakeSt(3), 100);
+  // Heavy access on 1 must NOT save it under FIFO.
+  cache.Lookup(1);
+  cache.Lookup(1);
+  cache.Insert(4, MakeSt(4), 100);
+  EXPECT_FALSE(cache.Contains(1));
+  EXPECT_TRUE(cache.Contains(2));
+}
+
+TEST(CacheTest, SizeAwareEvictsLargestFirst) {
+  Statistics stats;
+  SuperTileCache cache(Opts(600, EvictionPolicy::kSizeAware), &stats);
+  cache.Insert(1, MakeSt(1), 300);
+  cache.Insert(2, MakeSt(2), 100);
+  cache.Insert(3, MakeSt(3), 100);
+  cache.Insert(4, MakeSt(4), 200);  // needs space: evicts 1 (largest)
+  EXPECT_FALSE(cache.Contains(1));
+  EXPECT_TRUE(cache.Contains(2));
+  EXPECT_TRUE(cache.Contains(3));
+  EXPECT_TRUE(cache.Contains(4));
+}
+
+TEST(CacheTest, EvictsMultipleWhenNeeded) {
+  Statistics stats;
+  SuperTileCache cache(Opts(300, EvictionPolicy::kLru), &stats);
+  cache.Insert(1, MakeSt(1), 100);
+  cache.Insert(2, MakeSt(2), 100);
+  cache.Insert(3, MakeSt(3), 100);
+  cache.Insert(4, MakeSt(4), 300);  // evicts everything
+  EXPECT_EQ(cache.entry_count(), 1u);
+  EXPECT_TRUE(cache.Contains(4));
+  EXPECT_EQ(stats.Get(Ticker::kCacheEvictions), 3u);
+}
+
+TEST(CacheTest, ContainsDoesNotPerturbState) {
+  Statistics stats;
+  SuperTileCache cache(Opts(200, EvictionPolicy::kLru), &stats);
+  cache.Insert(1, MakeSt(1), 100);
+  cache.Insert(2, MakeSt(2), 100);
+  // Contains(1) must not refresh recency.
+  EXPECT_TRUE(cache.Contains(1));
+  cache.Insert(3, MakeSt(3), 100);
+  EXPECT_FALSE(cache.Contains(1));  // still evicted as LRU
+  EXPECT_EQ(stats.Get(Ticker::kCacheHits), 0u);
+  EXPECT_EQ(stats.Get(Ticker::kCacheMisses), 0u);
+}
+
+TEST(CacheTest, PolicyNames) {
+  EXPECT_EQ(EvictionPolicyName(EvictionPolicy::kLru), "LRU");
+  EXPECT_EQ(EvictionPolicyName(EvictionPolicy::kLfu), "LFU");
+  EXPECT_EQ(EvictionPolicyName(EvictionPolicy::kFifo), "FIFO");
+  EXPECT_EQ(EvictionPolicyName(EvictionPolicy::kSizeAware), "size-aware");
+}
+
+}  // namespace
+}  // namespace heaven

@@ -1,0 +1,223 @@
+#include "storage/catalog.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/serialize.h"
+
+namespace heaven {
+namespace {
+
+ObjectDescriptor MakeObject(ObjectId id, const std::string& name) {
+  ObjectDescriptor obj;
+  obj.object_id = id;
+  obj.collection_id = 1;
+  obj.name = name;
+  obj.domain = MdInterval({0, 0}, {99, 99});
+  obj.cell_type = CellType::kFloat;
+  obj.tile_extents = {10, 10};
+  return obj;
+}
+
+TileDescriptor MakeTile(TileId id, int64_t x) {
+  TileDescriptor tile;
+  tile.tile_id = id;
+  tile.domain = MdInterval({x, 0}, {x + 9, 9});
+  tile.location = TileLocation::kDisk;
+  tile.blob_id = id * 10;
+  tile.size_bytes = 400;
+  return tile;
+}
+
+TEST(CatalogDeltaTest, EncodeDecodeRoundTrip) {
+  CatalogDelta delta;
+  delta.op = CatalogOp::kAddTile;
+  delta.object_id = 5;
+  delta.tile = MakeTile(3, 20);
+  auto decoded = CatalogDelta::Decode(delta.Encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->op, CatalogOp::kAddTile);
+  EXPECT_EQ(decoded->object_id, 5u);
+  EXPECT_EQ(decoded->tile.tile_id, 3u);
+  EXPECT_EQ(decoded->tile.domain, MakeTile(3, 20).domain);
+}
+
+TEST(CatalogDeltaTest, DecodeRejectsTruncation) {
+  CatalogDelta delta;
+  delta.op = CatalogOp::kAddObject;
+  delta.object = MakeObject(1, "x");
+  std::string encoded = delta.Encode();
+  encoded.resize(encoded.size() - 3);
+  EXPECT_FALSE(CatalogDelta::Decode(encoded).ok());
+}
+
+TEST(SerializeTest, ObjectDescriptorRoundTrip) {
+  ObjectDescriptor obj = MakeObject(7, "climate_2003");
+  std::string buf;
+  EncodeObjectDescriptor(&buf, obj);
+  Decoder dec(buf);
+  ObjectDescriptor out;
+  ASSERT_TRUE(DecodeObjectDescriptor(&dec, &out).ok());
+  EXPECT_EQ(out.object_id, obj.object_id);
+  EXPECT_EQ(out.name, obj.name);
+  EXPECT_EQ(out.domain, obj.domain);
+  EXPECT_EQ(out.cell_type, obj.cell_type);
+  EXPECT_EQ(out.tile_extents, obj.tile_extents);
+}
+
+TEST(SerializeTest, TileDescriptorRoundTrip) {
+  TileDescriptor tile = MakeTile(9, 50);
+  tile.location = TileLocation::kTertiary;
+  tile.super_tile = 4;
+  std::string buf;
+  EncodeTileDescriptor(&buf, tile);
+  Decoder dec(buf);
+  TileDescriptor out;
+  ASSERT_TRUE(DecodeTileDescriptor(&dec, &out).ok());
+  EXPECT_EQ(out.tile_id, tile.tile_id);
+  EXPECT_EQ(out.location, TileLocation::kTertiary);
+  EXPECT_EQ(out.super_tile, 4u);
+  EXPECT_EQ(out.size_bytes, 400u);
+}
+
+class CatalogTest : public ::testing::Test {
+ protected:
+  Status AddCollection(CollectionId id, const std::string& name) {
+    CatalogDelta delta;
+    delta.op = CatalogOp::kAddCollection;
+    delta.collection_id = id;
+    delta.name = name;
+    return catalog_.Apply(delta);
+  }
+
+  Status AddObject(const ObjectDescriptor& obj) {
+    CatalogDelta delta;
+    delta.op = CatalogOp::kAddObject;
+    delta.object = obj;
+    return catalog_.Apply(delta);
+  }
+
+  Status AddTile(ObjectId object_id, const TileDescriptor& tile) {
+    CatalogDelta delta;
+    delta.op = CatalogOp::kAddTile;
+    delta.object_id = object_id;
+    delta.tile = tile;
+    return catalog_.Apply(delta);
+  }
+
+  Catalog catalog_;
+};
+
+TEST_F(CatalogTest, CollectionsLookup) {
+  ASSERT_TRUE(AddCollection(1, "climate").ok());
+  ASSERT_TRUE(AddCollection(2, "satellites").ok());
+  EXPECT_EQ(catalog_.FindCollection("climate"), std::optional<CollectionId>(1));
+  EXPECT_EQ(catalog_.FindCollection("nope"), std::nullopt);
+  EXPECT_EQ(catalog_.ListCollections().size(), 2u);
+}
+
+TEST_F(CatalogTest, ObjectLifecycle) {
+  ASSERT_TRUE(AddObject(MakeObject(1, "a")).ok());
+  ASSERT_TRUE(AddObject(MakeObject(2, "b")).ok());
+  auto found = catalog_.FindObject("b");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(found->object_id, 2u);
+  EXPECT_EQ(catalog_.ListObjects(1).size(), 2u);
+
+  CatalogDelta remove;
+  remove.op = CatalogOp::kRemoveObject;
+  remove.object_id = 1;
+  ASSERT_TRUE(catalog_.Apply(remove).ok());
+  EXPECT_FALSE(catalog_.GetObject(1).ok());
+  EXPECT_TRUE(catalog_.GetObject(2).ok());
+}
+
+TEST_F(CatalogTest, TileLifecycleAndLocationUpdate) {
+  ASSERT_TRUE(AddObject(MakeObject(1, "a")).ok());
+  ASSERT_TRUE(AddTile(1, MakeTile(1, 0)).ok());
+  ASSERT_TRUE(AddTile(1, MakeTile(2, 10)).ok());
+  EXPECT_EQ(catalog_.ListTiles(1).size(), 2u);
+
+  CatalogDelta update;
+  update.op = CatalogOp::kUpdateTileLocation;
+  update.object_id = 1;
+  update.tile = MakeTile(2, 10);
+  update.tile.location = TileLocation::kTertiary;
+  update.tile.super_tile = 99;
+  update.tile.blob_id = 0;
+  ASSERT_TRUE(catalog_.Apply(update).ok());
+  auto tile = catalog_.GetTile(1, 2);
+  ASSERT_TRUE(tile.ok());
+  EXPECT_EQ(tile->location, TileLocation::kTertiary);
+  EXPECT_EQ(tile->super_tile, 99u);
+
+  CatalogDelta remove;
+  remove.op = CatalogOp::kRemoveTile;
+  remove.object_id = 1;
+  remove.tile_id = 1;
+  ASSERT_TRUE(catalog_.Apply(remove).ok());
+  EXPECT_FALSE(catalog_.GetTile(1, 1).ok());
+}
+
+TEST_F(CatalogTest, UpdateMissingTileFails) {
+  CatalogDelta update;
+  update.op = CatalogOp::kUpdateTileLocation;
+  update.object_id = 1;
+  update.tile = MakeTile(1, 0);
+  EXPECT_TRUE(catalog_.Apply(update).IsNotFound());
+}
+
+TEST_F(CatalogTest, SectionsStoreOpaquePayloads) {
+  CatalogDelta set;
+  set.op = CatalogOp::kSetSection;
+  set.name = "heaven.supertiles";
+  set.payload = std::string("\x00\x01\x02", 3);
+  ASSERT_TRUE(catalog_.Apply(set).ok());
+  EXPECT_EQ(catalog_.GetSection("heaven.supertiles").size(), 3u);
+  EXPECT_EQ(catalog_.GetSection("missing"), "");
+}
+
+TEST_F(CatalogTest, IdAllocatorsAdvancePastApplied) {
+  ASSERT_TRUE(AddObject(MakeObject(10, "x")).ok());
+  EXPECT_GT(catalog_.NextObjectId(), 10u);
+  ASSERT_TRUE(AddCollection(5, "c").ok());
+  EXPECT_GT(catalog_.NextCollectionId(), 5u);
+  ASSERT_TRUE(AddTile(10, MakeTile(33, 0)).ok());
+  EXPECT_GT(catalog_.NextTileId(), 33u);
+}
+
+TEST_F(CatalogTest, SerializeRestoreRoundTrip) {
+  ASSERT_TRUE(AddCollection(1, "climate").ok());
+  ASSERT_TRUE(AddObject(MakeObject(1, "a")).ok());
+  ASSERT_TRUE(AddTile(1, MakeTile(1, 0)).ok());
+  CatalogDelta set;
+  set.op = CatalogOp::kSetSection;
+  set.name = "s";
+  set.payload = "p";
+  ASSERT_TRUE(catalog_.Apply(set).ok());
+
+  Catalog restored;
+  ASSERT_TRUE(restored.Restore(catalog_.Serialize()).ok());
+  EXPECT_TRUE(restored.FindCollection("climate").has_value());
+  EXPECT_TRUE(restored.GetObject(1).ok());
+  EXPECT_TRUE(restored.GetTile(1, 1).ok());
+  EXPECT_EQ(restored.GetSection("s"), "p");
+  EXPECT_GT(restored.NextObjectId(), 1u);
+}
+
+TEST_F(CatalogTest, RestoreRejectsGarbage) {
+  Catalog restored;
+  EXPECT_FALSE(restored.Restore("not a catalog image").ok());
+}
+
+TEST_F(CatalogTest, ApplyIsIdempotentForReplay) {
+  // Replayed deltas must not fail or duplicate.
+  ASSERT_TRUE(AddObject(MakeObject(1, "a")).ok());
+  ASSERT_TRUE(AddObject(MakeObject(1, "a")).ok());
+  EXPECT_EQ(catalog_.ListObjects(1).size(), 1u);
+  ASSERT_TRUE(AddTile(1, MakeTile(1, 0)).ok());
+  ASSERT_TRUE(AddTile(1, MakeTile(1, 0)).ok());
+  EXPECT_EQ(catalog_.ListTiles(1).size(), 1u);
+}
+
+}  // namespace
+}  // namespace heaven

@@ -1,0 +1,234 @@
+#include "heaven/clustering.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "array/tiling.h"
+#include "heaven/scheduler.h"
+
+namespace heaven {
+namespace {
+
+std::vector<SuperTileGroup> MakeGroups(size_t count, uint64_t bytes_each) {
+  std::vector<SuperTileGroup> groups(count);
+  for (size_t i = 0; i < count; ++i) {
+    const int64_t x = static_cast<int64_t>(i % 4) * 10;
+    const int64_t y = static_cast<int64_t>(i / 4) * 10;
+    groups[i].tiles = {static_cast<TileId>(i + 1)};
+    groups[i].hull = MdInterval({x, y}, {x + 9, y + 9});
+    groups[i].payload_bytes = bytes_each;
+  }
+  return groups;
+}
+
+TapeLibraryOptions SmallLibrary(uint32_t media, uint64_t capacity) {
+  TapeLibraryOptions options;
+  options.profile = MidTapeProfile();
+  options.profile.capacity_bytes = capacity;
+  options.num_drives = 2;
+  options.num_media = media;
+  return options;
+}
+
+TEST(IntraClusteringTest, RowMajorSortsByLowerCorner) {
+  std::vector<SuperTileGroup> groups(1);
+  groups[0].tiles = {1, 2, 3};
+  groups[0].hull = MdInterval({0, 0}, {29, 9});
+  std::map<TileId, MdInterval> domains = {
+      {1, MdInterval({20, 0}, {29, 9})},
+      {2, MdInterval({0, 0}, {9, 9})},
+      {3, MdInterval({10, 0}, {19, 9})},
+  };
+  ASSERT_TRUE(
+      ApplyIntraClustering(&groups, domains, IntraOrder::kRowMajor).ok());
+  EXPECT_EQ(groups[0].tiles, (std::vector<TileId>{2, 3, 1}));
+}
+
+TEST(IntraClusteringTest, InsertionOrderIsNoOp) {
+  std::vector<SuperTileGroup> groups(1);
+  groups[0].tiles = {3, 1, 2};
+  std::map<TileId, MdInterval> domains;  // not consulted
+  ASSERT_TRUE(
+      ApplyIntraClustering(&groups, domains, IntraOrder::kInsertion).ok());
+  EXPECT_EQ(groups[0].tiles, (std::vector<TileId>{3, 1, 2}));
+}
+
+TEST(IntraClusteringTest, ZOrderKeepsQuadrantsTogether) {
+  std::vector<SuperTileGroup> groups(1);
+  groups[0].tiles = {1, 2, 3, 4};
+  groups[0].hull = MdInterval({0, 0}, {19, 19});
+  std::map<TileId, MdInterval> domains = {
+      {1, MdInterval({10, 10}, {19, 19})},
+      {2, MdInterval({0, 0}, {9, 9})},
+      {3, MdInterval({10, 0}, {19, 9})},
+      {4, MdInterval({0, 10}, {9, 19})},
+  };
+  ASSERT_TRUE(ApplyIntraClustering(&groups, domains, IntraOrder::kZOrder).ok());
+  // Z-order: (0,0), (0,10), (10,0), (10,10).
+  EXPECT_EQ(groups[0].tiles, (std::vector<TileId>{2, 4, 3, 1}));
+}
+
+TEST(IntraClusteringTest, MissingDomainFails) {
+  std::vector<SuperTileGroup> groups(1);
+  groups[0].tiles = {7};
+  groups[0].hull = MdInterval({0}, {9});
+  std::map<TileId, MdInterval> domains;
+  EXPECT_TRUE(ApplyIntraClustering(&groups, domains, IntraOrder::kRowMajor)
+                  .IsNotFound());
+}
+
+TEST(PlacementTest, ClusteredPlacementFillsOneMediumSequentially) {
+  Statistics stats;
+  TapeLibrary library(SmallLibrary(4, 1ull << 30), &stats);
+  auto groups = MakeGroups(8, 1000);
+  auto plan = PlanPlacement(groups, library, /*clustering_enabled=*/true);
+  ASSERT_TRUE(plan.ok());
+  // Everything fits on one medium.
+  std::set<MediumId> media(plan->medium.begin(), plan->medium.end());
+  EXPECT_EQ(media.size(), 1u);
+  EXPECT_EQ(plan->write_order.size(), 8u);
+}
+
+TEST(PlacementTest, ClusteredPlacementSpillsWhenFull) {
+  Statistics stats;
+  // Each medium fits only ~3 groups of 1000 bytes (plus overhead).
+  TapeLibrary library(SmallLibrary(4, 3 * 1200), &stats);
+  auto groups = MakeGroups(8, 1000);
+  auto plan = PlanPlacement(groups, library, true);
+  ASSERT_TRUE(plan.ok());
+  std::set<MediumId> media(plan->medium.begin(), plan->medium.end());
+  EXPECT_GE(media.size(), 3u);
+}
+
+TEST(PlacementTest, NaivePlacementScattersRoundRobin) {
+  Statistics stats;
+  TapeLibrary library(SmallLibrary(4, 1ull << 30), &stats);
+  auto groups = MakeGroups(8, 1000);
+  auto plan = PlanPlacement(groups, library, /*clustering_enabled=*/false);
+  ASSERT_TRUE(plan.ok());
+  std::set<MediumId> media(plan->medium.begin(), plan->medium.end());
+  EXPECT_EQ(media.size(), 4u);  // spread over all media
+  // Write order is insertion order.
+  for (size_t i = 0; i < plan->write_order.size(); ++i) {
+    EXPECT_EQ(plan->write_order[i], i);
+  }
+}
+
+TEST(PlacementTest, ClusteredWriteOrderFollowsZOrder) {
+  Statistics stats;
+  TapeLibrary library(SmallLibrary(2, 1ull << 30), &stats);
+  // Two spatially distant clusters, interleaved in insertion order.
+  std::vector<SuperTileGroup> groups(4);
+  groups[0].tiles = {1};
+  groups[0].hull = MdInterval({0, 0}, {9, 9});
+  groups[0].payload_bytes = 100;
+  groups[1].tiles = {2};
+  groups[1].hull = MdInterval({1000, 1000}, {1009, 1009});
+  groups[1].payload_bytes = 100;
+  groups[2].tiles = {3};
+  groups[2].hull = MdInterval({10, 0}, {19, 9});
+  groups[2].payload_bytes = 100;
+  groups[3].tiles = {4};
+  groups[3].hull = MdInterval({1010, 1000}, {1019, 1009});
+  groups[3].payload_bytes = 100;
+  auto plan = PlanPlacement(groups, library, true);
+  ASSERT_TRUE(plan.ok());
+  // Near-origin groups (0, 2) must be adjacent in write order, as must the
+  // far cluster (1, 3).
+  auto pos = [&](size_t g) {
+    for (size_t i = 0; i < plan->write_order.size(); ++i) {
+      if (plan->write_order[i] == g) return i;
+    }
+    return size_t{99};
+  };
+  EXPECT_EQ(pos(0) + 1, pos(2));
+  EXPECT_EQ(pos(1) + 1, pos(3));
+}
+
+TEST(PlacementTest, FailsWhenLibraryFull) {
+  Statistics stats;
+  TapeLibrary library(SmallLibrary(2, 1500), &stats);
+  auto groups = MakeGroups(8, 1000);
+  EXPECT_FALSE(PlanPlacement(groups, library, true).ok());
+  EXPECT_FALSE(PlanPlacement(groups, library, false).ok());
+}
+
+TEST(PlacementTest, EmptyGroupsYieldEmptyPlan) {
+  Statistics stats;
+  TapeLibrary library(SmallLibrary(2, 1000), &stats);
+  auto plan = PlanPlacement({}, library, true);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan->write_order.empty());
+}
+
+// -------------------------------------------------------------- Scheduler --
+
+TEST(SchedulerTest, FifoPreservesOrder) {
+  Statistics stats;
+  TapeLibrary library(SmallLibrary(4, 1ull << 30), &stats);
+  std::vector<SuperTileRequest> requests = {
+      {1, 2, 500, 10}, {2, 0, 100, 10}, {3, 2, 100, 10}};
+  auto scheduled = ScheduleRequests(requests, library, SchedulePolicy::kFifo);
+  ASSERT_EQ(scheduled.size(), 3u);
+  EXPECT_EQ(scheduled[0].id, 1u);
+  EXPECT_EQ(scheduled[1].id, 2u);
+  EXPECT_EQ(scheduled[2].id, 3u);
+}
+
+TEST(SchedulerTest, ElevatorGroupsByMediumAndSortsOffsets) {
+  Statistics stats;
+  TapeLibrary library(SmallLibrary(4, 1ull << 30), &stats);
+  std::vector<SuperTileRequest> requests = {
+      {1, 2, 500, 10}, {2, 0, 100, 10}, {3, 2, 100, 10}, {4, 0, 50, 10}};
+  auto scheduled =
+      ScheduleRequests(requests, library, SchedulePolicy::kMediaElevator);
+  ASSERT_EQ(scheduled.size(), 4u);
+  // One switch instead of three.
+  EXPECT_EQ(CountMediumSwitches(scheduled), 1u);
+  EXPECT_EQ(CountMediumSwitches(requests), 3u);
+  // Within each medium, ascending offsets.
+  EXPECT_EQ(scheduled[0].medium, scheduled[1].medium);
+  EXPECT_LE(scheduled[0].offset, scheduled[1].offset);
+  EXPECT_LE(scheduled[2].offset, scheduled[3].offset);
+}
+
+TEST(SchedulerTest, LoadedMediaServedFirst) {
+  Statistics stats;
+  TapeLibrary library(SmallLibrary(4, 1ull << 30), &stats);
+  // Load medium 3 by writing to it.
+  ASSERT_TRUE(library.Append(3, "warm").ok());
+  std::vector<SuperTileRequest> requests = {
+      {1, 0, 0, 10}, {2, 3, 0, 10}, {3, 0, 50, 10}};
+  auto scheduled =
+      ScheduleRequests(requests, library, SchedulePolicy::kMediaElevator);
+  EXPECT_EQ(scheduled[0].medium, 3u);  // already in a drive
+}
+
+TEST(SchedulerTest, SingleRequestUnchanged) {
+  Statistics stats;
+  TapeLibrary library(SmallLibrary(2, 1ull << 30), &stats);
+  std::vector<SuperTileRequest> requests = {{1, 1, 42, 10}};
+  auto scheduled =
+      ScheduleRequests(requests, library, SchedulePolicy::kMediaElevator);
+  ASSERT_EQ(scheduled.size(), 1u);
+  EXPECT_EQ(scheduled[0].offset, 42u);
+}
+
+TEST(SchedulerTest, CountMediumSwitches) {
+  EXPECT_EQ(CountMediumSwitches({}), 0u);
+  std::vector<SuperTileRequest> one = {{1, 0, 0, 1}};
+  EXPECT_EQ(CountMediumSwitches(one), 0u);
+  std::vector<SuperTileRequest> pingpong = {
+      {1, 0, 0, 1}, {2, 1, 0, 1}, {3, 0, 0, 1}, {4, 1, 0, 1}};
+  EXPECT_EQ(CountMediumSwitches(pingpong), 3u);
+}
+
+TEST(SchedulerTest, PolicyNames) {
+  EXPECT_EQ(SchedulePolicyName(SchedulePolicy::kFifo), "FIFO");
+  EXPECT_EQ(SchedulePolicyName(SchedulePolicy::kMediaElevator),
+            "media-elevator");
+}
+
+}  // namespace
+}  // namespace heaven

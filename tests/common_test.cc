@@ -1,0 +1,344 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/coding.h"
+#include "common/env.h"
+#include "common/rng.h"
+#include "common/statistics.h"
+#include "common/status.h"
+
+namespace heaven {
+namespace {
+
+// ---------------------------------------------------------------- Status --
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryCodesAndMessages) {
+  Status s = Status::NotFound("thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.ToString(), "NotFound: thing");
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+TEST(ResultTest, MoveOnlyTypes) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(7));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 7);
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Status UseHalf(int x, int* out) {
+  HEAVEN_ASSIGN_OR_RETURN(*out, Half(x));
+  return Status::Ok();
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  int out = 0;
+  EXPECT_TRUE(UseHalf(10, &out).ok());
+  EXPECT_EQ(out, 5);
+  EXPECT_FALSE(UseHalf(9, &out).ok());
+}
+
+// ---------------------------------------------------------------- Coding --
+
+TEST(CodingTest, Fixed32RoundTrip) {
+  std::string buf;
+  PutFixed32(&buf, 0);
+  PutFixed32(&buf, 0xdeadbeef);
+  PutFixed32(&buf, 0xffffffff);
+  EXPECT_EQ(buf.size(), 12u);
+  EXPECT_EQ(DecodeFixed32(buf.data()), 0u);
+  EXPECT_EQ(DecodeFixed32(buf.data() + 4), 0xdeadbeefu);
+  EXPECT_EQ(DecodeFixed32(buf.data() + 8), 0xffffffffu);
+}
+
+TEST(CodingTest, Fixed64RoundTrip) {
+  std::string buf;
+  PutFixed64(&buf, 0x0123456789abcdefULL);
+  EXPECT_EQ(DecodeFixed64(buf.data()), 0x0123456789abcdefULL);
+}
+
+TEST(CodingTest, LengthPrefixedRoundTrip) {
+  std::string buf;
+  PutLengthPrefixed(&buf, "hello");
+  PutLengthPrefixed(&buf, "");
+  PutLengthPrefixed(&buf, std::string(1000, 'x'));
+  Decoder dec(buf);
+  std::string a, b, c;
+  EXPECT_TRUE(dec.GetLengthPrefixed(&a).ok());
+  EXPECT_TRUE(dec.GetLengthPrefixed(&b).ok());
+  EXPECT_TRUE(dec.GetLengthPrefixed(&c).ok());
+  EXPECT_EQ(a, "hello");
+  EXPECT_EQ(b, "");
+  EXPECT_EQ(c.size(), 1000u);
+  EXPECT_TRUE(dec.done());
+}
+
+TEST(CodingTest, DecoderDetectsTruncation) {
+  std::string buf;
+  PutFixed64(&buf, 1);
+  Decoder dec(buf.substr(0, 5));
+  uint64_t v = 0;
+  EXPECT_TRUE(dec.GetFixed64(&v).IsCorruption());
+}
+
+TEST(CodingTest, DecoderSkip) {
+  std::string buf = "abcdef";
+  Decoder dec(buf);
+  EXPECT_TRUE(dec.Skip(3).ok());
+  std::string rest;
+  EXPECT_TRUE(dec.GetRaw(3, &rest).ok());
+  EXPECT_EQ(rest, "def");
+  EXPECT_TRUE(dec.Skip(1).IsCorruption());
+}
+
+TEST(CodingTest, Crc32cKnownVector) {
+  // "123456789" has the well-known CRC-32C value 0xE3069283.
+  EXPECT_EQ(Crc32c("123456789", 9), 0xe3069283u);
+  EXPECT_EQ(Crc32c("", 0), 0u);
+}
+
+TEST(CodingTest, CrcDetectsBitFlips) {
+  std::string data = "The quick brown fox";
+  const uint32_t crc = Crc32c(data);
+  data[3] ^= 0x01;
+  EXPECT_NE(Crc32c(data), crc);
+}
+
+// ------------------------------------------------------------------- Rng --
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(RngTest, UniformRangeBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformRange(-3, 5);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, ZipfIsSkewed) {
+  Rng rng(11);
+  uint64_t low_ranks = 0;
+  for (int i = 0; i < 2000; ++i) {
+    if (rng.Zipf(100, 0.99) < 10) ++low_ranks;
+  }
+  // With theta=0.99 the top 10% of ranks should draw well over half.
+  EXPECT_GT(low_ranks, 1000u);
+}
+
+TEST(RngTest, ZipfZeroThetaIsUniformish) {
+  Rng rng(13);
+  uint64_t low_ranks = 0;
+  for (int i = 0; i < 2000; ++i) {
+    if (rng.Zipf(100, 0.0) < 10) ++low_ranks;
+  }
+  EXPECT_LT(low_ranks, 400u);
+}
+
+// ------------------------------------------------------------ Statistics --
+
+TEST(StatisticsTest, RecordAndGet) {
+  Statistics stats;
+  EXPECT_EQ(stats.Get(Ticker::kTapeSeeks), 0u);
+  stats.Record(Ticker::kTapeSeeks);
+  stats.Record(Ticker::kTapeSeeks, 4);
+  EXPECT_EQ(stats.Get(Ticker::kTapeSeeks), 5u);
+}
+
+TEST(StatisticsTest, ResetClearsAll) {
+  Statistics stats;
+  stats.Record(Ticker::kCacheHits, 3);
+  stats.Reset();
+  EXPECT_EQ(stats.Get(Ticker::kCacheHits), 0u);
+}
+
+TEST(StatisticsTest, ToStringListsNonZero) {
+  Statistics stats;
+  stats.Record(Ticker::kRobotMoves, 2);
+  const std::string text = stats.ToString();
+  EXPECT_NE(text.find("robot.moves: 2"), std::string::npos);
+  EXPECT_EQ(text.find("cache.hits"), std::string::npos);
+}
+
+TEST(StatisticsTest, AllTickersHaveDistinctNames) {
+  std::set<std::string> names;
+  for (int i = 0; i < static_cast<int>(Ticker::kNumTickers); ++i) {
+    names.insert(TickerName(static_cast<Ticker>(i)));
+  }
+  EXPECT_EQ(names.size(), static_cast<size_t>(Ticker::kNumTickers));
+}
+
+// ------------------------------------------------------------------- Env --
+
+class EnvTest : public ::testing::TestWithParam<bool> {
+ protected:
+  void SetUp() override {
+    if (GetParam()) {
+      env_ = Env::Default();
+      dir_ = ::testing::TempDir() + "heaven_env_test_" +
+             std::to_string(reinterpret_cast<uintptr_t>(this));
+      ASSERT_TRUE(env_->CreateDirIfMissing(dir_).ok());
+    } else {
+      owned_ = std::make_unique<MemEnv>();
+      env_ = owned_.get();
+      dir_ = "/test";
+    }
+  }
+
+  std::unique_ptr<MemEnv> owned_;
+  Env* env_ = nullptr;
+  std::string dir_;
+};
+
+TEST_P(EnvTest, WriteReadRoundTrip) {
+  auto file = env_->OpenFile(dir_ + "/a.bin");
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->WriteAt(0, "hello world").ok());
+  std::string out;
+  ASSERT_TRUE((*file)->ReadAt(6, 5, &out).ok());
+  EXPECT_EQ(out, "world");
+}
+
+TEST_P(EnvTest, WritePastEndGrowsWithZeros) {
+  auto file = env_->OpenFile(dir_ + "/b.bin");
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->WriteAt(10, "x").ok());
+  auto size = (*file)->Size();
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, 11u);
+  std::string out;
+  ASSERT_TRUE((*file)->ReadAt(0, 11, &out).ok());
+  EXPECT_EQ(out[0], '\0');
+  EXPECT_EQ(out[10], 'x');
+}
+
+TEST_P(EnvTest, ReadPastEofFails) {
+  auto file = env_->OpenFile(dir_ + "/c.bin");
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append("abc").ok());
+  std::string out;
+  EXPECT_FALSE((*file)->ReadAt(0, 10, &out).ok());
+}
+
+TEST_P(EnvTest, AppendExtends) {
+  auto file = env_->OpenFile(dir_ + "/d.bin");
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append("ab").ok());
+  ASSERT_TRUE((*file)->Append("cd").ok());
+  std::string out;
+  ASSERT_TRUE((*file)->ReadAt(0, 4, &out).ok());
+  EXPECT_EQ(out, "abcd");
+}
+
+TEST_P(EnvTest, TruncateShrinks) {
+  auto file = env_->OpenFile(dir_ + "/e.bin");
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append("abcdef").ok());
+  ASSERT_TRUE((*file)->Truncate(2).ok());
+  auto size = (*file)->Size();
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, 2u);
+}
+
+TEST_P(EnvTest, ExistsAndDelete) {
+  const std::string path = dir_ + "/f.bin";
+  EXPECT_FALSE(env_->FileExists(path));
+  auto file = env_->OpenFile(path);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append("x").ok());
+  EXPECT_TRUE(env_->FileExists(path));
+  EXPECT_TRUE(env_->DeleteFile(path).ok());
+  EXPECT_FALSE(env_->FileExists(path));
+}
+
+TEST_P(EnvTest, GetFileSize) {
+  const std::string path = dir_ + "/g.bin";
+  auto file = env_->OpenFile(path);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append("12345").ok());
+  auto size = env_->GetFileSize(path);
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, 5u);
+}
+
+INSTANTIATE_TEST_SUITE_P(MemAndPosix, EnvTest, ::testing::Values(false, true),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "Posix" : "Mem";
+                         });
+
+TEST(MemEnvTest, SharedContentsBetweenHandles) {
+  MemEnv env;
+  auto f1 = env.OpenFile("/x");
+  auto f2 = env.OpenFile("/x");
+  ASSERT_TRUE(f1.ok() && f2.ok());
+  ASSERT_TRUE((*f1)->Append("abc").ok());
+  std::string out;
+  ASSERT_TRUE((*f2)->ReadAt(0, 3, &out).ok());
+  EXPECT_EQ(out, "abc");
+}
+
+TEST(MemEnvTest, ListDirByPrefix) {
+  MemEnv env;
+  ASSERT_TRUE(env.OpenFile("/dir/a").ok());
+  ASSERT_TRUE(env.OpenFile("/dir/b").ok());
+  ASSERT_TRUE(env.OpenFile("/other/c").ok());
+  auto names = env.ListDir("/dir");
+  ASSERT_TRUE(names.ok());
+  EXPECT_EQ(names->size(), 2u);
+}
+
+}  // namespace
+}  // namespace heaven

@@ -1,0 +1,143 @@
+#include "array/compression.h"
+
+#include <gtest/gtest.h>
+
+#include "array/mdd.h"
+#include "array/tile.h"
+#include "common/rng.h"
+#include "heaven/super_tile.h"
+
+namespace heaven {
+namespace {
+
+TEST(CompressionTest, Names) {
+  EXPECT_EQ(CompressionName(Compression::kNone), "none");
+  EXPECT_EQ(CompressionName(Compression::kRle), "rle");
+  EXPECT_EQ(CompressionName(Compression::kDeltaRle), "delta+rle");
+}
+
+TEST(CompressionTest, NoneIsIdentity) {
+  const std::string data = "arbitrary bytes \x00\xff\x80";
+  const std::string compressed = Compress(Compression::kNone, data);
+  EXPECT_EQ(compressed, data);
+  auto restored = Decompress(Compression::kNone, compressed, data.size());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(*restored, data);
+  EXPECT_FALSE(Decompress(Compression::kNone, compressed, 3).ok());
+}
+
+TEST(CompressionTest, RleShrinksRuns) {
+  const std::string data(10000, 'x');
+  const std::string compressed = Compress(Compression::kRle, data);
+  EXPECT_LT(compressed.size(), data.size() / 20);
+  auto restored = Decompress(Compression::kRle, compressed, data.size());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(*restored, data);
+}
+
+TEST(CompressionTest, RleHandlesEmptyAndTiny) {
+  for (const std::string& data : {std::string(), std::string("a"),
+                                  std::string("ab"), std::string("aab")}) {
+    const std::string compressed = Compress(Compression::kRle, data);
+    auto restored = Decompress(Compression::kRle, compressed, data.size());
+    ASSERT_TRUE(restored.ok()) << "len=" << data.size();
+    EXPECT_EQ(*restored, data);
+  }
+}
+
+TEST(CompressionTest, RleRejectsWrongExpectedSize) {
+  const std::string compressed = Compress(Compression::kRle, "aaaaaa");
+  EXPECT_FALSE(Decompress(Compression::kRle, compressed, 3).ok());
+  EXPECT_FALSE(Decompress(Compression::kRle, compressed, 100).ok());
+}
+
+TEST(CompressionTest, RleRejectsTruncatedStream) {
+  std::string compressed = Compress(Compression::kRle, std::string(100, 'z'));
+  compressed.resize(compressed.size() - 1);
+  EXPECT_FALSE(Decompress(Compression::kRle, compressed, 100).ok());
+}
+
+TEST(CompressionTest, DeltaRleShrinksSmoothIntegerRasters) {
+  // A smooth ushort ramp: plain RLE finds no runs, delta+RLE does.
+  std::string data;
+  for (int i = 0; i < 5000; ++i) {
+    const uint16_t v = static_cast<uint16_t>(1000 + i / 16);
+    data.push_back(static_cast<char>(v & 0xff));
+    data.push_back(static_cast<char>(v >> 8));
+  }
+  const std::string rle = Compress(Compression::kRle, data, 2);
+  const std::string delta = Compress(Compression::kDeltaRle, data, 2);
+  EXPECT_LT(delta.size(), data.size() / 4);
+  EXPECT_LT(delta.size(), rle.size());
+  auto restored = Decompress(Compression::kDeltaRle, delta, data.size(), 2);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(*restored, data);
+}
+
+class CompressionPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CompressionPropertyTest, RandomRoundTripsAllCodecs) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 40; ++round) {
+    const size_t n = rng.Uniform(4000);
+    std::string data;
+    data.reserve(n);
+    // Mix runs and noise.
+    while (data.size() < n) {
+      if (rng.Uniform(2) == 0) {
+        data.append(rng.Uniform(300) + 1,
+                    static_cast<char>(rng.Uniform(256)));
+      } else {
+        for (uint64_t i = 0; i <= rng.Uniform(50); ++i) {
+          data.push_back(static_cast<char>(rng.Uniform(256)));
+        }
+      }
+    }
+    data.resize(n);
+    for (Compression codec :
+         {Compression::kNone, Compression::kRle, Compression::kDeltaRle}) {
+      const size_t stride = 1 + rng.Uniform(8);
+      const std::string compressed = Compress(codec, data, stride);
+      auto restored = Decompress(codec, compressed, n, stride);
+      ASSERT_TRUE(restored.ok())
+          << CompressionName(codec) << " n=" << n << " stride=" << stride;
+      ASSERT_EQ(*restored, data) << CompressionName(codec);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CompressionPropertyTest,
+                         ::testing::Values(31, 313, 3131));
+
+TEST(SuperTileCompressionTest, CompressedContainerRoundTrips) {
+  SuperTile st(5, 2, CellType::kUShort);
+  MddArray smooth_array(MdInterval({0, 0}, {49, 49}), CellType::kUShort);
+  smooth_array.Generate([](const MdPoint& p) {
+    return static_cast<double>(100 + p[0] / 10);  // slowly varying
+  });
+  const Tile smooth = smooth_array.tile();
+  ASSERT_TRUE(st.AddTile(1, smooth).ok());
+
+  const std::string plain = st.Serialize(Compression::kNone);
+  const std::string packed = st.Serialize(Compression::kDeltaRle);
+  EXPECT_LT(packed.size(), plain.size());
+
+  auto restored = SuperTile::Deserialize(packed);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  auto tile = restored->FindTile(1);
+  ASSERT_TRUE(tile.ok());
+  EXPECT_EQ(**tile, smooth);
+}
+
+TEST(SuperTileCompressionTest, CorruptCompressedPayloadDetected) {
+  SuperTile st(5, 2, CellType::kChar);
+  Tile tile(MdInterval({0}, {999}), CellType::kChar);
+  tile.Fill(7);
+  ASSERT_TRUE(st.AddTile(1, std::move(tile)).ok());
+  std::string packed = st.Serialize(Compression::kRle);
+  packed[packed.size() / 2] ^= 0x5a;
+  EXPECT_FALSE(SuperTile::Deserialize(packed).ok());
+}
+
+}  // namespace
+}  // namespace heaven

@@ -1,0 +1,204 @@
+#include "heaven/framing.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace heaven {
+namespace {
+
+uint64_t BruteForceUnionCells(const std::vector<MdInterval>& boxes,
+                              const MdInterval& universe) {
+  uint64_t count = 0;
+  for (MdPointIterator it(universe); !it.Done(); it.Next()) {
+    for (const MdInterval& box : boxes) {
+      if (box.Contains(it.point())) {
+        ++count;
+        break;
+      }
+    }
+  }
+  return count;
+}
+
+TEST(SubtractBoxTest, DisjointReturnsOriginal) {
+  MdInterval a({0, 0}, {4, 4});
+  MdInterval b({10, 10}, {14, 14});
+  auto pieces = SubtractBox(a, b);
+  ASSERT_EQ(pieces.size(), 1u);
+  EXPECT_EQ(pieces[0], a);
+}
+
+TEST(SubtractBoxTest, FullyCoveredReturnsEmpty) {
+  MdInterval a({2, 2}, {4, 4});
+  MdInterval b({0, 0}, {9, 9});
+  EXPECT_TRUE(SubtractBox(a, b).empty());
+}
+
+TEST(SubtractBoxTest, CenterHoleProducesPieces) {
+  MdInterval a({0, 0}, {9, 9});
+  MdInterval b({3, 3}, {6, 6});
+  auto pieces = SubtractBox(a, b);
+  uint64_t cells = 0;
+  for (size_t i = 0; i < pieces.size(); ++i) {
+    cells += pieces[i].CellCount();
+    EXPECT_FALSE(pieces[i].Intersects(b));
+    for (size_t j = i + 1; j < pieces.size(); ++j) {
+      EXPECT_FALSE(pieces[i].Intersects(pieces[j]));
+    }
+  }
+  EXPECT_EQ(cells, 100u - 16u);
+}
+
+TEST(SubtractBoxTest, OneDimensional) {
+  auto pieces = SubtractBox(MdInterval({0}, {9}), MdInterval({3}, {5}));
+  ASSERT_EQ(pieces.size(), 2u);
+  EXPECT_EQ(pieces[0], MdInterval({0}, {2}));
+  EXPECT_EQ(pieces[1], MdInterval({6}, {9}));
+}
+
+TEST(ObjectFrameTest, SingleBox) {
+  auto frame = ObjectFrame::FromBoxes({MdInterval({0, 0}, {4, 4})});
+  ASSERT_TRUE(frame.ok());
+  EXPECT_EQ(frame->CellCount(), 25u);
+  EXPECT_TRUE(frame->ContainsPoint(MdPoint{2, 2}));
+  EXPECT_FALSE(frame->ContainsPoint(MdPoint{5, 5}));
+  auto bbox = frame->BoundingBox();
+  ASSERT_TRUE(bbox.ok());
+  EXPECT_EQ(*bbox, MdInterval({0, 0}, {4, 4}));
+}
+
+TEST(ObjectFrameTest, OverlappingBoxesCountedOnce) {
+  auto frame = ObjectFrame::FromBoxes(
+      {MdInterval({0, 0}, {4, 4}), MdInterval({2, 2}, {6, 6})});
+  ASSERT_TRUE(frame.ok());
+  EXPECT_EQ(frame->CellCount(), 25u + 25u - 9u);
+}
+
+TEST(ObjectFrameTest, LShapedFrame) {
+  // An L: vertical bar + horizontal bar sharing a corner square.
+  auto frame = ObjectFrame::FromBoxes(
+      {MdInterval({0, 0}, {9, 2}), MdInterval({0, 0}, {2, 9})});
+  ASSERT_TRUE(frame.ok());
+  EXPECT_EQ(frame->CellCount(), 30u + 30u - 9u);
+  EXPECT_TRUE(frame->ContainsPoint(MdPoint{9, 1}));
+  EXPECT_TRUE(frame->ContainsPoint(MdPoint{1, 9}));
+  EXPECT_FALSE(frame->ContainsPoint(MdPoint{5, 5}));
+  auto bbox = frame->BoundingBox();
+  ASSERT_TRUE(bbox.ok());
+  EXPECT_EQ(bbox->CellCount(), 100u);  // hull is much larger than the frame
+}
+
+TEST(ObjectFrameTest, IntersectsBox) {
+  auto frame = ObjectFrame::FromBoxes(
+      {MdInterval({0, 0}, {2, 2}), MdInterval({10, 10}, {12, 12})});
+  ASSERT_TRUE(frame.ok());
+  EXPECT_TRUE(frame->IntersectsBox(MdInterval({1, 1}, {5, 5})));
+  EXPECT_TRUE(frame->IntersectsBox(MdInterval({11, 11}, {20, 20})));
+  // The gap between the two frame parts does not intersect.
+  EXPECT_FALSE(frame->IntersectsBox(MdInterval({4, 4}, {8, 8})));
+}
+
+TEST(ObjectFrameTest, ClipBoxReturnsOnlyInsideParts) {
+  auto frame = ObjectFrame::FromBoxes({MdInterval({0, 0}, {2, 9})});
+  ASSERT_TRUE(frame.ok());
+  auto clipped = frame->ClipBox(MdInterval({1, 3}, {8, 5}));
+  ASSERT_EQ(clipped.size(), 1u);
+  EXPECT_EQ(clipped[0], MdInterval({1, 3}, {2, 5}));
+  EXPECT_TRUE(frame->ClipBox(MdInterval({5, 0}, {9, 9})).empty());
+}
+
+TEST(ObjectFrameTest, InvalidInputs) {
+  EXPECT_FALSE(ObjectFrame::FromBoxes({}).ok());
+  EXPECT_FALSE(ObjectFrame::FromBoxes(
+                   {MdInterval({0}, {4}), MdInterval({0, 0}, {4, 4})})
+                   .ok());
+}
+
+TEST(ObjectFrameTest, DuplicateBoxesCollapse) {
+  auto frame = ObjectFrame::FromBoxes(
+      {MdInterval({0, 0}, {4, 4}), MdInterval({0, 0}, {4, 4})});
+  ASSERT_TRUE(frame.ok());
+  EXPECT_EQ(frame->CellCount(), 25u);
+  EXPECT_EQ(frame->disjoint_boxes().size(), 1u);
+}
+
+TEST(ObjectFrameTest, ToStringListsPieces) {
+  auto frame = ObjectFrame::FromBoxes({MdInterval({0}, {4})});
+  ASSERT_TRUE(frame.ok());
+  EXPECT_EQ(frame->ToString(), "frame{[0:4]}");
+}
+
+class FramingPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FramingPropertyTest, DisjointDecompositionMatchesBruteForce) {
+  Rng rng(GetParam());
+  const MdInterval universe({0, 0}, {19, 19});
+  for (int round = 0; round < 20; ++round) {
+    std::vector<MdInterval> boxes;
+    const size_t count = 1 + rng.Uniform(5);
+    for (size_t i = 0; i < count; ++i) {
+      const int64_t x0 = rng.UniformRange(0, 15);
+      const int64_t y0 = rng.UniformRange(0, 15);
+      boxes.emplace_back(
+          MdPoint{x0, y0},
+          MdPoint{x0 + rng.UniformRange(0, 4), y0 + rng.UniformRange(0, 4)});
+    }
+    auto frame = ObjectFrame::FromBoxes(boxes);
+    ASSERT_TRUE(frame.ok());
+    // Disjointness.
+    const auto& pieces = frame->disjoint_boxes();
+    for (size_t i = 0; i < pieces.size(); ++i) {
+      for (size_t j = i + 1; j < pieces.size(); ++j) {
+        EXPECT_FALSE(pieces[i].Intersects(pieces[j]));
+      }
+    }
+    // Exact cell count.
+    EXPECT_EQ(frame->CellCount(), BruteForceUnionCells(boxes, universe));
+    // Point membership agrees with the input boxes.
+    for (int probes = 0; probes < 50; ++probes) {
+      MdPoint p{rng.UniformRange(0, 19), rng.UniformRange(0, 19)};
+      bool expected = false;
+      for (const MdInterval& box : boxes) {
+        if (box.Contains(p)) expected = true;
+      }
+      EXPECT_EQ(frame->ContainsPoint(p), expected) << p.ToString();
+    }
+  }
+}
+
+TEST_P(FramingPropertyTest, SubtractionIsExact) {
+  Rng rng(GetParam() + 7);
+  for (int round = 0; round < 30; ++round) {
+    const size_t dims = 1 + rng.Uniform(3);
+    std::vector<int64_t> alo(dims), ahi(dims), blo(dims), bhi(dims);
+    for (size_t d = 0; d < dims; ++d) {
+      alo[d] = rng.UniformRange(0, 8);
+      ahi[d] = alo[d] + rng.UniformRange(0, 6);
+      blo[d] = rng.UniformRange(0, 8);
+      bhi[d] = blo[d] + rng.UniformRange(0, 6);
+    }
+    MdInterval a{MdPoint(alo), MdPoint(ahi)};
+    MdInterval b{MdPoint(blo), MdPoint(bhi)};
+    auto pieces = SubtractBox(a, b);
+    uint64_t piece_cells = 0;
+    for (size_t i = 0; i < pieces.size(); ++i) {
+      EXPECT_TRUE(a.Contains(pieces[i]));
+      EXPECT_FALSE(pieces[i].Intersects(b));
+      piece_cells += pieces[i].CellCount();
+      for (size_t j = i + 1; j < pieces.size(); ++j) {
+        EXPECT_FALSE(pieces[i].Intersects(pieces[j]));
+      }
+    }
+    auto overlap = a.Intersection(b);
+    const uint64_t expected =
+        a.CellCount() - (overlap ? overlap->CellCount() : 0);
+    EXPECT_EQ(piece_cells, expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FramingPropertyTest,
+                         ::testing::Values(21, 212, 2121));
+
+}  // namespace
+}  // namespace heaven

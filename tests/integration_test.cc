@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "common/env.h"
+#include "heaven/heaven_db.h"
+#include "rasql/executor.h"
+
+namespace heaven {
+namespace {
+
+/// End-to-end tests across the whole stack: ingest -> tiling -> export to
+/// tape -> transparent retrieval -> query language.
+class IntegrationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    env_ = std::make_unique<MemEnv>();
+    HeavenOptions options;
+    options.library.profile = MidTapeProfile();
+    options.library.num_drives = 2;
+    options.library.num_media = 8;
+    options.disk_tile_bytes = 4096;
+    options.supertile_bytes = 64 << 10;
+    options.cache.capacity_bytes = 1 << 20;
+    auto db = HeavenDb::Open(env_.get(), "/db", options);
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    db_ = std::move(db).value();
+    auto coll = db_->CreateCollection("climate");
+    ASSERT_TRUE(coll.ok());
+    collection_ = coll.value();
+  }
+
+  MddArray MakeRamp(const MdInterval& domain) {
+    MddArray data(domain, CellType::kDouble);
+    data.Generate([&](const MdPoint& p) {
+      double v = 0.0;
+      for (size_t d = 0; d < p.dims(); ++d) {
+        v = v * 1000.0 + static_cast<double>(p[d]);
+      }
+      return v;
+    });
+    return data;
+  }
+
+  std::unique_ptr<MemEnv> env_;
+  std::unique_ptr<HeavenDb> db_;
+  CollectionId collection_ = 0;
+};
+
+TEST_F(IntegrationTest, InsertReadBackFromDisk) {
+  MdInterval domain({0, 0, 0}, {19, 19, 19});
+  MddArray data = MakeRamp(domain);
+  auto id = db_->InsertObject(collection_, "cube", data);
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  auto read = db_->ReadObject(id.value());
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_EQ(read.value(), data);
+}
+
+TEST_F(IntegrationTest, ExportThenTransparentRead) {
+  MdInterval domain({0, 0, 0}, {19, 19, 19});
+  MddArray data = MakeRamp(domain);
+  auto id = db_->InsertObject(collection_, "cube", data);
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(db_->ExportObject(id.value()).ok());
+  EXPECT_GT(db_->RegisteredSuperTiles(), 0u);
+  // All tiles migrated: no blobs should remain for the object.
+  for (const TileDescriptor& tile :
+       db_->engine()->catalog()->ListTiles(id.value())) {
+    EXPECT_EQ(tile.location, TileLocation::kTertiary);
+  }
+  auto read = db_->ReadObject(id.value());
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_EQ(read.value(), data);
+  EXPECT_GT(db_->TapeSeconds(), 0.0);
+}
+
+TEST_F(IntegrationTest, RegionReadAfterExportMatchesTrim) {
+  MdInterval domain({0, 0, 0}, {29, 29, 29});
+  MddArray data = MakeRamp(domain);
+  auto id = db_->InsertObject(collection_, "cube", data);
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(db_->ExportObject(id.value()).ok());
+  MdInterval region({5, 7, 2}, {12, 19, 9});
+  auto read = db_->ReadRegion(id.value(), region);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  auto expected = Trim(data, region);
+  ASSERT_TRUE(expected.ok());
+  EXPECT_EQ(read.value(), expected.value());
+}
+
+TEST_F(IntegrationTest, RasqlTrimSliceAndCondense) {
+  MdInterval domain({0, 0}, {15, 15});
+  MddArray data = MakeRamp(domain);
+  auto id = db_->InsertObject(collection_, "grid", data);
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(db_->ExportObject(id.value()).ok());
+
+  auto trim = rasql::ExecuteString(db_.get(), "select grid[2:5,3:9] from climate");
+  ASSERT_TRUE(trim.ok()) << trim.status().ToString();
+  EXPECT_EQ(trim->array().domain(), MdInterval({2, 3}, {5, 9}));
+
+  auto slice = rasql::ExecuteString(db_.get(), "select grid[4,*:*] from climate");
+  ASSERT_TRUE(slice.ok()) << slice.status().ToString();
+  EXPECT_EQ(slice->array().domain().dims(), 1u);
+
+  auto avg = rasql::ExecuteString(db_.get(), "select avg_cells(grid) from climate");
+  ASSERT_TRUE(avg.ok()) << avg.status().ToString();
+  EXPECT_NEAR(avg->scalar(), Condense(data, Condenser::kAvg), 1e-9);
+}
+
+TEST_F(IntegrationTest, FramingReturnsOnlyFrameCells) {
+  MdInterval domain({0, 0}, {15, 15});
+  MddArray data = MakeRamp(domain);
+  auto id = db_->InsertObject(collection_, "grid", data);
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(db_->ExportObject(id.value()).ok());
+  auto result = rasql::ExecuteString(
+      db_.get(), "select frame(grid, [0:3,0:3], [10:15,10:15]) from climate");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const MddArray& out = result->array();
+  EXPECT_EQ(out.domain(), MdInterval({0, 0}, {15, 15}));
+  EXPECT_EQ(out.At(MdPoint{2, 2}), data.At(MdPoint{2, 2}));
+  EXPECT_EQ(out.At(MdPoint{12, 12}), data.At(MdPoint{12, 12}));
+  EXPECT_EQ(out.At(MdPoint{7, 7}), 0.0);  // outside the frame
+}
+
+
+/// Configuration matrix: every combination of partitioner, clustering,
+/// compression, scheduling policy and cache policy must preserve exact
+/// read-back across the storage hierarchy.
+struct MatrixConfig {
+  PartitionerKind partitioner;
+  bool inter_clustering;
+  Compression compression;
+  SchedulePolicy schedule;
+  EvictionPolicy eviction;
+};
+
+class ConfigMatrixTest : public ::testing::TestWithParam<MatrixConfig> {};
+
+TEST_P(ConfigMatrixTest, ExactReadBackUnderAllConfigurations) {
+  const MatrixConfig& config = GetParam();
+  MemEnv env;
+  HeavenOptions options;
+  options.library.profile = FastTapeProfile();
+  options.library.num_drives = 2;
+  options.library.num_media = 6;
+  options.disk_tile_bytes = 2048;
+  options.supertile_bytes = 8192;
+  options.cache.capacity_bytes = 32 << 10;
+  options.partitioner = config.partitioner;
+  options.inter_clustering = config.inter_clustering;
+  options.compression = config.compression;
+  options.schedule_policy = config.schedule;
+  options.cache.policy = config.eviction;
+  auto db_result = HeavenDb::Open(&env, "/matrix", options);
+  ASSERT_TRUE(db_result.ok());
+  std::unique_ptr<HeavenDb> db = std::move(db_result).value();
+  auto coll = db->CreateCollection("m");
+  ASSERT_TRUE(coll.ok());
+
+  MddArray data(MdInterval({0, 0, 0}, {15, 15, 15}), CellType::kShort);
+  data.Generate([](const MdPoint& p) {
+    return static_cast<double>((p[0] * 31 + p[1] * 7 + p[2]) % 251 - 100);
+  });
+  auto id = db->InsertObject(*coll, "cube", data);
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(db->ExportObject(*id).ok());
+
+  auto full = db->ReadObject(*id);
+  ASSERT_TRUE(full.ok()) << full.status().ToString();
+  EXPECT_EQ(full.value(), data);
+
+  db->cache()->Clear();
+  MdInterval region({3, 5, 7}, {12, 9, 14});
+  auto sub = db->ReadRegion(*id, region);
+  ASSERT_TRUE(sub.ok());
+  auto expected = Trim(data, region);
+  ASSERT_TRUE(expected.ok());
+  EXPECT_EQ(sub.value(), *expected);
+}
+
+std::vector<MatrixConfig> AllConfigs() {
+  std::vector<MatrixConfig> configs;
+  for (PartitionerKind partitioner :
+       {PartitionerKind::kStar, PartitionerKind::kEStar}) {
+    for (bool clustering : {true, false}) {
+      for (Compression compression :
+           {Compression::kNone, Compression::kRle, Compression::kDeltaRle}) {
+        for (SchedulePolicy schedule :
+             {SchedulePolicy::kFifo, SchedulePolicy::kMediaElevator}) {
+          for (EvictionPolicy eviction :
+               {EvictionPolicy::kLru, EvictionPolicy::kSizeAware}) {
+            configs.push_back(
+                {partitioner, clustering, compression, schedule, eviction});
+          }
+        }
+      }
+    }
+  }
+  return configs;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCombinations, ConfigMatrixTest,
+                         ::testing::ValuesIn(AllConfigs()));
+
+}  // namespace
+}  // namespace heaven

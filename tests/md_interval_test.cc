@@ -1,0 +1,203 @@
+#include "array/md_interval.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace heaven {
+namespace {
+
+TEST(MdPointTest, ArithmeticAndEquality) {
+  MdPoint a{1, 2, 3};
+  MdPoint b{10, 20, 30};
+  EXPECT_EQ(a + b, (MdPoint{11, 22, 33}));
+  EXPECT_EQ(b - a, (MdPoint{9, 18, 27}));
+  EXPECT_EQ(a, (MdPoint{1, 2, 3}));
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a.ToString(), "[1,2,3]");
+}
+
+TEST(MdIntervalTest, ExtentAndCellCount) {
+  MdInterval box({0, 0}, {9, 4});
+  EXPECT_EQ(box.Extent(0), 10);
+  EXPECT_EQ(box.Extent(1), 5);
+  EXPECT_EQ(box.CellCount(), 50u);
+  EXPECT_EQ(box.ToString(), "[0:9,0:4]");
+}
+
+TEST(MdIntervalTest, NegativeCoordinates) {
+  MdInterval box({-5, -10}, {-1, 10});
+  EXPECT_EQ(box.Extent(0), 5);
+  EXPECT_EQ(box.Extent(1), 21);
+  EXPECT_TRUE(box.Contains(MdPoint{-3, 0}));
+  EXPECT_FALSE(box.Contains(MdPoint{0, 0}));
+}
+
+TEST(MdIntervalTest, ContainsPoint) {
+  MdInterval box({2, 3}, {5, 9});
+  EXPECT_TRUE(box.Contains(MdPoint{2, 3}));
+  EXPECT_TRUE(box.Contains(MdPoint{5, 9}));
+  EXPECT_FALSE(box.Contains(MdPoint{1, 5}));
+  EXPECT_FALSE(box.Contains(MdPoint{3, 10}));
+  EXPECT_FALSE(box.Contains(MdPoint{3}));  // dimension mismatch
+}
+
+TEST(MdIntervalTest, ContainsInterval) {
+  MdInterval outer({0, 0}, {10, 10});
+  EXPECT_TRUE(outer.Contains(MdInterval({2, 2}, {5, 5})));
+  EXPECT_TRUE(outer.Contains(outer));
+  EXPECT_FALSE(outer.Contains(MdInterval({2, 2}, {11, 5})));
+}
+
+TEST(MdIntervalTest, IntersectionBasics) {
+  MdInterval a({0, 0}, {5, 5});
+  MdInterval b({3, 3}, {9, 9});
+  auto overlap = a.Intersection(b);
+  ASSERT_TRUE(overlap.has_value());
+  EXPECT_EQ(*overlap, MdInterval({3, 3}, {5, 5}));
+  EXPECT_FALSE(a.Intersection(MdInterval({6, 6}, {7, 7})).has_value());
+  // Touching at a corner still intersects (closed intervals).
+  auto corner = a.Intersection(MdInterval({5, 5}, {8, 8}));
+  ASSERT_TRUE(corner.has_value());
+  EXPECT_EQ(corner->CellCount(), 1u);
+}
+
+TEST(MdIntervalTest, HullCoversBoth) {
+  MdInterval a({0, 4}, {2, 5});
+  MdInterval b({5, 0}, {7, 1});
+  MdInterval hull = a.Hull(b);
+  EXPECT_TRUE(hull.Contains(a));
+  EXPECT_TRUE(hull.Contains(b));
+  EXPECT_EQ(hull, MdInterval({0, 0}, {7, 5}));
+}
+
+TEST(MdIntervalTest, TranslateShiftsBothCorners) {
+  MdInterval box({1, 2}, {3, 4});
+  MdInterval moved = box.Translate(MdPoint{10, -2});
+  EXPECT_EQ(moved, MdInterval({11, 0}, {13, 2}));
+}
+
+TEST(MdIntervalTest, LinearOffsetRowMajor) {
+  MdInterval box({0, 0}, {2, 3});  // 3 x 4
+  EXPECT_EQ(box.LinearOffset(MdPoint{0, 0}), 0u);
+  EXPECT_EQ(box.LinearOffset(MdPoint{0, 3}), 3u);
+  EXPECT_EQ(box.LinearOffset(MdPoint{1, 0}), 4u);
+  EXPECT_EQ(box.LinearOffset(MdPoint{2, 3}), 11u);
+}
+
+TEST(MdIntervalTest, PointAtIsInverseOfLinearOffset) {
+  MdInterval box({-2, 5, 0}, {1, 9, 3});
+  for (uint64_t i = 0; i < box.CellCount(); ++i) {
+    EXPECT_EQ(box.LinearOffset(box.PointAt(i)), i);
+  }
+}
+
+TEST(MdIntervalTest, ParseRoundTrip) {
+  auto box = MdInterval::Parse("[0:9,-5:5,100:200]");
+  ASSERT_TRUE(box.ok());
+  EXPECT_EQ(box->ToString(), "[0:9,-5:5,100:200]");
+}
+
+TEST(MdIntervalTest, ParseRejectsMalformed) {
+  EXPECT_FALSE(MdInterval::Parse("").ok());
+  EXPECT_FALSE(MdInterval::Parse("[]").ok());
+  EXPECT_FALSE(MdInterval::Parse("[0:9").ok());
+  EXPECT_FALSE(MdInterval::Parse("[9:0]").ok());   // lo > hi
+  EXPECT_FALSE(MdInterval::Parse("[0-9]").ok());   // missing colon
+  EXPECT_FALSE(MdInterval::Parse("[a:b]").ok());   // not integers
+}
+
+TEST(MdPointIteratorTest, VisitsAllPointsRowMajor) {
+  MdInterval box({0, 0}, {1, 2});
+  std::vector<MdPoint> visited;
+  for (MdPointIterator it(box); !it.Done(); it.Next()) {
+    visited.push_back(it.point());
+  }
+  ASSERT_EQ(visited.size(), 6u);
+  EXPECT_EQ(visited[0], (MdPoint{0, 0}));
+  EXPECT_EQ(visited[1], (MdPoint{0, 1}));
+  EXPECT_EQ(visited[2], (MdPoint{0, 2}));
+  EXPECT_EQ(visited[3], (MdPoint{1, 0}));
+  EXPECT_EQ(visited[5], (MdPoint{1, 2}));
+}
+
+TEST(MdPointIteratorTest, SingleCell) {
+  MdInterval box({7}, {7});
+  MdPointIterator it(box);
+  ASSERT_FALSE(it.Done());
+  EXPECT_EQ(it.point(), (MdPoint{7}));
+  it.Next();
+  EXPECT_TRUE(it.Done());
+}
+
+// ---- Property tests over random boxes --------------------------------
+
+class IntervalPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+MdInterval RandomBox(Rng* rng, size_t dims, int64_t span) {
+  std::vector<int64_t> lo(dims);
+  std::vector<int64_t> hi(dims);
+  for (size_t d = 0; d < dims; ++d) {
+    lo[d] = rng->UniformRange(-span, span);
+    hi[d] = lo[d] + rng->UniformRange(0, span / 2);
+  }
+  return MdInterval(MdPoint(std::move(lo)), MdPoint(std::move(hi)));
+}
+
+TEST_P(IntervalPropertyTest, IntersectionIsCommutativeAndContained) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 50; ++round) {
+    const size_t dims = 1 + rng.Uniform(4);
+    MdInterval a = RandomBox(&rng, dims, 20);
+    MdInterval b = RandomBox(&rng, dims, 20);
+    auto ab = a.Intersection(b);
+    auto ba = b.Intersection(a);
+    EXPECT_EQ(ab.has_value(), ba.has_value());
+    if (ab.has_value()) {
+      EXPECT_EQ(*ab, *ba);
+      EXPECT_TRUE(a.Contains(*ab));
+      EXPECT_TRUE(b.Contains(*ab));
+    }
+  }
+}
+
+TEST_P(IntervalPropertyTest, HullContainsOperandsAndIsIdempotent) {
+  Rng rng(GetParam() + 1);
+  for (int round = 0; round < 50; ++round) {
+    const size_t dims = 1 + rng.Uniform(4);
+    MdInterval a = RandomBox(&rng, dims, 20);
+    MdInterval b = RandomBox(&rng, dims, 20);
+    MdInterval hull = a.Hull(b);
+    EXPECT_TRUE(hull.Contains(a));
+    EXPECT_TRUE(hull.Contains(b));
+    EXPECT_EQ(hull.Hull(a), hull);
+    EXPECT_EQ(hull.Hull(b), hull);
+  }
+}
+
+TEST_P(IntervalPropertyTest, IntersectsAgreesWithIntersection) {
+  Rng rng(GetParam() + 2);
+  for (int round = 0; round < 100; ++round) {
+    const size_t dims = 1 + rng.Uniform(3);
+    MdInterval a = RandomBox(&rng, dims, 15);
+    MdInterval b = RandomBox(&rng, dims, 15);
+    EXPECT_EQ(a.Intersects(b), a.Intersection(b).has_value());
+  }
+}
+
+TEST_P(IntervalPropertyTest, ParseToStringRoundTrip) {
+  Rng rng(GetParam() + 3);
+  for (int round = 0; round < 50; ++round) {
+    const size_t dims = 1 + rng.Uniform(5);
+    MdInterval box = RandomBox(&rng, dims, 1000);
+    auto parsed = MdInterval::Parse(box.ToString());
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, box);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntervalPropertyTest,
+                         ::testing::Values(1, 42, 1234, 99991));
+
+}  // namespace
+}  // namespace heaven

@@ -1,0 +1,222 @@
+// Model-based randomized testing: a HeavenDb instance is driven through a
+// random sequence of operations (insert, export, re-import, update, region
+// reads, frame reads, aggregates, deletes) while a plain in-memory model
+// (std::map of MddArray) tracks the expected state. After every step the
+// observable behaviour must match the model exactly, regardless of where
+// the bytes currently live in the storage hierarchy.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "common/env.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "heaven/heaven_db.h"
+
+namespace heaven {
+namespace {
+
+class ModelBasedTest : public ::testing::TestWithParam<uint64_t> {};
+
+MdInterval RandomSubBox(Rng* rng, const MdInterval& domain) {
+  std::vector<int64_t> lo(domain.dims());
+  std::vector<int64_t> hi(domain.dims());
+  for (size_t d = 0; d < domain.dims(); ++d) {
+    lo[d] = rng->UniformRange(domain.lo(d), domain.hi(d));
+    hi[d] = rng->UniformRange(lo[d], domain.hi(d));
+  }
+  return MdInterval(MdPoint(std::move(lo)), MdPoint(std::move(hi)));
+}
+
+TEST_P(ModelBasedTest, RandomOperationSequencesMatchModel) {
+  Rng rng(GetParam());
+  MemEnv env;
+  HeavenOptions options;
+  options.library.profile = FastTapeProfile();
+  options.library.num_drives = 2;
+  options.library.num_media = 8;
+  options.disk_tile_bytes = 1024;
+  options.supertile_bytes = 4096;
+  options.cache.capacity_bytes = 16 << 10;  // small: force evictions
+  options.cache.policy = EvictionPolicy::kLru;
+  auto db_result = HeavenDb::Open(&env, "/mb", options);
+  ASSERT_TRUE(db_result.ok());
+  std::unique_ptr<HeavenDb> db = std::move(db_result).value();
+  auto collection = db->CreateCollection("mb");
+  ASSERT_TRUE(collection.ok());
+
+  // The reference model: name -> expected full contents.
+  std::map<std::string, MddArray> model;
+  std::map<std::string, ObjectId> ids;
+  int next_name = 0;
+
+  for (int step = 0; step < 120; ++step) {
+    const uint64_t action = rng.Uniform(100);
+    if (model.empty() || action < 15) {
+      // Insert a fresh 2-D object.
+      const int64_t w = rng.UniformRange(8, 40);
+      const int64_t h = rng.UniformRange(8, 40);
+      MddArray data(MdInterval({0, 0}, {w - 1, h - 1}), CellType::kLong);
+      data.Generate([&](const MdPoint&) {
+        return static_cast<double>(rng.UniformRange(-500, 500));
+      });
+      const std::string name = "obj" + std::to_string(next_name++);
+      auto id = db->InsertObject(*collection, name, data);
+      ASSERT_TRUE(id.ok()) << id.status().ToString();
+      ids[name] = *id;
+      model.emplace(name, std::move(data));
+      continue;
+    }
+
+    // Pick a random live object.
+    auto it = model.begin();
+    std::advance(it, static_cast<long>(rng.Uniform(model.size())));
+    const std::string& name = it->first;
+    const MddArray& expected = it->second;
+    const ObjectId id = ids[name];
+
+    if (action < 30) {
+      ASSERT_TRUE(db->ExportObject(id).ok()) << "step " << step;
+    } else if (action < 38) {
+      ASSERT_TRUE(db->ReimportObject(id).ok()) << "step " << step;
+    } else if (action < 50) {
+      // Update a random region with fresh values.
+      const MdInterval region = RandomSubBox(&rng, expected.domain());
+      MddArray patch(region, CellType::kLong);
+      patch.Generate([&](const MdPoint&) {
+        return static_cast<double>(rng.UniformRange(-500, 500));
+      });
+      ASSERT_TRUE(db->UpdateRegion(id, patch).ok()) << "step " << step;
+      ASSERT_TRUE(
+          it->second.mutable_tile().CopyRegionFrom(patch.tile(), region).ok());
+    } else if (action < 70) {
+      // Region read.
+      const MdInterval region = RandomSubBox(&rng, expected.domain());
+      auto got = db->ReadRegion(id, region);
+      ASSERT_TRUE(got.ok()) << got.status().ToString() << " step " << step;
+      auto want = Trim(expected, region);
+      ASSERT_TRUE(want.ok());
+      ASSERT_EQ(*got, *want) << name << " region " << region.ToString()
+                             << " step " << step;
+    } else if (action < 80) {
+      // Frame read over two random boxes.
+      const MdInterval box_a = RandomSubBox(&rng, expected.domain());
+      const MdInterval box_b = RandomSubBox(&rng, expected.domain());
+      auto frame = ObjectFrame::FromBoxes({box_a, box_b});
+      ASSERT_TRUE(frame.ok());
+      auto got = db->ReadFrame(id, *frame);
+      ASSERT_TRUE(got.ok()) << got.status().ToString();
+      // Check cells inside and outside the frame.
+      auto bbox = frame->BoundingBox();
+      ASSERT_TRUE(bbox.ok());
+      for (int probes = 0; probes < 20; ++probes) {
+        MdPoint p(bbox->dims());
+        for (size_t d = 0; d < bbox->dims(); ++d) {
+          p[d] = rng.UniformRange(bbox->lo(d), bbox->hi(d));
+        }
+        const double want =
+            frame->ContainsPoint(p) ? expected.At(p) : 0.0;
+        ASSERT_EQ(got->At(p), want) << p.ToString() << " step " << step;
+      }
+    } else if (action < 90) {
+      // Aggregate.
+      const MdInterval region = RandomSubBox(&rng, expected.domain());
+      auto got = db->Aggregate(id, Condenser::kSum, region);
+      ASSERT_TRUE(got.ok());
+      auto want = CondenseRegion(expected, Condenser::kSum, region);
+      ASSERT_TRUE(want.ok());
+      ASSERT_DOUBLE_EQ(*got, *want) << "step " << step;
+    } else {
+      ASSERT_TRUE(db->DeleteObject(id).ok()) << "step " << step;
+      ids.erase(name);
+      model.erase(it);
+    }
+  }
+
+  // Final sweep: every surviving object reads back exactly.
+  for (const auto& [name, expected] : model) {
+    auto got = db->ReadObject(ids[name]);
+    ASSERT_TRUE(got.ok()) << name;
+    EXPECT_EQ(*got, expected) << name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ModelBasedTest,
+                         ::testing::Values(1001, 2002, 3003, 4004, 5005));
+
+// ---- Failure injection -------------------------------------------------
+
+TEST(FailureInjectionTest, CorruptTapeByteIsDetectedOnRead) {
+  MemEnv env;
+  HeavenOptions options;
+  options.library.profile = FastTapeProfile();
+  options.disk_tile_bytes = 2048;
+  options.supertile_bytes = 8192;
+  options.cache.capacity_bytes = 1;  // no cache: force tape reads
+  auto db_result = HeavenDb::Open(&env, "/fi", options);
+  ASSERT_TRUE(db_result.ok());
+  std::unique_ptr<HeavenDb> db = std::move(db_result).value();
+  auto collection = db->CreateCollection("fi");
+  ASSERT_TRUE(collection.ok());
+  MddArray data(MdInterval({0, 0}, {31, 31}), CellType::kDouble);
+  data.Generate([](const MdPoint& p) { return static_cast<double>(p[0]); });
+  auto id = db->InsertObject(*collection, "x", data);
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(db->ExportObject(*id).ok());
+
+  // Decay a byte in the middle of every written extent on medium of the
+  // first super-tile.
+  bool corrupted = false;
+  for (MediumId medium = 0; medium < db->library()->num_media(); ++medium) {
+    auto used = db->library()->MediumUsedBytes(medium);
+    ASSERT_TRUE(used.ok());
+    if (*used > 0) {
+      ASSERT_TRUE(
+          db->library()->CorruptByteForTesting(medium, *used / 2).ok());
+      corrupted = true;
+    }
+  }
+  ASSERT_TRUE(corrupted);
+
+  // The read must fail with Corruption — never return wrong data.
+  auto read = db->ReadObject(*id);
+  ASSERT_FALSE(read.ok());
+  EXPECT_TRUE(read.status().IsCorruption()) << read.status().ToString();
+}
+
+TEST(FailureInjectionTest, CorruptionDoesNotPoisonOtherObjects) {
+  MemEnv env;
+  HeavenOptions options;
+  options.library.profile = FastTapeProfile();
+  options.library.num_media = 2;
+  options.disk_tile_bytes = 2048;
+  options.supertile_bytes = 1 << 20;  // one super-tile per object
+  options.cache.capacity_bytes = 1;
+  auto db_result = HeavenDb::Open(&env, "/fi2", options);
+  ASSERT_TRUE(db_result.ok());
+  std::unique_ptr<HeavenDb> db = std::move(db_result).value();
+  auto collection = db->CreateCollection("fi2");
+  ASSERT_TRUE(collection.ok());
+
+  MddArray data(MdInterval({0, 0}, {15, 15}), CellType::kFloat);
+  data.Generate([](const MdPoint& p) { return static_cast<double>(p[1]); });
+  auto a = db->InsertObject(*collection, "a", data);
+  auto b = db->InsertObject(*collection, "b", data);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_TRUE(db->ExportObject(*a).ok());
+  const uint64_t a_extent_end = *db->library()->MediumUsedBytes(
+      0);  // a's container occupies [0, end) on medium 0
+  ASSERT_TRUE(db->ExportObject(*b).ok());
+
+  // Corrupt a byte inside object a's extent only.
+  ASSERT_TRUE(
+      db->library()->CorruptByteForTesting(0, a_extent_end / 2).ok());
+  EXPECT_FALSE(db->ReadObject(*a).ok());
+  auto read_b = db->ReadObject(*b);
+  EXPECT_TRUE(read_b.ok()) << read_b.status().ToString();
+}
+
+}  // namespace
+}  // namespace heaven

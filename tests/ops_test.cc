@@ -1,0 +1,269 @@
+#include "array/ops.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace heaven {
+namespace {
+
+MddArray Ramp2D(int64_t n) {
+  MddArray a(MdInterval({0, 0}, {n - 1, n - 1}), CellType::kDouble);
+  a.Generate([](const MdPoint& p) {
+    return static_cast<double>(p[0] * 100 + p[1]);
+  });
+  return a;
+}
+
+TEST(TrimTest, ExtractsExactRegion) {
+  MddArray a = Ramp2D(10);
+  auto trimmed = Trim(a, MdInterval({2, 3}, {4, 6}));
+  ASSERT_TRUE(trimmed.ok());
+  EXPECT_EQ(trimmed->domain(), MdInterval({2, 3}, {4, 6}));
+  EXPECT_EQ(trimmed->At(MdPoint{3, 5}), 305.0);
+}
+
+TEST(TrimTest, FullDomainIsIdentity) {
+  MddArray a = Ramp2D(6);
+  auto trimmed = Trim(a, a.domain());
+  ASSERT_TRUE(trimmed.ok());
+  EXPECT_EQ(*trimmed, a);
+}
+
+TEST(TrimTest, OutsideDomainFails) {
+  MddArray a = Ramp2D(5);
+  EXPECT_FALSE(Trim(a, MdInterval({0, 0}, {5, 5})).ok());
+}
+
+TEST(SliceTest, ReducesDimensionality) {
+  MddArray a = Ramp2D(8);
+  auto sliced = Slice(a, 0, 3);
+  ASSERT_TRUE(sliced.ok());
+  EXPECT_EQ(sliced->domain().dims(), 1u);
+  EXPECT_EQ(sliced->domain(), MdInterval({0}, {7}));
+  EXPECT_EQ(sliced->At(MdPoint{5}), 305.0);
+}
+
+TEST(SliceTest, SecondDimension) {
+  MddArray a = Ramp2D(8);
+  auto sliced = Slice(a, 1, 2);
+  ASSERT_TRUE(sliced.ok());
+  EXPECT_EQ(sliced->At(MdPoint{4}), 402.0);
+}
+
+TEST(SliceTest, ThreeDimensional) {
+  MddArray a(MdInterval({0, 0, 0}, {3, 3, 3}), CellType::kLong);
+  a.Generate([](const MdPoint& p) {
+    return static_cast<double>(p[0] * 16 + p[1] * 4 + p[2]);
+  });
+  auto sliced = Slice(a, 1, 2);
+  ASSERT_TRUE(sliced.ok());
+  EXPECT_EQ(sliced->domain().dims(), 2u);
+  EXPECT_EQ(sliced->At(MdPoint{1, 3}), 16.0 + 8.0 + 3.0);
+}
+
+TEST(SliceTest, InvalidCases) {
+  MddArray a = Ramp2D(4);
+  EXPECT_FALSE(Slice(a, 5, 0).ok());            // bad dim
+  EXPECT_FALSE(Slice(a, 0, 99).ok());           // coordinate outside
+  MddArray one_d(MdInterval({0}, {9}), CellType::kChar);
+  EXPECT_FALSE(Slice(one_d, 0, 3).ok());        // cannot slice 1-D
+}
+
+TEST(InducedScalarTest, AllOperators) {
+  MddArray a(MdInterval({0}, {3}), CellType::kDouble);
+  a.Generate([](const MdPoint& p) { return static_cast<double>(p[0] + 1); });
+  auto add = InducedScalar(a, InducedOp::kAdd, 10.0);
+  ASSERT_TRUE(add.ok());
+  EXPECT_EQ(add->At(MdPoint{0}), 11.0);
+  auto sub = InducedScalar(a, InducedOp::kSub, 1.0);
+  EXPECT_EQ(sub->At(MdPoint{3}), 3.0);
+  auto mul = InducedScalar(a, InducedOp::kMul, 3.0);
+  EXPECT_EQ(mul->At(MdPoint{1}), 6.0);
+  auto div = InducedScalar(a, InducedOp::kDiv, 2.0);
+  EXPECT_EQ(div->At(MdPoint{3}), 2.0);
+  auto mn = InducedScalar(a, InducedOp::kMin, 2.5);
+  EXPECT_EQ(mn->At(MdPoint{3}), 2.5);
+  auto mx = InducedScalar(a, InducedOp::kMax, 2.5);
+  EXPECT_EQ(mx->At(MdPoint{0}), 2.5);
+}
+
+TEST(InducedScalarTest, DivisionByZeroYieldsZero) {
+  MddArray a(MdInterval({0}, {1}), CellType::kDouble);
+  a.Generate([](const MdPoint&) { return 5.0; });
+  auto div = InducedScalar(a, InducedOp::kDiv, 0.0);
+  ASSERT_TRUE(div.ok());
+  EXPECT_EQ(div->At(MdPoint{0}), 0.0);
+}
+
+TEST(InducedScalarTest, NarrowingToCellType) {
+  MddArray a(MdInterval({0}, {0}), CellType::kChar);
+  a.Set(MdPoint{0}, 100.0);
+  auto add = InducedScalar(a, InducedOp::kAdd, 0.7);
+  ASSERT_TRUE(add.ok());
+  EXPECT_EQ(add->At(MdPoint{0}), 100.0);  // truncated back to char
+}
+
+TEST(InducedBinaryTest, ElementwiseAdd) {
+  MddArray a = Ramp2D(4);
+  auto sum = InducedBinary(a, a, InducedOp::kAdd);
+  ASSERT_TRUE(sum.ok());
+  EXPECT_EQ(sum->At(MdPoint{2, 3}), 2 * 203.0);
+}
+
+TEST(InducedBinaryTest, DomainMismatchFails) {
+  MddArray a = Ramp2D(4);
+  MddArray b = Ramp2D(5);
+  EXPECT_FALSE(InducedBinary(a, b, InducedOp::kAdd).ok());
+}
+
+TEST(InducedBinaryTest, TypeMismatchFails) {
+  MddArray a(MdInterval({0}, {3}), CellType::kChar);
+  MddArray b(MdInterval({0}, {3}), CellType::kShort);
+  EXPECT_FALSE(InducedBinary(a, b, InducedOp::kAdd).ok());
+}
+
+TEST(CondenseTest, AllKinds) {
+  MddArray a(MdInterval({0}, {4}), CellType::kDouble);
+  a.Generate([](const MdPoint& p) { return static_cast<double>(p[0]); });
+  EXPECT_EQ(Condense(a, Condenser::kSum), 10.0);
+  EXPECT_EQ(Condense(a, Condenser::kAvg), 2.0);
+  EXPECT_EQ(Condense(a, Condenser::kMin), 0.0);
+  EXPECT_EQ(Condense(a, Condenser::kMax), 4.0);
+  EXPECT_EQ(Condense(a, Condenser::kCount), 5.0);
+}
+
+TEST(CondenseTest, RegionRestricted) {
+  MddArray a = Ramp2D(10);
+  auto sum = CondenseRegion(a, Condenser::kCount, MdInterval({0, 0}, {1, 1}));
+  ASSERT_TRUE(sum.ok());
+  EXPECT_EQ(*sum, 4.0);
+  EXPECT_FALSE(
+      CondenseRegion(a, Condenser::kSum, MdInterval({0, 0}, {100, 100})).ok());
+}
+
+TEST(CondenseTest, NamesMatchQueryLanguage) {
+  EXPECT_EQ(CondenserName(Condenser::kSum), "add_cells");
+  EXPECT_EQ(CondenserName(Condenser::kAvg), "avg_cells");
+  EXPECT_EQ(CondenserName(Condenser::kCount), "count_cells");
+}
+
+TEST(ScaleDownTest, FactorTwoAverages) {
+  MddArray a(MdInterval({0, 0}, {3, 3}), CellType::kDouble);
+  a.Generate([](const MdPoint& p) {
+    return static_cast<double>(p[0] * 4 + p[1]);
+  });
+  auto scaled = ScaleDown(a, 2);
+  ASSERT_TRUE(scaled.ok());
+  EXPECT_EQ(scaled->domain(), MdInterval({0, 0}, {1, 1}));
+  // Top-left 2x2 block: values 0,1,4,5 -> avg 2.5
+  EXPECT_EQ(scaled->At(MdPoint{0, 0}), 2.5);
+}
+
+TEST(ScaleDownTest, FactorOneIsIdentity) {
+  MddArray a = Ramp2D(4);
+  auto scaled = ScaleDown(a, 1);
+  ASSERT_TRUE(scaled.ok());
+  EXPECT_EQ(*scaled, a);
+}
+
+TEST(ScaleDownTest, InvalidFactorFails) {
+  MddArray a = Ramp2D(4);
+  EXPECT_FALSE(ScaleDown(a, 0).ok());
+  EXPECT_FALSE(ScaleDown(a, -2).ok());
+}
+
+
+TEST(CompareScalarTest, AllOperators) {
+  MddArray a(MdInterval({0}, {4}), CellType::kDouble);
+  a.Generate([](const MdPoint& p) { return static_cast<double>(p[0]); });
+  struct Case {
+    CompareOp op;
+    double threshold;
+    std::vector<double> expected;
+  };
+  const std::vector<Case> cases = {
+      {CompareOp::kLt, 2.0, {1, 1, 0, 0, 0}},
+      {CompareOp::kLe, 2.0, {1, 1, 1, 0, 0}},
+      {CompareOp::kGt, 2.0, {0, 0, 0, 1, 1}},
+      {CompareOp::kGe, 2.0, {0, 0, 1, 1, 1}},
+      {CompareOp::kEq, 2.0, {0, 0, 1, 0, 0}},
+      {CompareOp::kNe, 2.0, {1, 1, 0, 1, 1}},
+  };
+  for (const Case& c : cases) {
+    auto mask = CompareScalar(a, c.op, c.threshold);
+    ASSERT_TRUE(mask.ok());
+    EXPECT_EQ(mask->cell_type(), CellType::kChar);
+    for (int64_t i = 0; i < 5; ++i) {
+      EXPECT_EQ(mask->At(MdPoint{i}), c.expected[static_cast<size_t>(i)])
+          << "op " << static_cast<int>(c.op) << " i=" << i;
+    }
+  }
+}
+
+TEST(QuantifierTest, SomeAndAll) {
+  MddArray zeros(MdInterval({0, 0}, {3, 3}), CellType::kChar);
+  MddArray ones(MdInterval({0, 0}, {3, 3}), CellType::kChar);
+  ones.Generate([](const MdPoint&) { return 1.0; });
+  MddArray mixed = zeros;
+  mixed.Set(MdPoint{2, 2}, 1.0);
+
+  EXPECT_FALSE(*SomeCells(zeros));
+  EXPECT_TRUE(*SomeCells(ones));
+  EXPECT_TRUE(*SomeCells(mixed));
+  EXPECT_FALSE(*AllCells(zeros));
+  EXPECT_TRUE(*AllCells(ones));
+  EXPECT_FALSE(*AllCells(mixed));
+}
+
+TEST(QuantifierTest, MaskPipelineMatchesCounting) {
+  MddArray a(MdInterval({0, 0}, {9, 9}), CellType::kLong);
+  a.Generate([](const MdPoint& p) {
+    return static_cast<double>(p[0] * 10 + p[1]);
+  });
+  auto mask = CompareScalar(a, CompareOp::kGe, 90.0);
+  ASSERT_TRUE(mask.ok());
+  EXPECT_EQ(Condense(*mask, Condenser::kSum), 10.0);  // the last row
+}
+
+class OpsPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(OpsPropertyTest, TrimThenCondenseEqualsCondenseRegion) {
+  Rng rng(GetParam());
+  MddArray a = Ramp2D(12);
+  for (int round = 0; round < 20; ++round) {
+    std::vector<int64_t> lo(2);
+    std::vector<int64_t> hi(2);
+    for (size_t d = 0; d < 2; ++d) {
+      lo[d] = rng.UniformRange(0, 11);
+      hi[d] = rng.UniformRange(lo[d], 11);
+    }
+    MdInterval region{MdPoint(lo), MdPoint(hi)};
+    auto trimmed = Trim(a, region);
+    ASSERT_TRUE(trimmed.ok());
+    for (Condenser c : {Condenser::kSum, Condenser::kAvg, Condenser::kMin,
+                        Condenser::kMax, Condenser::kCount}) {
+      auto direct = CondenseRegion(a, c, region);
+      ASSERT_TRUE(direct.ok());
+      EXPECT_DOUBLE_EQ(Condense(*trimmed, c), *direct);
+    }
+  }
+}
+
+TEST_P(OpsPropertyTest, InducedAddSubRoundTrips) {
+  Rng rng(GetParam() + 1);
+  MddArray a = Ramp2D(8);
+  for (int round = 0; round < 10; ++round) {
+    const double scalar = static_cast<double>(rng.UniformRange(-50, 50));
+    auto up = InducedScalar(a, InducedOp::kAdd, scalar);
+    ASSERT_TRUE(up.ok());
+    auto down = InducedScalar(*up, InducedOp::kSub, scalar);
+    ASSERT_TRUE(down.ok());
+    EXPECT_EQ(*down, a);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OpsPropertyTest, ::testing::Values(5, 55, 555));
+
+}  // namespace
+}  // namespace heaven

@@ -1,0 +1,411 @@
+#include <gtest/gtest.h>
+
+#include "common/env.h"
+#include "rasql/executor.h"
+#include "rasql/lexer.h"
+#include "rasql/parser.h"
+#include "rasql/statements.h"
+
+namespace heaven::rasql {
+namespace {
+
+// ------------------------------------------------------------------ Lexer --
+
+TEST(LexerTest, KeywordsCaseInsensitive) {
+  auto tokens = Tokenize("SELECT foo FROM bar");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kSelect);
+  EXPECT_EQ((*tokens)[2].kind, TokenKind::kFrom);
+  auto lower = Tokenize("select foo from bar");
+  ASSERT_TRUE(lower.ok());
+  EXPECT_EQ((*lower)[0].kind, TokenKind::kSelect);
+}
+
+TEST(LexerTest, NumbersAndSymbols) {
+  auto tokens = Tokenize("a[1:20,3.5]*2");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 11u);  // incl. kEnd
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kIdent);
+  EXPECT_EQ((*tokens)[1].kind, TokenKind::kLBracket);
+  EXPECT_EQ((*tokens)[2].kind, TokenKind::kNumber);
+  EXPECT_EQ((*tokens)[2].number, 1.0);
+  EXPECT_EQ((*tokens)[3].kind, TokenKind::kColon);
+  EXPECT_EQ((*tokens)[5].kind, TokenKind::kComma);
+  EXPECT_EQ((*tokens)[6].number, 3.5);
+  EXPECT_EQ((*tokens)[8].kind, TokenKind::kStar);
+}
+
+TEST(LexerTest, IdentifiersWithUnderscores) {
+  auto tokens = Tokenize("avg_cells(x_1)");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "avg_cells");
+  EXPECT_EQ((*tokens)[2].text, "x_1");
+}
+
+TEST(LexerTest, RejectsUnknownCharacters) {
+  EXPECT_FALSE(Tokenize("select a % b").ok());
+  EXPECT_FALSE(Tokenize("a ? b").ok());
+  EXPECT_FALSE(Tokenize("a ! b").ok());  // bare '!' needs '='
+}
+
+TEST(LexerTest, ComparisonOperators) {
+  auto tokens = Tokenize("a < b <= c > d >= e = f != g");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[1].kind, TokenKind::kLt);
+  EXPECT_EQ((*tokens)[3].kind, TokenKind::kLe);
+  EXPECT_EQ((*tokens)[5].kind, TokenKind::kGt);
+  EXPECT_EQ((*tokens)[7].kind, TokenKind::kGe);
+  EXPECT_EQ((*tokens)[9].kind, TokenKind::kEq);
+  EXPECT_EQ((*tokens)[11].kind, TokenKind::kNe);
+}
+
+TEST(LexerTest, PositionsReported) {
+  auto tokens = Tokenize("ab  cd");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].position, 0u);
+  EXPECT_EQ((*tokens)[1].position, 4u);
+}
+
+// ----------------------------------------------------------------- Parser --
+
+TEST(ParserTest, SimpleSelect) {
+  auto query = Parse("select obj from coll");
+  ASSERT_TRUE(query.ok());
+  EXPECT_EQ(query->from, "coll");
+  EXPECT_EQ(query->select->kind, ExprKind::kObjectRef);
+  EXPECT_EQ(query->select->object_name, "obj");
+}
+
+TEST(ParserTest, SubscriptAxes) {
+  auto query = Parse("select obj[0:9, 5, *:*] from coll");
+  ASSERT_TRUE(query.ok());
+  const Expr& e = *query->select;
+  ASSERT_EQ(e.kind, ExprKind::kSubscript);
+  ASSERT_EQ(e.axes.size(), 3u);
+  EXPECT_EQ(e.axes[0].kind, SubscriptAxis::Kind::kRange);
+  EXPECT_EQ(e.axes[0].lo, 0);
+  EXPECT_EQ(e.axes[0].hi, 9);
+  EXPECT_EQ(e.axes[1].kind, SubscriptAxis::Kind::kSlice);
+  EXPECT_EQ(e.axes[1].lo, 5);
+  EXPECT_EQ(e.axes[2].kind, SubscriptAxis::Kind::kWildcard);
+}
+
+TEST(ParserTest, NegativeCoordinates) {
+  auto query = Parse("select obj[-10:-1] from coll");
+  ASSERT_TRUE(query.ok());
+  EXPECT_EQ(query->select->axes[0].lo, -10);
+  EXPECT_EQ(query->select->axes[0].hi, -1);
+}
+
+TEST(ParserTest, ArithmeticPrecedence) {
+  auto expr = ParseExpression("a + b * 2");
+  ASSERT_TRUE(expr.ok());
+  ASSERT_EQ((*expr)->kind, ExprKind::kBinary);
+  EXPECT_EQ((*expr)->op, InducedOp::kAdd);
+  EXPECT_EQ((*expr)->rhs->kind, ExprKind::kBinary);
+  EXPECT_EQ((*expr)->rhs->op, InducedOp::kMul);
+}
+
+TEST(ParserTest, ParenthesesOverridePrecedence) {
+  auto expr = ParseExpression("(a + b) * 2");
+  ASSERT_TRUE(expr.ok());
+  EXPECT_EQ((*expr)->op, InducedOp::kMul);
+  EXPECT_EQ((*expr)->child->op, InducedOp::kAdd);
+}
+
+TEST(ParserTest, Condensers) {
+  for (const auto& [name, condenser] :
+       std::vector<std::pair<std::string, Condenser>>{
+           {"add_cells", Condenser::kSum},
+           {"avg_cells", Condenser::kAvg},
+           {"min_cells", Condenser::kMin},
+           {"max_cells", Condenser::kMax},
+           {"count_cells", Condenser::kCount}}) {
+    auto expr = ParseExpression(name + "(obj)");
+    ASSERT_TRUE(expr.ok()) << name;
+    EXPECT_EQ((*expr)->kind, ExprKind::kCondense);
+    EXPECT_EQ((*expr)->condenser, condenser);
+  }
+}
+
+TEST(ParserTest, FrameExtension) {
+  auto expr = ParseExpression("frame(obj, [0:3,0:3], [5:9,5:9])");
+  ASSERT_TRUE(expr.ok());
+  EXPECT_EQ((*expr)->kind, ExprKind::kFrame);
+  ASSERT_EQ((*expr)->frame_boxes.size(), 2u);
+  EXPECT_EQ((*expr)->frame_boxes[1], MdInterval({5, 5}, {9, 9}));
+}
+
+TEST(ParserTest, ScaleFunction) {
+  auto expr = ParseExpression("scale(obj, 4)");
+  ASSERT_TRUE(expr.ok());
+  EXPECT_EQ((*expr)->kind, ExprKind::kScale);
+  EXPECT_EQ((*expr)->scale_factor, 4);
+}
+
+TEST(ParserTest, ChainedSubscripts) {
+  auto expr = ParseExpression("obj[0:9,0:9][2:3,*:*]");
+  ASSERT_TRUE(expr.ok());
+  EXPECT_EQ((*expr)->kind, ExprKind::kSubscript);
+  EXPECT_EQ((*expr)->child->kind, ExprKind::kSubscript);
+}
+
+TEST(ParserTest, SyntaxErrors) {
+  EXPECT_FALSE(Parse("obj from coll").ok());            // missing select
+  EXPECT_FALSE(Parse("select obj").ok());               // missing from
+  EXPECT_FALSE(Parse("select from coll").ok());         // missing expr
+  EXPECT_FALSE(Parse("select obj[1:] from coll").ok()); // bad subscript
+  EXPECT_FALSE(Parse("select obj[9:1] from coll").ok());// lo > hi
+  EXPECT_FALSE(Parse("select foo(obj) from coll").ok());// unknown function
+  EXPECT_FALSE(Parse("select frame(obj) from coll").ok());  // no boxes
+  EXPECT_FALSE(Parse("select obj from coll extra").ok());   // trailing junk
+  EXPECT_FALSE(Parse("select obj[1.5:2] from coll").ok());  // non-integer
+}
+
+// --------------------------------------------------------------- Executor --
+
+class ExecutorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    env_ = std::make_unique<MemEnv>();
+    HeavenOptions options;
+    options.library.profile = FastTapeProfile();
+    options.disk_tile_bytes = 2048;
+    options.supertile_bytes = 32 << 10;
+    auto db = HeavenDb::Open(env_.get(), "/db", options);
+    ASSERT_TRUE(db.ok());
+    db_ = std::move(db).value();
+    auto coll = db_->CreateCollection("coll");
+    ASSERT_TRUE(coll.ok());
+
+    MddArray data(MdInterval({0, 0}, {9, 9}), CellType::kDouble);
+    data.Generate([](const MdPoint& p) {
+      return static_cast<double>(p[0] * 10 + p[1]);
+    });
+    data_ = data;
+    auto id = db_->InsertObject(coll.value(), "m", data);
+    ASSERT_TRUE(id.ok());
+  }
+
+  std::unique_ptr<MemEnv> env_;
+  std::unique_ptr<HeavenDb> db_;
+  MddArray data_;
+};
+
+TEST_F(ExecutorTest, WholeObject) {
+  auto result = ExecuteString(db_.get(), "select m from coll");
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->is_scalar());
+  EXPECT_EQ(result->array(), data_);
+}
+
+TEST_F(ExecutorTest, TrimPushdown) {
+  auto result = ExecuteString(db_.get(), "select m[1:3,2:5] from coll");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->array().domain(), MdInterval({1, 2}, {3, 5}));
+  EXPECT_EQ(result->array().At(MdPoint{2, 4}), 24.0);
+}
+
+TEST_F(ExecutorTest, SliceReducesDims) {
+  auto result = ExecuteString(db_.get(), "select m[3,*:*] from coll");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->array().domain().dims(), 1u);
+  EXPECT_EQ(result->array().At(MdPoint{7}), 37.0);
+}
+
+TEST_F(ExecutorTest, CondenserScalar) {
+  auto result = ExecuteString(db_.get(), "select avg_cells(m) from coll");
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->is_scalar());
+  EXPECT_NEAR(result->scalar(), Condense(data_, Condenser::kAvg), 1e-9);
+}
+
+TEST_F(ExecutorTest, CondenserOverTrim) {
+  auto result =
+      ExecuteString(db_.get(), "select count_cells(m[0:1,0:1]) from coll");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->scalar(), 4.0);
+}
+
+TEST_F(ExecutorTest, ScalarArithmetic) {
+  auto result = ExecuteString(db_.get(), "select 2 + 3 * 4 from coll");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->scalar(), 14.0);
+}
+
+TEST_F(ExecutorTest, InducedScalarOnArray) {
+  auto result = ExecuteString(db_.get(), "select m * 2 + 5 from coll");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->array().At(MdPoint{1, 1}), 11.0 * 2 + 5);
+}
+
+TEST_F(ExecutorTest, ScalarFirstCommutes) {
+  auto result = ExecuteString(db_.get(), "select 5 + m from coll");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->array().At(MdPoint{0, 0}), 5.0);
+  EXPECT_FALSE(ExecuteString(db_.get(), "select 5 - m from coll").ok());
+}
+
+TEST_F(ExecutorTest, ArrayArrayArithmetic) {
+  auto result = ExecuteString(db_.get(), "select m + m from coll");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->array().At(MdPoint{4, 4}), 88.0);
+}
+
+TEST_F(ExecutorTest, ScaleDownInQuery) {
+  auto result = ExecuteString(db_.get(), "select scale(m, 2) from coll");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->array().domain(), MdInterval({0, 0}, {4, 4}));
+}
+
+TEST_F(ExecutorTest, FrameQuery) {
+  auto result = ExecuteString(
+      db_.get(), "select frame(m, [0:1,0:1], [8:9,8:9]) from coll");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->array().At(MdPoint{0, 1}), 1.0);
+  EXPECT_EQ(result->array().At(MdPoint{9, 9}), 99.0);
+  EXPECT_EQ(result->array().At(MdPoint{5, 5}), 0.0);
+}
+
+TEST_F(ExecutorTest, ErrorsSurfaceCleanly) {
+  EXPECT_TRUE(ExecuteString(db_.get(), "select m from nope").status().IsNotFound());
+  EXPECT_TRUE(
+      ExecuteString(db_.get(), "select ghost from coll").status().IsNotFound());
+  EXPECT_FALSE(
+      ExecuteString(db_.get(), "select m[0:99,0:99] from coll").ok());
+  EXPECT_FALSE(ExecuteString(db_.get(), "select m[0:9] from coll").ok());
+  EXPECT_FALSE(
+      ExecuteString(db_.get(), "select avg_cells(5) from coll").ok());
+  EXPECT_FALSE(ExecuteString(db_.get(), "select scale(5, 2) from coll").ok());
+}
+
+TEST_F(ExecutorTest, WorksAfterExportToTape) {
+  auto object = db_->FindObject("m");
+  ASSERT_TRUE(object.ok());
+  ASSERT_TRUE(db_->ExportObject(object->object_id).ok());
+  auto result = ExecuteString(db_.get(), "select m[2:5,2:5] from coll");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->array().At(MdPoint{3, 3}), 33.0);
+  EXPECT_GT(db_->TapeSeconds(), 0.0);
+}
+
+TEST_F(ExecutorTest, QueryResultToString) {
+  auto scalar = ExecuteString(db_.get(), "select count_cells(m) from coll");
+  ASSERT_TRUE(scalar.ok());
+  EXPECT_EQ(scalar->ToString(), "100");
+  auto array = ExecuteString(db_.get(), "select m from coll");
+  ASSERT_TRUE(array.ok());
+  EXPECT_NE(array->ToString().find("array [0:9,0:9]"), std::string::npos);
+}
+
+
+
+TEST_F(ExecutorTest, ComparisonProducesMask) {
+  // m holds 10*x + y over [0:9,0:9]; cells > 50 form a mask.
+  auto result = ExecuteString(db_.get(), "select m > 50 from coll");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const MddArray& mask = result->array();
+  EXPECT_EQ(mask.cell_type(), CellType::kChar);
+  EXPECT_EQ(mask.At(MdPoint{9, 9}), 1.0);
+  EXPECT_EQ(mask.At(MdPoint{0, 0}), 0.0);
+}
+
+TEST_F(ExecutorTest, QuantifiersOverComparisons) {
+  auto some = ExecuteString(db_.get(), "select some_cells(m > 98) from coll");
+  ASSERT_TRUE(some.ok()) << some.status().ToString();
+  EXPECT_EQ(some->scalar(), 1.0);
+  auto none = ExecuteString(db_.get(), "select some_cells(m > 99) from coll");
+  ASSERT_TRUE(none.ok());
+  EXPECT_EQ(none->scalar(), 0.0);
+  auto all = ExecuteString(db_.get(), "select all_cells(m >= 0) from coll");
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->scalar(), 1.0);
+  auto not_all = ExecuteString(db_.get(), "select all_cells(m > 0) from coll");
+  ASSERT_TRUE(not_all.ok());
+  EXPECT_EQ(not_all->scalar(), 0.0);
+}
+
+TEST_F(ExecutorTest, ScalarComparison) {
+  auto result = ExecuteString(db_.get(), "select 3 < 5 from coll");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->scalar(), 1.0);
+  auto eq = ExecuteString(db_.get(), "select 2 + 2 = 5 from coll");
+  ASSERT_TRUE(eq.ok());
+  EXPECT_EQ(eq->scalar(), 0.0);
+}
+
+TEST_F(ExecutorTest, CountCellsOverMask) {
+  // How many cells exceed 50? (49 of the 100 ramp values 0..99... exactly
+  // those with value 51..99.)
+  auto result =
+      ExecuteString(db_.get(), "select add_cells(m > 50) from coll");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->scalar(), 49.0);
+}
+
+TEST_F(ExecutorTest, ComparisonErrors) {
+  EXPECT_FALSE(ExecuteString(db_.get(), "select m < m from coll").ok());
+  EXPECT_FALSE(ExecuteString(db_.get(), "select some_cells(5) from coll").ok());
+}
+
+// ------------------------------------------------------------- Statements --
+
+class StatementTest : public ExecutorTest {};
+
+TEST_F(StatementTest, CreateCollection) {
+  auto result = ExecuteStatement(db_.get(), "create collection archive");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_NE(result->message.find("created collection archive"),
+            std::string::npos);
+  EXPECT_TRUE(db_->engine()->catalog()->FindCollection("archive").has_value());
+  // Duplicate fails.
+  EXPECT_FALSE(ExecuteStatement(db_.get(), "CREATE COLLECTION archive").ok());
+}
+
+TEST_F(StatementTest, ExportAndReimport) {
+  auto exported = ExecuteStatement(db_.get(), "export m");
+  ASSERT_TRUE(exported.ok()) << exported.status().ToString();
+  auto object = db_->FindObject("m");
+  ASSERT_TRUE(object.ok());
+  for (const TileDescriptor& tile :
+       db_->engine()->catalog()->ListTiles(object->object_id)) {
+    EXPECT_EQ(tile.location, TileLocation::kTertiary);
+  }
+  auto reimported = ExecuteStatement(db_.get(), "reimport m");
+  ASSERT_TRUE(reimported.ok());
+  for (const TileDescriptor& tile :
+       db_->engine()->catalog()->ListTiles(object->object_id)) {
+    EXPECT_EQ(tile.location, TileLocation::kDisk);
+  }
+}
+
+TEST_F(StatementTest, DropObjectAndCollection) {
+  ASSERT_TRUE(ExecuteStatement(db_.get(), "drop collection coll")
+                  .status()
+                  .code() == StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(ExecuteStatement(db_.get(), "drop object m").ok());
+  EXPECT_FALSE(db_->FindObject("m").ok());
+  ASSERT_TRUE(ExecuteStatement(db_.get(), "drop collection coll").ok());
+  EXPECT_FALSE(db_->engine()->catalog()->FindCollection("coll").has_value());
+}
+
+TEST_F(StatementTest, SelectDelegatesToExecutor) {
+  auto result =
+      ExecuteStatement(db_.get(), "select count_cells(m) from coll");
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->query.has_value());
+  EXPECT_EQ(result->query->scalar(), 100.0);
+  EXPECT_EQ(result->ToString(), "100");
+}
+
+TEST_F(StatementTest, Errors) {
+  EXPECT_FALSE(ExecuteStatement(db_.get(), "").ok());
+  EXPECT_FALSE(ExecuteStatement(db_.get(), "create table x").ok());
+  EXPECT_FALSE(ExecuteStatement(db_.get(), "drop widget x").ok());
+  EXPECT_FALSE(ExecuteStatement(db_.get(), "export ghost").ok());
+  EXPECT_FALSE(ExecuteStatement(db_.get(), "frobnicate m").ok());
+  EXPECT_FALSE(ExecuteStatement(db_.get(), "export m trailing").ok());
+}
+
+}  // namespace
+}  // namespace heaven::rasql

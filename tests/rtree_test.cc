@@ -1,0 +1,181 @@
+#include "array/rtree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.h"
+
+namespace heaven {
+namespace {
+
+MdInterval Box2(int64_t x0, int64_t y0, int64_t x1, int64_t y1) {
+  return MdInterval({x0, y0}, {x1, y1});
+}
+
+TEST(RTreeTest, EmptyTreeSearchReturnsNothing) {
+  RTree tree;
+  EXPECT_TRUE(tree.empty());
+  EXPECT_TRUE(tree.Search(Box2(0, 0, 100, 100)).empty());
+}
+
+TEST(RTreeTest, SingleInsertAndHit) {
+  RTree tree;
+  tree.Insert(Box2(0, 0, 9, 9), 1);
+  EXPECT_EQ(tree.size(), 1u);
+  auto hits = tree.Search(Box2(5, 5, 6, 6));
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], 1u);
+  EXPECT_TRUE(tree.Search(Box2(20, 20, 30, 30)).empty());
+}
+
+TEST(RTreeTest, TouchingBoxesIntersect) {
+  RTree tree;
+  tree.Insert(Box2(0, 0, 4, 4), 1);
+  auto hits = tree.Search(Box2(4, 4, 8, 8));
+  EXPECT_EQ(hits.size(), 1u);
+}
+
+TEST(RTreeTest, ManyInsertsKeepInvariants) {
+  RTree tree(8);
+  for (int i = 0; i < 500; ++i) {
+    int64_t x = (i % 25) * 10;
+    int64_t y = (i / 25) * 10;
+    tree.Insert(Box2(x, y, x + 9, y + 9), static_cast<uint64_t>(i));
+  }
+  EXPECT_EQ(tree.size(), 500u);
+  EXPECT_TRUE(tree.CheckInvariants());
+  EXPECT_GT(tree.Height(), 0u);
+}
+
+TEST(RTreeTest, GridSearchFindsExactSubset) {
+  RTree tree(8);
+  // 20 x 20 grid of unit tiles.
+  for (int64_t x = 0; x < 20; ++x) {
+    for (int64_t y = 0; y < 20; ++y) {
+      tree.Insert(Box2(x, y, x, y), static_cast<uint64_t>(x * 20 + y));
+    }
+  }
+  auto hits = tree.Search(Box2(3, 4, 7, 9));
+  EXPECT_EQ(hits.size(), 5u * 6u);
+  std::set<uint64_t> unique(hits.begin(), hits.end());
+  EXPECT_EQ(unique.size(), hits.size());  // no duplicates
+  for (uint64_t v : hits) {
+    const int64_t x = static_cast<int64_t>(v) / 20;
+    const int64_t y = static_cast<int64_t>(v) % 20;
+    EXPECT_GE(x, 3);
+    EXPECT_LE(x, 7);
+    EXPECT_GE(y, 4);
+    EXPECT_LE(y, 9);
+  }
+}
+
+TEST(RTreeTest, RemoveExistingEntry) {
+  RTree tree;
+  tree.Insert(Box2(0, 0, 9, 9), 1);
+  tree.Insert(Box2(10, 10, 19, 19), 2);
+  EXPECT_TRUE(tree.Remove(Box2(0, 0, 9, 9), 1));
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_TRUE(tree.Search(Box2(0, 0, 9, 9)).empty());
+  EXPECT_FALSE(tree.Remove(Box2(0, 0, 9, 9), 1));  // already gone
+}
+
+TEST(RTreeTest, RemoveRequiresExactBoxAndValue) {
+  RTree tree;
+  tree.Insert(Box2(0, 0, 9, 9), 1);
+  EXPECT_FALSE(tree.Remove(Box2(0, 0, 9, 8), 1));
+  EXPECT_FALSE(tree.Remove(Box2(0, 0, 9, 9), 2));
+  EXPECT_EQ(tree.size(), 1u);
+}
+
+TEST(RTreeTest, SearchEntriesReturnsBoxes) {
+  RTree tree;
+  tree.Insert(Box2(0, 0, 4, 4), 7);
+  auto entries = tree.SearchEntries(Box2(0, 0, 100, 100));
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].first, Box2(0, 0, 4, 4));
+  EXPECT_EQ(entries[0].second, 7u);
+}
+
+TEST(RTreeTest, ThreeDimensionalBoxes) {
+  RTree tree;
+  for (int64_t z = 0; z < 10; ++z) {
+    tree.Insert(MdInterval({0, 0, z * 10}, {9, 9, z * 10 + 9}),
+                static_cast<uint64_t>(z));
+  }
+  auto hits = tree.Search(MdInterval({0, 0, 25}, {5, 5, 44}));
+  std::sort(hits.begin(), hits.end());
+  EXPECT_EQ(hits, (std::vector<uint64_t>{2, 3, 4}));
+}
+
+class RTreePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RTreePropertyTest, SearchMatchesLinearScan) {
+  Rng rng(GetParam());
+  RTree tree(6);
+  std::vector<std::pair<MdInterval, uint64_t>> reference;
+  const size_t dims = 2 + rng.Uniform(2);
+  for (uint64_t i = 0; i < 300; ++i) {
+    std::vector<int64_t> lo(dims);
+    std::vector<int64_t> hi(dims);
+    for (size_t d = 0; d < dims; ++d) {
+      lo[d] = rng.UniformRange(0, 200);
+      hi[d] = lo[d] + rng.UniformRange(0, 20);
+    }
+    MdInterval box{MdPoint(lo), MdPoint(hi)};
+    tree.Insert(box, i);
+    reference.emplace_back(box, i);
+  }
+  ASSERT_TRUE(tree.CheckInvariants());
+
+  for (int round = 0; round < 30; ++round) {
+    std::vector<int64_t> lo(dims);
+    std::vector<int64_t> hi(dims);
+    for (size_t d = 0; d < dims; ++d) {
+      lo[d] = rng.UniformRange(0, 200);
+      hi[d] = lo[d] + rng.UniformRange(0, 50);
+    }
+    MdInterval query{MdPoint(lo), MdPoint(hi)};
+    auto hits = tree.Search(query);
+    std::set<uint64_t> got(hits.begin(), hits.end());
+    std::set<uint64_t> expected;
+    for (const auto& [box, value] : reference) {
+      if (box.Intersects(query)) expected.insert(value);
+    }
+    EXPECT_EQ(got, expected) << "query " << query.ToString();
+  }
+}
+
+TEST_P(RTreePropertyTest, InsertRemoveChurnPreservesConsistency) {
+  Rng rng(GetParam() + 5);
+  RTree tree(6);
+  std::vector<std::pair<MdInterval, uint64_t>> live;
+  uint64_t next_value = 0;
+  for (int step = 0; step < 400; ++step) {
+    if (live.empty() || rng.Uniform(100) < 65) {
+      MdInterval box({static_cast<int64_t>(rng.Uniform(100)),
+                      static_cast<int64_t>(rng.Uniform(100))},
+                     {static_cast<int64_t>(rng.Uniform(100)) + 100,
+                      static_cast<int64_t>(rng.Uniform(100)) + 100});
+      tree.Insert(box, next_value);
+      live.emplace_back(box, next_value);
+      ++next_value;
+    } else {
+      const size_t victim = rng.Uniform(live.size());
+      EXPECT_TRUE(tree.Remove(live[victim].first, live[victim].second));
+      live.erase(live.begin() + static_cast<long>(victim));
+    }
+    ASSERT_EQ(tree.size(), live.size());
+  }
+  ASSERT_TRUE(tree.CheckInvariants());
+  // Final full query returns exactly the live set.
+  auto hits = tree.Search(Box2(0, 0, 300, 300));
+  EXPECT_EQ(hits.size(), live.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RTreePropertyTest,
+                         ::testing::Values(11, 222, 3333, 44444));
+
+}  // namespace
+}  // namespace heaven

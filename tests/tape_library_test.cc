@@ -1,0 +1,394 @@
+#include "tertiary/tape_library.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/env.h"
+#include "tertiary/hsm_system.h"
+
+namespace heaven {
+namespace {
+
+TapeLibraryOptions SmallLibrary(uint32_t drives = 2, uint32_t media = 4) {
+  TapeLibraryOptions options;
+  options.profile = MidTapeProfile();
+  options.num_drives = drives;
+  options.num_media = media;
+  return options;
+}
+
+TEST(DriveProfileTest, BuiltinProfilesMatchThesisRanges) {
+  // Mean access time must land in the thesis's 27–95 s band and the
+  // exchange times in 12–40 s.
+  for (const TapeDriveProfile& p :
+       {SlowTapeProfile(), MidTapeProfile(), FastTapeProfile()}) {
+    EXPECT_GE(p.MeanAccessSeconds(), 25.0) << p.name;
+    EXPECT_LE(p.MeanAccessSeconds(), 100.0) << p.name;
+    EXPECT_GE(p.robot_exchange_s, 12.0) << p.name;
+    EXPECT_LE(p.robot_exchange_s, 40.0) << p.name;
+  }
+  EXPECT_LT(FastTapeProfile().MeanAccessSeconds(),
+            SlowTapeProfile().MeanAccessSeconds());
+}
+
+TEST(DriveProfileTest, CostFunctionsScale) {
+  TapeDriveProfile p = MidTapeProfile();
+  EXPECT_GT(p.SeekSeconds(1000), p.seek_overhead_s);
+  EXPECT_LT(p.SeekSeconds(1000), p.SeekSeconds(1000000000));
+  EXPECT_DOUBLE_EQ(p.TransferSeconds(0), 0.0);
+  EXPECT_GT(p.TransferSeconds(1 << 20), 0.0);
+}
+
+TEST(TapeLibraryTest, AppendReadRoundTrip) {
+  Statistics stats;
+  TapeLibrary library(SmallLibrary(), &stats);
+  auto offset = library.Append(0, "hello tape");
+  ASSERT_TRUE(offset.ok());
+  EXPECT_EQ(*offset, 0u);
+  std::string out;
+  ASSERT_TRUE(library.ReadAt(0, 0, 10, &out).ok());
+  EXPECT_EQ(out, "hello tape");
+  EXPECT_EQ(stats.Get(Ticker::kTapeBytesWritten), 10u);
+  EXPECT_EQ(stats.Get(Ticker::kTapeBytesRead), 10u);
+}
+
+TEST(TapeLibraryTest, AppendsAreSequentialPerMedium) {
+  Statistics stats;
+  TapeLibrary library(SmallLibrary(), &stats);
+  auto a = library.Append(0, "aaaa");
+  auto b = library.Append(0, "bbbb");
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(*a, 0u);
+  EXPECT_EQ(*b, 4u);
+  auto used = library.MediumUsedBytes(0);
+  ASSERT_TRUE(used.ok());
+  EXPECT_EQ(*used, 8u);
+}
+
+TEST(TapeLibraryTest, FirstAccessLoadsMedium) {
+  Statistics stats;
+  TapeLibrary library(SmallLibrary(), &stats);
+  EXPECT_FALSE(library.IsLoaded(0));
+  ASSERT_TRUE(library.Append(0, "x").ok());
+  EXPECT_TRUE(library.IsLoaded(0));
+  EXPECT_EQ(stats.Get(Ticker::kTapeMediaExchanges), 1u);
+  const double after_first = library.ElapsedSeconds();
+  EXPECT_GT(after_first, 0.0);
+  // Second access: no exchange, much cheaper.
+  ASSERT_TRUE(library.Append(0, "y").ok());
+  EXPECT_EQ(stats.Get(Ticker::kTapeMediaExchanges), 1u);
+}
+
+TEST(TapeLibraryTest, DriveEvictionWhenAllOccupied) {
+  Statistics stats;
+  TapeLibrary library(SmallLibrary(/*drives=*/1, /*media=*/3), &stats);
+  ASSERT_TRUE(library.Append(0, "a").ok());
+  ASSERT_TRUE(library.Append(1, "b").ok());  // evicts medium 0
+  EXPECT_FALSE(library.IsLoaded(0));
+  EXPECT_TRUE(library.IsLoaded(1));
+  EXPECT_EQ(stats.Get(Ticker::kTapeMediaExchanges), 2u);
+}
+
+TEST(TapeLibraryTest, LruDriveEviction) {
+  Statistics stats;
+  TapeLibrary library(SmallLibrary(/*drives=*/2, /*media=*/3), &stats);
+  ASSERT_TRUE(library.Append(0, "a").ok());
+  ASSERT_TRUE(library.Append(1, "b").ok());
+  // Touch medium 0 so medium 1 is LRU.
+  std::string out;
+  ASSERT_TRUE(library.ReadAt(0, 0, 1, &out).ok());
+  ASSERT_TRUE(library.Append(2, "c").ok());
+  EXPECT_TRUE(library.IsLoaded(0));
+  EXPECT_FALSE(library.IsLoaded(1));
+  EXPECT_TRUE(library.IsLoaded(2));
+}
+
+TEST(TapeLibraryTest, SeekCostDependsOnDistance) {
+  Statistics stats;
+  TapeLibrary library(SmallLibrary(), &stats);
+  std::string big(1 << 20, 'x');
+  ASSERT_TRUE(library.Append(0, big).ok());
+  ASSERT_TRUE(library.Append(0, big).ok());
+
+  std::string out;
+  // Head is at the end (2 MiB). Read near the head vs at the start.
+  const double t0 = library.ElapsedSeconds();
+  ASSERT_TRUE(library.ReadAt(0, (2 << 20) - 8, 8, &out).ok());
+  const double near_cost = library.ElapsedSeconds() - t0;
+  ASSERT_TRUE(library.ReadAt(0, 0, 8, &out).ok());
+  // Now head is at 8; read the far end again.
+  const double t1 = library.ElapsedSeconds();
+  ASSERT_TRUE(library.ReadAt(0, (2 << 20) - 8, 8, &out).ok());
+  const double far_cost = library.ElapsedSeconds() - t1;
+  EXPECT_GT(far_cost, near_cost);
+}
+
+TEST(TapeLibraryTest, ReadPastWrittenExtentFails) {
+  Statistics stats;
+  TapeLibrary library(SmallLibrary(), &stats);
+  ASSERT_TRUE(library.Append(0, "abc").ok());
+  std::string out;
+  EXPECT_FALSE(library.ReadAt(0, 2, 5, &out).ok());
+  EXPECT_FALSE(library.ReadAt(99, 0, 1, &out).ok());  // bad medium
+}
+
+TEST(TapeLibraryTest, CapacityEnforced) {
+  TapeLibraryOptions options = SmallLibrary();
+  options.profile.capacity_bytes = 100;
+  Statistics stats;
+  TapeLibrary library(options, &stats);
+  ASSERT_TRUE(library.Append(0, std::string(80, 'x')).ok());
+  EXPECT_FALSE(library.Append(0, std::string(30, 'y')).ok());
+  auto free_bytes = library.MediumFreeBytes(0);
+  ASSERT_TRUE(free_bytes.ok());
+  EXPECT_EQ(*free_bytes, 20u);
+}
+
+TEST(TapeLibraryTest, MediumWithMostFreeSpace) {
+  Statistics stats;
+  TapeLibrary library(SmallLibrary(), &stats);
+  ASSERT_TRUE(library.Append(0, std::string(1000, 'x')).ok());
+  ASSERT_TRUE(library.Append(2, std::string(10, 'x')).ok());
+  const MediumId emptiest = library.MediumWithMostFreeSpace();
+  EXPECT_TRUE(emptiest == 1 || emptiest == 3);
+}
+
+TEST(TapeLibraryTest, HeadPositionTracksOperations) {
+  Statistics stats;
+  TapeLibrary library(SmallLibrary(), &stats);
+  ASSERT_TRUE(library.Append(0, "0123456789").ok());
+  auto pos = library.HeadPosition(0);
+  ASSERT_TRUE(pos.ok());
+  EXPECT_EQ(*pos, 10u);
+  std::string out;
+  ASSERT_TRUE(library.ReadAt(0, 2, 3, &out).ok());
+  pos = library.HeadPosition(0);
+  ASSERT_TRUE(pos.ok());
+  EXPECT_EQ(*pos, 5u);
+  EXPECT_FALSE(library.HeadPosition(3).ok());  // unloaded
+}
+
+
+TEST(DriveProfileTest, ScaledProfilePreservesCostRatios) {
+  // The scaling invariant every experiment relies on: an N-byte operation
+  // on ScaledProfile(p, F) costs exactly what an (F*N)-byte operation
+  // costs on p, while fixed latencies (exchange/load/overhead) stay put.
+  const TapeDriveProfile base = MidTapeProfile();
+  const double factor = 250.0;
+  const TapeDriveProfile scaled = ScaledProfile(base, factor);
+  EXPECT_DOUBLE_EQ(scaled.robot_exchange_s, base.robot_exchange_s);
+  EXPECT_DOUBLE_EQ(scaled.load_s, base.load_s);
+  EXPECT_DOUBLE_EQ(scaled.seek_overhead_s, base.seek_overhead_s);
+  const uint64_t n = 8 << 20;
+  EXPECT_NEAR(scaled.TransferSeconds(n),
+              base.TransferSeconds(static_cast<uint64_t>(n * factor)), 1e-6);
+  EXPECT_NEAR(scaled.SeekSeconds(n),
+              base.SeekSeconds(static_cast<uint64_t>(n * factor)), 1e-6);
+  // Capacity shrinks by the same factor, so relative fill is preserved.
+  EXPECT_NEAR(static_cast<double>(scaled.capacity_bytes) * factor,
+              static_cast<double>(base.capacity_bytes),
+              static_cast<double>(base.capacity_bytes) * 0.01);
+}
+
+TEST(DriveProfileTest, MagnetoOpticalPositioningBeatsTape) {
+  const TapeDriveProfile mo = MagnetoOpticalProfile();
+  EXPECT_LT(mo.MeanAccessSeconds(), FastTapeProfile().MeanAccessSeconds());
+  EXPECT_LT(mo.robot_exchange_s, FastTapeProfile().robot_exchange_s);
+  // ...but far less capacity per medium.
+  EXPECT_LT(mo.capacity_bytes, FastTapeProfile().capacity_bytes / 5);
+}
+
+TEST(DriveProfileTest, DiskProfileAccessModel) {
+  DiskProfile disk;
+  EXPECT_GT(disk.AccessSeconds(0), 0.0);  // seek floor
+  EXPECT_GT(disk.AccessSeconds(100 << 20), disk.AccessSeconds(1 << 20));
+  // The thesis's ratio: tape transfer roughly half of disk transfer.
+  EXPECT_LT(MidTapeProfile().transfer_bytes_per_s, disk.transfer_bytes_per_s);
+}
+
+TEST(TapeLibraryTest, PersistentMediaSurviveReconstruction) {
+  MemEnv env;
+  Statistics stats;
+  {
+    TapeLibrary library(SmallLibrary(), &stats, &env, "/tapes");
+    ASSERT_TRUE(library.Append(1, "archived forever").ok());
+  }
+  TapeLibrary reopened(SmallLibrary(), &stats, &env, "/tapes");
+  std::string out;
+  ASSERT_TRUE(reopened.ReadAt(1, 0, 16, &out).ok());
+  EXPECT_EQ(out, "archived forever");
+  auto used = reopened.MediumUsedBytes(1);
+  ASSERT_TRUE(used.ok());
+  EXPECT_EQ(*used, 16u);
+}
+
+TEST(TapeLibraryTest, PersistentEraseSurvivesReconstruction) {
+  MemEnv env;
+  Statistics stats;
+  {
+    TapeLibrary library(SmallLibrary(), &stats, &env, "/tapes");
+    ASSERT_TRUE(library.Append(0, "doomed").ok());
+    ASSERT_TRUE(library.EraseMedium(0).ok());
+  }
+  TapeLibrary reopened(SmallLibrary(), &stats, &env, "/tapes");
+  auto used = reopened.MediumUsedBytes(0);
+  ASSERT_TRUE(used.ok());
+  EXPECT_EQ(*used, 0u);
+}
+
+// ------------------------------------------------------------------- HSM --
+
+class HsmTest : public ::testing::Test {
+ protected:
+  HsmTest()
+      : library_(SmallLibrary(), &stats_), hsm_(&library_, options_, &stats_) {}
+
+  Statistics stats_;
+  TapeLibrary library_;
+  HsmOptions options_;
+  HsmSystem hsm_;
+};
+
+TEST_F(HsmTest, StoreAndReadWholeFile) {
+  ASSERT_TRUE(hsm_.StoreFile("a.dat", "file contents").ok());
+  EXPECT_TRUE(hsm_.FileExists("a.dat"));
+  auto out = hsm_.ReadFile("a.dat");
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, "file contents");
+  EXPECT_EQ(stats_.Get(Ticker::kHsmFileStages), 1u);
+}
+
+TEST_F(HsmTest, DuplicateStoreFails) {
+  ASSERT_TRUE(hsm_.StoreFile("a.dat", "x").ok());
+  EXPECT_FALSE(hsm_.StoreFile("a.dat", "y").ok());
+}
+
+TEST_F(HsmTest, RangeReadStagesWholeFile) {
+  const std::string contents(100000, 'q');
+  ASSERT_TRUE(hsm_.StoreFile("big.dat", contents).ok());
+  std::string out;
+  ASSERT_TRUE(hsm_.ReadFileRange("big.dat", 50, 10, &out).ok());
+  EXPECT_EQ(out, contents.substr(50, 10));
+  // The whole file was staged despite the 10-byte request — the
+  // file-granularity deficiency HEAVEN eliminates.
+  EXPECT_EQ(stats_.Get(Ticker::kHsmBytesStaged), contents.size());
+  EXPECT_TRUE(hsm_.IsStaged("big.dat"));
+}
+
+TEST_F(HsmTest, SecondReadServedFromStage) {
+  ASSERT_TRUE(hsm_.StoreFile("a.dat", "contents").ok());
+  std::string out;
+  ASSERT_TRUE(hsm_.ReadFileRange("a.dat", 0, 4, &out).ok());
+  const uint64_t tape_reads = stats_.Get(Ticker::kTapeReadRequests);
+  ASSERT_TRUE(hsm_.ReadFileRange("a.dat", 4, 4, &out).ok());
+  EXPECT_EQ(stats_.Get(Ticker::kTapeReadRequests), tape_reads);
+  EXPECT_EQ(stats_.Get(Ticker::kHsmFileStages), 1u);
+}
+
+TEST_F(HsmTest, PurgeRemovesFromCacheNotTape) {
+  ASSERT_TRUE(hsm_.StoreFile("a.dat", "contents").ok());
+  std::string out;
+  ASSERT_TRUE(hsm_.ReadFileRange("a.dat", 0, 4, &out).ok());
+  ASSERT_TRUE(hsm_.PurgeFile("a.dat").ok());
+  EXPECT_FALSE(hsm_.IsStaged("a.dat"));
+  auto contents = hsm_.ReadFile("a.dat");
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(*contents, "contents");
+  EXPECT_EQ(stats_.Get(Ticker::kHsmFileStages), 2u);
+}
+
+TEST_F(HsmTest, CacheEvictionOnPressure) {
+  HsmOptions small;
+  small.disk_cache_bytes = 150;
+  HsmSystem hsm(&library_, small, &stats_);
+  ASSERT_TRUE(hsm.StoreFile("a", std::string(100, 'a')).ok());
+  ASSERT_TRUE(hsm.StoreFile("b", std::string(100, 'b')).ok());
+  std::string out;
+  ASSERT_TRUE(hsm.ReadFileRange("a", 0, 1, &out).ok());
+  ASSERT_TRUE(hsm.ReadFileRange("b", 0, 1, &out).ok());
+  EXPECT_FALSE(hsm.IsStaged("a"));  // evicted for b
+  EXPECT_TRUE(hsm.IsStaged("b"));
+  EXPECT_LE(hsm.StagedBytes(), 150u);
+}
+
+TEST_F(HsmTest, MissingFileErrors) {
+  std::string out;
+  EXPECT_TRUE(hsm_.ReadFileRange("ghost", 0, 1, &out).IsNotFound());
+  EXPECT_FALSE(hsm_.FileSize("ghost").ok());
+  EXPECT_FALSE(hsm_.PurgeFile("ghost").ok());
+}
+
+TEST_F(HsmTest, RangeBeyondFileFails) {
+  ASSERT_TRUE(hsm_.StoreFile("a", "12345").ok());
+  std::string out;
+  EXPECT_FALSE(hsm_.ReadFileRange("a", 3, 10, &out).ok());
+}
+
+
+TEST(TapeTraceTest, DisabledByDefault) {
+  Statistics stats;
+  TapeLibrary library(SmallLibrary(), &stats);
+  ASSERT_TRUE(library.Append(0, "data").ok());
+  EXPECT_FALSE(library.trace_enabled());
+  EXPECT_TRUE(library.Trace().empty());
+}
+
+TEST(TapeTraceTest, RecordsOperationSequence) {
+  Statistics stats;
+  TapeLibrary library(SmallLibrary(), &stats);
+  library.EnableTrace(true);
+  ASSERT_TRUE(library.Append(0, "0123456789").ok());
+  std::string out;
+  ASSERT_TRUE(library.ReadAt(0, 2, 4, &out).ok());
+  ASSERT_TRUE(library.EraseMedium(0).ok());
+
+  const auto trace = library.Trace();
+  // exchange, seek, write, seek, read, erase
+  ASSERT_EQ(trace.size(), 6u);
+  EXPECT_EQ(trace[0].kind, TapeTraceEvent::Kind::kExchange);
+  EXPECT_EQ(trace[2].kind, TapeTraceEvent::Kind::kWrite);
+  EXPECT_EQ(trace[2].bytes, 10u);
+  EXPECT_EQ(trace[4].kind, TapeTraceEvent::Kind::kRead);
+  EXPECT_EQ(trace[4].offset, 2u);
+  EXPECT_EQ(trace[4].bytes, 4u);
+  EXPECT_EQ(trace[5].kind, TapeTraceEvent::Kind::kErase);
+  // Clock values are non-decreasing.
+  for (size_t i = 1; i < trace.size(); ++i) {
+    EXPECT_GE(trace[i].clock, trace[i - 1].clock);
+  }
+  // Formatting produces one line per event.
+  const std::string text = FormatTapeTrace(trace);
+  EXPECT_EQ(static_cast<size_t>(
+                std::count(text.begin(), text.end(), '\n')),
+            trace.size());
+}
+
+TEST(TapeTraceTest, ClearTraceResets) {
+  Statistics stats;
+  TapeLibrary library(SmallLibrary(), &stats);
+  library.EnableTrace(true);
+  ASSERT_TRUE(library.Append(0, "x").ok());
+  EXPECT_FALSE(library.Trace().empty());
+  library.ClearTrace();
+  EXPECT_TRUE(library.Trace().empty());
+}
+
+TEST(TapeLibraryTest, EraseMediumRewindsAndUnloads) {
+  Statistics stats;
+  TapeLibrary library(SmallLibrary(), &stats);
+  ASSERT_TRUE(library.Append(0, "abcdef").ok());
+  EXPECT_TRUE(library.IsLoaded(0));
+  ASSERT_TRUE(library.EraseMedium(0).ok());
+  EXPECT_FALSE(library.IsLoaded(0));
+  auto used = library.MediumUsedBytes(0);
+  ASSERT_TRUE(used.ok());
+  EXPECT_EQ(*used, 0u);
+  // The cartridge is reusable.
+  auto offset = library.Append(0, "xy");
+  ASSERT_TRUE(offset.ok());
+  EXPECT_EQ(*offset, 0u);
+}
+
+}  // namespace
+}  // namespace heaven

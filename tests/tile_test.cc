@@ -1,0 +1,164 @@
+#include "array/tile.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace heaven {
+namespace {
+
+TEST(CellTypeTest, SizesAndNames) {
+  EXPECT_EQ(CellTypeSize(CellType::kChar), 1u);
+  EXPECT_EQ(CellTypeSize(CellType::kOctet), 1u);
+  EXPECT_EQ(CellTypeSize(CellType::kShort), 2u);
+  EXPECT_EQ(CellTypeSize(CellType::kUShort), 2u);
+  EXPECT_EQ(CellTypeSize(CellType::kLong), 4u);
+  EXPECT_EQ(CellTypeSize(CellType::kULong), 4u);
+  EXPECT_EQ(CellTypeSize(CellType::kFloat), 4u);
+  EXPECT_EQ(CellTypeSize(CellType::kDouble), 8u);
+  EXPECT_EQ(CellTypeName(CellType::kFloat), "float");
+}
+
+TEST(CellTypeTest, ParseRoundTrip) {
+  for (CellType type :
+       {CellType::kChar, CellType::kOctet, CellType::kShort, CellType::kUShort,
+        CellType::kLong, CellType::kULong, CellType::kFloat,
+        CellType::kDouble}) {
+    auto parsed = ParseCellType(CellTypeName(type));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, type);
+  }
+  EXPECT_FALSE(ParseCellType("int128").ok());
+}
+
+TEST(CellTypeTest, ReadWriteRoundTripPerType) {
+  char buf[8];
+  for (CellType type :
+       {CellType::kChar, CellType::kShort, CellType::kLong, CellType::kFloat,
+        CellType::kDouble}) {
+    WriteCellFromDouble(type, -42.0, buf);
+    EXPECT_EQ(ReadCellAsDouble(type, buf), -42.0) << CellTypeName(type);
+  }
+  for (CellType type : {CellType::kOctet, CellType::kUShort, CellType::kULong}) {
+    WriteCellFromDouble(type, 200.0, buf);
+    EXPECT_EQ(ReadCellAsDouble(type, buf), 200.0) << CellTypeName(type);
+  }
+}
+
+TEST(TileTest, ZeroInitialized) {
+  Tile tile(MdInterval({0, 0}, {3, 3}), CellType::kLong);
+  EXPECT_EQ(tile.size_bytes(), 16u * 4u);
+  for (MdPointIterator it(tile.domain()); !it.Done(); it.Next()) {
+    EXPECT_EQ(tile.CellAsDouble(it.point()), 0.0);
+  }
+}
+
+TEST(TileTest, SetAndGetCells) {
+  Tile tile(MdInterval({0, 0}, {4, 4}), CellType::kDouble);
+  tile.SetCellFromDouble(MdPoint{2, 3}, 3.25);
+  EXPECT_EQ(tile.CellAsDouble(MdPoint{2, 3}), 3.25);
+  EXPECT_EQ(tile.CellAsDouble(MdPoint{3, 2}), 0.0);
+}
+
+TEST(TileTest, FillSetsEveryCell) {
+  Tile tile(MdInterval({0}, {99}), CellType::kShort);
+  tile.Fill(7.0);
+  for (MdPointIterator it(tile.domain()); !it.Done(); it.Next()) {
+    EXPECT_EQ(tile.CellAsDouble(it.point()), 7.0);
+  }
+}
+
+TEST(TileTest, ExtractRegionPreservesValues) {
+  Tile tile(MdInterval({0, 0}, {9, 9}), CellType::kFloat);
+  for (MdPointIterator it(tile.domain()); !it.Done(); it.Next()) {
+    tile.SetCellFromDouble(it.point(),
+                           static_cast<double>(it.point()[0] * 100 + it.point()[1]));
+  }
+  MdInterval region({2, 3}, {5, 7});
+  auto extracted = tile.ExtractRegion(region);
+  ASSERT_TRUE(extracted.ok());
+  EXPECT_EQ(extracted->domain(), region);
+  for (MdPointIterator it(region); !it.Done(); it.Next()) {
+    EXPECT_EQ(extracted->CellAsDouble(it.point()),
+              tile.CellAsDouble(it.point()));
+  }
+}
+
+TEST(TileTest, ExtractRegionOutsideDomainFails) {
+  Tile tile(MdInterval({0, 0}, {9, 9}), CellType::kChar);
+  EXPECT_FALSE(tile.ExtractRegion(MdInterval({5, 5}, {12, 7})).ok());
+}
+
+TEST(TileTest, CopyRegionTypeMismatchFails) {
+  Tile a(MdInterval({0}, {9}), CellType::kChar);
+  Tile b(MdInterval({0}, {9}), CellType::kShort);
+  EXPECT_FALSE(b.CopyRegionFrom(a, MdInterval({0}, {9})).ok());
+}
+
+TEST(TileTest, CopyRegionBetweenOverlappingDomains) {
+  Tile src(MdInterval({0, 0}, {7, 7}), CellType::kLong);
+  src.Fill(9.0);
+  Tile dst(MdInterval({4, 4}, {11, 11}), CellType::kLong);
+  MdInterval overlap({4, 4}, {7, 7});
+  ASSERT_TRUE(dst.CopyRegionFrom(src, overlap).ok());
+  EXPECT_EQ(dst.CellAsDouble(MdPoint{5, 5}), 9.0);
+  EXPECT_EQ(dst.CellAsDouble(MdPoint{8, 8}), 0.0);
+}
+
+TEST(TileTest, OneDimensionalCopy) {
+  Tile src(MdInterval({0}, {99}), CellType::kDouble);
+  for (int64_t i = 0; i < 100; ++i) {
+    src.SetCellFromDouble(MdPoint{i}, static_cast<double>(i));
+  }
+  Tile dst(MdInterval({50}, {149}), CellType::kDouble);
+  ASSERT_TRUE(dst.CopyRegionFrom(src, MdInterval({50}, {99})).ok());
+  EXPECT_EQ(dst.CellAsDouble(MdPoint{75}), 75.0);
+}
+
+TEST(TileTest, AdoptedBufferSizeChecked) {
+  std::string buffer(100, 'x');
+  EXPECT_DEATH(Tile(MdInterval({0}, {9}), CellType::kDouble,
+                    std::string(buffer)),
+               "buffer size");
+}
+
+class TileCopyPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TileCopyPropertyTest, RandomRegionCopiesMatchCellwise) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 20; ++round) {
+    const size_t dims = 1 + rng.Uniform(3);
+    std::vector<int64_t> lo(dims);
+    std::vector<int64_t> hi(dims);
+    for (size_t d = 0; d < dims; ++d) {
+      lo[d] = rng.UniformRange(-4, 4);
+      hi[d] = lo[d] + rng.UniformRange(2, 8);
+    }
+    MdInterval domain{MdPoint(lo), MdPoint(hi)};
+    Tile src(domain, CellType::kLong);
+    for (MdPointIterator it(domain); !it.Done(); it.Next()) {
+      src.SetCellFromDouble(it.point(),
+                            static_cast<double>(rng.UniformRange(-1000, 1000)));
+    }
+    // Random sub-box.
+    std::vector<int64_t> rlo(dims);
+    std::vector<int64_t> rhi(dims);
+    for (size_t d = 0; d < dims; ++d) {
+      rlo[d] = rng.UniformRange(domain.lo(d), domain.hi(d));
+      rhi[d] = rng.UniformRange(rlo[d], domain.hi(d));
+    }
+    MdInterval region{MdPoint(rlo), MdPoint(rhi)};
+    auto extracted = src.ExtractRegion(region);
+    ASSERT_TRUE(extracted.ok());
+    for (MdPointIterator it(region); !it.Done(); it.Next()) {
+      ASSERT_EQ(extracted->CellAsDouble(it.point()),
+                src.CellAsDouble(it.point()));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TileCopyPropertyTest,
+                         ::testing::Values(7, 77, 777));
+
+}  // namespace
+}  // namespace heaven

@@ -1,0 +1,136 @@
+#include "array/tiling.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace heaven {
+namespace {
+
+TEST(RegularTilingTest, ExactDivision) {
+  MdInterval domain({0, 0}, {9, 9});
+  auto tiles = RegularTiling(domain, {5, 5});
+  EXPECT_EQ(tiles.size(), 4u);
+  EXPECT_TRUE(ValidateTiling(domain, tiles).ok());
+}
+
+TEST(RegularTilingTest, BorderTilesAreSmaller) {
+  MdInterval domain({0, 0}, {9, 6});
+  auto tiles = RegularTiling(domain, {4, 4});
+  EXPECT_EQ(tiles.size(), 6u);  // 3 x 2 grid
+  EXPECT_TRUE(ValidateTiling(domain, tiles).ok());
+  // The last tile covers the remainder.
+  EXPECT_EQ(tiles.back(), MdInterval({8, 4}, {9, 6}));
+}
+
+TEST(RegularTilingTest, SingleTileWhenExtentsCoverDomain) {
+  MdInterval domain({5, 5}, {9, 9});
+  auto tiles = RegularTiling(domain, {100, 100});
+  ASSERT_EQ(tiles.size(), 1u);
+  EXPECT_EQ(tiles[0], domain);
+}
+
+TEST(RegularTilingTest, NonZeroOrigin) {
+  MdInterval domain({-10, 100}, {-1, 109});
+  auto tiles = RegularTiling(domain, {5, 5});
+  EXPECT_EQ(tiles.size(), 4u);
+  EXPECT_TRUE(ValidateTiling(domain, tiles).ok());
+  EXPECT_EQ(tiles[0].lo(), (MdPoint{-10, 100}));
+}
+
+TEST(AlignedTilingTest, RespectsByteBudget) {
+  MdInterval domain({0, 0, 0}, {99, 99, 99});
+  auto extents = ComputeAlignedTileExtents(domain, CellType::kDouble,
+                                           64 << 10);  // 64 KiB
+  uint64_t cells = 1;
+  for (int64_t e : extents) cells *= static_cast<uint64_t>(e);
+  EXPECT_LE(cells * 8, 64u << 10);
+  // Near-cubic: extents within a factor of 2 of each other.
+  for (size_t i = 0; i < extents.size(); ++i) {
+    for (size_t j = 0; j < extents.size(); ++j) {
+      EXPECT_LE(extents[i], extents[j] * 2 + 1);
+    }
+  }
+}
+
+TEST(AlignedTilingTest, ClampsToDomainExtents) {
+  MdInterval domain({0, 0}, {3, 99999});
+  auto extents = ComputeAlignedTileExtents(domain, CellType::kChar, 1 << 20);
+  EXPECT_LE(extents[0], 4);
+  EXPECT_GT(extents[1], 100);  // budget flows into the long dimension
+}
+
+TEST(DirectionalTilingTest, PreferencesStretchAxes) {
+  MdInterval domain({0, 0}, {9999, 9999});
+  auto extents = ComputeDirectionalTileExtents(domain, CellType::kChar,
+                                               1 << 16, {4.0, 1.0});
+  EXPECT_GT(extents[0], extents[1]);
+}
+
+TEST(ValidateTilingTest, DetectsOverlap) {
+  MdInterval domain({0}, {9});
+  std::vector<MdInterval> tiles = {MdInterval({0}, {5}), MdInterval({5}, {9})};
+  EXPECT_FALSE(ValidateTiling(domain, tiles).ok());
+}
+
+TEST(ValidateTilingTest, DetectsGap) {
+  MdInterval domain({0}, {9});
+  std::vector<MdInterval> tiles = {MdInterval({0}, {3}), MdInterval({5}, {9})};
+  EXPECT_FALSE(ValidateTiling(domain, tiles).ok());
+}
+
+TEST(ValidateTilingTest, DetectsEscape) {
+  MdInterval domain({0}, {9});
+  std::vector<MdInterval> tiles = {MdInterval({0}, {10})};
+  EXPECT_FALSE(ValidateTiling(domain, tiles).ok());
+}
+
+class TilingPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TilingPropertyTest, RandomRegularTilingsAreValidPartitions) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 25; ++round) {
+    const size_t dims = 1 + rng.Uniform(4);
+    std::vector<int64_t> lo(dims);
+    std::vector<int64_t> hi(dims);
+    std::vector<int64_t> extents(dims);
+    for (size_t d = 0; d < dims; ++d) {
+      lo[d] = rng.UniformRange(-20, 20);
+      hi[d] = lo[d] + rng.UniformRange(0, 30);
+      extents[d] = rng.UniformRange(1, 12);
+    }
+    MdInterval domain{MdPoint(lo), MdPoint(hi)};
+    auto tiles = RegularTiling(domain, extents);
+    EXPECT_TRUE(ValidateTiling(domain, tiles).ok())
+        << domain.ToString() << " round " << round;
+  }
+}
+
+TEST_P(TilingPropertyTest, AlignedExtentsAlwaysWithinBudgetAndPositive) {
+  Rng rng(GetParam() + 10);
+  for (int round = 0; round < 25; ++round) {
+    const size_t dims = 1 + rng.Uniform(4);
+    std::vector<int64_t> lo(dims, 0);
+    std::vector<int64_t> hi(dims);
+    for (size_t d = 0; d < dims; ++d) hi[d] = rng.UniformRange(0, 500);
+    MdInterval domain{MdPoint(lo), MdPoint(hi)};
+    const uint64_t budget = 1ull << rng.UniformRange(8, 22);
+    auto extents = ComputeAlignedTileExtents(domain, CellType::kFloat, budget);
+    uint64_t cells = 1;
+    for (size_t d = 0; d < dims; ++d) {
+      EXPECT_GE(extents[d], 1);
+      EXPECT_LE(extents[d], domain.Extent(d));
+      cells *= static_cast<uint64_t>(extents[d]);
+    }
+    // Budget holds unless even a single cell per dim overflows it.
+    if (cells > 1) {
+      EXPECT_LE(cells * 4, budget);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TilingPropertyTest,
+                         ::testing::Values(3, 33, 333, 3333));
+
+}  // namespace
+}  // namespace heaven
