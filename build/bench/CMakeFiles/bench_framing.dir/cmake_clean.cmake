@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_framing.dir/bench_framing.cc.o"
+  "CMakeFiles/bench_framing.dir/bench_framing.cc.o.d"
+  "bench_framing"
+  "bench_framing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_framing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_media_types.cc" "bench/CMakeFiles/bench_media_types.dir/bench_media_types.cc.o" "gcc" "bench/CMakeFiles/bench_media_types.dir/bench_media_types.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/heaven_benchutil.dir/DependInfo.cmake"
+  "/root/repo/build/src/rasql/CMakeFiles/heaven_rasql.dir/DependInfo.cmake"
+  "/root/repo/build/src/heaven/CMakeFiles/heaven_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/heaven_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/array/CMakeFiles/heaven_array.dir/DependInfo.cmake"
+  "/root/repo/build/src/tertiary/CMakeFiles/heaven_tertiary.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/heaven_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

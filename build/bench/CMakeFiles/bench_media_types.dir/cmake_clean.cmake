@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_media_types.dir/bench_media_types.cc.o"
+  "CMakeFiles/bench_media_types.dir/bench_media_types.cc.o.d"
+  "bench_media_types"
+  "bench_media_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_media_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

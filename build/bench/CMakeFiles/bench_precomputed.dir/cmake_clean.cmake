@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_precomputed.dir/bench_precomputed.cc.o"
+  "CMakeFiles/bench_precomputed.dir/bench_precomputed.cc.o.d"
+  "bench_precomputed"
+  "bench_precomputed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_precomputed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_retrieval_heaven.dir/bench_retrieval_heaven.cc.o"
+  "CMakeFiles/bench_retrieval_heaven.dir/bench_retrieval_heaven.cc.o.d"
+  "bench_retrieval_heaven"
+  "bench_retrieval_heaven.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_retrieval_heaven.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

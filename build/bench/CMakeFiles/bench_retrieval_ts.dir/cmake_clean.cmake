@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_retrieval_ts.dir/bench_retrieval_ts.cc.o"
+  "CMakeFiles/bench_retrieval_ts.dir/bench_retrieval_ts.cc.o.d"
+  "bench_retrieval_ts"
+  "bench_retrieval_ts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_retrieval_ts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

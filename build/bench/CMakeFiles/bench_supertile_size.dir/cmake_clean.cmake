@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_supertile_size.dir/bench_supertile_size.cc.o"
+  "CMakeFiles/bench_supertile_size.dir/bench_supertile_size.cc.o.d"
+  "bench_supertile_size"
+  "bench_supertile_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_supertile_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

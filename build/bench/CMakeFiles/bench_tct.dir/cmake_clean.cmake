@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tct.dir/bench_tct.cc.o"
+  "CMakeFiles/bench_tct.dir/bench_tct.cc.o.d"
+  "bench_tct"
+  "bench_tct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heaven_benchutil.dir/workload.cc.o"
+  "CMakeFiles/heaven_benchutil.dir/workload.cc.o.d"
+  "libheaven_benchutil.a"
+  "libheaven_benchutil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heaven_benchutil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libheaven_benchutil.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/climate_archive.dir/climate_archive.cpp.o"
+  "CMakeFiles/climate_archive.dir/climate_archive.cpp.o.d"
+  "climate_archive"
+  "climate_archive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/climate_archive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

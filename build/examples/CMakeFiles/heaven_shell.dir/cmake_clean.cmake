@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heaven_shell.dir/heaven_shell.cpp.o"
+  "CMakeFiles/heaven_shell.dir/heaven_shell.cpp.o.d"
+  "heaven_shell"
+  "heaven_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heaven_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsm_vs_heaven.dir/hsm_vs_heaven.cpp.o"
+  "CMakeFiles/hsm_vs_heaven.dir/hsm_vs_heaven.cpp.o.d"
+  "hsm_vs_heaven"
+  "hsm_vs_heaven.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsm_vs_heaven.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

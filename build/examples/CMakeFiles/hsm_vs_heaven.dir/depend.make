@@ -1,0 +1,2 @@
+# Empty dependencies file for hsm_vs_heaven.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/satellite_eoweb.dir/satellite_eoweb.cpp.o"
+  "CMakeFiles/satellite_eoweb.dir/satellite_eoweb.cpp.o.d"
+  "satellite_eoweb"
+  "satellite_eoweb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/satellite_eoweb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/array/cell_type.cc" "src/array/CMakeFiles/heaven_array.dir/cell_type.cc.o" "gcc" "src/array/CMakeFiles/heaven_array.dir/cell_type.cc.o.d"
+  "/root/repo/src/array/compression.cc" "src/array/CMakeFiles/heaven_array.dir/compression.cc.o" "gcc" "src/array/CMakeFiles/heaven_array.dir/compression.cc.o.d"
+  "/root/repo/src/array/md_interval.cc" "src/array/CMakeFiles/heaven_array.dir/md_interval.cc.o" "gcc" "src/array/CMakeFiles/heaven_array.dir/md_interval.cc.o.d"
+  "/root/repo/src/array/md_point.cc" "src/array/CMakeFiles/heaven_array.dir/md_point.cc.o" "gcc" "src/array/CMakeFiles/heaven_array.dir/md_point.cc.o.d"
+  "/root/repo/src/array/mdd.cc" "src/array/CMakeFiles/heaven_array.dir/mdd.cc.o" "gcc" "src/array/CMakeFiles/heaven_array.dir/mdd.cc.o.d"
+  "/root/repo/src/array/ops.cc" "src/array/CMakeFiles/heaven_array.dir/ops.cc.o" "gcc" "src/array/CMakeFiles/heaven_array.dir/ops.cc.o.d"
+  "/root/repo/src/array/rtree.cc" "src/array/CMakeFiles/heaven_array.dir/rtree.cc.o" "gcc" "src/array/CMakeFiles/heaven_array.dir/rtree.cc.o.d"
+  "/root/repo/src/array/tile.cc" "src/array/CMakeFiles/heaven_array.dir/tile.cc.o" "gcc" "src/array/CMakeFiles/heaven_array.dir/tile.cc.o.d"
+  "/root/repo/src/array/tiling.cc" "src/array/CMakeFiles/heaven_array.dir/tiling.cc.o" "gcc" "src/array/CMakeFiles/heaven_array.dir/tiling.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/heaven_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

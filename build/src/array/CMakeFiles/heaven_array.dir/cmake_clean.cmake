@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heaven_array.dir/cell_type.cc.o"
+  "CMakeFiles/heaven_array.dir/cell_type.cc.o.d"
+  "CMakeFiles/heaven_array.dir/compression.cc.o"
+  "CMakeFiles/heaven_array.dir/compression.cc.o.d"
+  "CMakeFiles/heaven_array.dir/md_interval.cc.o"
+  "CMakeFiles/heaven_array.dir/md_interval.cc.o.d"
+  "CMakeFiles/heaven_array.dir/md_point.cc.o"
+  "CMakeFiles/heaven_array.dir/md_point.cc.o.d"
+  "CMakeFiles/heaven_array.dir/mdd.cc.o"
+  "CMakeFiles/heaven_array.dir/mdd.cc.o.d"
+  "CMakeFiles/heaven_array.dir/ops.cc.o"
+  "CMakeFiles/heaven_array.dir/ops.cc.o.d"
+  "CMakeFiles/heaven_array.dir/rtree.cc.o"
+  "CMakeFiles/heaven_array.dir/rtree.cc.o.d"
+  "CMakeFiles/heaven_array.dir/tile.cc.o"
+  "CMakeFiles/heaven_array.dir/tile.cc.o.d"
+  "CMakeFiles/heaven_array.dir/tiling.cc.o"
+  "CMakeFiles/heaven_array.dir/tiling.cc.o.d"
+  "libheaven_array.a"
+  "libheaven_array.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heaven_array.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

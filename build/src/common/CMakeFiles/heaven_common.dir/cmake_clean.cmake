@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heaven_common.dir/coding.cc.o"
+  "CMakeFiles/heaven_common.dir/coding.cc.o.d"
+  "CMakeFiles/heaven_common.dir/env.cc.o"
+  "CMakeFiles/heaven_common.dir/env.cc.o.d"
+  "CMakeFiles/heaven_common.dir/logging.cc.o"
+  "CMakeFiles/heaven_common.dir/logging.cc.o.d"
+  "CMakeFiles/heaven_common.dir/rng.cc.o"
+  "CMakeFiles/heaven_common.dir/rng.cc.o.d"
+  "CMakeFiles/heaven_common.dir/statistics.cc.o"
+  "CMakeFiles/heaven_common.dir/statistics.cc.o.d"
+  "CMakeFiles/heaven_common.dir/status.cc.o"
+  "CMakeFiles/heaven_common.dir/status.cc.o.d"
+  "libheaven_common.a"
+  "libheaven_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heaven_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/heaven/cache.cc" "src/heaven/CMakeFiles/heaven_core.dir/cache.cc.o" "gcc" "src/heaven/CMakeFiles/heaven_core.dir/cache.cc.o.d"
+  "/root/repo/src/heaven/clustering.cc" "src/heaven/CMakeFiles/heaven_core.dir/clustering.cc.o" "gcc" "src/heaven/CMakeFiles/heaven_core.dir/clustering.cc.o.d"
+  "/root/repo/src/heaven/framing.cc" "src/heaven/CMakeFiles/heaven_core.dir/framing.cc.o" "gcc" "src/heaven/CMakeFiles/heaven_core.dir/framing.cc.o.d"
+  "/root/repo/src/heaven/heaven_db.cc" "src/heaven/CMakeFiles/heaven_core.dir/heaven_db.cc.o" "gcc" "src/heaven/CMakeFiles/heaven_core.dir/heaven_db.cc.o.d"
+  "/root/repo/src/heaven/precomputed.cc" "src/heaven/CMakeFiles/heaven_core.dir/precomputed.cc.o" "gcc" "src/heaven/CMakeFiles/heaven_core.dir/precomputed.cc.o.d"
+  "/root/repo/src/heaven/prefetch.cc" "src/heaven/CMakeFiles/heaven_core.dir/prefetch.cc.o" "gcc" "src/heaven/CMakeFiles/heaven_core.dir/prefetch.cc.o.d"
+  "/root/repo/src/heaven/scheduler.cc" "src/heaven/CMakeFiles/heaven_core.dir/scheduler.cc.o" "gcc" "src/heaven/CMakeFiles/heaven_core.dir/scheduler.cc.o.d"
+  "/root/repo/src/heaven/size_adaptation.cc" "src/heaven/CMakeFiles/heaven_core.dir/size_adaptation.cc.o" "gcc" "src/heaven/CMakeFiles/heaven_core.dir/size_adaptation.cc.o.d"
+  "/root/repo/src/heaven/star.cc" "src/heaven/CMakeFiles/heaven_core.dir/star.cc.o" "gcc" "src/heaven/CMakeFiles/heaven_core.dir/star.cc.o.d"
+  "/root/repo/src/heaven/super_tile.cc" "src/heaven/CMakeFiles/heaven_core.dir/super_tile.cc.o" "gcc" "src/heaven/CMakeFiles/heaven_core.dir/super_tile.cc.o.d"
+  "/root/repo/src/heaven/zorder.cc" "src/heaven/CMakeFiles/heaven_core.dir/zorder.cc.o" "gcc" "src/heaven/CMakeFiles/heaven_core.dir/zorder.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/heaven_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/array/CMakeFiles/heaven_array.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/heaven_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/tertiary/CMakeFiles/heaven_tertiary.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heaven_core.dir/cache.cc.o"
+  "CMakeFiles/heaven_core.dir/cache.cc.o.d"
+  "CMakeFiles/heaven_core.dir/clustering.cc.o"
+  "CMakeFiles/heaven_core.dir/clustering.cc.o.d"
+  "CMakeFiles/heaven_core.dir/framing.cc.o"
+  "CMakeFiles/heaven_core.dir/framing.cc.o.d"
+  "CMakeFiles/heaven_core.dir/heaven_db.cc.o"
+  "CMakeFiles/heaven_core.dir/heaven_db.cc.o.d"
+  "CMakeFiles/heaven_core.dir/precomputed.cc.o"
+  "CMakeFiles/heaven_core.dir/precomputed.cc.o.d"
+  "CMakeFiles/heaven_core.dir/prefetch.cc.o"
+  "CMakeFiles/heaven_core.dir/prefetch.cc.o.d"
+  "CMakeFiles/heaven_core.dir/scheduler.cc.o"
+  "CMakeFiles/heaven_core.dir/scheduler.cc.o.d"
+  "CMakeFiles/heaven_core.dir/size_adaptation.cc.o"
+  "CMakeFiles/heaven_core.dir/size_adaptation.cc.o.d"
+  "CMakeFiles/heaven_core.dir/star.cc.o"
+  "CMakeFiles/heaven_core.dir/star.cc.o.d"
+  "CMakeFiles/heaven_core.dir/super_tile.cc.o"
+  "CMakeFiles/heaven_core.dir/super_tile.cc.o.d"
+  "CMakeFiles/heaven_core.dir/zorder.cc.o"
+  "CMakeFiles/heaven_core.dir/zorder.cc.o.d"
+  "libheaven_core.a"
+  "libheaven_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heaven_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heaven_rasql.dir/executor.cc.o"
+  "CMakeFiles/heaven_rasql.dir/executor.cc.o.d"
+  "CMakeFiles/heaven_rasql.dir/lexer.cc.o"
+  "CMakeFiles/heaven_rasql.dir/lexer.cc.o.d"
+  "CMakeFiles/heaven_rasql.dir/parser.cc.o"
+  "CMakeFiles/heaven_rasql.dir/parser.cc.o.d"
+  "CMakeFiles/heaven_rasql.dir/statements.cc.o"
+  "CMakeFiles/heaven_rasql.dir/statements.cc.o.d"
+  "libheaven_rasql.a"
+  "libheaven_rasql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heaven_rasql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/blob_store.cc" "src/storage/CMakeFiles/heaven_storage.dir/blob_store.cc.o" "gcc" "src/storage/CMakeFiles/heaven_storage.dir/blob_store.cc.o.d"
+  "/root/repo/src/storage/buffer_pool.cc" "src/storage/CMakeFiles/heaven_storage.dir/buffer_pool.cc.o" "gcc" "src/storage/CMakeFiles/heaven_storage.dir/buffer_pool.cc.o.d"
+  "/root/repo/src/storage/catalog.cc" "src/storage/CMakeFiles/heaven_storage.dir/catalog.cc.o" "gcc" "src/storage/CMakeFiles/heaven_storage.dir/catalog.cc.o.d"
+  "/root/repo/src/storage/disk_manager.cc" "src/storage/CMakeFiles/heaven_storage.dir/disk_manager.cc.o" "gcc" "src/storage/CMakeFiles/heaven_storage.dir/disk_manager.cc.o.d"
+  "/root/repo/src/storage/serialize.cc" "src/storage/CMakeFiles/heaven_storage.dir/serialize.cc.o" "gcc" "src/storage/CMakeFiles/heaven_storage.dir/serialize.cc.o.d"
+  "/root/repo/src/storage/storage_engine.cc" "src/storage/CMakeFiles/heaven_storage.dir/storage_engine.cc.o" "gcc" "src/storage/CMakeFiles/heaven_storage.dir/storage_engine.cc.o.d"
+  "/root/repo/src/storage/wal.cc" "src/storage/CMakeFiles/heaven_storage.dir/wal.cc.o" "gcc" "src/storage/CMakeFiles/heaven_storage.dir/wal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/heaven_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/array/CMakeFiles/heaven_array.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

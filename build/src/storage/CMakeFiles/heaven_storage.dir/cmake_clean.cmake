@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heaven_storage.dir/blob_store.cc.o"
+  "CMakeFiles/heaven_storage.dir/blob_store.cc.o.d"
+  "CMakeFiles/heaven_storage.dir/buffer_pool.cc.o"
+  "CMakeFiles/heaven_storage.dir/buffer_pool.cc.o.d"
+  "CMakeFiles/heaven_storage.dir/catalog.cc.o"
+  "CMakeFiles/heaven_storage.dir/catalog.cc.o.d"
+  "CMakeFiles/heaven_storage.dir/disk_manager.cc.o"
+  "CMakeFiles/heaven_storage.dir/disk_manager.cc.o.d"
+  "CMakeFiles/heaven_storage.dir/serialize.cc.o"
+  "CMakeFiles/heaven_storage.dir/serialize.cc.o.d"
+  "CMakeFiles/heaven_storage.dir/storage_engine.cc.o"
+  "CMakeFiles/heaven_storage.dir/storage_engine.cc.o.d"
+  "CMakeFiles/heaven_storage.dir/wal.cc.o"
+  "CMakeFiles/heaven_storage.dir/wal.cc.o.d"
+  "libheaven_storage.a"
+  "libheaven_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heaven_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

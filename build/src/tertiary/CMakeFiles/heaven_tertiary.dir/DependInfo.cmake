@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tertiary/drive_profile.cc" "src/tertiary/CMakeFiles/heaven_tertiary.dir/drive_profile.cc.o" "gcc" "src/tertiary/CMakeFiles/heaven_tertiary.dir/drive_profile.cc.o.d"
+  "/root/repo/src/tertiary/hsm_system.cc" "src/tertiary/CMakeFiles/heaven_tertiary.dir/hsm_system.cc.o" "gcc" "src/tertiary/CMakeFiles/heaven_tertiary.dir/hsm_system.cc.o.d"
+  "/root/repo/src/tertiary/tape_library.cc" "src/tertiary/CMakeFiles/heaven_tertiary.dir/tape_library.cc.o" "gcc" "src/tertiary/CMakeFiles/heaven_tertiary.dir/tape_library.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/heaven_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

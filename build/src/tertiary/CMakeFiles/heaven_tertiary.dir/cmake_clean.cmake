@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heaven_tertiary.dir/drive_profile.cc.o"
+  "CMakeFiles/heaven_tertiary.dir/drive_profile.cc.o.d"
+  "CMakeFiles/heaven_tertiary.dir/hsm_system.cc.o"
+  "CMakeFiles/heaven_tertiary.dir/hsm_system.cc.o.d"
+  "CMakeFiles/heaven_tertiary.dir/tape_library.cc.o"
+  "CMakeFiles/heaven_tertiary.dir/tape_library.cc.o.d"
+  "libheaven_tertiary.a"
+  "libheaven_tertiary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heaven_tertiary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for heaven_tertiary.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heaven_db_test.dir/heaven_db_test.cc.o"
+  "CMakeFiles/heaven_db_test.dir/heaven_db_test.cc.o.d"
+  "heaven_db_test"
+  "heaven_db_test.pdb"
+  "heaven_db_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heaven_db_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

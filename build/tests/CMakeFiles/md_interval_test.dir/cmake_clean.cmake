@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/md_interval_test.dir/md_interval_test.cc.o"
+  "CMakeFiles/md_interval_test.dir/md_interval_test.cc.o.d"
+  "md_interval_test"
+  "md_interval_test.pdb"
+  "md_interval_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/md_interval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/precomputed_prefetch_test.dir/precomputed_prefetch_test.cc.o"
+  "CMakeFiles/precomputed_prefetch_test.dir/precomputed_prefetch_test.cc.o.d"
+  "precomputed_prefetch_test"
+  "precomputed_prefetch_test.pdb"
+  "precomputed_prefetch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/precomputed_prefetch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

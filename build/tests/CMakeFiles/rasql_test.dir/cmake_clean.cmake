@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rasql_test.dir/rasql_test.cc.o"
+  "CMakeFiles/rasql_test.dir/rasql_test.cc.o.d"
+  "rasql_test"
+  "rasql_test.pdb"
+  "rasql_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rasql_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

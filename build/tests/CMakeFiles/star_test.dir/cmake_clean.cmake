@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/star_test.dir/star_test.cc.o"
+  "CMakeFiles/star_test.dir/star_test.cc.o.d"
+  "star_test"
+  "star_test.pdb"
+  "star_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/star_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/super_tile_test.dir/super_tile_test.cc.o"
+  "CMakeFiles/super_tile_test.dir/super_tile_test.cc.o.d"
+  "super_tile_test"
+  "super_tile_test.pdb"
+  "super_tile_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/super_tile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

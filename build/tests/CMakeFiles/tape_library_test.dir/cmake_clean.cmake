@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tape_library_test.dir/tape_library_test.cc.o"
+  "CMakeFiles/tape_library_test.dir/tape_library_test.cc.o.d"
+  "tape_library_test"
+  "tape_library_test.pdb"
+  "tape_library_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tape_library_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/md_interval_test[1]_include.cmake")
+include("/root/repo/build/tests/tile_test[1]_include.cmake")
+include("/root/repo/build/tests/tiling_test[1]_include.cmake")
+include("/root/repo/build/tests/rtree_test[1]_include.cmake")
+include("/root/repo/build/tests/ops_test[1]_include.cmake")
+include("/root/repo/build/tests/storage_test[1]_include.cmake")
+include("/root/repo/build/tests/wal_engine_test[1]_include.cmake")
+include("/root/repo/build/tests/catalog_test[1]_include.cmake")
+include("/root/repo/build/tests/tape_library_test[1]_include.cmake")
+include("/root/repo/build/tests/super_tile_test[1]_include.cmake")
+include("/root/repo/build/tests/star_test[1]_include.cmake")
+include("/root/repo/build/tests/clustering_test[1]_include.cmake")
+include("/root/repo/build/tests/cache_test[1]_include.cmake")
+include("/root/repo/build/tests/framing_test[1]_include.cmake")
+include("/root/repo/build/tests/precomputed_prefetch_test[1]_include.cmake")
+include("/root/repo/build/tests/rasql_test[1]_include.cmake")
+include("/root/repo/build/tests/heaven_db_test[1]_include.cmake")
+include("/root/repo/build/tests/compression_test[1]_include.cmake")
+include("/root/repo/build/tests/model_based_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
