@@ -57,6 +57,9 @@ void RunCacheWorkload(benchmark::State& state, EvictionPolicy policy,
         handle.db->stats()->Get(Ticker::kCacheEvictions));
     state.counters["st_tape_reads"] = static_cast<double>(
         handle.db->stats()->Get(Ticker::kSuperTilesRead));
+    benchutil::RecordRunForReport(
+        EvictionPolicyName(policy) + "/" + std::to_string(capacity_bytes),
+        handle.db.get());
   }
 }
 
@@ -91,4 +94,4 @@ BENCHMARK(BM_Cache_SizeAware) CACHE_ARGS;
 }  // namespace
 }  // namespace heaven
 
-BENCHMARK_MAIN();
+HEAVEN_BENCH_MAIN("bench_cache");

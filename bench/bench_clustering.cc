@@ -18,7 +18,7 @@ constexpr int kNumObjects = 3;
 constexpr int kNumQueries = 6;
 
 void RunClustering(benchmark::State& state, bool clustering,
-                   IntraOrder intra_order) {
+                   IntraOrder intra_order, const std::string& label) {
   const MdInterval domain = benchutil::CubeDomainForMiB(kObjectMiB);
 
   for (auto _ : state) {
@@ -62,19 +62,20 @@ void RunClustering(benchmark::State& state, bool clustering,
         exchanges_before);
     state.counters["seek_s"] = static_cast<double>(
         handle.db->stats()->Get(Ticker::kTapeSeekSeconds) - seek_s_before);
+    benchutil::RecordRunForReport(label, handle.db.get());
   }
 }
 
 void BM_Clustering_On(benchmark::State& state) {
-  RunClustering(state, true, IntraOrder::kRowMajor);
+  RunClustering(state, true, IntraOrder::kRowMajor, "clustering_on");
 }
 
 void BM_Clustering_ZOrderIntra(benchmark::State& state) {
-  RunClustering(state, true, IntraOrder::kZOrder);
+  RunClustering(state, true, IntraOrder::kZOrder, "clustering_zorder");
 }
 
 void BM_Clustering_Off(benchmark::State& state) {
-  RunClustering(state, false, IntraOrder::kInsertion);
+  RunClustering(state, false, IntraOrder::kInsertion, "clustering_off");
 }
 
 BENCHMARK(BM_Clustering_On)
@@ -93,4 +94,4 @@ BENCHMARK(BM_Clustering_Off)
 }  // namespace
 }  // namespace heaven
 
-BENCHMARK_MAIN();
+HEAVEN_BENCH_MAIN("bench_clustering");

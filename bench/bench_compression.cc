@@ -33,6 +33,15 @@ MddArray MakeData(DataKind kind, const MdInterval& domain) {
   return data;
 }
 
+const char* CodecName(Compression codec) {
+  switch (codec) {
+    case Compression::kNone: return "none";
+    case Compression::kRle: return "rle";
+    case Compression::kDeltaRle: return "delta_rle";
+  }
+  return "unknown";
+}
+
 void RunCompression(benchmark::State& state, Compression codec,
                     DataKind kind) {
   const MdInterval domain({0, 0}, {1023, 1023});  // 2 MiB of ushort
@@ -64,6 +73,11 @@ void RunCompression(benchmark::State& state, Compression codec,
         static_cast<double>(
             handle.db->stats()->Get(Ticker::kSuperTileBytesWritten)) /
         (1 << 20);
+    benchutil::RecordRunForReport(
+        std::string(kind == DataKind::kClassified ? "classified/"
+                                                  : "smooth/") +
+            CodecName(codec),
+        handle.db.get());
   }
 }
 
@@ -99,4 +113,4 @@ BENCHMARK(BM_Compression_Smooth_DeltaRle) CODEC_ARGS;
 }  // namespace
 }  // namespace heaven
 
-BENCHMARK_MAIN();
+HEAVEN_BENCH_MAIN("bench_compression");

@@ -40,6 +40,11 @@ void RunExport(benchmark::State& state, bool tile_at_a_time) {
     state.counters["supertiles"] =
         static_cast<double>(handle.db->RegisteredSuperTiles());
     state.counters["MiB"] = mebibytes;
+    benchutil::RecordRunForReport(
+        (tile_at_a_time ? std::string("tile_at_a_time/")
+                        : std::string("heaven/")) +
+            std::to_string(state.range(0)) + "MiB",
+        handle.db.get());
   }
 }
 
@@ -71,4 +76,4 @@ BENCHMARK(BM_Export_Heaven)
 }  // namespace
 }  // namespace heaven
 
-BENCHMARK_MAIN();
+HEAVEN_BENCH_MAIN("bench_export");

@@ -74,6 +74,10 @@ void RunFraming(benchmark::State& state, bool use_frame) {
         static_cast<double>(
             handle.db->stats()->Get(Ticker::kSuperTileBytesRead)) /
         (1 << 20);
+    benchutil::RecordRunForReport(
+        (use_frame ? std::string("frame/") : std::string("bbox/")) +
+            std::to_string(width),
+        handle.db.get());
   }
 }
 
@@ -100,4 +104,4 @@ BENCHMARK(BM_Framing_BoundingBox)
 }  // namespace
 }  // namespace heaven
 
-BENCHMARK_MAIN();
+HEAVEN_BENCH_MAIN("bench_framing");

@@ -19,7 +19,8 @@ namespace {
 constexpr double kObjectMiB = 4.0;
 constexpr double kScale = 100.0;
 
-void RunMediaType(benchmark::State& state, const TapeDriveProfile& profile) {
+void RunMediaType(benchmark::State& state, const TapeDriveProfile& profile,
+                  const std::string& label) {
   const MdInterval domain = benchutil::CubeDomainForMiB(kObjectMiB);
   for (auto _ : state) {
     HeavenOptions options = benchutil::DefaultOptions();
@@ -48,20 +49,21 @@ void RunMediaType(benchmark::State& state, const TapeDriveProfile& profile) {
     state.counters["archive_s"] = archive_seconds;
     state.counters["exchanges"] = static_cast<double>(
         handle.db->stats()->Get(Ticker::kTapeMediaExchanges));
+    benchutil::RecordRunForReport(label, handle.db.get());
   }
 }
 
 void BM_Media_SlowTape(benchmark::State& state) {
-  RunMediaType(state, SlowTapeProfile());
+  RunMediaType(state, SlowTapeProfile(), "slow_tape");
 }
 void BM_Media_MidTape(benchmark::State& state) {
-  RunMediaType(state, MidTapeProfile());
+  RunMediaType(state, MidTapeProfile(), "mid_tape");
 }
 void BM_Media_FastTape(benchmark::State& state) {
-  RunMediaType(state, FastTapeProfile());
+  RunMediaType(state, FastTapeProfile(), "fast_tape");
 }
 void BM_Media_MagnetoOptical(benchmark::State& state) {
-  RunMediaType(state, MagnetoOpticalProfile());
+  RunMediaType(state, MagnetoOpticalProfile(), "magneto_optical");
 }
 
 #define MEDIA_ARGS \
@@ -75,4 +77,4 @@ BENCHMARK(BM_Media_MagnetoOptical) MEDIA_ARGS;
 }  // namespace
 }  // namespace heaven
 
-BENCHMARK_MAIN();
+HEAVEN_BENCH_MAIN("bench_media_types");

@@ -47,6 +47,9 @@ void BM_NetworkDelivery(benchmark::State& state) {
     state.counters["selectivity_pct"] = selectivity * 100.0;
     state.counters["file_archive_s"] = file_transfer_s;
     state.counters["speedup"] = file_transfer_s / heaven_transfer_s;
+    benchutil::RecordRunForReport(
+        "delivery/" + std::to_string(state.range(0)) + "pct",
+        handle.db.get());
   }
 }
 
@@ -63,4 +66,4 @@ BENCHMARK(BM_NetworkDelivery)
 }  // namespace
 }  // namespace heaven
 
-BENCHMARK_MAIN();
+HEAVEN_BENCH_MAIN("bench_network");

@@ -45,6 +45,10 @@ void RunPrecomputed(benchmark::State& state, bool enabled) {
     state.counters["catalog_hits"] = static_cast<double>(
         handle.db->stats()->Get(Ticker::kPrecomputedHits));
     state.counters["queries"] = repetitions;
+    benchutil::RecordRunForReport(
+        (enabled ? std::string("catalog/") : std::string("no_catalog/")) +
+            std::to_string(repetitions),
+        handle.db.get());
   }
 }
 
@@ -74,4 +78,4 @@ BENCHMARK(BM_Aggregate_WithoutCatalog)
 }  // namespace
 }  // namespace heaven
 
-BENCHMARK_MAIN();
+HEAVEN_BENCH_MAIN("bench_precomputed");

@@ -51,6 +51,9 @@ void BM_Retrieval_HeavenSuperTiles(benchmark::State& state) {
         static_cast<double>(subset->size_bytes()) / (1 << 20);
     state.counters["supertiles_read"] = static_cast<double>(
         handle.db->stats()->Get(Ticker::kSuperTilesRead));
+    benchutil::RecordRunForReport(
+        "heaven/" + std::to_string(state.range(0)) + "pct",
+        handle.db.get());
   }
 }
 
@@ -69,4 +72,4 @@ BENCHMARK(BM_Retrieval_HeavenSuperTiles)
 }  // namespace
 }  // namespace heaven
 
-BENCHMARK_MAIN();
+HEAVEN_BENCH_MAIN("bench_retrieval_heaven");

@@ -57,6 +57,9 @@ void BM_Retrieval_HsmFileGranularity(benchmark::State& state) {
         static_cast<double>(stats.Get(Ticker::kHsmBytesStaged)) / (1 << 20);
     state.counters["MiB_needed"] =
         static_cast<double>(subset->size_bytes()) / (1 << 20);
+    benchutil::RecordRunForReport(
+        "hsm_file/" + std::to_string(state.range(0)) + "pct", stats,
+        library.ElapsedSeconds(), library.ElapsedSeconds());
   }
 }
 
@@ -75,4 +78,4 @@ BENCHMARK(BM_Retrieval_HsmFileGranularity)
 }  // namespace
 }  // namespace heaven
 
-BENCHMARK_MAIN();
+HEAVEN_BENCH_MAIN("bench_retrieval_ts");

@@ -62,6 +62,11 @@ void RunScheduling(benchmark::State& state, SchedulePolicy policy) {
         handle.db->stats()->Get(Ticker::kTapeMediaExchanges) -
         exchanges_before);
     state.counters["queries"] = num_queries;
+    benchutil::RecordRunForReport(
+        (policy == SchedulePolicy::kFifo ? std::string("fifo/")
+                                         : std::string("media_elevator/")) +
+            std::to_string(num_queries),
+        handle.db.get());
   }
 }
 
@@ -91,4 +96,4 @@ BENCHMARK(BM_Scheduling_MediaElevator)
 }  // namespace
 }  // namespace heaven
 
-BENCHMARK_MAIN();
+HEAVEN_BENCH_MAIN("bench_scheduling");

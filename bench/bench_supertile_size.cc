@@ -18,7 +18,8 @@ constexpr double kObjectMiB = 8.0;
 constexpr double kSelectivity = 0.10;
 constexpr double kScale = 250.0;
 
-void RunSweep(benchmark::State& state, const TapeDriveProfile& profile) {
+void RunSweep(benchmark::State& state, const TapeDriveProfile& profile,
+              const std::string& label) {
   const uint64_t supertile_kib = static_cast<uint64_t>(state.range(0));
   const MdInterval domain = benchutil::CubeDomainForMiB(kObjectMiB);
 
@@ -57,15 +58,18 @@ void RunSweep(benchmark::State& state, const TapeDriveProfile& profile) {
         OptimalSuperTileBytes(ScaledProfile(profile, kScale), query_bytes,
                               /*min_bytes=*/1 << 10) >>
         10);
+    benchutil::RecordRunForReport(
+        label + "/" + std::to_string(supertile_kib) + "KiB",
+        handle.db.get());
   }
 }
 
 void BM_SuperTileSize_MidTape(benchmark::State& state) {
-  RunSweep(state, MidTapeProfile());
+  RunSweep(state, MidTapeProfile(), "mid_tape");
 }
 
 void BM_SuperTileSize_SlowTape(benchmark::State& state) {
-  RunSweep(state, SlowTapeProfile());
+  RunSweep(state, SlowTapeProfile(), "slow_tape");
 }
 
 #define SWEEP                                                              \
@@ -80,4 +84,4 @@ BENCHMARK(BM_SuperTileSize_SlowTape) SWEEP;
 }  // namespace
 }  // namespace heaven
 
-BENCHMARK_MAIN();
+HEAVEN_BENCH_MAIN("bench_supertile_size");

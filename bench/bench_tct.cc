@@ -33,6 +33,11 @@ void RunInsertExport(benchmark::State& state, bool decoupled) {
     state.SetIterationTime(handle.db->ClientSeconds());
     state.counters["tape_s"] = handle.db->TapeSeconds();
     state.counters["MiB"] = mebibytes;
+    benchutil::RecordRunForReport(
+        (decoupled ? std::string("decoupled_tct/")
+                   : std::string("synchronous/")) +
+            std::to_string(state.range(0)) + "MiB",
+        handle.db.get());
   }
 }
 
@@ -64,4 +69,4 @@ BENCHMARK(BM_InsertExport_DecoupledTct)
 }  // namespace
 }  // namespace heaven
 
-BENCHMARK_MAIN();
+HEAVEN_BENCH_MAIN("bench_tct");

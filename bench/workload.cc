@@ -1,10 +1,59 @@
 #include "bench/workload.h"
 
 #include <cmath>
+#include <cstdio>
+#include <mutex>
+#include <vector>
 
+#include "common/coding.h"
 #include "common/logging.h"
 
 namespace heaven::benchutil {
+
+namespace {
+
+std::mutex report_mu;
+
+/// Pre-rendered JSON objects, one per recorded run (never freed: the
+/// report is emitted at process exit).
+std::vector<std::string>& ReportRuns() {
+  static auto* runs = new std::vector<std::string>();
+  return *runs;
+}
+
+}  // namespace
+
+void RecordRunForReport(const std::string& label, const Statistics& stats,
+                        double tape_seconds, double client_seconds) {
+  std::string run = "{\"label\":";
+  AppendJsonString(&run, label);
+  run += ",\"tape_seconds\":" + FormatJsonDouble(tape_seconds);
+  run += ",\"client_seconds\":" + FormatJsonDouble(client_seconds);
+  run += ",\"stats\":" + stats.ToJson() + "}";
+  std::lock_guard<std::mutex> lock(report_mu);
+  ReportRuns().push_back(std::move(run));
+}
+
+void RecordRunForReport(const std::string& label, HeavenDb* db) {
+  RecordRunForReport(label, *db->stats(), db->TapeSeconds(),
+                     db->ClientSeconds());
+}
+
+void EmitJsonReport(const std::string& bench_name) {
+  std::string out = "{\"bench\":";
+  AppendJsonString(&out, bench_name);
+  out += ",\"runs\":[";
+  {
+    std::lock_guard<std::mutex> lock(report_mu);
+    for (size_t i = 0; i < ReportRuns().size(); ++i) {
+      if (i > 0) out += ",";
+      out += ReportRuns()[i];
+    }
+  }
+  out += "]}";
+  std::printf("%s\n", out.c_str());
+  std::fflush(stdout);
+}
 
 DbHandle MakeDb(const HeavenOptions& options) {
   DbHandle handle;

@@ -41,6 +41,31 @@ MdInterval SelectivityBox(const MdInterval& domain, double selectivity,
 ObjectId InsertObject(DbHandle* handle, const std::string& name,
                       const MdInterval& domain, uint64_t seed);
 
+/// Registers one finished workload run for this binary's JSON report:
+/// label plus the database's counters, histogram percentiles and clocks.
+void RecordRunForReport(const std::string& label, HeavenDb* db);
+/// Overload for workloads that drive the tape/HSM layers without a
+/// HeavenDb (e.g. the pre-HEAVEN retrieval baseline).
+void RecordRunForReport(const std::string& label, const Statistics& stats,
+                        double tape_seconds, double client_seconds);
+
+/// Prints the machine-readable result block for this binary as one final
+/// stdout line: {"bench":"<name>","runs":[{"label":..,"tape_seconds":..,
+/// "client_seconds":..,"stats":{...}},...]}.
+void EmitJsonReport(const std::string& bench_name);
+
 }  // namespace heaven::benchutil
+
+/// Drop-in replacement for BENCHMARK_MAIN(): runs the registered
+/// benchmarks, then emits the JSON report recorded via RecordRunForReport.
+#define HEAVEN_BENCH_MAIN(bench_name)                                   \
+  int main(int argc, char** argv) {                                     \
+    ::benchmark::Initialize(&argc, argv);                               \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
+    ::benchmark::RunSpecifiedBenchmarks();                              \
+    ::benchmark::Shutdown();                                            \
+    ::heaven::benchutil::EmitJsonReport(bench_name);                    \
+    return 0;                                                           \
+  }
 
 #endif  // HEAVEN_BENCH_WORKLOAD_H_

@@ -11,7 +11,8 @@
 //   \reimport <name>               copy it back to disk
 //   \drop <name>                   delete an object
 //   \ls                            list collections and objects
-//   \stats                         statistics + clocks
+//   \stats [json]                  statistics + clocks (json: machine-readable)
+//   \trace [on|off|json|tape]      hierarchy span trace / legacy tape op trace
 //   \quit                          exit
 //   anything else                  executed as a RasQL statement, e.g.
 //                                  select avg_cells(cube[0:31,*:*]) from demo
@@ -39,8 +40,8 @@ void PrintHelp() {
   std::printf(
       "commands: \\create <coll> | \\gen <coll> <name> <domain> <type> "
       "[ramp|zero|checker|noise] | \\export <name> | \\reimport <name> | "
-      "\\drop <name> | \\ls | \\reclaim <m> | \\trace [on|off] | \\stats | "
-      "\\quit | <rasql statement>\n");
+      "\\drop <name> | \\ls | \\reclaim <m> | \\trace [on|off|json|tape] | "
+      "\\stats [json] | \\quit | <rasql statement>\n");
 }
 
 Status Generate(HeavenDb* db, std::istringstream* args) {
@@ -158,16 +159,28 @@ Status RunCommand(HeavenDb* db, const std::string& line) {
     args >> mode;
     if (mode == "on") {
       db->library()->EnableTrace(true);
-      std::printf("tape trace enabled\n");
+      db->stats()->trace()->Enable(true);
+      std::printf("tracing enabled (spans + tape ops)\n");
     } else if (mode == "off") {
       db->library()->EnableTrace(false);
-      std::printf("tape trace disabled\n");
-    } else {
+      db->stats()->trace()->Enable(false);
+      std::printf("tracing disabled\n");
+    } else if (mode == "json") {
+      std::printf("%s\n", db->stats()->trace()->ToJson().c_str());
+    } else if (mode == "tape") {
       std::printf("%s", FormatTapeTrace(db->library()->Trace()).c_str());
+    } else {
+      std::printf("%s", db->stats()->trace()->ToString().c_str());
     }
     return Status::Ok();
   }
   if (command == "\\stats") {
+    std::string mode;
+    args >> mode;
+    if (mode == "json") {
+      std::printf("%s\n", db->stats()->ToJson().c_str());
+      return Status::Ok();
+    }
     std::printf("client: %.2f s   tape: %.2f s\n%s", db->ClientSeconds(),
                 db->TapeSeconds(), db->stats()->ToString().c_str());
     return Status::Ok();

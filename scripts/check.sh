@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure, build, and run the full test suite, then
+# rebuild a sanitizer shard (ASan+UBSan) and run the observability and
+# concurrency-heavy tests under it.
+#
+# Usage: scripts/check.sh [--no-asan]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+RUN_ASAN=1
+if [[ "${1:-}" == "--no-asan" ]]; then
+  RUN_ASAN=0
+fi
+
+echo "== tier-1: build =="
+cmake -B build -S . >/dev/null
+cmake --build build -j"$(nproc)"
+
+echo "== tier-1: ctest =="
+ctest --test-dir build -j"$(nproc)" --output-on-failure
+
+if [[ "$RUN_ASAN" == 1 ]]; then
+  echo "== sanitizer shard (ASan+UBSan) =="
+  cmake -B build-asan -S . -DHEAVEN_ASAN=ON -DCMAKE_BUILD_TYPE=Debug \
+      >/dev/null
+  cmake --build build-asan -j"$(nproc)" \
+      --target observability_test heaven_db_test tape_library_test
+  ./build-asan/tests/observability_test
+  ./build-asan/tests/heaven_db_test
+  ./build-asan/tests/tape_library_test
+fi
+
+echo "== all checks passed =="

@@ -1,6 +1,8 @@
 #include "common/coding.h"
 
 #include <array>
+#include <cmath>
+#include <cstdio>
 
 namespace heaven {
 
@@ -61,6 +63,49 @@ uint32_t Crc32c(const char* data, size_t n) {
     crc = kTable[(crc ^ static_cast<uint8_t>(data[i])) & 0xff] ^ (crc >> 8);
   }
   return crc ^ 0xffffffff;
+}
+
+void AppendJsonString(std::string* dst, std::string_view value) {
+  dst->push_back('"');
+  for (char c : value) {
+    switch (c) {
+      case '"':
+        dst->append("\\\"");
+        break;
+      case '\\':
+        dst->append("\\\\");
+        break;
+      case '\n':
+        dst->append("\\n");
+        break;
+      case '\r':
+        dst->append("\\r");
+        break;
+      case '\t':
+        dst->append("\\t");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          dst->append(buf);
+        } else {
+          dst->push_back(c);
+        }
+    }
+  }
+  dst->push_back('"');
+}
+
+std::string FormatJsonDouble(double value) {
+  if (std::isnan(value) || std::isinf(value)) return "0";
+  if (value == std::floor(value) && std::abs(value) < 1e15) {
+    return std::to_string(static_cast<long long>(value));
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", value);
+  return buf;
 }
 
 }  // namespace heaven

@@ -82,6 +82,14 @@ inline uint32_t Crc32c(std::string_view data) {
   return Crc32c(data.data(), data.size());
 }
 
+/// Appends `value` as a quoted JSON string (escaping ", \ and control
+/// characters). Used by the stats / trace exporters.
+void AppendJsonString(std::string* dst, std::string_view value);
+
+/// `value` rendered as a JSON number. NaN/Inf (not representable in JSON)
+/// become 0; integral values drop the fraction.
+std::string FormatJsonDouble(double value);
+
 }  // namespace heaven
 
 #endif  // HEAVEN_COMMON_CODING_H_

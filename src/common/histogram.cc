@@ -1,0 +1,161 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace heaven {
+
+std::string HistogramName(HistogramKind kind) {
+  switch (kind) {
+    case HistogramKind::kTapeExchangeSeconds:
+      return "tape.exchange_seconds";
+    case HistogramKind::kTapeSeekSeconds:
+      return "tape.seek_seconds";
+    case HistogramKind::kTapeTransferSeconds:
+      return "tape.transfer_seconds";
+    case HistogramKind::kSuperTileFetchSeconds:
+      return "supertile.fetch_seconds";
+    case HistogramKind::kCacheLookupBytes:
+      return "cache.lookup_bytes";
+    case HistogramKind::kHsmStageSeconds:
+      return "hsm.stage_seconds";
+    case HistogramKind::kDiskPageIoBytes:
+      return "disk.page_io_bytes";
+    case HistogramKind::kTctQueueWaitSeconds:
+      return "tct.queue_wait_seconds";
+    case HistogramKind::kQuerySeconds:
+      return "query.seconds";
+    case HistogramKind::kQueryBytes:
+      return "query.bytes";
+    case HistogramKind::kRasqlStatementSeconds:
+      return "rasql.statement_seconds";
+    case HistogramKind::kNumHistograms:
+      break;
+  }
+  return "unknown";
+}
+
+int Histogram::BucketFor(double value) {
+  if (!(value >= kMinValue)) return 0;  // zeros, negatives, NaN
+  // Quarter-octave index relative to kMinValue.
+  const int idx =
+      static_cast<int>(std::floor(4.0 * std::log2(value / kMinValue)));
+  if (idx < 0) return 0;
+  if (idx >= kLogBuckets) return kNumBuckets - 1;
+  return 1 + idx;
+}
+
+double Histogram::BucketLow(int bucket) {
+  if (bucket <= 0) return 0.0;
+  if (bucket >= kNumBuckets - 1) {
+    return kMinValue * std::exp2(static_cast<double>(kLogBuckets) / 4.0);
+  }
+  return kMinValue * std::exp2(static_cast<double>(bucket - 1) / 4.0);
+}
+
+double Histogram::BucketHigh(int bucket) {
+  if (bucket <= 0) return kMinValue;
+  if (bucket >= kNumBuckets - 1) {
+    return kMinValue * std::exp2(static_cast<double>(kLogBuckets) / 4.0);
+  }
+  return kMinValue * std::exp2(static_cast<double>(bucket) / 4.0);
+}
+
+void Histogram::Record(double value) {
+  if (std::isnan(value)) return;
+  if (value < 0.0) value = 0.0;
+  std::lock_guard<std::mutex> lock(mu_);
+  buckets_[static_cast<size_t>(BucketFor(value))] += 1;
+  if (count_ == 0 || value < min_) min_ = value;
+  if (count_ == 0 || value > max_) max_ = value;
+  sum_ += value;
+  count_ += 1;
+}
+
+void Histogram::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  buckets_.fill(0);
+  count_ = 0;
+  min_ = 0.0;
+  max_ = 0.0;
+  sum_ = 0.0;
+}
+
+uint64_t Histogram::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+double Histogram::min() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return min_;
+}
+
+double Histogram::max() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_;
+}
+
+double Histogram::sum() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sum_;
+}
+
+double Histogram::mean() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double Histogram::PercentileLocked(double p) const {
+  if (count_ == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  const double rank = p / 100.0 * static_cast<double>(count_);
+  uint64_t cumulative = 0;
+  for (int b = 0; b < kNumBuckets; ++b) {
+    if (buckets_[static_cast<size_t>(b)] == 0) continue;
+    const uint64_t in_bucket = buckets_[static_cast<size_t>(b)];
+    if (static_cast<double>(cumulative + in_bucket) >= rank) {
+      // Interpolate linearly inside the bucket.
+      const double into =
+          std::clamp((rank - static_cast<double>(cumulative)) /
+                         static_cast<double>(in_bucket),
+                     0.0, 1.0);
+      const double low = BucketLow(b);
+      const double high = BucketHigh(b);
+      return std::clamp(low + into * (high - low), min_, max_);
+    }
+    cumulative += in_bucket;
+  }
+  return max_;
+}
+
+double Histogram::Percentile(double p) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return PercentileLocked(p);
+}
+
+HistogramData Histogram::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  HistogramData data;
+  data.count = count_;
+  data.min = min_;
+  data.max = max_;
+  data.sum = sum_;
+  data.mean = count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  data.p50 = PercentileLocked(50.0);
+  data.p95 = PercentileLocked(95.0);
+  data.p99 = PercentileLocked(99.0);
+  return data;
+}
+
+std::string Histogram::ToString() const {
+  const HistogramData data = Snapshot();
+  std::ostringstream out;
+  out << "count=" << data.count << " min=" << data.min << " max=" << data.max
+      << " mean=" << data.mean << " p50=" << data.p50 << " p95=" << data.p95
+      << " p99=" << data.p99;
+  return out.str();
+}
+
+}  // namespace heaven

@@ -1,0 +1,104 @@
+#ifndef HEAVEN_COMMON_HISTOGRAM_H_
+#define HEAVEN_COMMON_HISTOGRAM_H_
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+namespace heaven {
+
+/// Latency / size distributions maintained across the storage hierarchy.
+/// One enum value per cost component the thesis decomposes query time
+/// into, so experiments can report percentiles, not just totals. The unit
+/// of each kind (simulated seconds or bytes) is part of its name.
+enum class HistogramKind : int {
+  // Tertiary storage: the three components of tape access time.
+  kTapeExchangeSeconds = 0,  // robot exchange + load per media mount
+  kTapeSeekSeconds,          // per positioning (overhead + spooling)
+  kTapeTransferSeconds,      // per read/write transfer
+  // HEAVEN retrieval path.
+  kSuperTileFetchSeconds,  // tape seconds per scheduled fetch batch
+  kCacheLookupBytes,       // bytes served per cache lookup (0 = miss)
+  kHsmStageSeconds,        // whole-file staging cost of the HSM baseline
+  // Secondary storage.
+  kDiskPageIoBytes,  // bytes per buffer-pool page read/write
+  // Query engine.
+  kTctQueueWaitSeconds,    // tape-clock wait of an export in the TCT queue
+  kQuerySeconds,           // client-visible seconds per query
+  kQueryBytes,             // result bytes per query
+  kRasqlStatementSeconds,  // client-visible seconds per RasQL statement
+  kNumHistograms,          // must be last
+};
+
+/// Human-readable name of a histogram ("tape.exchange_seconds", ...).
+std::string HistogramName(HistogramKind kind);
+
+/// Summary snapshot of one histogram for reporting.
+struct HistogramData {
+  uint64_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double sum = 0.0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Thread-safe log-bucketed histogram over non-negative doubles (simulated
+/// seconds or byte sizes). Buckets are quarter-octaves (4 per power of
+/// two), so percentile estimates carry at most ~19 % bucket error while a
+/// histogram stays ~2 KB. Locking is per-histogram, so concurrent writers
+/// to different kinds never contend.
+class Histogram {
+ public:
+  Histogram() = default;
+
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Record(double value);
+  void Reset();
+
+  uint64_t count() const;
+  double min() const;  // 0 when empty
+  double max() const;
+  double sum() const;
+  double mean() const;  // 0 when empty
+
+  /// Estimated value at percentile `p` in [0, 100]; linear interpolation
+  /// inside the containing bucket, clamped to the observed [min, max].
+  double Percentile(double p) const;
+
+  HistogramData Snapshot() const;
+
+  /// "count=5 min=1 max=16 mean=6.6 p50=4.2 p95=15.1 p99=15.8"
+  std::string ToString() const;
+
+ private:
+  // Bucket 0 holds values < kMinValue (including zeros); the last bucket
+  // holds the overflow. In between, bucket 1 + i covers
+  // [kMinValue * 2^(i/4), kMinValue * 2^((i+1)/4)).
+  static constexpr int kLogBuckets = 256;
+  static constexpr int kNumBuckets = kLogBuckets + 2;
+  static constexpr double kMinValue = 1e-6;
+
+  static int BucketFor(double value);
+  /// Inclusive lower bound of a bucket (0 for the zero bucket).
+  static double BucketLow(int bucket);
+  static double BucketHigh(int bucket);
+
+  double PercentileLocked(double p) const;
+
+  mutable std::mutex mu_;
+  std::array<uint64_t, kNumBuckets> buckets_ = {};
+  uint64_t count_ = 0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+}  // namespace heaven
+
+#endif  // HEAVEN_COMMON_HISTOGRAM_H_

@@ -65,6 +65,14 @@ class FatalLogMessage {
   ::heaven::internal::FatalLogMessage(__FILE__, __LINE__).stream() \
       << "Check failed (status): " << _s.ToString() << " "
 
+/// Debug-only check: full HEAVEN_CHECK in debug builds, a no-op in NDEBUG
+/// builds. The condition must stay syntactically valid (and side-effect
+/// free) either way; `while (false)` keeps it parsed but never evaluated.
+#ifdef NDEBUG
+#define HEAVEN_DCHECK(condition) \
+  while (false) HEAVEN_CHECK(condition)
+#else
 #define HEAVEN_DCHECK(condition) HEAVEN_CHECK(condition)
+#endif
 
 #endif  // HEAVEN_COMMON_LOGGING_H_

@@ -2,12 +2,15 @@
 
 #include <sstream>
 
+#include "common/coding.h"
 #include "common/logging.h"
 
 namespace heaven {
 
 namespace {
 constexpr int kNumTickers = static_cast<int>(Ticker::kNumTickers);
+constexpr size_t kNumHistograms =
+    static_cast<size_t>(HistogramKind::kNumHistograms);
 }  // namespace
 
 std::string TickerName(Ticker ticker) {
@@ -72,6 +75,18 @@ std::string TickerName(Ticker ticker) {
       return "prefetch.issued";
     case Ticker::kPrefetchUseful:
       return "prefetch.useful";
+    case Ticker::kPrefetchCandidates:
+      return "prefetch.candidates";
+    case Ticker::kSchedBatches:
+      return "sched.batches";
+    case Ticker::kSchedRequests:
+      return "sched.requests";
+    case Ticker::kSchedSwitchesAvoided:
+      return "sched.switches_avoided";
+    case Ticker::kTctExports:
+      return "tct.exports";
+    case Ticker::kRasqlStatements:
+      return "rasql.statements";
     case Ticker::kNumTickers:
       break;
   }
@@ -91,9 +106,26 @@ uint64_t Statistics::Get(Ticker ticker) const {
   return counters_[static_cast<int>(ticker)];
 }
 
+void Statistics::RecordHistogram(HistogramKind kind, double value) {
+  HEAVEN_DCHECK(kind != HistogramKind::kNumHistograms);
+  histograms_[static_cast<size_t>(kind)].Record(value);
+}
+
+const Histogram& Statistics::histogram(HistogramKind kind) const {
+  HEAVEN_DCHECK(kind != HistogramKind::kNumHistograms);
+  return histograms_[static_cast<size_t>(kind)];
+}
+
+HistogramData Statistics::HistogramSnapshot(HistogramKind kind) const {
+  return histogram(kind).Snapshot();
+}
+
 void Statistics::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
-  counters_.assign(kNumTickers, 0);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    counters_.assign(kNumTickers, 0);
+  }
+  for (Histogram& h : histograms_) h.Reset();
 }
 
 std::string Statistics::ToString() const {
@@ -103,7 +135,40 @@ std::string Statistics::ToString() const {
     if (snapshot[i] == 0) continue;
     out << TickerName(static_cast<Ticker>(i)) << ": " << snapshot[i] << "\n";
   }
+  for (size_t i = 0; i < kNumHistograms; ++i) {
+    const Histogram& h = histograms_[i];
+    if (h.count() == 0) continue;
+    out << HistogramName(static_cast<HistogramKind>(i)) << ": "
+        << h.ToString() << "\n";
+  }
   return out.str();
+}
+
+std::string Statistics::ToJson() const {
+  std::vector<uint64_t> snapshot = Snapshot();
+  std::string out = "{\"counters\":{";
+  for (int i = 0; i < kNumTickers; ++i) {
+    if (i > 0) out += ",";
+    AppendJsonString(&out, TickerName(static_cast<Ticker>(i)));
+    out += ":" + std::to_string(snapshot[i]);
+  }
+  out += "},\"histograms\":{";
+  for (size_t i = 0; i < kNumHistograms; ++i) {
+    if (i > 0) out += ",";
+    const HistogramData data = histograms_[i].Snapshot();
+    AppendJsonString(&out, HistogramName(static_cast<HistogramKind>(i)));
+    out += ":{\"count\":" + std::to_string(data.count);
+    out += ",\"min\":" + FormatJsonDouble(data.min);
+    out += ",\"max\":" + FormatJsonDouble(data.max);
+    out += ",\"sum\":" + FormatJsonDouble(data.sum);
+    out += ",\"mean\":" + FormatJsonDouble(data.mean);
+    out += ",\"p50\":" + FormatJsonDouble(data.p50);
+    out += ",\"p95\":" + FormatJsonDouble(data.p95);
+    out += ",\"p99\":" + FormatJsonDouble(data.p99);
+    out += "}";
+  }
+  out += "}}";
+  return out;
 }
 
 std::vector<uint64_t> Statistics::Snapshot() const {

@@ -1,11 +1,15 @@
 #ifndef HEAVEN_COMMON_STATISTICS_H_
 #define HEAVEN_COMMON_STATISTICS_H_
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/histogram.h"
+#include "common/trace.h"
 
 namespace heaven {
 
@@ -48,24 +52,57 @@ enum class Ticker : int {
   kPrecomputedMisses,
   kPrefetchIssued,
   kPrefetchUseful,
+  kPrefetchCandidates,
+  // Scheduler.
+  kSchedBatches,
+  kSchedRequests,
+  kSchedSwitchesAvoided,
+  // TCT.
+  kTctExports,
+  // RasQL.
+  kRasqlStatements,
   kNumTickers,  // must be last
 };
 
 /// Human-readable name of a ticker ("tape.media_exchanges", ...).
 std::string TickerName(Ticker ticker);
 
-/// Thread-safe counter registry, shared by all layers of one HeavenDb
-/// instance (mirrors the RocksDB Statistics idiom).
+/// Thread-safe registry of counters, latency/size histograms and the trace
+/// collector, shared by all layers of one HeavenDb instance (mirrors the
+/// RocksDB Statistics idiom). Counters share one mutex; each histogram has
+/// its own, and the trace collector is no-op unless enabled.
 class Statistics {
  public:
   Statistics();
 
+  Statistics(const Statistics&) = delete;
+  Statistics& operator=(const Statistics&) = delete;
+
   void Record(Ticker ticker, uint64_t count = 1);
   uint64_t Get(Ticker ticker) const;
+
+  /// Adds one observation (simulated seconds or bytes, per kind).
+  void RecordHistogram(HistogramKind kind, double value);
+  const Histogram& histogram(HistogramKind kind) const;
+  HistogramData HistogramSnapshot(HistogramKind kind) const;
+
+  /// The span collector every instrumented layer reports to.
+  TraceCollector* trace() { return &trace_; }
+  const TraceCollector* trace() const { return &trace_; }
+
+  /// Clears counters and histograms (the trace collector is cleared via
+  /// trace()->Clear(), so a reset mid-trace does not orphan open spans).
   void Reset();
 
-  /// All non-zero counters as "name: value" lines.
+  /// All non-zero counters as "name: value" lines, then non-empty
+  /// histograms as "name: count=... p50=..." lines.
   std::string ToString() const;
+
+  /// Machine-readable snapshot:
+  /// {"counters":{...},"histograms":{"<name>":{"count":..,"min":..,
+  ///  "max":..,"sum":..,"mean":..,"p50":..,"p95":..,"p99":..},...}}
+  /// Every HistogramKind is present even when empty.
+  std::string ToJson() const;
 
   /// Snapshot of every counter, indexed by Ticker.
   std::vector<uint64_t> Snapshot() const;
@@ -73,6 +110,9 @@ class Statistics {
  private:
   mutable std::mutex mu_;
   std::vector<uint64_t> counters_;
+  std::array<Histogram, static_cast<size_t>(HistogramKind::kNumHistograms)>
+      histograms_;
+  TraceCollector trace_;
 };
 
 }  // namespace heaven

@@ -1,0 +1,123 @@
+#include "common/trace.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/coding.h"
+
+namespace heaven {
+
+void TraceCollector::SetClock(const SimClock* clock) {
+  std::lock_guard<std::mutex> lock(mu_);
+  clock_ = clock;
+}
+
+SpanId TraceCollector::BeginSpan(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Span span;
+  span.id = next_id_++;
+  span.name = std::string(name);
+  span.start = clock_ != nullptr ? clock_->Now() : 0.0;
+  std::vector<SpanId>& stack = stacks_[std::this_thread::get_id()];
+  span.parent = stack.empty() ? 0 : stack.back();
+  stack.push_back(span.id);
+  const SpanId id = span.id;
+  open_.emplace(id, std::move(span));
+  return id;
+}
+
+void TraceCollector::EndSpan(SpanId id, uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = open_.find(id);
+  if (it == open_.end()) return;
+  Span span = std::move(it->second);
+  open_.erase(it);
+  span.end = clock_ != nullptr ? clock_->Now() : span.start;
+  span.bytes = bytes;
+
+  auto stack_it = stacks_.find(std::this_thread::get_id());
+  if (stack_it != stacks_.end()) {
+    std::vector<SpanId>& stack = stack_it->second;
+    // RAII guarantees LIFO per thread; erase defensively anyway.
+    stack.erase(std::remove(stack.begin(), stack.end(), id), stack.end());
+    if (stack.empty()) stacks_.erase(stack_it);
+  }
+
+  if (finished_.size() >= kMaxSpans) {
+    ++dropped_;
+    return;
+  }
+  finished_.push_back(std::move(span));
+}
+
+std::vector<Span> TraceCollector::Spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Span> spans = finished_;
+  std::sort(spans.begin(), spans.end(),
+            [](const Span& a, const Span& b) { return a.id < b.id; });
+  return spans;
+}
+
+uint64_t TraceCollector::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+void TraceCollector::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  finished_.clear();
+  open_.clear();
+  stacks_.clear();
+  dropped_ = 0;
+  next_id_ = 1;
+}
+
+std::string TraceCollector::ToJson() const {
+  const std::vector<Span> spans = Spans();
+  std::string out = "{\"spans\":[";
+  bool first = true;
+  for (const Span& span : spans) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"id\":" + std::to_string(span.id);
+    out += ",\"parent\":" + std::to_string(span.parent);
+    out += ",\"name\":";
+    AppendJsonString(&out, span.name);
+    out += ",\"start\":" + FormatJsonDouble(span.start);
+    out += ",\"end\":" + FormatJsonDouble(span.end);
+    out += ",\"duration\":" + FormatJsonDouble(span.duration());
+    out += ",\"bytes\":" + std::to_string(span.bytes);
+    out += "}";
+  }
+  out += "],\"dropped\":" + std::to_string(dropped()) + "}";
+  return out;
+}
+
+std::string TraceCollector::ToString() const {
+  const std::vector<Span> spans = Spans();
+  // Depth by chasing parents (spans are sorted by id = begin order, so a
+  // parent always precedes its children).
+  std::map<SpanId, int> depth;
+  std::ostringstream out;
+  for (const Span& span : spans) {
+    const int d = span.parent == 0 ? 0 : depth[span.parent] + 1;
+    depth[span.id] = d;
+    for (int i = 0; i < d; ++i) out << "  ";
+    out << span.name << " " << span.duration() << "s @t=" << span.start;
+    if (span.bytes > 0) out << " +" << span.bytes << "B";
+    out << "\n";
+  }
+  return out.str();
+}
+
+ScopedSpan::ScopedSpan(TraceCollector* collector, std::string_view name) {
+  if (collector == nullptr || !collector->enabled()) return;
+  collector_ = collector;
+  id_ = collector->BeginSpan(name);
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (collector_ != nullptr) collector_->EndSpan(id_, bytes_);
+}
+
+}  // namespace heaven

@@ -1,0 +1,108 @@
+#ifndef HEAVEN_COMMON_TRACE_H_
+#define HEAVEN_COMMON_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "common/sim_clock.h"
+
+namespace heaven {
+
+using SpanId = uint64_t;
+
+/// One finished trace span: a named, nested interval on the simulated
+/// timeline. Durations are simulated seconds (the clock the collector is
+/// bound to — the tape library's clock inside a HeavenDb).
+struct Span {
+  SpanId id = 0;
+  SpanId parent = 0;  // 0 = root
+  std::string name;
+  double start = 0.0;
+  double end = 0.0;
+  uint64_t bytes = 0;  // payload moved under this span (0 if n/a)
+
+  double duration() const { return end - start; }
+};
+
+/// Collects nested spans across threads. Disabled by default: a disabled
+/// collector costs one relaxed atomic load per ScopedSpan construction and
+/// nothing else. Span nesting is tracked per thread, so spans opened on
+/// the TCT worker form their own tree next to client-thread query spans.
+class TraceCollector {
+ public:
+  TraceCollector() = default;
+
+  TraceCollector(const TraceCollector&) = delete;
+  TraceCollector& operator=(const TraceCollector&) = delete;
+
+  /// Timestamps for subsequent spans are read from `clock` (not owned).
+  /// Pass nullptr to fall back to zero timestamps (structure-only traces).
+  void SetClock(const SimClock* clock);
+
+  void Enable(bool enabled) { enabled_.store(enabled); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Finished spans in begin order (parents before their children).
+  std::vector<Span> Spans() const;
+
+  /// Spans recorded but discarded because the buffer hit kMaxSpans.
+  uint64_t dropped() const;
+
+  void Clear();
+
+  /// {"spans":[{"id":..,"parent":..,"name":..,"start":..,"end":..,
+  ///            "duration":..,"bytes":..},...],"dropped":0}
+  std::string ToJson() const;
+
+  /// Indented tree, one span per line ("  tape.seek 2.1s @t=40.0").
+  std::string ToString() const;
+
+ private:
+  friend class ScopedSpan;
+
+  /// Caps memory for long-running processes; spans beyond it are counted
+  /// in dropped() instead of stored.
+  static constexpr size_t kMaxSpans = 1 << 20;
+
+  SpanId BeginSpan(std::string_view name);
+  void EndSpan(SpanId id, uint64_t bytes);
+
+  mutable std::mutex mu_;
+  std::atomic<bool> enabled_{false};
+  const SimClock* clock_ = nullptr;
+  SpanId next_id_ = 1;
+  uint64_t dropped_ = 0;
+  std::map<SpanId, Span> open_;
+  std::map<std::thread::id, std::vector<SpanId>> stacks_;
+  std::vector<Span> finished_;
+};
+
+/// RAII span: opens on construction (a no-op when the collector is null or
+/// disabled), closes on destruction. The current thread's innermost open
+/// ScopedSpan becomes the parent of any span opened below it.
+class ScopedSpan {
+ public:
+  ScopedSpan(TraceCollector* collector, std::string_view name);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Annotates the span with a byte count (result size, transfer size).
+  void SetBytes(uint64_t bytes) { bytes_ = bytes; }
+
+ private:
+  TraceCollector* collector_ = nullptr;  // null when no-op
+  SpanId id_ = 0;
+  uint64_t bytes_ = 0;
+};
+
+}  // namespace heaven
+
+#endif  // HEAVEN_COMMON_TRACE_H_

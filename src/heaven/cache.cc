@@ -25,6 +25,9 @@ void SuperTileCache::Insert(SuperTileId id,
                             std::shared_ptr<const SuperTile> super_tile,
                             uint64_t size_bytes) {
   if (size_bytes > options_.capacity_bytes) return;  // not admissible
+  ScopedSpan span(stats_ != nullptr ? stats_->trace() : nullptr,
+                  "cache.admit");
+  span.SetBytes(size_bytes);
   std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(id);
   if (it != entries_.end()) {
@@ -50,12 +53,19 @@ std::shared_ptr<const SuperTile> SuperTileCache::Lookup(SuperTileId id) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(id);
   if (it == entries_.end()) {
-    if (stats_ != nullptr) stats_->Record(Ticker::kCacheMisses);
+    if (stats_ != nullptr) {
+      stats_->Record(Ticker::kCacheMisses);
+      stats_->RecordHistogram(HistogramKind::kCacheLookupBytes, 0.0);
+    }
     return nullptr;
   }
   it->second.access_count += 1;
   it->second.accessed_seq = ++seq_;
-  if (stats_ != nullptr) stats_->Record(Ticker::kCacheHits);
+  if (stats_ != nullptr) {
+    stats_->Record(Ticker::kCacheHits);
+    stats_->RecordHistogram(HistogramKind::kCacheLookupBytes,
+                            static_cast<double>(it->second.size_bytes));
+  }
   return it->second.super_tile;
 }
 

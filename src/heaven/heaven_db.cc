@@ -36,6 +36,7 @@ Status HeavenDb::Init() {
   HEAVEN_RETURN_IF_ERROR(LoadRegistry());
   HEAVEN_RETURN_IF_ERROR(
       precomputed_->Restore(engine_->catalog()->GetSection(kPrecomputedSection)));
+  if (options_.enable_tracing) stats_.trace()->Enable(true);
   if (options_.decoupled_export) {
     tct_thread_ = std::thread([this] { TctWorker(); });
   }
@@ -199,7 +200,7 @@ Status HeavenDb::RunMigrationPolicy() {
     if (engine_->blobs()->TotalBytes() <= low_watermark) break;
     if (options_.decoupled_export) {
       std::lock_guard<std::mutex> lock(tct_mu_);
-      tct_queue_.push_back(object_id);
+      tct_queue_.emplace_back(object_id, library_->ElapsedSeconds());
       tct_cv_.notify_one();
     } else {
       HEAVEN_RETURN_IF_ERROR(ExportObjectSync(object_id));
@@ -214,7 +215,7 @@ Status HeavenDb::ExportObject(ObjectId object_id) {
   if (options_.decoupled_export) {
     // Hand the object over to the TCT; the client does not wait for tape.
     std::lock_guard<std::mutex> lock(tct_mu_);
-    tct_queue_.push_back(object_id);
+    tct_queue_.emplace_back(object_id, library_->ElapsedSeconds());
     tct_cv_.notify_one();
     return Status::Ok();
   }
@@ -226,6 +227,7 @@ Status HeavenDb::ExportObject(ObjectId object_id) {
 
 Status HeavenDb::ExportObjectSync(ObjectId object_id) {
   std::lock_guard<std::recursive_mutex> lock(db_mu_);
+  ScopedSpan span(stats_.trace(), "export.object");
   exporting_ = true;
   struct ExportGuard {
     bool* flag;
@@ -420,14 +422,20 @@ Status HeavenDb::DrainExports() {
 void HeavenDb::TctWorker() {
   for (;;) {
     ObjectId object_id = 0;
+    double enqueued_at = 0.0;
     {
       std::unique_lock<std::mutex> lock(tct_mu_);
       tct_cv_.wait(lock, [this] { return tct_stop_ || !tct_queue_.empty(); });
       if (tct_stop_ && tct_queue_.empty()) return;
-      object_id = tct_queue_.front();
+      object_id = tct_queue_.front().first;
+      enqueued_at = tct_queue_.front().second;
       tct_queue_.pop_front();
       tct_busy_ = true;
     }
+    stats_.RecordHistogram(HistogramKind::kTctQueueWaitSeconds,
+                           library_->ElapsedSeconds() - enqueued_at);
+    stats_.Record(Ticker::kTctExports);
+    ScopedSpan span(stats_.trace(), "tct.export");
     Status status = ExportObjectSync(object_id);
     {
       std::lock_guard<std::mutex> lock(tct_mu_);
@@ -477,14 +485,23 @@ Status HeavenDb::FetchSuperTiles(
   MediumId last_medium = requests.back().medium;
   uint64_t last_end = requests.back().offset + requests.back().size_bytes;
   for (const SuperTileRequest& request : requests) {
+    ScopedSpan fetch_span(stats_.trace(), "supertile.fetch");
+    fetch_span.SetBytes(request.size_bytes);
+    const double fetch_before = library_->ElapsedSeconds();
     std::string container;
     HEAVEN_RETURN_IF_ERROR(library_->ReadAt(request.medium, request.offset,
                                             request.size_bytes, &container));
-    HEAVEN_ASSIGN_OR_RETURN(SuperTile st, SuperTile::Deserialize(container));
-    auto shared = std::make_shared<const SuperTile>(std::move(st));
+    Result<SuperTile> st = [&] {
+      ScopedSpan decode_span(stats_.trace(), "supertile.decode");
+      return SuperTile::Deserialize(container);
+    }();
+    HEAVEN_RETURN_IF_ERROR(st.status());
+    auto shared = std::make_shared<const SuperTile>(std::move(st).value());
     cache_->Insert(request.id, shared, request.size_bytes);
     stats_.Record(Ticker::kSuperTilesRead);
     stats_.Record(Ticker::kSuperTileBytesRead, request.size_bytes);
+    stats_.RecordHistogram(HistogramKind::kSuperTileFetchSeconds,
+                           library_->ElapsedSeconds() - fetch_before);
     out->emplace(request.id, std::move(shared));
   }
   client_clock_.Advance(library_->ElapsedSeconds() - tape_before);
@@ -494,12 +511,14 @@ Status HeavenDb::FetchSuperTiles(
 
 void HeavenDb::MaybePrefetch(MediumId medium, uint64_t last_end_offset) {
   if (!options_.enable_prefetch || options_.prefetch_depth == 0) return;
+  ScopedSpan span(stats_.trace(), "prefetch");
   std::vector<SuperTileId> cached;
   for (const auto& [id, meta] : registry_) {
     if (cache_->Contains(id)) cached.push_back(id);
   }
-  const std::vector<SuperTileId> targets = ChoosePrefetchTargets(
-      registry_, medium, last_end_offset, options_.prefetch_depth, cached);
+  const std::vector<SuperTileId> targets =
+      ChoosePrefetchTargets(registry_, medium, last_end_offset,
+                            options_.prefetch_depth, cached, &stats_);
   for (SuperTileId id : targets) {
     const SuperTileMeta& meta = registry_.at(id);
     std::string container;
@@ -584,6 +603,8 @@ Status HeavenDb::CollectTiles(
 Result<MddArray> HeavenDb::ReadRegion(ObjectId object_id,
                                       const MdInterval& region) {
   std::lock_guard<std::recursive_mutex> lock(db_mu_);
+  ScopedSpan span(stats_.trace(), "query.read_region");
+  const double client_before = client_clock_.Now();
   HEAVEN_ASSIGN_OR_RETURN(ObjectDescriptor object,
                           engine_->catalog()->GetObject(object_id));
   if (!object.domain.Contains(region)) {
@@ -603,6 +624,11 @@ Result<MddArray> HeavenDb::ReadRegion(ObjectId object_id,
   }
   stats_.Record(Ticker::kQueriesExecuted);
   stats_.Record(Ticker::kCellsReturned, region.CellCount());
+  span.SetBytes(result.tile().size_bytes());
+  stats_.RecordHistogram(HistogramKind::kQuerySeconds,
+                         client_clock_.Now() - client_before);
+  stats_.RecordHistogram(HistogramKind::kQueryBytes,
+                         static_cast<double>(result.tile().size_bytes()));
   return result;
 }
 
@@ -615,6 +641,8 @@ Result<MddArray> HeavenDb::ReadObject(ObjectId object_id) {
 Result<MddArray> HeavenDb::ReadFrame(ObjectId object_id,
                                      const ObjectFrame& frame) {
   std::lock_guard<std::recursive_mutex> lock(db_mu_);
+  ScopedSpan span(stats_.trace(), "query.read_frame");
+  const double client_before = client_clock_.Now();
   HEAVEN_ASSIGN_OR_RETURN(ObjectDescriptor object,
                           engine_->catalog()->GetObject(object_id));
   HEAVEN_ASSIGN_OR_RETURN(MdInterval bbox, frame.BoundingBox());
@@ -670,17 +698,26 @@ Result<MddArray> HeavenDb::ReadFrame(ObjectId object_id,
   }
   stats_.Record(Ticker::kQueriesExecuted);
   stats_.Record(Ticker::kCellsReturned, frame.CellCount());
+  span.SetBytes(result.tile().size_bytes());
+  stats_.RecordHistogram(HistogramKind::kQuerySeconds,
+                         client_clock_.Now() - client_before);
+  stats_.RecordHistogram(HistogramKind::kQueryBytes,
+                         static_cast<double>(result.tile().size_bytes()));
   return result;
 }
 
 Result<double> HeavenDb::Aggregate(ObjectId object_id, Condenser condenser,
                                    const MdInterval& region) {
   std::lock_guard<std::recursive_mutex> lock(db_mu_);
+  ScopedSpan span(stats_.trace(), "query.aggregate");
+  const double client_before = client_clock_.Now();
   if (options_.enable_precomputed) {
     std::optional<double> hit =
         precomputed_->Lookup(object_id, condenser, region);
     if (hit.has_value()) {
       stats_.Record(Ticker::kQueriesExecuted);
+      stats_.RecordHistogram(HistogramKind::kQuerySeconds,
+                             client_clock_.Now() - client_before);
       return *hit;
     }
   }
@@ -691,12 +728,15 @@ Result<double> HeavenDb::Aggregate(ObjectId object_id, Condenser condenser,
     precomputed_->Insert(object_id, condenser, region, value);
     HEAVEN_RETURN_IF_ERROR(PersistPrecomputed());
   }
+  stats_.RecordHistogram(HistogramKind::kQuerySeconds,
+                         client_clock_.Now() - client_before);
   return value;
 }
 
 Result<std::vector<MddArray>> HeavenDb::ReadRegions(
     const std::vector<std::pair<ObjectId, MdInterval>>& queries) {
   std::lock_guard<std::recursive_mutex> lock(db_mu_);
+  ScopedSpan span(stats_.trace(), "query.read_regions");
   // Phase 1: gather every tertiary super-tile needed by any query so the
   // scheduler sees the whole batch at once.
   std::vector<SuperTileId> needed_sts;

@@ -71,6 +71,10 @@ struct HeavenOptions {
   /// Serve and populate the precomputed-results catalog.
   bool enable_precomputed = true;
 
+  /// Collect hierarchical trace spans (stats()->trace()) from the start.
+  /// Tracing can also be toggled at runtime via stats()->trace()->Enable().
+  bool enable_tracing = false;
+
   /// Payload codec for super-tile containers written to tape. Shrinks the
   /// dominant cost of the tertiary tier (transfer time) on compressible
   /// rasters; kNone by default.
@@ -267,7 +271,9 @@ class HeavenDb {
   std::thread tct_thread_;
   std::mutex tct_mu_;
   std::condition_variable tct_cv_;
-  std::deque<ObjectId> tct_queue_;
+  /// Pending exports with their enqueue timestamp on the tape clock, so
+  /// the TCT can report queue-wait latency when it picks an entry up.
+  std::deque<std::pair<ObjectId, double>> tct_queue_;
   bool tct_stop_ = false;
   bool tct_busy_ = false;
   Status tct_last_error_;

@@ -7,7 +7,7 @@ namespace heaven {
 std::vector<SuperTileId> ChoosePrefetchTargets(
     const std::map<SuperTileId, SuperTileMeta>& registry, MediumId medium,
     uint64_t last_end_offset, size_t max_count,
-    const std::vector<SuperTileId>& already_cached) {
+    const std::vector<SuperTileId>& already_cached, Statistics* stats) {
   struct Candidate {
     uint64_t offset;
     SuperTileId id;
@@ -21,6 +21,9 @@ std::vector<SuperTileId> ChoosePrefetchTargets(
       continue;
     }
     candidates.push_back({meta.offset, id});
+  }
+  if (stats != nullptr && !candidates.empty()) {
+    stats->Record(Ticker::kPrefetchCandidates, candidates.size());
   }
   std::sort(candidates.begin(), candidates.end(),
             [](const Candidate& a, const Candidate& b) {

@@ -18,11 +18,13 @@ namespace heaven {
 ///
 /// Returns up to `max_count` super-tile ids from `registry` that start at
 /// or after `last_end_offset` on `medium`, nearest first, skipping ids in
-/// `already_cached`.
+/// `already_cached`. When `stats` is given, the number of candidates
+/// considered is counted under Ticker::kPrefetchCandidates.
 std::vector<SuperTileId> ChoosePrefetchTargets(
     const std::map<SuperTileId, SuperTileMeta>& registry, MediumId medium,
     uint64_t last_end_offset, size_t max_count,
-    const std::vector<SuperTileId>& already_cached);
+    const std::vector<SuperTileId>& already_cached,
+    Statistics* stats = nullptr);
 
 }  // namespace heaven
 

@@ -18,9 +18,16 @@ std::string SchedulePolicyName(SchedulePolicy policy) {
 std::vector<SuperTileRequest> ScheduleRequests(
     std::vector<SuperTileRequest> requests, const TapeLibrary& library,
     SchedulePolicy policy) {
+  Statistics* stats = library.stats();
+  ScopedSpan span(stats != nullptr ? stats->trace() : nullptr, "schedule");
+  if (stats != nullptr && !requests.empty()) {
+    stats->Record(Ticker::kSchedBatches);
+    stats->Record(Ticker::kSchedRequests, requests.size());
+  }
   if (policy == SchedulePolicy::kFifo || requests.size() <= 1) {
     return requests;
   }
+  const uint32_t switches_before = CountMediumSwitches(requests);
 
   // Bucket by medium, preserving arrival order inside buckets for now.
   std::map<MediumId, std::vector<SuperTileRequest>> by_medium;
@@ -49,6 +56,13 @@ std::vector<SuperTileRequest> ScheduleRequests(
                      });
     for (SuperTileRequest& request : bucket) {
       scheduled.push_back(std::move(request));
+    }
+  }
+  if (stats != nullptr) {
+    const uint32_t switches_after = CountMediumSwitches(scheduled);
+    if (switches_before > switches_after) {
+      stats->Record(Ticker::kSchedSwitchesAvoided,
+                    switches_before - switches_after);
     }
   }
   return scheduled;

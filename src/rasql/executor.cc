@@ -267,8 +267,14 @@ Result<QueryResult> Execute(HeavenDb* db, const Query& query) {
   if (!db->engine()->catalog()->FindCollection(query.from).has_value()) {
     return Status::NotFound("collection " + query.from);
   }
+  ScopedSpan span(db->stats()->trace(), "rasql.execute");
+  const double client_before = db->ClientSeconds();
+  db->stats()->Record(Ticker::kRasqlStatements);
   Evaluator evaluator(db);
-  return evaluator.Eval(*query.select);
+  Result<QueryResult> result = evaluator.Eval(*query.select);
+  db->stats()->RecordHistogram(HistogramKind::kRasqlStatementSeconds,
+                               db->ClientSeconds() - client_before);
+  return result;
 }
 
 Result<QueryResult> ExecuteString(HeavenDb* db, const std::string& text) {

@@ -77,6 +77,9 @@ Result<PageHandle> BufferPool::Fetch(PageId page_id) {
   }
 
   if (stats_ != nullptr) stats_->Record(Ticker::kBufferPoolMisses);
+  ScopedSpan miss_span(stats_ != nullptr ? stats_->trace() : nullptr,
+                       "bufferpool.miss");
+  miss_span.SetBytes(kPageSize);
   while (frames_.size() >= capacity_) {
     HEAVEN_RETURN_IF_ERROR(EvictOneLocked());
   }

@@ -97,7 +97,11 @@ Status DiskManager::ReadPage(PageId page_id, std::string* out) {
                                      std::to_string(page_id));
     }
   }
-  if (stats_ != nullptr) stats_->Record(Ticker::kDiskPageReads);
+  if (stats_ != nullptr) {
+    stats_->Record(Ticker::kDiskPageReads);
+    stats_->RecordHistogram(HistogramKind::kDiskPageIoBytes,
+                            static_cast<double>(kPageSize));
+  }
   return file_->ReadAt(page_id * kPageSize, kPageSize, out);
 }
 
@@ -111,7 +115,11 @@ Status DiskManager::WritePage(PageId page_id, std::string_view data) {
       return Status::InvalidArgument("WritePage: bad page id");
     }
   }
-  if (stats_ != nullptr) stats_->Record(Ticker::kDiskPageWrites);
+  if (stats_ != nullptr) {
+    stats_->Record(Ticker::kDiskPageWrites);
+    stats_->RecordHistogram(HistogramKind::kDiskPageIoBytes,
+                            static_cast<double>(data.size()));
+  }
   return file_->WriteAt(page_id * kPageSize, data);
 }
 

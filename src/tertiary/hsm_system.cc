@@ -32,12 +32,19 @@ Status HsmSystem::StageLocked(const std::string& name, const FileMeta& meta) {
     stage_lru_.push_front(name);
     return Status::Ok();
   }
+  ScopedSpan span(stats_ != nullptr ? stats_->trace() : nullptr, "hsm.stage");
+  span.SetBytes(meta.size);
+  const double stage_start = library_->clock()->Now();
   EvictForLocked(meta.size);
   std::string contents;
   HEAVEN_RETURN_IF_ERROR(
       library_->ReadAt(meta.medium, meta.offset, meta.size, &contents));
   // Writing the staged copy to the cache disk costs disk time too.
   library_->clock()->Advance(options_.disk.AccessSeconds(meta.size));
+  if (stats_ != nullptr) {
+    stats_->RecordHistogram(HistogramKind::kHsmStageSeconds,
+                            library_->clock()->Now() - stage_start);
+  }
   staged_bytes_ += contents.size();
   staged_.emplace(name, std::move(contents));
   stage_lru_.push_front(name);

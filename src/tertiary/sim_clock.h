@@ -1,38 +1,8 @@
 #ifndef HEAVEN_TERTIARY_SIM_CLOCK_H_
 #define HEAVEN_TERTIARY_SIM_CLOCK_H_
 
-#include <mutex>
-
-namespace heaven {
-
-/// Virtual clock measuring simulated seconds. All tertiary-storage costs
-/// are computed analytically from drive/robot parameters and accumulated
-/// here, which makes every experiment deterministic and laptop-fast while
-/// exercising exactly the decision logic the costs are derived from.
-class SimClock {
- public:
-  SimClock() = default;
-
-  void Advance(double seconds) {
-    std::lock_guard<std::mutex> lock(mu_);
-    now_ += seconds;
-  }
-
-  double Now() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return now_;
-  }
-
-  void Reset() {
-    std::lock_guard<std::mutex> lock(mu_);
-    now_ = 0.0;
-  }
-
- private:
-  mutable std::mutex mu_;
-  double now_ = 0.0;
-};
-
-}  // namespace heaven
+// SimClock moved to common/ so the trace layer can timestamp spans against
+// it; this header remains for the tertiary-tier include paths.
+#include "common/sim_clock.h"
 
 #endif  // HEAVEN_TERTIARY_SIM_CLOCK_H_

@@ -13,6 +13,9 @@ TapeLibrary::TapeLibrary(const TapeLibraryOptions& options, Statistics* stats)
   HEAVEN_CHECK(options_.num_media >= 1);
   drives_.resize(options_.num_drives);
   media_.resize(options_.num_media);
+  // Spans across the whole hierarchy are timestamped on the tape clock, so
+  // exchange/seek/transfer span durations equal the analytic cost advances.
+  if (stats_ != nullptr) stats_->trace()->SetClock(&clock_);
 }
 
 TapeLibrary::TapeLibrary(const TapeLibraryOptions& options, Statistics* stats,
@@ -51,6 +54,12 @@ Result<DriveId> TapeLibrary::EnsureLoadedLocked(MediumId medium_id) {
     drives_[medium.drive].last_used_seq = ++use_seq_;
     return medium.drive;
   }
+
+  // One exchange span covers the whole robot action: unloading the LRU
+  // victim (when no drive is free) plus fetching and threading `medium`.
+  ScopedSpan exchange_span(stats_ != nullptr ? stats_->trace() : nullptr,
+                           "tape.exchange");
+  const double exchange_start = clock_.Now();
 
   // Pick a free drive, else unload the least-recently-used one.
   DriveId drive_id = 0;
@@ -92,6 +101,10 @@ Result<DriveId> TapeLibrary::EnsureLoadedLocked(MediumId medium_id) {
   medium.drive = drive_id;
   RecordTraceLocked(TapeTraceEvent::Kind::kExchange, medium_id, 0, 0,
                     profile.robot_exchange_s + profile.load_s);
+  if (stats_ != nullptr) {
+    stats_->RecordHistogram(HistogramKind::kTapeExchangeSeconds,
+                            clock_.Now() - exchange_start);
+  }
   return drive_id;
 }
 
@@ -104,11 +117,16 @@ void TapeLibrary::SeekLocked(DriveId drive_id, uint64_t offset) {
                                 ? drive.head_position - offset
                                 : offset - drive.head_position;
   const double seconds = options_.profile.SeekSeconds(distance);
-  clock_.Advance(seconds);
+  {
+    ScopedSpan span(stats_ != nullptr ? stats_->trace() : nullptr,
+                    "tape.seek");
+    clock_.Advance(seconds);
+  }
   if (stats_ != nullptr) {
     stats_->Record(Ticker::kTapeSeeks);
     stats_->Record(Ticker::kTapeSeekSeconds,
                    static_cast<uint64_t>(seconds + 0.5));
+    stats_->RecordHistogram(HistogramKind::kTapeSeekSeconds, seconds);
   }
   RecordTraceLocked(TapeTraceEvent::Kind::kSeek, drive.medium, offset,
                     distance, seconds);
@@ -129,7 +147,18 @@ Result<uint64_t> TapeLibrary::Append(MediumId medium_id,
   HEAVEN_ASSIGN_OR_RETURN(DriveId drive_id, EnsureLoadedLocked(medium_id));
   const uint64_t offset = medium.data.size();
   SeekLocked(drive_id, offset);
-  clock_.Advance(options_.profile.TransferSeconds(data.size()));
+  const double transfer_seconds =
+      options_.profile.TransferSeconds(data.size());
+  {
+    ScopedSpan span(stats_ != nullptr ? stats_->trace() : nullptr,
+                    "tape.transfer");
+    span.SetBytes(data.size());
+    clock_.Advance(transfer_seconds);
+  }
+  if (stats_ != nullptr) {
+    stats_->RecordHistogram(HistogramKind::kTapeTransferSeconds,
+                            transfer_seconds);
+  }
   if (medium.file != nullptr) {
     HEAVEN_RETURN_IF_ERROR(medium.file->WriteAt(medium.data.size(), data));
   }
@@ -156,7 +185,17 @@ Status TapeLibrary::ReadAt(MediumId medium_id, uint64_t offset, uint64_t n,
   }
   HEAVEN_ASSIGN_OR_RETURN(DriveId drive_id, EnsureLoadedLocked(medium_id));
   SeekLocked(drive_id, offset);
-  clock_.Advance(options_.profile.TransferSeconds(n));
+  const double transfer_seconds = options_.profile.TransferSeconds(n);
+  {
+    ScopedSpan span(stats_ != nullptr ? stats_->trace() : nullptr,
+                    "tape.transfer");
+    span.SetBytes(n);
+    clock_.Advance(transfer_seconds);
+  }
+  if (stats_ != nullptr) {
+    stats_->RecordHistogram(HistogramKind::kTapeTransferSeconds,
+                            transfer_seconds);
+  }
   out->assign(medium.data, offset, n);
   drives_[drive_id].head_position = offset + n;
   if (stats_ != nullptr) {

@@ -111,7 +111,7 @@ class TapeLibrary {
   /// Simulated seconds consumed by all operations so far.
   double ElapsedSeconds() const { return clock_.Now(); }
   SimClock* clock() { return &clock_; }
-  Statistics* stats() { return stats_; }
+  Statistics* stats() const { return stats_; }
 
  private:
   struct Drive {

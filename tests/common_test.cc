@@ -221,6 +221,28 @@ TEST(StatisticsTest, AllTickersHaveDistinctNames) {
   EXPECT_EQ(names.size(), static_cast<size_t>(Ticker::kNumTickers));
 }
 
+// Exhaustive over the enum: every ticker has a real, well-formed name, so a
+// newly added ticker cannot silently fall through to the "unknown" default.
+TEST(StatisticsTest, AllTickerNamesAreWellFormed) {
+  for (int i = 0; i < static_cast<int>(Ticker::kNumTickers); ++i) {
+    const std::string name = TickerName(static_cast<Ticker>(i));
+    SCOPED_TRACE("ticker #" + std::to_string(i) + " = \"" + name + "\"");
+    EXPECT_FALSE(name.empty());
+    EXPECT_EQ(name.find("unknown"), std::string::npos);
+    // Dotted "subsystem.metric" convention: exactly one interior dot.
+    const size_t dot = name.find('.');
+    ASSERT_NE(dot, std::string::npos);
+    EXPECT_GT(dot, 0u);
+    EXPECT_LT(dot, name.size() - 1);
+    // Names are lowercase identifiers with dots/underscores only.
+    for (char c : name) {
+      EXPECT_TRUE((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                  c == '.' || c == '_')
+          << "bad char '" << c << "' in " << name;
+    }
+  }
+}
+
 // ------------------------------------------------------------------- Env --
 
 class EnvTest : public ::testing::TestWithParam<bool> {
