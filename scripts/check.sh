@@ -1,17 +1,23 @@
 #!/usr/bin/env bash
 # Tier-1 verification: configure, build, and run the full test suite, then
 # rebuild a sanitizer shard (ASan+UBSan) and run the observability and
-# concurrency-heavy tests under it.
+# concurrency-heavy tests under it, then rebuild a ThreadSanitizer shard
+# and run the concurrency stress test under it.
 #
-# Usage: scripts/check.sh [--no-asan]
+# Usage: scripts/check.sh [--no-asan] [--no-tsan]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 RUN_ASAN=1
-if [[ "${1:-}" == "--no-asan" ]]; then
-  RUN_ASAN=0
-fi
+RUN_TSAN=1
+for arg in "$@"; do
+  case "$arg" in
+    --no-asan) RUN_ASAN=0 ;;
+    --no-tsan) RUN_TSAN=0 ;;
+    *) echo "unknown flag: $arg" >&2; exit 2 ;;
+  esac
+done
 
 echo "== tier-1: build =="
 cmake -B build -S . >/dev/null
@@ -25,10 +31,22 @@ if [[ "$RUN_ASAN" == 1 ]]; then
   cmake -B build-asan -S . -DHEAVEN_ASAN=ON -DCMAKE_BUILD_TYPE=Debug \
       >/dev/null
   cmake --build build-asan -j"$(nproc)" \
-      --target observability_test heaven_db_test tape_library_test
+      --target observability_test heaven_db_test tape_library_test \
+               concurrency_stress_test
   ./build-asan/tests/observability_test
   ./build-asan/tests/heaven_db_test
   ./build-asan/tests/tape_library_test
+  ./build-asan/tests/concurrency_stress_test
+fi
+
+if [[ "$RUN_TSAN" == 1 ]]; then
+  echo "== sanitizer shard (TSan) =="
+  cmake -B build-tsan -S . -DHEAVEN_TSAN=ON -DCMAKE_BUILD_TYPE=Debug \
+      >/dev/null
+  cmake --build build-tsan -j"$(nproc)" \
+      --target concurrency_stress_test heaven_db_test
+  ./build-tsan/tests/concurrency_stress_test
+  ./build-tsan/tests/heaven_db_test
 fi
 
 echo "== all checks passed =="

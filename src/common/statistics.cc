@@ -77,6 +77,8 @@ std::string TickerName(Ticker ticker) {
       return "prefetch.useful";
     case Ticker::kPrefetchCandidates:
       return "prefetch.candidates";
+    case Ticker::kPrefetchErrors:
+      return "prefetch.errors";
     case Ticker::kSchedBatches:
       return "sched.batches";
     case Ticker::kSchedRequests:

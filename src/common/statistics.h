@@ -53,6 +53,7 @@ enum class Ticker : int {
   kPrefetchIssued,
   kPrefetchUseful,
   kPrefetchCandidates,
+  kPrefetchErrors,
   // Scheduler.
   kSchedBatches,
   kSchedRequests,

@@ -1,0 +1,76 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+namespace heaven {
+
+ThreadPool::ThreadPool(size_t num_threads, TraceCollector* trace)
+    : trace_(trace) {
+  num_threads = std::max<size_t>(num_threads, 1);
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Enqueue(std::function<void()> task) {
+  if (trace_ != nullptr && trace_->enabled()) {
+    const SpanId parent = trace_->CurrentSpanId();
+    if (parent != 0) {
+      task = [trace = trace_, parent, inner = std::move(task)] {
+        ScopedSpanParent guard(trace, parent);
+        inner();
+      };
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to drain
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  const size_t helpers = std::min(n - 1, workers_.size());
+  if (helpers == 0) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  auto next = std::make_shared<std::atomic<size_t>>(0);
+  auto run_chunk = [next, n, &fn] {
+    for (size_t i = next->fetch_add(1); i < n; i = next->fetch_add(1)) {
+      fn(i);
+    }
+  };
+  std::vector<std::future<void>> pending;
+  pending.reserve(helpers);
+  for (size_t h = 0; h < helpers; ++h) pending.push_back(Submit(run_chunk));
+  run_chunk();
+  for (std::future<void>& f : pending) f.get();
+}
+
+}  // namespace heaven

@@ -1,0 +1,79 @@
+#ifndef HEAVEN_COMMON_THREAD_POOL_H_
+#define HEAVEN_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "common/trace.h"
+
+namespace heaven {
+
+/// Fixed-size worker pool for CPU-bound work (super-tile decode, container
+/// packing, tile scatter). Tertiary-storage transfer time is simulated, so
+/// the wall-clock cost of a retrieval is exactly this CPU-side work — the
+/// pool lets it overlap with the (serial, tape-ordered) transfer loop and
+/// fan out across cores.
+///
+/// Trace propagation: when constructed with a TraceCollector, every task
+/// remembers the submitting thread's innermost open span and installs it as
+/// the ambient parent on the worker, so spans opened inside pool tasks hang
+/// below the span that enqueued them instead of forming orphan roots.
+///
+/// The destructor drains the queue and joins all workers (graceful
+/// shutdown); callers that need task results must keep the returned futures
+/// and wait on them before their captured state goes out of scope.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least one). `trace` may be null.
+  explicit ThreadPool(size_t num_threads, TraceCollector* trace = nullptr);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues `fn` and returns a future for its result. `fn` must not
+  /// acquire locks held by threads that wait on the returned future.
+  template <typename F>
+  auto Submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    Enqueue([task] { (*task)(); });
+    return future;
+  }
+
+  /// Runs fn(0) .. fn(n-1), distributing indices dynamically across the
+  /// workers; the calling thread participates, so the call makes progress
+  /// even when every worker is busy with other tasks. Blocks until all
+  /// indices finished. `fn` must tolerate concurrent invocation for
+  /// distinct indices and must not throw.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  /// Wraps the task with ambient-parent trace propagation and queues it.
+  void Enqueue(std::function<void()> task);
+
+  TraceCollector* trace_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace heaven
+
+#endif  // HEAVEN_COMMON_THREAD_POOL_H_

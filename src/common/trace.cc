@@ -19,7 +19,12 @@ SpanId TraceCollector::BeginSpan(std::string_view name) {
   span.name = std::string(name);
   span.start = clock_ != nullptr ? clock_->Now() : 0.0;
   std::vector<SpanId>& stack = stacks_[std::this_thread::get_id()];
-  span.parent = stack.empty() ? 0 : stack.back();
+  if (!stack.empty()) {
+    span.parent = stack.back();
+  } else {
+    auto ambient_it = ambient_.find(std::this_thread::get_id());
+    span.parent = ambient_it != ambient_.end() ? ambient_it->second : 0;
+  }
   stack.push_back(span.id);
   const SpanId id = span.id;
   open_.emplace(id, std::move(span));
@@ -50,6 +55,29 @@ void TraceCollector::EndSpan(SpanId id, uint64_t bytes) {
   finished_.push_back(std::move(span));
 }
 
+SpanId TraceCollector::CurrentSpanId() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto stack_it = stacks_.find(std::this_thread::get_id());
+  if (stack_it != stacks_.end() && !stack_it->second.empty()) {
+    return stack_it->second.back();
+  }
+  auto ambient_it = ambient_.find(std::this_thread::get_id());
+  return ambient_it != ambient_.end() ? ambient_it->second : 0;
+}
+
+SpanId TraceCollector::SetAmbientParent(SpanId parent) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::thread::id tid = std::this_thread::get_id();
+  auto it = ambient_.find(tid);
+  const SpanId previous = it != ambient_.end() ? it->second : 0;
+  if (parent == 0) {
+    if (it != ambient_.end()) ambient_.erase(it);
+  } else {
+    ambient_[tid] = parent;
+  }
+  return previous;
+}
+
 std::vector<Span> TraceCollector::Spans() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<Span> spans = finished_;
@@ -68,6 +96,7 @@ void TraceCollector::Clear() {
   finished_.clear();
   open_.clear();
   stacks_.clear();
+  ambient_.clear();
   dropped_ = 0;
   next_id_ = 1;
 }
@@ -118,6 +147,16 @@ ScopedSpan::ScopedSpan(TraceCollector* collector, std::string_view name) {
 
 ScopedSpan::~ScopedSpan() {
   if (collector_ != nullptr) collector_->EndSpan(id_, bytes_);
+}
+
+ScopedSpanParent::ScopedSpanParent(TraceCollector* collector, SpanId parent) {
+  if (collector == nullptr || !collector->enabled()) return;
+  collector_ = collector;
+  previous_ = collector->SetAmbientParent(parent);
+}
+
+ScopedSpanParent::~ScopedSpanParent() {
+  if (collector_ != nullptr) collector_->SetAmbientParent(previous_);
 }
 
 }  // namespace heaven

@@ -51,6 +51,11 @@ class TraceCollector {
   /// Finished spans in begin order (parents before their children).
   std::vector<Span> Spans() const;
 
+  /// Innermost open span of the calling thread (the ambient parent when
+  /// the thread has no open span of its own; 0 when neither exists). Used
+  /// to hand a parent across threads when enqueuing pool work.
+  SpanId CurrentSpanId() const;
+
   /// Spans recorded but discarded because the buffer hit kMaxSpans.
   uint64_t dropped() const;
 
@@ -65,6 +70,7 @@ class TraceCollector {
 
  private:
   friend class ScopedSpan;
+  friend class ScopedSpanParent;
 
   /// Caps memory for long-running processes; spans beyond it are counted
   /// in dropped() instead of stored.
@@ -73,6 +79,11 @@ class TraceCollector {
   SpanId BeginSpan(std::string_view name);
   void EndSpan(SpanId id, uint64_t bytes);
 
+  /// Installs `parent` as the calling thread's ambient parent (adopted by
+  /// spans opened while the thread's own stack is empty); returns the
+  /// previous ambient parent for restoration.
+  SpanId SetAmbientParent(SpanId parent);
+
   mutable std::mutex mu_;
   std::atomic<bool> enabled_{false};
   const SimClock* clock_ = nullptr;
@@ -80,6 +91,9 @@ class TraceCollector {
   uint64_t dropped_ = 0;
   std::map<SpanId, Span> open_;
   std::map<std::thread::id, std::vector<SpanId>> stacks_;
+  /// Cross-thread parent handoff (see SetAmbientParent); entries with
+  /// value 0 are erased.
+  std::map<std::thread::id, SpanId> ambient_;
   std::vector<Span> finished_;
 };
 
@@ -97,10 +111,30 @@ class ScopedSpan {
   /// Annotates the span with a byte count (result size, transfer size).
   void SetBytes(uint64_t bytes) { bytes_ = bytes; }
 
+  /// Id of this span (0 when the collector is null or disabled); lets the
+  /// opener hand the span to pool tasks as their parent.
+  SpanId id() const { return id_; }
+
  private:
   TraceCollector* collector_ = nullptr;  // null when no-op
   SpanId id_ = 0;
   uint64_t bytes_ = 0;
+};
+
+/// RAII ambient-parent scope for pool workers: while alive, spans opened on
+/// this thread (outside any locally open span) are parented to `parent`
+/// instead of becoming roots. No-op when the collector is null or disabled.
+class ScopedSpanParent {
+ public:
+  ScopedSpanParent(TraceCollector* collector, SpanId parent);
+  ~ScopedSpanParent();
+
+  ScopedSpanParent(const ScopedSpanParent&) = delete;
+  ScopedSpanParent& operator=(const ScopedSpanParent&) = delete;
+
+ private:
+  TraceCollector* collector_ = nullptr;  // null when no-op
+  SpanId previous_ = 0;
 };
 
 }  // namespace heaven

@@ -37,6 +37,13 @@ Status HeavenDb::Init() {
   HEAVEN_RETURN_IF_ERROR(
       precomputed_->Restore(engine_->catalog()->GetSection(kPrecomputedSection)));
   if (options_.enable_tracing) stats_.trace()->Enable(true);
+  size_t num_threads = options_.num_threads;
+  if (num_threads == 0) {
+    num_threads = std::max<size_t>(std::thread::hardware_concurrency(), 1);
+  }
+  if (num_threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(num_threads, stats_.trace());
+  }
   if (options_.decoupled_export) {
     tct_thread_ = std::thread([this] { TctWorker(); });
   }
@@ -291,9 +298,13 @@ Status HeavenDb::ExportObjectSync(ObjectId object_id) {
       PlacementPlan plan,
       PlanPlacement(groups, *library_, options_.inter_clustering));
 
-  // 5. Build, write and register each super-tile in plan order.
+  // 5. Build, write and register each super-tile in plan order. With a
+  // pool, container packing/compression (the CPU-heavy part) fans out
+  // across workers; the tape appends stay strictly in plan order either
+  // way, so placement and the tape clock are unchanged.
   std::unique_ptr<Transaction> txn = engine_->Begin();
-  for (size_t idx : plan.write_order) {
+
+  auto build_super_tile = [&](size_t idx) -> Result<SuperTile> {
     const SuperTileGroup& group = groups[idx];
     SuperTile st(next_supertile_id_++, object_id, object.cell_type);
     for (TileId tile_id : group.tiles) {
@@ -304,7 +315,12 @@ Status HeavenDb::ExportObjectSync(ObjectId object_id) {
           tile_id, Tile(descriptor->domain, object.cell_type,
                         std::move(payload))));
     }
-    const std::string container = st.Serialize(options_.compression);
+    return st;
+  };
+  auto append_and_register = [&](const SuperTile& st,
+                                 const std::string& container,
+                                 size_t idx) -> Status {
+    const SuperTileGroup& group = groups[idx];
     HEAVEN_ASSIGN_OR_RETURN(uint64_t offset,
                             library_->Append(plan.medium[idx], container));
     stats_.Record(Ticker::kSuperTilesWritten);
@@ -331,6 +347,30 @@ Status HeavenDb::ExportObjectSync(ObjectId object_id) {
       update.tile.blob_id = 0;
       update.tile.super_tile = meta.id;
       txn->UpdateCatalog(update);
+    }
+    return Status::Ok();
+  };
+
+  if (pool_ == nullptr) {
+    for (size_t idx : plan.write_order) {
+      HEAVEN_ASSIGN_OR_RETURN(SuperTile st, build_super_tile(idx));
+      const std::string container = st.Serialize(options_.compression);
+      HEAVEN_RETURN_IF_ERROR(append_and_register(st, container, idx));
+    }
+  } else {
+    std::vector<SuperTile> sts;
+    sts.reserve(plan.write_order.size());
+    for (size_t idx : plan.write_order) {
+      HEAVEN_ASSIGN_OR_RETURN(SuperTile st, build_super_tile(idx));
+      sts.push_back(std::move(st));
+    }
+    std::vector<std::string> containers(sts.size());
+    pool_->ParallelFor(sts.size(), [&](size_t k) {
+      containers[k] = sts[k].Serialize(options_.compression);
+    });
+    for (size_t k = 0; k < sts.size(); ++k) {
+      HEAVEN_RETURN_IF_ERROR(
+          append_and_register(sts[k], containers[k], plan.write_order[k]));
     }
   }
 
@@ -484,13 +524,19 @@ Status HeavenDb::FetchSuperTiles(
   const double tape_before = library_->ElapsedSeconds();
   MediumId last_medium = requests.back().medium;
   uint64_t last_end = requests.back().offset + requests.back().size_bytes;
-  for (const SuperTileRequest& request : requests) {
-    ScopedSpan fetch_span(stats_.trace(), "supertile.fetch");
-    fetch_span.SetBytes(request.size_bytes);
-    const double fetch_before = library_->ElapsedSeconds();
-    std::string container;
-    HEAVEN_RETURN_IF_ERROR(library_->ReadAt(request.medium, request.offset,
-                                            request.size_bytes, &container));
+
+  // Decode + cache admission of one transferred container. With a pool the
+  // closure runs on a worker while the drive transfers the next container
+  // (the transfer loop below stays serial in schedule order, so the tape
+  // clock and seek pattern are untouched); without one it runs inline,
+  // reproducing the legacy sequence exactly. `fetch_seconds` is the
+  // tape-clock cost of this container's transfer, measured by the loop —
+  // decode consumes no simulated time.
+  std::vector<std::shared_ptr<const SuperTile>> decoded(requests.size());
+  auto decode_and_admit = [this, &decoded, &requests](
+                              size_t i, std::string container,
+                              double fetch_seconds) -> Status {
+    const SuperTileRequest& request = requests[i];
     Result<SuperTile> st = [&] {
       ScopedSpan decode_span(stats_.trace(), "supertile.decode");
       return SuperTile::Deserialize(container);
@@ -501,8 +547,43 @@ Status HeavenDb::FetchSuperTiles(
     stats_.Record(Ticker::kSuperTilesRead);
     stats_.Record(Ticker::kSuperTileBytesRead, request.size_bytes);
     stats_.RecordHistogram(HistogramKind::kSuperTileFetchSeconds,
-                           library_->ElapsedSeconds() - fetch_before);
-    out->emplace(request.id, std::move(shared));
+                           fetch_seconds);
+    decoded[i] = std::move(shared);
+    return Status::Ok();
+  };
+
+  std::vector<std::future<Status>> pending;
+  Status status = Status::Ok();
+  for (size_t i = 0; i < requests.size(); ++i) {
+    const SuperTileRequest& request = requests[i];
+    ScopedSpan fetch_span(stats_.trace(), "supertile.fetch");
+    fetch_span.SetBytes(request.size_bytes);
+    const double fetch_before = library_->ElapsedSeconds();
+    std::string container;
+    status = library_->ReadAt(request.medium, request.offset,
+                              request.size_bytes, &container);
+    if (!status.ok()) break;
+    const double fetch_seconds = library_->ElapsedSeconds() - fetch_before;
+    if (pool_ != nullptr) {
+      pending.push_back(pool_->Submit(
+          [&decode_and_admit, i, fetch_seconds,
+           c = std::move(container)]() mutable {
+            return decode_and_admit(i, std::move(c), fetch_seconds);
+          }));
+    } else {
+      status = decode_and_admit(i, std::move(container), fetch_seconds);
+      if (!status.ok()) break;
+    }
+  }
+  // Join the pipeline before touching results or returning an error — the
+  // tasks reference this frame's locals.
+  for (std::future<Status>& pending_status : pending) {
+    Status s = pending_status.get();
+    if (status.ok() && !s.ok()) status = s;
+  }
+  HEAVEN_RETURN_IF_ERROR(status);
+  for (size_t i = 0; i < requests.size(); ++i) {
+    out->emplace(requests[i].id, std::move(decoded[i]));
   }
   client_clock_.Advance(library_->ElapsedSeconds() - tape_before);
   MaybePrefetch(last_medium, last_end);
@@ -525,9 +606,19 @@ void HeavenDb::MaybePrefetch(MediumId medium, uint64_t last_end_offset) {
     // Background read: charges tape time but not the client clock.
     Status status =
         library_->ReadAt(meta.medium, meta.offset, meta.size_bytes, &container);
-    if (!status.ok()) return;
+    if (!status.ok()) {
+      stats_.Record(Ticker::kPrefetchErrors);
+      HEAVEN_LOG(Warning) << "prefetch read of super-tile " << id
+                          << " failed: " << status.ToString();
+      return;
+    }
     Result<SuperTile> st = SuperTile::Deserialize(container);
-    if (!st.ok()) return;
+    if (!st.ok()) {
+      stats_.Record(Ticker::kPrefetchErrors);
+      HEAVEN_LOG(Warning) << "prefetch decode of super-tile " << id
+                          << " failed: " << st.status().ToString();
+      return;
+    }
     cache_->Insert(id, std::make_shared<const SuperTile>(std::move(st).value()),
                    meta.size_bytes);
     prefetched_.push_back(id);
@@ -576,9 +667,15 @@ Status HeavenDb::CollectTiles(
 
   std::map<SuperTileId, std::shared_ptr<const SuperTile>> supertiles;
   HEAVEN_RETURN_IF_ERROR(FetchSuperTiles(needed_sts, &supertiles));
+  return MaterializeTiles(object, needed, supertiles, out);
+}
 
+Status HeavenDb::MaterializeTiles(
+    const ObjectDescriptor& object, const std::vector<TileDescriptor>& needed,
+    const std::map<SuperTileId, std::shared_ptr<const SuperTile>>& supertiles,
+    std::vector<std::pair<TileDescriptor, Tile>>* out) {
   uint64_t disk_bytes = 0;
-  for (TileDescriptor& descriptor : needed) {
+  for (const TileDescriptor& descriptor : needed) {
     if (descriptor.location == TileLocation::kDisk) {
       HEAVEN_ASSIGN_OR_RETURN(std::string payload,
                               engine_->blobs()->Get(descriptor.blob_id));
@@ -600,6 +697,31 @@ Status HeavenDb::CollectTiles(
   return Status::Ok();
 }
 
+Status HeavenDb::ScatterTiles(
+    const std::vector<std::pair<TileDescriptor, Tile>>& tiles,
+    const MdInterval& region, MddArray* result) {
+  if (pool_ == nullptr || tiles.size() < 2) {
+    for (const auto& [descriptor, tile] : tiles) {
+      auto overlap = tile.domain().Intersection(region);
+      HEAVEN_CHECK(overlap.has_value());
+      HEAVEN_RETURN_IF_ERROR(
+          result->mutable_tile().CopyRegionFrom(tile, *overlap));
+    }
+    return Status::Ok();
+  }
+  // Each tile writes a disjoint destination region (the object's tiles
+  // partition its domain), so the copies are data-race free.
+  std::vector<Status> statuses(tiles.size());
+  pool_->ParallelFor(tiles.size(), [&](size_t i) {
+    const auto& [descriptor, tile] = tiles[i];
+    auto overlap = tile.domain().Intersection(region);
+    HEAVEN_CHECK(overlap.has_value());
+    statuses[i] = result->mutable_tile().CopyRegionFrom(tile, *overlap);
+  });
+  for (const Status& status : statuses) HEAVEN_RETURN_IF_ERROR(status);
+  return Status::Ok();
+}
+
 Result<MddArray> HeavenDb::ReadRegion(ObjectId object_id,
                                       const MdInterval& region) {
   std::lock_guard<std::recursive_mutex> lock(db_mu_);
@@ -616,12 +738,7 @@ Result<MddArray> HeavenDb::ReadRegion(ObjectId object_id,
   HEAVEN_RETURN_IF_ERROR(CollectTiles(object_id, region, &tiles));
 
   MddArray result(region, object.cell_type);
-  for (const auto& [descriptor, tile] : tiles) {
-    auto overlap = tile.domain().Intersection(region);
-    HEAVEN_CHECK(overlap.has_value());
-    HEAVEN_RETURN_IF_ERROR(
-        result.mutable_tile().CopyRegionFrom(tile, *overlap));
-  }
+  HEAVEN_RETURN_IF_ERROR(ScatterTiles(tiles, region, &result));
   stats_.Record(Ticker::kQueriesExecuted);
   stats_.Record(Ticker::kCellsReturned, region.CellCount());
   span.SetBytes(result.tile().size_bytes());
@@ -737,13 +854,16 @@ Result<std::vector<MddArray>> HeavenDb::ReadRegions(
     const std::vector<std::pair<ObjectId, MdInterval>>& queries) {
   std::lock_guard<std::recursive_mutex> lock(db_mu_);
   ScopedSpan span(stats_.trace(), "query.read_regions");
-  // Phase 1: gather every tertiary super-tile needed by any query so the
-  // scheduler sees the whole batch at once.
+  // Phase 1: collect each query's tile descriptors once and gather every
+  // tertiary super-tile needed by any query so the scheduler sees the
+  // whole batch at once.
+  std::vector<std::vector<TileDescriptor>> per_query(queries.size());
   std::vector<SuperTileId> needed_sts;
-  for (const auto& [object_id, region] : queries) {
-    HEAVEN_ASSIGN_OR_RETURN(std::vector<TileDescriptor> tiles,
+  for (size_t q = 0; q < queries.size(); ++q) {
+    const auto& [object_id, region] = queries[q];
+    HEAVEN_ASSIGN_OR_RETURN(per_query[q],
                             TilesIntersecting(object_id, region));
-    for (const TileDescriptor& tile : tiles) {
+    for (const TileDescriptor& tile : per_query[q]) {
       if (tile.location != TileLocation::kTertiary) continue;
       if (std::find(needed_sts.begin(), needed_sts.end(), tile.super_tile) ==
           needed_sts.end()) {
@@ -754,11 +874,34 @@ Result<std::vector<MddArray>> HeavenDb::ReadRegions(
   std::map<SuperTileId, std::shared_ptr<const SuperTile>> supertiles;
   HEAVEN_RETURN_IF_ERROR(FetchSuperTiles(needed_sts, &supertiles));
 
-  // Phase 2: answer each query (super-tiles now come from the cache).
+  // Phase 2: answer each query from the descriptors collected in phase 1
+  // and the batch-fetched super-tiles — no second index lookup or cache
+  // probe per query.
   std::vector<MddArray> results;
   results.reserve(queries.size());
-  for (const auto& [object_id, region] : queries) {
-    HEAVEN_ASSIGN_OR_RETURN(MddArray result, ReadRegion(object_id, region));
+  for (size_t q = 0; q < queries.size(); ++q) {
+    const auto& [object_id, region] = queries[q];
+    ScopedSpan query_span(stats_.trace(), "query.read_region");
+    const double client_before = client_clock_.Now();
+    HEAVEN_ASSIGN_OR_RETURN(ObjectDescriptor object,
+                            engine_->catalog()->GetObject(object_id));
+    if (!object.domain.Contains(region)) {
+      return Status::OutOfRange("query region " + region.ToString() +
+                                " outside object domain " +
+                                object.domain.ToString());
+    }
+    std::vector<std::pair<TileDescriptor, Tile>> tiles;
+    HEAVEN_RETURN_IF_ERROR(
+        MaterializeTiles(object, per_query[q], supertiles, &tiles));
+    MddArray result(region, object.cell_type);
+    HEAVEN_RETURN_IF_ERROR(ScatterTiles(tiles, region, &result));
+    stats_.Record(Ticker::kQueriesExecuted);
+    stats_.Record(Ticker::kCellsReturned, region.CellCount());
+    query_span.SetBytes(result.tile().size_bytes());
+    stats_.RecordHistogram(HistogramKind::kQuerySeconds,
+                           client_clock_.Now() - client_before);
+    stats_.RecordHistogram(HistogramKind::kQueryBytes,
+                           static_cast<double>(result.tile().size_bytes()));
     results.push_back(std::move(result));
   }
   return results;

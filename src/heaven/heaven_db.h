@@ -16,6 +16,7 @@
 #include "common/env.h"
 #include "common/statistics.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "heaven/cache.h"
 #include "heaven/clustering.h"
 #include "heaven/framing.h"
@@ -74,6 +75,15 @@ struct HeavenOptions {
   /// Collect hierarchical trace spans (stats()->trace()) from the start.
   /// Tracing can also be toggled at runtime via stats()->trace()->Enable().
   bool enable_tracing = false;
+
+  /// Worker threads for the CPU-bound hot paths: super-tile decode is
+  /// pipelined against the (tape-ordered) transfer loop, tile scatter into
+  /// query results fans out, and export-side container packing/compression
+  /// runs in parallel. 0 selects std::thread::hardware_concurrency(); 1
+  /// runs the exact serial legacy code path (bit-identical clocks,
+  /// counters and traces). Tape order and all simulated-time accounting
+  /// are preserved for every value.
+  size_t num_threads = 0;
 
   /// Payload codec for super-tile containers written to tape. Shrinks the
   /// dominant cost of the tertiary tier (transfer time) on compressible
@@ -225,6 +235,23 @@ class HeavenDb {
   Status CollectTiles(ObjectId object_id, const MdInterval& region,
                       std::vector<std::pair<TileDescriptor, Tile>>* out);
 
+  /// Materializes `needed` tiles from disk blobs or the supplied
+  /// super-tiles (every tertiary tile's super-tile must be present),
+  /// charging the client disk cost. Shared by CollectTiles and the batch
+  /// query path, which fetches super-tiles once for all queries.
+  Status MaterializeTiles(
+      const ObjectDescriptor& object,
+      const std::vector<TileDescriptor>& needed,
+      const std::map<SuperTileId, std::shared_ptr<const SuperTile>>&
+          supertiles,
+      std::vector<std::pair<TileDescriptor, Tile>>* out);
+
+  /// Copies each collected tile's overlap with `region` into `result`.
+  /// Destination regions are disjoint (tiles partition the object), so the
+  /// copies fan out on the pool when one is configured.
+  Status ScatterTiles(const std::vector<std::pair<TileDescriptor, Tile>>& tiles,
+                      const MdInterval& region, MddArray* result);
+
   /// Descriptors of the object's tiles whose domains intersect `region`,
   /// answered from the per-object R-tree tile index (built lazily from the
   /// catalog, dropped when the object's tile set changes).
@@ -254,6 +281,10 @@ class HeavenDb {
   std::unique_ptr<TapeLibrary> library_;
   std::unique_ptr<SuperTileCache> cache_;
   std::unique_ptr<PrecomputedCatalog> precomputed_;
+  /// CPU worker pool (null when options_.num_threads resolves to 1). Pool
+  /// tasks never acquire db_mu_: they touch only the cache, statistics and
+  /// trace collector (each with its own lock) plus disjoint output slots.
+  std::unique_ptr<ThreadPool> pool_;
 
   /// Guards the registry, prefetch bookkeeping and export/read critical
   /// sections shared with the TCT.

@@ -1,0 +1,272 @@
+// Concurrency coverage: the thread-pool subsystem itself, cross-thread
+// trace-span propagation, and a stress test that issues overlapping
+// ReadRegion / ExportObject / DrainExports calls from multiple client
+// threads and checks every result against the serial baseline. Run under
+// ThreadSanitizer via scripts/check.sh (HEAVEN_TSAN shard).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <numeric>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "array/ops.h"
+#include "common/env.h"
+#include "common/thread_pool.h"
+#include "common/trace.h"
+#include "heaven/heaven_db.h"
+
+namespace heaven {
+namespace {
+
+// ------------------------------------------------------------ ThreadPool --
+
+TEST(ThreadPoolTest, SubmitReturnsResults) {
+  ThreadPool pool(4);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 32; ++i) {
+    futures.push_back(pool.Submit([i] { return i * i; }));
+  }
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(futures[i].get(), i * i);
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr size_t kN = 10000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.ParallelFor(kN, [&](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForHandlesSmallAndEmptyRanges) {
+  ThreadPool pool(8);
+  int calls = 0;
+  pool.ParallelFor(0, [&](size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  pool.ParallelFor(1, [&](size_t) { ++calls; });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueuedTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i) {
+      pool.Submit([&ran] { ran.fetch_add(1); });
+    }
+  }
+  EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(ThreadPoolTest, WorkerSpansParentToEnqueuingSpan) {
+  SimClock clock;
+  TraceCollector trace;
+  trace.SetClock(&clock);
+  trace.Enable(true);
+  ThreadPool pool(2, &trace);
+  {
+    ScopedSpan outer(&trace, "outer");
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 4; ++i) {
+      futures.push_back(pool.Submit([&trace] {
+        ScopedSpan inner(&trace, "worker.task");
+      }));
+    }
+    for (auto& f : futures) f.get();
+  }
+  SpanId outer_id = 0;
+  for (const Span& s : trace.Spans()) {
+    if (s.name == "outer") outer_id = s.id;
+  }
+  ASSERT_NE(outer_id, 0u);
+  size_t worker_spans = 0;
+  for (const Span& s : trace.Spans()) {
+    if (s.name != "worker.task") continue;
+    ++worker_spans;
+    EXPECT_EQ(s.parent, outer_id);
+  }
+  EXPECT_EQ(worker_spans, 4u);
+}
+
+TEST(ThreadPoolTest, AmbientParentRestoredAfterScope) {
+  TraceCollector trace;
+  trace.Enable(true);
+  {
+    ScopedSpanParent guard(&trace, 42);
+    EXPECT_EQ(trace.CurrentSpanId(), 42u);
+    {
+      ScopedSpanParent nested(&trace, 7);
+      EXPECT_EQ(trace.CurrentSpanId(), 7u);
+    }
+    EXPECT_EQ(trace.CurrentSpanId(), 42u);
+  }
+  EXPECT_EQ(trace.CurrentSpanId(), 0u);
+}
+
+// ------------------------------------------------------------- DB stress --
+
+MddArray Ramp(const MdInterval& domain) {
+  MddArray data(domain, CellType::kFloat);
+  data.Generate([](const MdPoint& p) {
+    double v = 0.0;
+    for (size_t d = 0; d < p.dims(); ++d) {
+      v = v * 100.0 + static_cast<double>(p[d] % 50);
+    }
+    return v;
+  });
+  return data;
+}
+
+class ConcurrencyStressTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    env_ = std::make_unique<MemEnv>();
+    HeavenOptions options;
+    options.library.profile = MidTapeProfile();
+    options.library.num_drives = 2;
+    options.library.num_media = 8;
+    options.disk_tile_bytes = 2048;
+    options.supertile_bytes = 16 << 10;
+    options.decoupled_export = true;
+    options.compression = Compression::kDeltaRle;
+    options.enable_tracing = true;  // exercise trace locking too
+    options.num_threads = 4;  // force the pool on, even on 1-core hosts
+    auto db = HeavenDb::Open(env_.get(), "/db", options);
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    db_ = std::move(db).value();
+    auto coll = db_->CreateCollection("c");
+    ASSERT_TRUE(coll.ok());
+    collection_ = coll.value();
+  }
+
+  ObjectId Insert(const std::string& name, const MdInterval& domain) {
+    auto id = db_->InsertObject(collection_, name, Ramp(domain));
+    EXPECT_TRUE(id.ok()) << id.status().ToString();
+    return id.ok() ? id.value() : 0;
+  }
+
+  std::unique_ptr<MemEnv> env_;
+  std::unique_ptr<HeavenDb> db_;
+  CollectionId collection_ = 0;
+};
+
+// Overlapping queries, exports and drains from several client threads must
+// produce exactly the results a serial run produces; results depend only on
+// the data, never on the interleaving.
+TEST_F(ConcurrencyStressTest, OverlappingReadsExportsAndDrains) {
+  const MdInterval domain({0, 0}, {95, 95});
+  const MddArray full = Ramp(domain);
+  const ObjectId archived = Insert("archived", domain);
+  ASSERT_TRUE(db_->ExportObject(archived).ok());
+  ASSERT_TRUE(db_->DrainExports().ok());
+
+  const ObjectId disk_b = Insert("b", domain);
+  const ObjectId disk_c = Insert("c", domain);
+
+  const std::vector<MdInterval> regions = {
+      MdInterval({0, 0}, {15, 15}),
+      MdInterval({16, 16}, {47, 47}),
+      MdInterval({0, 32}, {31, 63}),
+      MdInterval({40, 8}, {63, 39}),
+      MdInterval({0, 0}, {63, 63}),
+  };
+
+  std::atomic<int> failures{0};
+  auto check_region = [&](ObjectId id, const MdInterval& region) {
+    auto got = db_->ReadRegion(id, region);
+    auto expected = Trim(full, region);
+    if (!got.ok() || !expected.ok() || *got != *expected) {
+      failures.fetch_add(1);
+    }
+  };
+
+  constexpr int kReaders = 4;
+  constexpr int kRoundsPerReader = 6;
+  std::vector<std::thread> threads;
+  for (int r = 0; r < kReaders; ++r) {
+    threads.emplace_back([&, r] {
+      for (int round = 0; round < kRoundsPerReader; ++round) {
+        check_region(archived, regions[(r + round) % regions.size()]);
+      }
+    });
+  }
+  // Exporter thread: migrates the disk objects and drains mid-flight while
+  // the readers hammer the archived object.
+  threads.emplace_back([&] {
+    if (!db_->ExportObject(disk_b).ok()) failures.fetch_add(1);
+    if (!db_->DrainExports().ok()) failures.fetch_add(1);
+    if (!db_->ExportObject(disk_c).ok()) failures.fetch_add(1);
+    check_region(disk_b, regions[1]);
+  });
+  // Aggregation thread: exercises the precomputed catalog path in parallel.
+  threads.emplace_back([&] {
+    for (int round = 0; round < kRoundsPerReader; ++round) {
+      auto sum = db_->Aggregate(archived, Condenser::kSum, regions[0]);
+      if (!sum.ok()) failures.fetch_add(1);
+    }
+  });
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  ASSERT_TRUE(db_->DrainExports().ok());
+  // Every object is intact after the storm.
+  for (ObjectId id : {archived, disk_b, disk_c}) {
+    auto got = db_->ReadRegion(id, domain);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    EXPECT_EQ(*got, full);
+  }
+}
+
+// The batch path and the export pipeline agree with the serial baseline:
+// the same queries against num_threads=1 and the default pool yield
+// identical arrays.
+TEST_F(ConcurrencyStressTest, ParallelResultsMatchSerialBaseline) {
+  const MdInterval domain({0, 0}, {63, 63});
+  const ObjectId id = Insert("obj", domain);
+  ASSERT_TRUE(db_->ExportObject(id).ok());
+  ASSERT_TRUE(db_->DrainExports().ok());
+  std::vector<std::pair<ObjectId, MdInterval>> queries = {
+      {id, MdInterval({0, 0}, {31, 31})},
+      {id, MdInterval({8, 24}, {55, 63})},
+      {id, MdInterval({32, 0}, {63, 31})},
+  };
+  auto parallel_results = db_->ReadRegions(queries);
+  ASSERT_TRUE(parallel_results.ok());
+
+  // Serial twin: identical data and layout, num_threads=1.
+  auto serial_env = std::make_unique<MemEnv>();
+  HeavenOptions options;
+  options.library.profile = MidTapeProfile();
+  options.library.num_drives = 2;
+  options.library.num_media = 8;
+  options.disk_tile_bytes = 2048;
+  options.supertile_bytes = 16 << 10;
+  options.compression = Compression::kDeltaRle;
+  options.num_threads = 1;
+  auto serial_db = HeavenDb::Open(serial_env.get(), "/db", options);
+  ASSERT_TRUE(serial_db.ok());
+  auto coll = (*serial_db)->CreateCollection("c");
+  ASSERT_TRUE(coll.ok());
+  auto serial_id = (*serial_db)->InsertObject(*coll, "obj", Ramp(domain));
+  ASSERT_TRUE(serial_id.ok());
+  ASSERT_TRUE((*serial_db)->ExportObject(*serial_id).ok());
+  for (auto& [qid, region] : queries) qid = *serial_id;
+  auto serial_results = (*serial_db)->ReadRegions(queries);
+  ASSERT_TRUE(serial_results.ok());
+
+  ASSERT_EQ(parallel_results->size(), serial_results->size());
+  for (size_t i = 0; i < parallel_results->size(); ++i) {
+    EXPECT_EQ((*parallel_results)[i], (*serial_results)[i]) << i;
+  }
+}
+
+}  // namespace
+}  // namespace heaven
