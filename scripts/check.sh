@@ -4,17 +4,23 @@
 # concurrency-heavy tests under it, then rebuild a ThreadSanitizer shard
 # and run the concurrency stress test under it.
 #
-# Usage: scripts/check.sh [--no-asan] [--no-tsan]
+# --bench-smoke additionally runs one tiny iteration of every benchmark
+# binary — not for numbers, just to prove the harnesses still execute
+# (CI keeps them from bit-rotting between perf sessions).
+#
+# Usage: scripts/check.sh [--no-asan] [--no-tsan] [--bench-smoke]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 RUN_ASAN=1
 RUN_TSAN=1
+RUN_BENCH_SMOKE=0
 for arg in "$@"; do
   case "$arg" in
     --no-asan) RUN_ASAN=0 ;;
     --no-tsan) RUN_TSAN=0 ;;
+    --bench-smoke) RUN_BENCH_SMOKE=1 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
 done
@@ -47,6 +53,16 @@ if [[ "$RUN_TSAN" == 1 ]]; then
       --target concurrency_stress_test heaven_db_test
   ./build-tsan/tests/concurrency_stress_test
   ./build-tsan/tests/heaven_db_test
+fi
+
+if [[ "$RUN_BENCH_SMOKE" == 1 ]]; then
+  echo "== bench smoke =="
+  for bench in build/bench/bench_*; do
+    [[ -x "$bench" ]] || continue
+    echo "-- $(basename "$bench")"
+    "$bench" --benchmark_min_time=0.01 --benchmark_repetitions=1 \
+        >/dev/null
+  done
 fi
 
 echo "== all checks passed =="

@@ -18,6 +18,8 @@ std::string HistogramName(HistogramKind kind) {
       return "supertile.fetch_seconds";
     case HistogramKind::kCacheLookupBytes:
       return "cache.lookup_bytes";
+    case HistogramKind::kCacheLockWaitSeconds:
+      return "cache.lock_wait_seconds";
     case HistogramKind::kHsmStageSeconds:
       return "hsm.stage_seconds";
     case HistogramKind::kDiskPageIoBytes:

@@ -20,6 +20,7 @@ enum class HistogramKind : int {
   // HEAVEN retrieval path.
   kSuperTileFetchSeconds,  // tape seconds per scheduled fetch batch
   kCacheLookupBytes,       // bytes served per cache lookup (0 = miss)
+  kCacheLockWaitSeconds,   // wall-clock wait for a cache shard lock (Insert)
   kHsmStageSeconds,        // whole-file staging cost of the HSM baseline
   // Secondary storage.
   kDiskPageIoBytes,  // bytes per buffer-pool page read/write

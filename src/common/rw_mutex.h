@@ -1,0 +1,101 @@
+#ifndef HEAVEN_COMMON_RW_MUTEX_H_
+#define HEAVEN_COMMON_RW_MUTEX_H_
+
+#include <atomic>
+#include <shared_mutex>
+#include <thread>
+
+namespace heaven {
+
+/// A reader/writer mutex whose *exclusive* side is recursive and whose
+/// shared side degrades to a no-op when the calling thread already holds
+/// the lock exclusively. This is exactly the shape HeavenDb's top-level
+/// lock needs: mutators (export, update, delete) re-enter each other —
+/// e.g. ExportObjectSync → InsertObject(overview) → migration policy →
+/// ExportObjectSync — and also call read paths (ReadRegion) that take the
+/// shared side, while independent queries must be able to proceed
+/// concurrently under shared ownership.
+///
+/// Constraints (checked by design, not at runtime):
+///  - Shared ownership is NOT recursive across a waiting writer: a thread
+///    holding only shared ownership must not call lock_shared() again.
+///    HeavenDb's read paths never nest (ReadRegion/ReadFrame/ReadRegions
+///    do not call one another).
+///  - No upgrade: a shared holder must not call lock().
+class RecursiveSharedMutex {
+ public:
+  RecursiveSharedMutex() = default;
+  RecursiveSharedMutex(const RecursiveSharedMutex&) = delete;
+  RecursiveSharedMutex& operator=(const RecursiveSharedMutex&) = delete;
+
+  void lock() {
+    const std::thread::id me = std::this_thread::get_id();
+    if (writer_.load(std::memory_order_relaxed) == me) {
+      ++depth_;
+      return;
+    }
+    mu_.lock();
+    writer_.store(me, std::memory_order_relaxed);
+    depth_ = 1;
+  }
+
+  bool try_lock() {
+    const std::thread::id me = std::this_thread::get_id();
+    if (writer_.load(std::memory_order_relaxed) == me) {
+      ++depth_;
+      return true;
+    }
+    if (!mu_.try_lock()) return false;
+    writer_.store(me, std::memory_order_relaxed);
+    depth_ = 1;
+    return true;
+  }
+
+  void unlock() {
+    if (--depth_ == 0) {
+      writer_.store(std::thread::id(), std::memory_order_relaxed);
+      mu_.unlock();
+    }
+  }
+
+  void lock_shared() {
+    if (writer_.load(std::memory_order_relaxed) ==
+        std::this_thread::get_id()) {
+      ++depth_;  // reader inside writer: exclusive already covers it
+      return;
+    }
+    mu_.lock_shared();
+  }
+
+  bool try_lock_shared() {
+    if (writer_.load(std::memory_order_relaxed) ==
+        std::this_thread::get_id()) {
+      ++depth_;
+      return true;
+    }
+    return mu_.try_lock_shared();
+  }
+
+  void unlock_shared() {
+    if (writer_.load(std::memory_order_relaxed) ==
+        std::this_thread::get_id()) {
+      --depth_;
+      return;
+    }
+    mu_.unlock_shared();
+  }
+
+ private:
+  std::shared_mutex mu_;
+  /// Id of the thread holding mu_ exclusively (default id = none). Only
+  /// the owner stores its own id, and clears it before releasing mu_, so
+  /// a relaxed load can only equal the *calling* thread's id when that
+  /// thread is the current owner.
+  std::atomic<std::thread::id> writer_{};
+  /// Exclusive re-entry depth; touched only by the exclusive owner.
+  int depth_ = 0;
+};
+
+}  // namespace heaven
+
+#endif  // HEAVEN_COMMON_RW_MUTEX_H_

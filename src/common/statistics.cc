@@ -45,6 +45,8 @@ std::string TickerName(Ticker ticker) {
       return "supertile.bytes_read";
     case Ticker::kSuperTileBytesWritten:
       return "supertile.bytes_written";
+    case Ticker::kFetchCoalesced:
+      return "supertile.fetch_coalesced";
     case Ticker::kCacheHits:
       return "cache.hits";
     case Ticker::kCacheMisses:
@@ -61,6 +63,10 @@ std::string TickerName(Ticker ticker) {
       return "bufferpool.hits";
     case Ticker::kBufferPoolMisses:
       return "bufferpool.misses";
+    case Ticker::kWalSyncs:
+      return "wal.syncs";
+    case Ticker::kWalSyncsCoalesced:
+      return "wal.syncs_coalesced";
     case Ticker::kQueriesExecuted:
       return "query.executed";
     case Ticker::kTilesTouched:
@@ -95,17 +101,16 @@ std::string TickerName(Ticker ticker) {
   return "unknown";
 }
 
-Statistics::Statistics() : counters_(kNumTickers, 0) {}
+Statistics::Statistics() : counters_(kNumTickers) {}
 
 void Statistics::Record(Ticker ticker, uint64_t count) {
   HEAVEN_DCHECK(ticker != Ticker::kNumTickers);
-  std::lock_guard<std::mutex> lock(mu_);
-  counters_[static_cast<int>(ticker)] += count;
+  counters_[static_cast<int>(ticker)].fetch_add(count,
+                                                std::memory_order_relaxed);
 }
 
 uint64_t Statistics::Get(Ticker ticker) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return counters_[static_cast<int>(ticker)];
+  return counters_[static_cast<int>(ticker)].load(std::memory_order_relaxed);
 }
 
 void Statistics::RecordHistogram(HistogramKind kind, double value) {
@@ -123,9 +128,8 @@ HistogramData Statistics::HistogramSnapshot(HistogramKind kind) const {
 }
 
 void Statistics::Reset() {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    counters_.assign(kNumTickers, 0);
+  for (auto& counter : counters_) {
+    counter.store(0, std::memory_order_relaxed);
   }
   for (Histogram& h : histograms_) h.Reset();
 }
@@ -174,8 +178,11 @@ std::string Statistics::ToJson() const {
 }
 
 std::vector<uint64_t> Statistics::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return counters_;
+  std::vector<uint64_t> snapshot(kNumTickers);
+  for (int i = 0; i < kNumTickers; ++i) {
+    snapshot[i] = counters_[i].load(std::memory_order_relaxed);
+  }
+  return snapshot;
 }
 
 }  // namespace heaven

@@ -2,6 +2,7 @@
 #define HEAVEN_COMMON_STATISTICS_H_
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <mutex>
@@ -34,6 +35,7 @@ enum class Ticker : int {
   kSuperTilesRead,
   kSuperTileBytesRead,
   kSuperTileBytesWritten,
+  kFetchCoalesced,  // concurrent misses folded into one in-flight fetch
   // Cache.
   kCacheHits,
   kCacheMisses,
@@ -44,6 +46,9 @@ enum class Ticker : int {
   kDiskPageWrites,
   kBufferPoolHits,
   kBufferPoolMisses,
+  // WAL.
+  kWalSyncs,           // fsyncs actually issued (group-commit leaders)
+  kWalSyncsCoalesced,  // Sync calls covered by another commit's fsync
   // Query engine.
   kQueriesExecuted,
   kTilesTouched,
@@ -70,8 +75,10 @@ std::string TickerName(Ticker ticker);
 
 /// Thread-safe registry of counters, latency/size histograms and the trace
 /// collector, shared by all layers of one HeavenDb instance (mirrors the
-/// RocksDB Statistics idiom). Counters share one mutex; each histogram has
-/// its own, and the trace collector is no-op unless enabled.
+/// RocksDB Statistics idiom). Counters are lock-free relaxed atomics (the
+/// cache/buffer-pool hit paths record them at high frequency from many
+/// threads); each histogram has its own mutex, and the trace collector is
+/// no-op unless enabled.
 class Statistics {
  public:
   Statistics();
@@ -109,8 +116,7 @@ class Statistics {
   std::vector<uint64_t> Snapshot() const;
 
  private:
-  mutable std::mutex mu_;
-  std::vector<uint64_t> counters_;
+  std::vector<std::atomic<uint64_t>> counters_;
   std::array<Histogram, static_cast<size_t>(HistogramKind::kNumHistograms)>
       histograms_;
   TraceCollector trace_;

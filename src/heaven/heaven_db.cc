@@ -65,7 +65,7 @@ Status HeavenDb::LoadRegistry() {
   const std::string image = engine_->catalog()->GetSection(kRegistrySection);
   HEAVEN_ASSIGN_OR_RETURN(std::vector<SuperTileMeta> metas,
                           DeserializeSuperTileMetas(image));
-  std::lock_guard<std::recursive_mutex> lock(db_mu_);
+  std::lock_guard<RecursiveSharedMutex> lock(db_mu_);
   registry_.clear();
   for (SuperTileMeta& meta : metas) {
     next_supertile_id_ = std::max(next_supertile_id_, meta.id + 1);
@@ -77,7 +77,7 @@ Status HeavenDb::LoadRegistry() {
 Status HeavenDb::PersistRegistry() {
   std::vector<SuperTileMeta> metas;
   {
-    std::lock_guard<std::recursive_mutex> lock(db_mu_);
+    std::shared_lock<RecursiveSharedMutex> lock(db_mu_);
     metas.reserve(registry_.size());
     for (const auto& [id, meta] : registry_) metas.push_back(meta);
   }
@@ -112,7 +112,7 @@ Result<CollectionId> HeavenDb::CreateCollection(const std::string& name) {
 }
 
 Status HeavenDb::DropCollection(const std::string& name) {
-  std::lock_guard<std::recursive_mutex> lock(db_mu_);
+  std::lock_guard<RecursiveSharedMutex> lock(db_mu_);
   auto collection = engine_->catalog()->FindCollection(name);
   if (!collection.has_value()) {
     return Status::NotFound("collection " + name);
@@ -130,7 +130,7 @@ Result<ObjectId> HeavenDb::InsertObject(CollectionId collection,
                                         const std::string& name,
                                         const MddArray& data,
                                         std::vector<int64_t> tile_extents) {
-  std::lock_guard<std::recursive_mutex> lock(db_mu_);
+  std::lock_guard<RecursiveSharedMutex> lock(db_mu_);
   if (engine_->catalog()->FindObject(name).ok()) {
     return Status::AlreadyExists("object " + name);
   }
@@ -233,7 +233,7 @@ Status HeavenDb::ExportObject(ObjectId object_id) {
 }
 
 Status HeavenDb::ExportObjectSync(ObjectId object_id) {
-  std::lock_guard<std::recursive_mutex> lock(db_mu_);
+  std::lock_guard<RecursiveSharedMutex> lock(db_mu_);
   ScopedSpan span(stats_.trace(), "export.object");
   exporting_ = true;
   struct ExportGuard {
@@ -388,7 +388,7 @@ Status HeavenDb::ExportObjectSync(ObjectId object_id) {
 }
 
 Status HeavenDb::ExportObjectTileAtATime(ObjectId object_id) {
-  std::lock_guard<std::recursive_mutex> lock(db_mu_);
+  std::lock_guard<RecursiveSharedMutex> lock(db_mu_);
   const double tape_before = library_->ElapsedSeconds();
   HEAVEN_ASSIGN_OR_RETURN(ObjectDescriptor object,
                           engine_->catalog()->GetObject(object_id));
@@ -496,97 +496,170 @@ Status HeavenDb::FetchSuperTiles(
     const std::vector<SuperTileId>& ids,
     std::map<SuperTileId, std::shared_ptr<const SuperTile>>* out) {
   std::vector<SuperTileRequest> requests;
-  for (SuperTileId id : ids) {
-    if (out->count(id) > 0) continue;
-    std::shared_ptr<const SuperTile> cached = cache_->Lookup(id);
-    if (cached != nullptr) {
-      // Account prefetch usefulness.
-      auto it = std::find(prefetched_.begin(), prefetched_.end(), id);
-      if (it != prefetched_.end()) {
-        stats_.Record(Ticker::kPrefetchUseful);
-        prefetched_.erase(it);
-      }
-      out->emplace(id, std::move(cached));
-      continue;
-    }
-    auto meta_it = registry_.find(id);
-    if (meta_it == registry_.end()) {
-      return Status::NotFound("super-tile " + std::to_string(id) +
-                              " not registered");
-    }
-    requests.push_back({id, meta_it->second.medium, meta_it->second.offset,
-                        meta_it->second.size_bytes});
-  }
-  if (requests.empty()) return Status::Ok();
+  // Fetches this call leads (its promises to fulfil) and fetches led by a
+  // concurrent call that we piggyback on (their futures to await).
+  std::map<SuperTileId, std::shared_ptr<InflightFetch>> owned;
+  std::vector<std::pair<SuperTileId, std::shared_future<FetchResult>>> waits;
 
-  requests = ScheduleRequests(std::move(requests), *library_,
-                              options_.schedule_policy);
-  const double tape_before = library_->ElapsedSeconds();
-  MediumId last_medium = requests.back().medium;
-  uint64_t last_end = requests.back().offset + requests.back().size_bytes;
-
-  // Decode + cache admission of one transferred container. With a pool the
-  // closure runs on a worker while the drive transfers the next container
-  // (the transfer loop below stays serial in schedule order, so the tape
-  // clock and seek pattern are untouched); without one it runs inline,
-  // reproducing the legacy sequence exactly. `fetch_seconds` is the
-  // tape-clock cost of this container's transfer, measured by the loop —
-  // decode consumes no simulated time.
-  std::vector<std::shared_ptr<const SuperTile>> decoded(requests.size());
-  auto decode_and_admit = [this, &decoded, &requests](
-                              size_t i, std::string container,
-                              double fetch_seconds) -> Status {
-    const SuperTileRequest& request = requests[i];
-    Result<SuperTile> st = [&] {
-      ScopedSpan decode_span(stats_.trace(), "supertile.decode");
-      return SuperTile::Deserialize(container);
-    }();
-    HEAVEN_RETURN_IF_ERROR(st.status());
-    auto shared = std::make_shared<const SuperTile>(std::move(st).value());
-    cache_->Insert(request.id, shared, request.size_bytes);
-    stats_.Record(Ticker::kSuperTilesRead);
-    stats_.Record(Ticker::kSuperTileBytesRead, request.size_bytes);
-    stats_.RecordHistogram(HistogramKind::kSuperTileFetchSeconds,
-                           fetch_seconds);
-    decoded[i] = std::move(shared);
-    return Status::Ok();
+  auto note_prefetch_hit = [this](SuperTileId id) {
+    std::lock_guard<std::mutex> prefetch_lock(prefetch_mu_);
+    auto it = std::find(prefetched_.begin(), prefetched_.end(), id);
+    if (it != prefetched_.end()) {
+      stats_.Record(Ticker::kPrefetchUseful);
+      prefetched_.erase(it);
+    }
+  };
+  // On any error the promises this call registered must still be
+  // fulfilled, or coalesced waiters would block forever.
+  auto fail_owned = [this, &owned](const Status& status) {
+    if (owned.empty()) return;
+    {
+      std::lock_guard<std::mutex> fetch_lock(fetch_mu_);
+      for (auto& [id, flight] : owned) inflight_.erase(id);
+    }
+    for (auto& [id, flight] : owned) {
+      flight->promise.set_value(FetchResult(status));
+    }
   };
 
-  std::vector<std::future<Status>> pending;
-  Status status = Status::Ok();
-  for (size_t i = 0; i < requests.size(); ++i) {
-    const SuperTileRequest& request = requests[i];
-    ScopedSpan fetch_span(stats_.trace(), "supertile.fetch");
-    fetch_span.SetBytes(request.size_bytes);
-    const double fetch_before = library_->ElapsedSeconds();
-    std::string container;
-    status = library_->ReadAt(request.medium, request.offset,
-                              request.size_bytes, &container);
-    if (!status.ok()) break;
-    const double fetch_seconds = library_->ElapsedSeconds() - fetch_before;
-    if (pool_ != nullptr) {
-      pending.push_back(pool_->Submit(
-          [&decode_and_admit, i, fetch_seconds,
-           c = std::move(container)]() mutable {
-            return decode_and_admit(i, std::move(c), fetch_seconds);
-          }));
-    } else {
-      status = decode_and_admit(i, std::move(container), fetch_seconds);
-      if (!status.ok()) break;
+  for (SuperTileId id : ids) {
+    if (out->count(id) > 0) continue;
+    for (;;) {
+      std::shared_ptr<const SuperTile> cached = cache_->Lookup(id);
+      if (cached != nullptr) {
+        note_prefetch_hit(id);  // account prefetch usefulness
+        out->emplace(id, std::move(cached));
+        break;
+      }
+      std::unique_lock<std::mutex> fetch_lock(fetch_mu_);
+      auto flight_it = inflight_.find(id);
+      if (flight_it != inflight_.end()) {
+        // Single-flight: a concurrent fetch of this super-tile is already
+        // running — wait for its result instead of touching the tape.
+        stats_.Record(Ticker::kFetchCoalesced);
+        waits.emplace_back(id, flight_it->second->future);
+        break;
+      }
+      if (cache_->Contains(id)) {
+        // A leader finished between our Lookup miss and taking fetch_mu_;
+        // loop to take the hit through Lookup (Contains perturbs nothing,
+        // so the serial ticker sequence is unchanged).
+        continue;
+      }
+      auto meta_it = registry_.find(id);
+      if (meta_it == registry_.end()) {
+        fetch_lock.unlock();
+        Status status = Status::NotFound("super-tile " + std::to_string(id) +
+                                         " not registered");
+        fail_owned(status);
+        return status;
+      }
+      auto flight = std::make_shared<InflightFetch>();
+      flight->future = flight->promise.get_future().share();
+      inflight_.emplace(id, flight);
+      owned.emplace(id, std::move(flight));
+      requests.push_back({id, meta_it->second.medium, meta_it->second.offset,
+                          meta_it->second.size_bytes});
+      break;
     }
   }
-  // Join the pipeline before touching results or returning an error — the
-  // tasks reference this frame's locals.
-  for (std::future<Status>& pending_status : pending) {
-    Status s = pending_status.get();
-    if (status.ok() && !s.ok()) status = s;
+
+  if (!requests.empty()) {
+    requests = ScheduleRequests(std::move(requests), *library_,
+                                options_.schedule_policy);
+    const double tape_before = library_->ElapsedSeconds();
+    MediumId last_medium = requests.back().medium;
+    uint64_t last_end = requests.back().offset + requests.back().size_bytes;
+
+    // Decode + cache admission of one transferred container. With a pool
+    // the closure runs on a worker while the drive transfers the next
+    // container (the transfer loop below stays serial in schedule order,
+    // so the tape clock and seek pattern are untouched); without one it
+    // runs inline, reproducing the legacy sequence exactly.
+    // `fetch_seconds` is the tape-clock cost of this container's transfer,
+    // measured by the loop — decode consumes no simulated time.
+    std::vector<std::shared_ptr<const SuperTile>> decoded(requests.size());
+    auto decode_and_admit = [this, &decoded, &requests](
+                                size_t i, std::string container,
+                                double fetch_seconds) -> Status {
+      const SuperTileRequest& request = requests[i];
+      Result<SuperTile> st = [&] {
+        ScopedSpan decode_span(stats_.trace(), "supertile.decode");
+        return SuperTile::Deserialize(container);
+      }();
+      HEAVEN_RETURN_IF_ERROR(st.status());
+      auto shared = std::make_shared<const SuperTile>(std::move(st).value());
+      cache_->Insert(request.id, shared, request.size_bytes);
+      stats_.Record(Ticker::kSuperTilesRead);
+      stats_.Record(Ticker::kSuperTileBytesRead, request.size_bytes);
+      stats_.RecordHistogram(HistogramKind::kSuperTileFetchSeconds,
+                             fetch_seconds);
+      decoded[i] = std::move(shared);
+      return Status::Ok();
+    };
+
+    std::vector<std::future<Status>> pending;
+    Status status = Status::Ok();
+    for (size_t i = 0; i < requests.size(); ++i) {
+      const SuperTileRequest& request = requests[i];
+      ScopedSpan fetch_span(stats_.trace(), "supertile.fetch");
+      fetch_span.SetBytes(request.size_bytes);
+      const double fetch_before = library_->ElapsedSeconds();
+      std::string container;
+      status = library_->ReadAt(request.medium, request.offset,
+                                request.size_bytes, &container);
+      if (!status.ok()) break;
+      const double fetch_seconds = library_->ElapsedSeconds() - fetch_before;
+      if (pool_ != nullptr) {
+        pending.push_back(pool_->Submit(
+            [&decode_and_admit, i, fetch_seconds,
+             c = std::move(container)]() mutable {
+              return decode_and_admit(i, std::move(c), fetch_seconds);
+            }));
+      } else {
+        status = decode_and_admit(i, std::move(container), fetch_seconds);
+        if (!status.ok()) break;
+      }
+    }
+    // Join the pipeline before touching results or returning an error —
+    // the tasks reference this frame's locals.
+    for (std::future<Status>& pending_status : pending) {
+      Status s = pending_status.get();
+      if (status.ok() && !s.ok()) status = s;
+    }
+    if (!status.ok()) {
+      fail_owned(status);
+      return status;
+    }
+    // Fulfil this call's promises *before* waiting on foreign futures
+    // below: two calls leading fetches while waiting on each other can
+    // then never cycle.
+    for (size_t i = 0; i < requests.size(); ++i) {
+      auto owned_it = owned.find(requests[i].id);
+      HEAVEN_CHECK(owned_it != owned.end());
+      owned_it->second->promise.set_value(FetchResult(decoded[i]));
+    }
+    {
+      std::lock_guard<std::mutex> fetch_lock(fetch_mu_);
+      for (auto& [id, flight] : owned) inflight_.erase(id);
+    }
+    for (size_t i = 0; i < requests.size(); ++i) {
+      out->emplace(requests[i].id, std::move(decoded[i]));
+    }
+    client_clock_.Advance(library_->ElapsedSeconds() - tape_before);
+    MaybePrefetch(last_medium, last_end);
   }
-  HEAVEN_RETURN_IF_ERROR(status);
-  for (size_t i = 0; i < requests.size(); ++i) {
-    out->emplace(requests[i].id, std::move(decoded[i]));
+
+  // Collect coalesced results. Only the leader paid tape time onto the
+  // client clock; a waiter consumes none (the fetch was already running).
+  for (auto& [id, future] : waits) {
+    ScopedSpan span(stats_.trace(), "supertile.fetch.coalesced");
+    FetchResult result = future.get();
+    HEAVEN_RETURN_IF_ERROR(result.status());
+    auto meta_it = registry_.find(id);
+    if (meta_it != registry_.end()) span.SetBytes(meta_it->second.size_bytes);
+    out->emplace(id, std::move(result).value());
   }
-  client_clock_.Advance(library_->ElapsedSeconds() - tape_before);
-  MaybePrefetch(last_medium, last_end);
   return Status::Ok();
 }
 
@@ -621,13 +694,17 @@ void HeavenDb::MaybePrefetch(MediumId medium, uint64_t last_end_offset) {
     }
     cache_->Insert(id, std::make_shared<const SuperTile>(std::move(st).value()),
                    meta.size_bytes);
-    prefetched_.push_back(id);
+    {
+      std::lock_guard<std::mutex> prefetch_lock(prefetch_mu_);
+      prefetched_.push_back(id);
+    }
     stats_.Record(Ticker::kPrefetchIssued);
   }
 }
 
 Result<std::vector<TileDescriptor>> HeavenDb::TilesIntersecting(
     ObjectId object_id, const MdInterval& region) {
+  std::lock_guard<std::mutex> index_lock(index_mu_);
   auto index_it = tile_index_.find(object_id);
   if (index_it == tile_index_.end()) {
     auto tree = std::make_unique<RTree>();
@@ -646,6 +723,7 @@ Result<std::vector<TileDescriptor>> HeavenDb::TilesIntersecting(
 }
 
 void HeavenDb::InvalidateTileIndex(ObjectId object_id) {
+  std::lock_guard<std::mutex> index_lock(index_mu_);
   tile_index_.erase(object_id);
 }
 
@@ -724,7 +802,7 @@ Status HeavenDb::ScatterTiles(
 
 Result<MddArray> HeavenDb::ReadRegion(ObjectId object_id,
                                       const MdInterval& region) {
-  std::lock_guard<std::recursive_mutex> lock(db_mu_);
+  std::shared_lock<RecursiveSharedMutex> lock(db_mu_);
   ScopedSpan span(stats_.trace(), "query.read_region");
   const double client_before = client_clock_.Now();
   HEAVEN_ASSIGN_OR_RETURN(ObjectDescriptor object,
@@ -757,7 +835,7 @@ Result<MddArray> HeavenDb::ReadObject(ObjectId object_id) {
 
 Result<MddArray> HeavenDb::ReadFrame(ObjectId object_id,
                                      const ObjectFrame& frame) {
-  std::lock_guard<std::recursive_mutex> lock(db_mu_);
+  std::shared_lock<RecursiveSharedMutex> lock(db_mu_);
   ScopedSpan span(stats_.trace(), "query.read_frame");
   const double client_before = client_clock_.Now();
   HEAVEN_ASSIGN_OR_RETURN(ObjectDescriptor object,
@@ -825,7 +903,9 @@ Result<MddArray> HeavenDb::ReadFrame(ObjectId object_id,
 
 Result<double> HeavenDb::Aggregate(ObjectId object_id, Condenser condenser,
                                    const MdInterval& region) {
-  std::lock_guard<std::recursive_mutex> lock(db_mu_);
+  // No db_mu_ here: the precomputed catalog is internally locked and
+  // ReadRegion takes the shared side itself (shared ownership must not be
+  // taken recursively — see RecursiveSharedMutex).
   ScopedSpan span(stats_.trace(), "query.aggregate");
   const double client_before = client_clock_.Now();
   if (options_.enable_precomputed) {
@@ -852,7 +932,7 @@ Result<double> HeavenDb::Aggregate(ObjectId object_id, Condenser condenser,
 
 Result<std::vector<MddArray>> HeavenDb::ReadRegions(
     const std::vector<std::pair<ObjectId, MdInterval>>& queries) {
-  std::lock_guard<std::recursive_mutex> lock(db_mu_);
+  std::shared_lock<RecursiveSharedMutex> lock(db_mu_);
   ScopedSpan span(stats_.trace(), "query.read_regions");
   // Phase 1: collect each query's tile descriptors once and gather every
   // tertiary super-tile needed by any query so the scheduler sees the
@@ -910,7 +990,7 @@ Result<std::vector<MddArray>> HeavenDb::ReadRegions(
 // ------------------------------------------------------- delete / import --
 
 Status HeavenDb::ReimportObject(ObjectId object_id) {
-  std::lock_guard<std::recursive_mutex> lock(db_mu_);
+  std::lock_guard<RecursiveSharedMutex> lock(db_mu_);
   HEAVEN_ASSIGN_OR_RETURN(ObjectDescriptor object,
                           engine_->catalog()->GetObject(object_id));
   std::vector<TileDescriptor> tertiary_tiles;
@@ -968,7 +1048,7 @@ Status HeavenDb::ReimportObject(ObjectId object_id) {
 }
 
 Status HeavenDb::UpdateRegion(ObjectId object_id, const MddArray& patch) {
-  std::lock_guard<std::recursive_mutex> lock(db_mu_);
+  std::lock_guard<RecursiveSharedMutex> lock(db_mu_);
   HEAVEN_ASSIGN_OR_RETURN(ObjectDescriptor object,
                           engine_->catalog()->GetObject(object_id));
   if (!object.domain.Contains(patch.domain())) {
@@ -1074,7 +1154,7 @@ Status HeavenDb::UpdateRegion(ObjectId object_id, const MddArray& patch) {
 }
 
 Status HeavenDb::DeleteObject(ObjectId object_id) {
-  std::lock_guard<std::recursive_mutex> lock(db_mu_);
+  std::lock_guard<RecursiveSharedMutex> lock(db_mu_);
   HEAVEN_ASSIGN_OR_RETURN(ObjectDescriptor object,
                           engine_->catalog()->GetObject(object_id));
   (void)object;
@@ -1112,7 +1192,7 @@ Status HeavenDb::DeleteObject(ObjectId object_id) {
 }
 
 Result<uint64_t> HeavenDb::ReclaimMedium(MediumId medium) {
-  std::lock_guard<std::recursive_mutex> lock(db_mu_);
+  std::lock_guard<RecursiveSharedMutex> lock(db_mu_);
   HEAVEN_ASSIGN_OR_RETURN(uint64_t used_bytes,
                           library_->MediumUsedBytes(medium));
   // Live super-tiles on the medium.
@@ -1160,7 +1240,7 @@ Result<uint64_t> HeavenDb::ReclaimMedium(MediumId medium) {
 }
 
 size_t HeavenDb::RegisteredSuperTiles() const {
-  std::lock_guard<std::recursive_mutex> lock(db_mu_);
+  std::shared_lock<RecursiveSharedMutex> lock(db_mu_);
   return registry_.size();
 }
 

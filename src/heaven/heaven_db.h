@@ -3,9 +3,11 @@
 
 #include <condition_variable>
 #include <deque>
+#include <future>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -14,6 +16,7 @@
 #include "array/ops.h"
 #include "array/rtree.h"
 #include "common/env.h"
+#include "common/rw_mutex.h"
 #include "common/statistics.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
@@ -286,17 +289,45 @@ class HeavenDb {
   /// trace collector (each with its own lock) plus disjoint output slots.
   std::unique_ptr<ThreadPool> pool_;
 
-  /// Guards the registry, prefetch bookkeeping and export/read critical
-  /// sections shared with the TCT.
-  mutable std::recursive_mutex db_mu_;
+  /// Top-level reader/writer lock. Mutators (insert, export, update,
+  /// delete, reclaim) hold it exclusively; query paths hold it shared and
+  /// run concurrently — every component they touch (catalog, blob store,
+  /// tape library, cache, clocks, statistics) is internally locked.
+  /// Exclusive ownership is recursive and covers nested shared takes (see
+  /// RecursiveSharedMutex) because exports re-enter the read and insert
+  /// paths.
+  mutable RecursiveSharedMutex db_mu_;
+  /// registry_ and next_supertile_id_ are written only under exclusive
+  /// db_mu_ and read under shared ownership.
   std::map<SuperTileId, SuperTileMeta> registry_;
   SuperTileId next_supertile_id_ = 1;
-  /// Per-object spatial tile index over the catalog (lazy).
+  /// Guards the lazy per-object spatial tile index (shared-mode readers
+  /// build entries concurrently). Acquired under db_mu_, never the
+  /// reverse.
+  std::mutex index_mu_;
   std::map<ObjectId, std::unique_ptr<RTree>> tile_index_;
   /// Guards against re-entrant migration while an export is in flight
-  /// (overview materialization inserts an object mid-export).
+  /// (overview materialization inserts an object mid-export). Only touched
+  /// under exclusive db_mu_.
   bool exporting_ = false;
+  /// Guards prefetched_ (prefetch usefulness accounting), which cache-hit
+  /// readers mutate under shared db_mu_.
+  std::mutex prefetch_mu_;
   std::vector<SuperTileId> prefetched_;
+
+  /// Single-flight fetch coalescing: at most one tape fetch per super-tile
+  /// is in flight at a time. A miss registers a promise here (the leader);
+  /// concurrent misses on the same id find the entry, count
+  /// Ticker::kFetchCoalesced and wait on the shared future instead of
+  /// touching the tape. Leaders always fulfil their own promises before
+  /// waiting on foreign ones, so cross-leader waits cannot cycle.
+  using FetchResult = Result<std::shared_ptr<const SuperTile>>;
+  struct InflightFetch {
+    std::promise<FetchResult> promise;
+    std::shared_future<FetchResult> future;
+  };
+  std::mutex fetch_mu_;
+  std::map<SuperTileId, std::shared_ptr<InflightFetch>> inflight_;
 
   // TCT (Tertiary-storage Communication Thread) state.
   std::thread tct_thread_;

@@ -50,9 +50,20 @@ void PageHandle::Release() {
 }
 
 BufferPool::BufferPool(DiskManager* disk, size_t capacity_pages,
-                       Statistics* stats)
+                       Statistics* stats, size_t num_stripes)
     : disk_(disk), capacity_(std::max<size_t>(1, capacity_pages)),
-      stats_(stats) {}
+      stats_(stats) {
+  // Every stripe needs at least one frame to make progress.
+  num_stripes = std::max<size_t>(1, std::min(num_stripes, capacity_));
+  const size_t base = capacity_ / num_stripes;
+  const size_t remainder = capacity_ % num_stripes;
+  stripes_.reserve(num_stripes);
+  for (size_t i = 0; i < num_stripes; ++i) {
+    auto stripe = std::make_unique<Stripe>();
+    stripe->capacity = base + (i < remainder ? 1 : 0);
+    stripes_.push_back(std::move(stripe));
+  }
+}
 
 BufferPool::~BufferPool() {
   Status status = FlushAll();
@@ -63,12 +74,13 @@ BufferPool::~BufferPool() {
 }
 
 Result<PageHandle> BufferPool::Fetch(PageId page_id) {
-  std::unique_lock<std::mutex> lock(mu_);
-  auto it = frames_.find(page_id);
-  if (it != frames_.end()) {
+  Stripe& stripe = StripeFor(page_id);
+  std::unique_lock<std::mutex> lock(stripe.mu);
+  auto it = stripe.frames.find(page_id);
+  if (it != stripe.frames.end()) {
     Frame* frame = it->second.get();
     if (frame->in_lru) {
-      lru_.erase(frame->lru_pos);
+      stripe.lru.erase(frame->lru_pos);
       frame->in_lru = false;
     }
     ++frame->pin_count;
@@ -80,8 +92,8 @@ Result<PageHandle> BufferPool::Fetch(PageId page_id) {
   ScopedSpan miss_span(stats_ != nullptr ? stats_->trace() : nullptr,
                        "bufferpool.miss");
   miss_span.SetBytes(kPageSize);
-  while (frames_.size() >= capacity_) {
-    HEAVEN_RETURN_IF_ERROR(EvictOneLocked());
+  while (stripe.frames.size() >= stripe.capacity) {
+    HEAVEN_RETURN_IF_ERROR(EvictOneLocked(&stripe));
   }
 
   auto frame = std::make_unique<Frame>();
@@ -91,67 +103,77 @@ Result<PageHandle> BufferPool::Fetch(PageId page_id) {
   // Read outside the map insert would be nicer, but the lock keeps this
   // simple and the disk manager is itself thread-safe.
   HEAVEN_RETURN_IF_ERROR(disk_->ReadPage(page_id, &raw->data));
-  frames_.emplace(page_id, std::move(frame));
+  stripe.frames.emplace(page_id, std::move(frame));
   return PageHandle(this, page_id, raw);
 }
 
-Status BufferPool::EvictOneLocked() {
-  if (lru_.empty()) {
+Status BufferPool::EvictOneLocked(Stripe* stripe) {
+  if (stripe->lru.empty()) {
     return Status::ResourceExhausted("all buffer pool frames are pinned");
   }
-  PageId victim = lru_.back();
-  lru_.pop_back();
-  auto it = frames_.find(victim);
-  HEAVEN_CHECK(it != frames_.end());
+  PageId victim = stripe->lru.back();
+  stripe->lru.pop_back();
+  auto it = stripe->frames.find(victim);
+  HEAVEN_CHECK(it != stripe->frames.end());
   Frame* frame = it->second.get();
   HEAVEN_CHECK(frame->pin_count == 0);
   if (frame->dirty) {
     HEAVEN_RETURN_IF_ERROR(disk_->WritePage(victim, frame->data));
   }
-  frames_.erase(it);
+  stripe->frames.erase(it);
   return Status::Ok();
 }
 
 void BufferPool::Unpin(PageId page_id, void* frame_ptr) {
-  std::lock_guard<std::mutex> lock(mu_);
+  Stripe& stripe = StripeFor(page_id);
+  std::lock_guard<std::mutex> lock(stripe.mu);
   Frame* frame = static_cast<Frame*>(frame_ptr);
   HEAVEN_CHECK(frame->pin_count > 0);
   if (--frame->pin_count == 0) {
-    lru_.push_front(page_id);
-    frame->lru_pos = lru_.begin();
+    stripe.lru.push_front(page_id);
+    frame->lru_pos = stripe.lru.begin();
     frame->in_lru = true;
   }
 }
 
 void BufferPool::MarkDirtyInternal(void* frame_ptr) {
-  std::lock_guard<std::mutex> lock(mu_);
-  static_cast<Frame*>(frame_ptr)->dirty = true;
+  Frame* frame = static_cast<Frame*>(frame_ptr);
+  Stripe& stripe = StripeFor(frame->page_id);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  frame->dirty = true;
 }
 
 Status BufferPool::FlushAll() {
-  std::lock_guard<std::mutex> lock(mu_);
-  for (auto& [page_id, frame] : frames_) {
-    if (frame->dirty) {
-      HEAVEN_RETURN_IF_ERROR(disk_->WritePage(page_id, frame->data));
-      frame->dirty = false;
+  for (auto& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe->mu);
+    for (auto& [page_id, frame] : stripe->frames) {
+      if (frame->dirty) {
+        HEAVEN_RETURN_IF_ERROR(disk_->WritePage(page_id, frame->data));
+        frame->dirty = false;
+      }
     }
   }
   return disk_->Sync();
 }
 
 void BufferPool::Evict(PageId page_id) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = frames_.find(page_id);
-  if (it == frames_.end()) return;
+  Stripe& stripe = StripeFor(page_id);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  auto it = stripe.frames.find(page_id);
+  if (it == stripe.frames.end()) return;
   Frame* frame = it->second.get();
   HEAVEN_CHECK(frame->pin_count == 0) << "evicting a pinned page";
-  if (frame->in_lru) lru_.erase(frame->lru_pos);
-  frames_.erase(it);
+  if (frame->in_lru) stripe.lru.erase(frame->lru_pos);
+  stripe.frames.erase(it);
 }
 
 size_t BufferPool::cached_pages() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return frames_.size();
+  size_t total = 0;
+  for (const auto& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe->mu);
+    total += stripe->frames.size();
+  }
+  return total;
 }
 
 }  // namespace heaven

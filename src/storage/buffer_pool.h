@@ -6,6 +6,7 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "common/statistics.h"
 #include "common/status.h"
@@ -48,17 +49,22 @@ class PageHandle {
 };
 
 /// Fixed-capacity LRU page cache with pin counts over a DiskManager.
-/// Thread-safe.
+/// Thread-safe. The page table is split into `num_stripes` independently
+/// locked stripes (pages assigned by id), each running its own LRU over
+/// its share of the capacity, so pin/unpin on distinct pages don't
+/// serialize; 1 stripe (the default) is the classic single-mutex pool
+/// with one global LRU.
 class BufferPool {
  public:
-  BufferPool(DiskManager* disk, size_t capacity_pages, Statistics* stats);
+  BufferPool(DiskManager* disk, size_t capacity_pages, Statistics* stats,
+             size_t num_stripes = 1);
   ~BufferPool();
 
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
 
   /// Pins the page, reading it from disk on a miss. Fails with
-  /// ResourceExhausted when every frame is pinned.
+  /// ResourceExhausted when every frame of the page's stripe is pinned.
   Result<PageHandle> Fetch(PageId page_id);
 
   /// Writes all dirty frames back and syncs the disk manager.
@@ -68,6 +74,7 @@ class BufferPool {
   void Evict(PageId page_id);
 
   size_t capacity() const { return capacity_; }
+  size_t num_stripes() const { return stripes_.size(); }
   size_t cached_pages() const;
 
  private:
@@ -82,18 +89,26 @@ class BufferPool {
     bool in_lru = false;
   };
 
+  struct Stripe {
+    mutable std::mutex mu;
+    size_t capacity = 0;
+    std::unordered_map<PageId, std::unique_ptr<Frame>> frames;
+    std::list<PageId> lru;  // front = most recent
+  };
+
+  Stripe& StripeFor(PageId page_id) {
+    return *stripes_[page_id % stripes_.size()];
+  }
+
   void Unpin(PageId page_id, void* frame);
   void MarkDirtyInternal(void* frame);
-  /// Evicts one unpinned frame (LRU); Status error if none.
-  Status EvictOneLocked();
+  /// Evicts one unpinned frame (stripe LRU); Status error if none.
+  Status EvictOneLocked(Stripe* stripe);
 
   DiskManager* disk_;
   size_t capacity_;
   Statistics* stats_;
-
-  mutable std::mutex mu_;
-  std::unordered_map<PageId, std::unique_ptr<Frame>> frames_;
-  std::list<PageId> lru_;  // front = most recent
+  std::vector<std::unique_ptr<Stripe>> stripes_;
 };
 
 }  // namespace heaven

@@ -1,6 +1,7 @@
 #include "storage/storage_engine.h"
 
 #include <set>
+#include <thread>
 
 #include "common/coding.h"
 #include "common/logging.h"
@@ -87,11 +88,21 @@ Result<std::unique_ptr<StorageEngine>> StorageEngine::Open(
       new StorageEngine(env, dir, options, stats));
   HEAVEN_ASSIGN_OR_RETURN(
       engine->disk_, DiskManager::Open(env, dir + kPagesFile, stats));
+  size_t stripes = options.buffer_pool_stripes;
+  if (stripes == 0) {
+    // Auto: one stripe per hardware thread, but keep a useful number of
+    // frames per stripe so a stripe can always make eviction progress.
+    stripes = std::max<size_t>(1, std::thread::hardware_concurrency());
+    constexpr size_t kMinPagesPerStripe = 64;
+    stripes = std::min(
+        stripes,
+        std::max<size_t>(1, options.buffer_pool_pages / kMinPagesPerStripe));
+  }
   engine->pool_ = std::make_unique<BufferPool>(
-      engine->disk_.get(), options.buffer_pool_pages, stats);
+      engine->disk_.get(), options.buffer_pool_pages, stats, stripes);
   engine->blob_store_ =
       std::make_unique<BlobStore>(engine->disk_.get(), engine->pool_.get());
-  HEAVEN_ASSIGN_OR_RETURN(engine->wal_, Wal::Open(env, dir + kWalFile));
+  HEAVEN_ASSIGN_OR_RETURN(engine->wal_, Wal::Open(env, dir + kWalFile, stats));
   HEAVEN_RETURN_IF_ERROR(engine->Recover());
   return engine;
 }
@@ -167,23 +178,36 @@ Status StorageEngine::ApplyCatalogAtomic(const CatalogDelta& delta) {
 }
 
 Status StorageEngine::CommitTransaction(Transaction* txn) {
-  std::lock_guard<std::mutex> lock(commit_mu_);
-  // WAL first (redo rule), then apply.
-  for (const WalRecord& record : txn->records_) {
-    HEAVEN_RETURN_IF_ERROR(wal_->Append(record));
+  uint64_t commit_end = 0;
+  uint64_t epoch = 0;
+  {
+    std::lock_guard<std::mutex> lock(commit_mu_);
+    epoch = wal_->Epoch();
+    // WAL first (redo rule), then apply.
+    for (const WalRecord& record : txn->records_) {
+      HEAVEN_RETURN_IF_ERROR(wal_->Append(record));
+    }
+    WalRecord commit;
+    commit.txn_id = txn->id_;
+    commit.op = WalOp::kCommit;
+    HEAVEN_RETURN_IF_ERROR(wal_->Append(commit, &commit_end));
+    for (const WalRecord& record : txn->records_) {
+      HEAVEN_RETURN_IF_ERROR(ApplyRecord(record));
+    }
+    if (wal_->SizeBytes() > options_.checkpoint_wal_bytes) {
+      HEAVEN_RETURN_IF_ERROR(Checkpoint());
+    }
   }
-  WalRecord commit;
-  commit.txn_id = txn->id_;
-  commit.op = WalOp::kCommit;
-  HEAVEN_RETURN_IF_ERROR(wal_->Append(commit));
   if (options_.sync_on_commit) {
-    HEAVEN_RETURN_IF_ERROR(wal_->Sync());
-  }
-  for (const WalRecord& record : txn->records_) {
-    HEAVEN_RETURN_IF_ERROR(ApplyRecord(record));
-  }
-  if (wal_->SizeBytes() > options_.checkpoint_wal_bytes) {
-    HEAVEN_RETURN_IF_ERROR(Checkpoint());
+    // Outside commit_mu_, so concurrent committers group-commit: one
+    // leader's fsync covers every record appended before it ran. A
+    // transaction is durable once its commit marker is synced, or once a
+    // checkpoint (which snapshots blobs + catalog) superseded the log —
+    // SyncTo resolves both via (commit_end, epoch). Applying before the
+    // sync is safe: data applied for a never-synced commit is invisible
+    // after recovery because the blob directory and catalog are rebuilt
+    // from the checkpoint plus the committed WAL suffix.
+    HEAVEN_RETURN_IF_ERROR(wal_->SyncTo(commit_end, epoch));
   }
   return Status::Ok();
 }

@@ -21,7 +21,13 @@ namespace heaven {
 struct StorageOptions {
   /// Buffer pool capacity in pages.
   size_t buffer_pool_pages = 1024;
-  /// fsync the WAL on every commit.
+  /// Lock stripes of the buffer pool's page table: pin/unpin on distinct
+  /// pages then don't serialize on one mutex. 0 selects hardware
+  /// concurrency (clamped so every stripe keeps a useful share of the
+  /// frames); 1 is the classic single-mutex pool with one global LRU.
+  size_t buffer_pool_stripes = 1;
+  /// fsync the WAL on every commit. Syncs are group-committed: concurrent
+  /// committers share one fsync (see Wal::SyncTo).
   bool sync_on_commit = false;
   /// Checkpoint automatically once the WAL exceeds this size.
   uint64_t checkpoint_wal_bytes = 64ull << 20;

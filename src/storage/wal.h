@@ -1,6 +1,7 @@
 #ifndef HEAVEN_STORAGE_WAL_H_
 #define HEAVEN_STORAGE_WAL_H_
 
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -8,6 +9,7 @@
 #include <vector>
 
 #include "common/env.h"
+#include "common/statistics.h"
 #include "common/status.h"
 
 namespace heaven {
@@ -34,12 +36,32 @@ struct WalRecord {
 
 /// Append-only write-ahead log with per-record CRC32C. Torn/corrupt tails
 /// are tolerated on recovery (the valid prefix is replayed).
+///
+/// Durability is group-committed: SyncTo() elects one caller as the sync
+/// leader, whose single fsync covers every byte appended up to the moment
+/// it runs — concurrent committers whose records were already appended
+/// piggyback on that fsync instead of issuing their own
+/// (Ticker::kWalSyncsCoalesced counts the saved fsyncs).
 class Wal {
  public:
-  static Result<std::unique_ptr<Wal>> Open(Env* env, const std::string& path);
+  static Result<std::unique_ptr<Wal>> Open(Env* env, const std::string& path,
+                                           Statistics* stats = nullptr);
 
-  Status Append(const WalRecord& record);
+  /// Appends one framed record; `end_offset` (optional) receives the log
+  /// offset just past the record — the durability target for SyncTo.
+  Status Append(const WalRecord& record, uint64_t* end_offset = nullptr);
+
+  /// Unconditional fsync of the log file (legacy interface).
   Status Sync();
+
+  /// Makes the log durable up to `target_offset` under group commit. If a
+  /// concurrent caller's fsync already covered the target, returns without
+  /// touching the file; if a sync is in flight, waits for it (it may cover
+  /// the target); otherwise leads one fsync covering every appended byte.
+  /// `epoch` must be the value of Epoch() observed when the bytes were
+  /// appended: if the log was since Reset() by a checkpoint, the records'
+  /// effects are durable through that checkpoint and SyncTo is a no-op.
+  Status SyncTo(uint64_t target_offset, uint64_t epoch);
 
   /// Reads every valid record from the start of the log. A corrupt record
   /// terminates the scan (its suffix is ignored) — crash-consistent
@@ -47,17 +69,31 @@ class Wal {
   Result<std::vector<WalRecord>> ReadAll();
 
   /// Discards the log contents (after a checkpoint made them redundant).
+  /// Invalidates outstanding SyncTo targets by bumping the epoch.
   Status Reset();
 
-  uint64_t SizeBytes() const { return append_offset_; }
+  uint64_t SizeBytes() const;
+
+  /// Incremented by every Reset(); pairs with SyncTo.
+  uint64_t Epoch() const;
 
  private:
-  Wal(std::unique_ptr<File> file, uint64_t size)
-      : file_(std::move(file)), append_offset_(size) {}
+  Wal(std::unique_ptr<File> file, uint64_t size, Statistics* stats)
+      : file_(std::move(file)), stats_(stats), append_offset_(size) {}
 
   std::unique_ptr<File> file_;
-  std::mutex mu_;
+  Statistics* stats_;  // may be null
+
+  /// Guards append_offset_ and the file's append tail.
+  mutable std::mutex mu_;
   uint64_t append_offset_;
+
+  /// Group-commit state. sync_mu_ is never held across the fsync itself.
+  mutable std::mutex sync_mu_;
+  std::condition_variable sync_cv_;
+  bool sync_active_ = false;
+  uint64_t synced_offset_ = 0;
+  uint64_t epoch_ = 0;
 };
 
 }  // namespace heaven

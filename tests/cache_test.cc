@@ -153,6 +153,97 @@ TEST(CacheTest, ContainsDoesNotPerturbState) {
   EXPECT_EQ(stats.Get(Ticker::kCacheMisses), 0u);
 }
 
+TEST(CacheTest, LfuRefreshPreservesAccessHistory) {
+  Statistics stats;
+  SuperTileCache cache(Opts(300, EvictionPolicy::kLfu), &stats);
+  cache.Insert(1, MakeSt(1), 100);
+  cache.Insert(2, MakeSt(2), 100);
+  cache.Insert(3, MakeSt(3), 100);
+  // Build up frequency on 1, then refresh it via re-insert. The refresh
+  // must NOT reset the access count: 1 stays the hottest entry and the
+  // never-accessed 2 remains the LFU victim.
+  cache.Lookup(1);
+  cache.Lookup(1);
+  cache.Lookup(3);
+  cache.Insert(1, MakeSt(1), 100);  // refresh, same bytes
+  cache.Insert(4, MakeSt(4), 100);  // forces one eviction
+  EXPECT_TRUE(cache.Contains(1));
+  EXPECT_FALSE(cache.Contains(2));
+  EXPECT_TRUE(cache.Contains(3));
+  EXPECT_TRUE(cache.Contains(4));
+}
+
+TEST(CacheTest, SmallCapacityResolvesToSingleShard) {
+  Statistics stats;
+  // Auto shard count (num_shards = 0) must clamp to 1 below kMinShardBytes
+  // so small configurations keep the exact legacy single-shard semantics.
+  SuperTileCache cache(Opts(1000, EvictionPolicy::kLru), &stats);
+  EXPECT_EQ(cache.num_shards(), 1u);
+}
+
+TEST(CacheTest, ExplicitShardCountHonored) {
+  Statistics stats;
+  CacheOptions options = Opts(4000, EvictionPolicy::kLru);
+  options.num_shards = 4;
+  SuperTileCache cache(options, &stats);
+  EXPECT_EQ(cache.num_shards(), 4u);
+
+  // Entries land in their id's shard; global accounting sums shards.
+  for (SuperTileId id = 1; id <= 16; ++id) {
+    cache.Insert(id, MakeSt(id), 100);
+  }
+  uint64_t inserted = 16 * 100;
+  uint64_t evicted = stats.Get(Ticker::kCacheEvictions) * 100;
+  EXPECT_EQ(cache.size_bytes(), inserted - evicted);
+  EXPECT_EQ(cache.entry_count(), 16 - stats.Get(Ticker::kCacheEvictions));
+  for (SuperTileId id = 1; id <= 16; ++id) {
+    if (cache.Contains(id)) {
+      ASSERT_NE(cache.Lookup(id), nullptr);
+    }
+  }
+}
+
+TEST(CacheTest, ShardedEvictionStaysWithinShardCapacity) {
+  Statistics stats;
+  CacheOptions options = Opts(400, EvictionPolicy::kLru);
+  options.num_shards = 4;  // 100 bytes per shard
+  SuperTileCache cache(options, &stats);
+  // Two entries of 100 bytes that map to the same shard must evict each
+  // other even though the global capacity (400) would hold both.
+  SuperTileId first = 0, second = 0;
+  SuperTileCache probe(options, &stats);
+  for (SuperTileId id = 1; id < 1000 && second == 0; ++id) {
+    probe.Insert(id, MakeSt(id), 100);
+    if (first == 0) {
+      if (probe.Contains(id)) first = id;
+    } else if (!probe.Contains(first) && probe.Contains(id)) {
+      // id displaced first => same shard.
+      second = id;
+    }
+    if (first != 0 && probe.Contains(first) && probe.Contains(id) &&
+        id != first) {
+      probe.Erase(id);  // different shard; keep probing
+    }
+  }
+  ASSERT_NE(first, 0u);
+  ASSERT_NE(second, 0u);
+  cache.Insert(first, MakeSt(first), 100);
+  cache.Insert(second, MakeSt(second), 100);
+  EXPECT_FALSE(cache.Contains(first));
+  EXPECT_TRUE(cache.Contains(second));
+}
+
+TEST(CacheTest, InsertRecordsLockWaitHistogram) {
+  Statistics stats;
+  SuperTileCache cache(Opts(1000, EvictionPolicy::kLru), &stats);
+  cache.Insert(1, MakeSt(1), 100);
+  cache.Insert(2, MakeSt(2), 100);
+  const HistogramData lock_wait =
+      stats.HistogramSnapshot(HistogramKind::kCacheLockWaitSeconds);
+  EXPECT_EQ(lock_wait.count, 2u);  // one sample per admission attempt
+  EXPECT_GE(lock_wait.min, 0.0);
+}
+
 TEST(CacheTest, PolicyNames) {
   EXPECT_EQ(EvictionPolicyName(EvictionPolicy::kLru), "LRU");
   EXPECT_EQ(EvictionPolicyName(EvictionPolicy::kLfu), "LFU");

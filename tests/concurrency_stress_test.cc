@@ -225,6 +225,50 @@ TEST_F(ConcurrencyStressTest, OverlappingReadsExportsAndDrains) {
   }
 }
 
+// Cold-cache miss storm: K clients hit the same archived object at once.
+// Single-flight coalescing must collapse the concurrent misses so the tape
+// serves each unique super-tile exactly once, and every client still gets
+// the right answer.
+TEST_F(ConcurrencyStressTest, ColdMissStormFetchesEachSuperTileOnce) {
+  const MdInterval domain({0, 0}, {95, 95});
+  const MddArray full = Ramp(domain);
+  const ObjectId id = Insert("storm", domain);
+  ASSERT_TRUE(db_->ExportObject(id).ok());
+  ASSERT_TRUE(db_->DrainExports().ok());
+  db_->cache()->Clear();  // force a fully cold cache
+
+  const uint64_t unique_sts = db_->RegisteredSuperTiles();
+  ASSERT_GT(unique_sts, 1u);
+  const uint64_t tape_reads_before = db_->stats()->Get(Ticker::kTapeReadRequests);
+  const uint64_t st_reads_before = db_->stats()->Get(Ticker::kSuperTilesRead);
+
+  constexpr int kClients = 8;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&] {
+      auto got = db_->ReadRegion(id, domain);  // touches every super-tile
+      auto expected = Trim(full, domain);
+      if (!got.ok() || !expected.ok() || *got != *expected) {
+        failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  // Exactly one tape fetch (and one decode) per unique super-tile: the
+  // other K-1 clients either coalesced onto the in-flight fetch or hit the
+  // cache the leader populated.
+  EXPECT_EQ(db_->stats()->Get(Ticker::kSuperTilesRead) - st_reads_before,
+            unique_sts);
+  EXPECT_EQ(db_->stats()->Get(Ticker::kTapeReadRequests) - tape_reads_before,
+            unique_sts);
+  const uint64_t coalesced = db_->stats()->Get(Ticker::kFetchCoalesced);
+  const uint64_t hits = db_->stats()->Get(Ticker::kCacheHits);
+  EXPECT_GE(coalesced + hits, (kClients - 1) * unique_sts);
+}
+
 // The batch path and the export pipeline agree with the serial baseline:
 // the same queries against num_threads=1 and the default pool yield
 // identical arrays.
