@@ -8,7 +8,11 @@
 # binary — not for numbers, just to prove the harnesses still execute
 # (CI keeps them from bit-rotting between perf sessions).
 #
-# Usage: scripts/check.sh [--no-asan] [--no-tsan] [--bench-smoke]
+# --faults additionally runs the fault-injection suite and a widened fault
+# storm (100 seeds instead of the in-tree 50) under ASan+UBSan, so injected
+# failure paths are exercised with memory checking on.
+#
+# Usage: scripts/check.sh [--no-asan] [--no-tsan] [--bench-smoke] [--faults]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -16,11 +20,13 @@ cd "$(dirname "$0")/.."
 RUN_ASAN=1
 RUN_TSAN=1
 RUN_BENCH_SMOKE=0
+RUN_FAULTS=0
 for arg in "$@"; do
   case "$arg" in
     --no-asan) RUN_ASAN=0 ;;
     --no-tsan) RUN_TSAN=0 ;;
     --bench-smoke) RUN_BENCH_SMOKE=1 ;;
+    --faults) RUN_FAULTS=1 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
 done
@@ -53,6 +59,17 @@ if [[ "$RUN_TSAN" == 1 ]]; then
       --target concurrency_stress_test heaven_db_test
   ./build-tsan/tests/concurrency_stress_test
   ./build-tsan/tests/heaven_db_test
+fi
+
+if [[ "$RUN_FAULTS" == 1 ]]; then
+  echo "== fault-injection shard (ASan+UBSan) =="
+  cmake -B build-asan -S . -DHEAVEN_ASAN=ON -DCMAKE_BUILD_TYPE=Debug \
+      >/dev/null
+  cmake --build build-asan -j"$(nproc)" \
+      --target fault_injection_test concurrency_stress_test
+  ./build-asan/tests/fault_injection_test
+  HEAVEN_FAULT_STORM_SEEDS=100 ./build-asan/tests/concurrency_stress_test \
+      --gtest_filter='FaultStormTest.*'
 fi
 
 if [[ "$RUN_BENCH_SMOKE" == 1 ]]; then

@@ -32,6 +32,8 @@ std::string HistogramName(HistogramKind kind) {
       return "query.bytes";
     case HistogramKind::kRasqlStatementSeconds:
       return "rasql.statement_seconds";
+    case HistogramKind::kCrcVerifySeconds:
+      return "supertile.crc_verify_seconds";
     case HistogramKind::kNumHistograms:
       break;
   }

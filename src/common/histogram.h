@@ -29,7 +29,9 @@ enum class HistogramKind : int {
   kQuerySeconds,           // client-visible seconds per query
   kQueryBytes,             // result bytes per query
   kRasqlStatementSeconds,  // client-visible seconds per RasQL statement
-  kNumHistograms,          // must be last
+  // Recovery layer.
+  kCrcVerifySeconds,  // wall-clock cost of container CRC verification
+  kNumHistograms,     // must be last
 };
 
 /// Human-readable name of a histogram ("tape.exchange_seconds", ...).

@@ -95,6 +95,14 @@ std::string TickerName(Ticker ticker) {
       return "tct.exports";
     case Ticker::kRasqlStatements:
       return "rasql.statements";
+    case Ticker::kFaultsInjected:
+      return "fault.injected";
+    case Ticker::kTapeRetries:
+      return "tape.retries";
+    case Ticker::kCrcMismatches:
+      return "supertile.crc_mismatches";
+    case Ticker::kTapeDriveFailures:
+      return "tape.drive_failures";
     case Ticker::kNumTickers:
       break;
   }

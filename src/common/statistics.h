@@ -67,6 +67,11 @@ enum class Ticker : int {
   kTctExports,
   // RasQL.
   kRasqlStatements,
+  // Fault injection & recovery.
+  kFaultsInjected,     // faults fired by the deterministic injector
+  kTapeRetries,        // re-attempts of failed tape operations
+  kCrcMismatches,      // fetched containers failing CRC verification
+  kTapeDriveFailures,  // drives taken offline (injected or forced)
   kNumTickers,  // must be last
 };
 

@@ -1,0 +1,131 @@
+#include "heaven/export_journal.h"
+
+#include "common/coding.h"
+#include "common/logging.h"
+
+namespace heaven {
+
+namespace {
+
+std::string EncodeRecord(const ExportJournalRecord& record) {
+  std::string payload;
+  payload.push_back(static_cast<char>(record.kind));
+  PutFixed64(&payload, record.object_id);
+  if (record.kind == ExportJournalRecord::Kind::kAppend) {
+    PutFixed64(&payload, record.supertile_id);
+    PutFixed32(&payload, record.medium);
+    PutFixed64(&payload, record.offset);
+    PutFixed64(&payload, record.size_bytes);
+  }
+  return payload;
+}
+
+Status DecodeRecord(std::string_view payload, ExportJournalRecord* record) {
+  Decoder dec(payload);
+  std::string kind_byte;
+  HEAVEN_RETURN_IF_ERROR(dec.GetRaw(1, &kind_byte));
+  const uint8_t kind = static_cast<uint8_t>(kind_byte[0]);
+  if (kind < 1 || kind > 3) {
+    return Status::Corruption("bad export journal record kind");
+  }
+  record->kind = static_cast<ExportJournalRecord::Kind>(kind);
+  HEAVEN_RETURN_IF_ERROR(dec.GetFixed64(&record->object_id));
+  if (record->kind == ExportJournalRecord::Kind::kAppend) {
+    HEAVEN_RETURN_IF_ERROR(dec.GetFixed64(&record->supertile_id));
+    HEAVEN_RETURN_IF_ERROR(dec.GetFixed32(&record->medium));
+    HEAVEN_RETURN_IF_ERROR(dec.GetFixed64(&record->offset));
+    HEAVEN_RETURN_IF_ERROR(dec.GetFixed64(&record->size_bytes));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+ExportJournal::ExportJournal(std::unique_ptr<File> file)
+    : file_(std::move(file)) {}
+
+Result<std::unique_ptr<ExportJournal>> ExportJournal::Open(
+    Env* env, const std::string& path) {
+  HEAVEN_ASSIGN_OR_RETURN(std::unique_ptr<File> file, env->OpenFile(path));
+  HEAVEN_ASSIGN_OR_RETURN(uint64_t size, file->Size());
+  std::string image;
+  if (size > 0) {
+    HEAVEN_RETURN_IF_ERROR(file->ReadAt(0, size, &image));
+  }
+  std::unique_ptr<ExportJournal> journal(new ExportJournal(std::move(file)));
+
+  // Scan intact frames; a torn/corrupt frame ends the journal (it is the
+  // crash's own tail — by construction nothing after it ever mattered).
+  size_t pos = 0;
+  while (pos + 8 <= image.size()) {
+    Decoder header(std::string_view(image).substr(pos, 8));
+    uint32_t len = 0;
+    uint32_t crc = 0;
+    HEAVEN_RETURN_IF_ERROR(header.GetFixed32(&len));
+    HEAVEN_RETURN_IF_ERROR(header.GetFixed32(&crc));
+    if (pos + 8 + len > image.size()) break;  // torn frame
+    const std::string_view payload =
+        std::string_view(image).substr(pos + 8, len);
+    if (Crc32c(payload) != crc) break;  // corrupt frame
+    ExportJournalRecord record;
+    if (!DecodeRecord(payload, &record).ok()) break;
+    journal->recovered_.push_back(record);
+    pos += 8 + len;
+  }
+  if (pos < image.size()) {
+    HEAVEN_LOG(Warning) << "export journal " << path << ": discarding "
+                        << (image.size() - pos) << " torn tail bytes";
+    HEAVEN_RETURN_IF_ERROR(journal->file_->Truncate(pos));
+  }
+  journal->end_ = pos;
+  return journal;
+}
+
+Status ExportJournal::AppendRecord(const ExportJournalRecord& record) {
+  const std::string payload = EncodeRecord(record);
+  std::string frame;
+  PutFixed32(&frame, static_cast<uint32_t>(payload.size()));
+  PutFixed32(&frame, Crc32c(payload));
+  frame.append(payload);
+  std::lock_guard<std::mutex> lock(mu_);
+  HEAVEN_RETURN_IF_ERROR(file_->WriteAt(end_, frame));
+  HEAVEN_RETURN_IF_ERROR(file_->Sync());
+  end_ += frame.size();
+  return Status::Ok();
+}
+
+Status ExportJournal::LogPending(ObjectId object_id) {
+  ExportJournalRecord record;
+  record.kind = ExportJournalRecord::Kind::kPending;
+  record.object_id = object_id;
+  return AppendRecord(record);
+}
+
+Status ExportJournal::LogAppend(ObjectId object_id, SuperTileId supertile_id,
+                                uint32_t medium, uint64_t offset,
+                                uint64_t size_bytes) {
+  ExportJournalRecord record;
+  record.kind = ExportJournalRecord::Kind::kAppend;
+  record.object_id = object_id;
+  record.supertile_id = supertile_id;
+  record.medium = medium;
+  record.offset = offset;
+  record.size_bytes = size_bytes;
+  return AppendRecord(record);
+}
+
+Status ExportJournal::LogCommitted(ObjectId object_id) {
+  ExportJournalRecord record;
+  record.kind = ExportJournalRecord::Kind::kCommitted;
+  record.object_id = object_id;
+  return AppendRecord(record);
+}
+
+Status ExportJournal::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  HEAVEN_RETURN_IF_ERROR(file_->Truncate(0));
+  end_ = 0;
+  return Status::Ok();
+}
+
+}  // namespace heaven

@@ -1,0 +1,80 @@
+#ifndef HEAVEN_HEAVEN_EXPORT_JOURNAL_H_
+#define HEAVEN_HEAVEN_EXPORT_JOURNAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "array/mdd.h"
+#include "common/env.h"
+#include "common/status.h"
+
+namespace heaven {
+
+/// One record of the decoupled-export journal.
+struct ExportJournalRecord {
+  enum class Kind : uint8_t {
+    kPending = 1,    // object handed to the TCT, export not finished
+    kAppend = 2,     // one container landed on tape (extent recorded)
+    kCommitted = 3,  // the object's catalog transaction committed
+  };
+  Kind kind = Kind::kPending;
+  ObjectId object_id = 0;
+  // kAppend only:
+  SuperTileId supertile_id = 0;
+  uint32_t medium = 0;
+  uint64_t offset = 0;
+  uint64_t size_bytes = 0;
+};
+
+/// Write-ahead journal of the TCT's decoupled exports, making them
+/// crash-safe: every tape append is recorded (with its extent) before the
+/// catalog transaction commits, so a kill mid-export leaves enough
+/// information to roll orphaned tape extents back and re-enqueue the
+/// unfinished objects on reopen. Records are CRC-framed like WAL records;
+/// a torn tail (the crash interrupting the journal itself) is detected by
+/// checksum and discarded.
+///
+/// Frame layout: [u32 payload_len][u32 crc32c(payload)][payload], where the
+/// payload is one encoded ExportJournalRecord.
+class ExportJournal {
+ public:
+  /// Opens (creating if absent) the journal at `path` and scans every
+  /// intact record into recovered(); the scan stops at the first torn or
+  /// corrupt frame and the file is truncated to the valid prefix.
+  static Result<std::unique_ptr<ExportJournal>> Open(Env* env,
+                                                     const std::string& path);
+
+  ExportJournal(const ExportJournal&) = delete;
+  ExportJournal& operator=(const ExportJournal&) = delete;
+
+  /// Records read back at Open (empty after a clean shutdown).
+  const std::vector<ExportJournalRecord>& recovered() const {
+    return recovered_;
+  }
+
+  Status LogPending(ObjectId object_id);
+  Status LogAppend(ObjectId object_id, SuperTileId supertile_id,
+                   uint32_t medium, uint64_t offset, uint64_t size_bytes);
+  Status LogCommitted(ObjectId object_id);
+
+  /// Truncates the journal; called once every queued export has committed
+  /// (the records have served their purpose) and after recovery replays.
+  Status Reset();
+
+ private:
+  explicit ExportJournal(std::unique_ptr<File> file);
+
+  Status AppendRecord(const ExportJournalRecord& record);
+
+  std::mutex mu_;
+  std::unique_ptr<File> file_;
+  uint64_t end_ = 0;  // append position
+  std::vector<ExportJournalRecord> recovered_;
+};
+
+}  // namespace heaven
+
+#endif  // HEAVEN_HEAVEN_EXPORT_JOURNAL_H_

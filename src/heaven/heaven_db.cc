@@ -1,8 +1,10 @@
 #include "heaven/heaven_db.h"
 
 #include <algorithm>
+#include <chrono>
 #include <set>
 
+#include "common/coding.h"
 #include "common/logging.h"
 #include "heaven/prefetch.h"
 #include "heaven/size_adaptation.h"
@@ -31,6 +33,14 @@ Status HeavenDb::Init() {
       engine_, StorageEngine::Open(env_, dir_, options_.storage, &stats_));
   library_ = std::make_unique<TapeLibrary>(options_.library, &stats_,
                                            env_, dir_ + "/tape");
+  HEAVEN_RETURN_IF_ERROR(library_->LoadPersistedMedia());
+  if (options_.fault_policy.enabled) {
+    // Installed after the archive loads: opening the database is not a
+    // fault site, so a fixed seed yields the same schedule regardless of
+    // how much persisted state the open replays.
+    injector_ = std::make_unique<FaultInjector>(options_.fault_policy, &stats_);
+    library_->SetFaultInjector(injector_.get());
+  }
   cache_ = std::make_unique<SuperTileCache>(options_.cache, &stats_);
   precomputed_ = std::make_unique<PrecomputedCatalog>(&stats_);
   HEAVEN_RETURN_IF_ERROR(LoadRegistry());
@@ -45,7 +55,71 @@ Status HeavenDb::Init() {
     pool_ = std::make_unique<ThreadPool>(num_threads, stats_.trace());
   }
   if (options_.decoupled_export) {
+    HEAVEN_ASSIGN_OR_RETURN(journal_,
+                            ExportJournal::Open(env_, dir_ + "/export.journal"));
+    HEAVEN_RETURN_IF_ERROR(RecoverExports());
     tct_thread_ = std::thread([this] { TctWorker(); });
+  }
+  return Status::Ok();
+}
+
+Status HeavenDb::RecoverExports() {
+  const std::vector<ExportJournalRecord>& records = journal_->recovered();
+  if (records.empty()) return Status::Ok();
+  std::set<ObjectId> pending;
+  std::set<ObjectId> committed;
+  bool orphaned_appends = false;
+  for (const ExportJournalRecord& record : records) {
+    switch (record.kind) {
+      case ExportJournalRecord::Kind::kPending:
+        pending.insert(record.object_id);
+        break;
+      case ExportJournalRecord::Kind::kCommitted:
+        committed.insert(record.object_id);
+        break;
+      case ExportJournalRecord::Kind::kAppend:
+        // An append whose super-tile never made it into the committed
+        // registry is an orphaned tape extent from an interrupted export.
+        if (registry_.find(record.supertile_id) == registry_.end()) {
+          orphaned_appends = true;
+        }
+        break;
+    }
+  }
+  std::vector<ObjectId> unfinished;
+  for (ObjectId object_id : pending) {
+    if (committed.count(object_id) == 0) unfinished.push_back(object_id);
+  }
+
+  if (orphaned_appends || !unfinished.empty()) {
+    // A crash interrupted an export. Its tape appends — journaled orphans
+    // and any torn, never-journaled write — sit above every
+    // registry-referenced extent on their media (tape is append-only and
+    // the TCT exports one object at a time), so truncating each medium
+    // back to its live end removes exactly the garbage the crash left.
+    std::map<MediumId, uint64_t> live_end;
+    for (const auto& [id, meta] : registry_) {
+      live_end[meta.medium] =
+          std::max(live_end[meta.medium], meta.offset + meta.size_bytes);
+    }
+    for (MediumId m = 0; m < library_->num_media(); ++m) {
+      const auto it = live_end.find(m);
+      HEAVEN_RETURN_IF_ERROR(library_->TruncateMediumForRecovery(
+          m, it == live_end.end() ? 0 : it->second));
+    }
+    HEAVEN_LOG(Warning) << "export journal recovery: rolled back interrupted "
+                           "export; re-enqueueing "
+                        << unfinished.size() << " object(s)";
+  }
+
+  // The old journal has served its purpose; restart it with just the
+  // still-unfinished objects and hand those back to the TCT.
+  HEAVEN_RETURN_IF_ERROR(journal_->Reset());
+  for (ObjectId object_id : unfinished) {
+    if (!engine_->catalog()->GetObject(object_id).ok()) continue;  // deleted
+    HEAVEN_RETURN_IF_ERROR(journal_->LogPending(object_id));
+    std::lock_guard<std::mutex> lock(tct_mu_);
+    tct_queue_.emplace_back(object_id, library_->ElapsedSeconds());
   }
   return Status::Ok();
 }
@@ -207,6 +281,9 @@ Status HeavenDb::RunMigrationPolicy() {
     if (engine_->blobs()->TotalBytes() <= low_watermark) break;
     if (options_.decoupled_export) {
       std::lock_guard<std::mutex> lock(tct_mu_);
+      if (journal_ != nullptr) {
+        HEAVEN_RETURN_IF_ERROR(journal_->LogPending(object_id));
+      }
       tct_queue_.emplace_back(object_id, library_->ElapsedSeconds());
       tct_cv_.notify_one();
     } else {
@@ -222,6 +299,12 @@ Status HeavenDb::ExportObject(ObjectId object_id) {
   if (options_.decoupled_export) {
     // Hand the object over to the TCT; the client does not wait for tape.
     std::lock_guard<std::mutex> lock(tct_mu_);
+    // A failed queued export must not pass silently: while the sticky
+    // error stands, new exports are refused with it (see TctLastError).
+    if (!tct_last_error_.ok()) return tct_last_error_;
+    if (journal_ != nullptr) {
+      HEAVEN_RETURN_IF_ERROR(journal_->LogPending(object_id));
+    }
     tct_queue_.emplace_back(object_id, library_->ElapsedSeconds());
     tct_cv_.notify_one();
     return Status::Ok();
@@ -234,6 +317,26 @@ Status HeavenDb::ExportObject(ObjectId object_id) {
 
 Status HeavenDb::ExportObjectSync(ObjectId object_id) {
   std::lock_guard<RecursiveSharedMutex> lock(db_mu_);
+  std::vector<SuperTileId> added;
+  Status status = ExportObjectLocked(object_id, &added);
+  if (!status.ok()) {
+    // Roll the in-memory registry back: the catalog transaction never
+    // committed, so the appended containers are dead tape extents (exactly
+    // as after a delete) and must not be referenced.
+    for (SuperTileId id : added) {
+      registry_.erase(id);
+      cache_->Erase(id);
+    }
+    return status;
+  }
+  if (journal_ != nullptr) {
+    HEAVEN_RETURN_IF_ERROR(journal_->LogCommitted(object_id));
+  }
+  return Status::Ok();
+}
+
+Status HeavenDb::ExportObjectLocked(ObjectId object_id,
+                                    std::vector<SuperTileId>* added) {
   ScopedSpan span(stats_.trace(), "export.object");
   exporting_ = true;
   struct ExportGuard {
@@ -332,9 +435,17 @@ Status HeavenDb::ExportObjectSync(ObjectId object_id) {
     meta.medium = plan.medium[idx];
     meta.offset = offset;
     meta.size_bytes = container.size();
+    meta.crc32c = Crc32c(container);
     HEAVEN_ASSIGN_OR_RETURN(meta.hull, st.Hull());
     meta.tile_ids = group.tiles;
     registry_.emplace(meta.id, meta);
+    added->push_back(meta.id);
+    if (journal_ != nullptr) {
+      // Journal the landed extent before the catalog commits so a crash
+      // in between leaves enough to roll the orphan back on reopen.
+      HEAVEN_RETURN_IF_ERROR(journal_->LogAppend(
+          object_id, meta.id, meta.medium, meta.offset, meta.size_bytes));
+    }
 
     for (TileId tile_id : group.tiles) {
       const TileDescriptor* descriptor = by_id.at(tile_id);
@@ -394,6 +505,10 @@ Status HeavenDb::ExportObjectTileAtATime(ObjectId object_id) {
                           engine_->catalog()->GetObject(object_id));
   std::unique_ptr<Transaction> txn = engine_->Begin();
   MediumId next_medium = 0;
+  // Registered only once every append has succeeded, so an early error
+  // leaves the in-memory registry untouched (the written containers become
+  // dead tape extents).
+  std::vector<SuperTileMeta> new_metas;
   for (const TileDescriptor& descriptor :
        engine_->catalog()->ListTiles(object_id)) {
     if (descriptor.location != TileLocation::kDisk) continue;
@@ -425,9 +540,10 @@ Status HeavenDb::ExportObjectTileAtATime(ObjectId object_id) {
     meta.medium = medium;
     meta.offset = offset.value();
     meta.size_bytes = container.size();
+    meta.crc32c = Crc32c(container);
     meta.hull = descriptor.domain;
     meta.tile_ids = {descriptor.tile_id};
-    registry_.emplace(meta.id, meta);
+    new_metas.push_back(meta);
 
     txn->DeleteBlob(descriptor.blob_id);
     CatalogDelta update;
@@ -439,6 +555,7 @@ Status HeavenDb::ExportObjectTileAtATime(ObjectId object_id) {
     update.tile.super_tile = meta.id;
     txn->UpdateCatalog(update);
   }
+  for (const SuperTileMeta& meta : new_metas) registry_.emplace(meta.id, meta);
   std::vector<SuperTileMeta> metas;
   metas.reserve(registry_.size());
   for (const auto& [id, meta] : registry_) metas.push_back(meta);
@@ -447,7 +564,11 @@ Status HeavenDb::ExportObjectTileAtATime(ObjectId object_id) {
   registry_delta.name = kRegistrySection;
   registry_delta.payload = SerializeSuperTileMetas(metas);
   txn->UpdateCatalog(registry_delta);
-  HEAVEN_RETURN_IF_ERROR(txn->Commit());
+  Status status = txn->Commit();
+  if (!status.ok()) {
+    for (const SuperTileMeta& meta : new_metas) registry_.erase(meta.id);
+    return status;
+  }
   client_clock_.Advance(library_->ElapsedSeconds() - tape_before);
   return Status::Ok();
 }
@@ -457,6 +578,16 @@ Status HeavenDb::DrainExports() {
   std::unique_lock<std::mutex> lock(tct_mu_);
   tct_cv_.wait(lock, [this] { return tct_queue_.empty() && !tct_busy_; });
   return tct_last_error_;
+}
+
+Status HeavenDb::TctLastError() const {
+  std::lock_guard<std::mutex> lock(tct_mu_);
+  return tct_last_error_;
+}
+
+void HeavenDb::ClearTctError() {
+  std::lock_guard<std::mutex> lock(tct_mu_);
+  tct_last_error_ = Status::Ok();
 }
 
 void HeavenDb::TctWorker() {
@@ -479,8 +610,15 @@ void HeavenDb::TctWorker() {
     Status status = ExportObjectSync(object_id);
     {
       std::lock_guard<std::mutex> lock(tct_mu_);
-      if (!status.ok()) tct_last_error_ = status;
+      // Sticky: keep the *first* failure (later ones are usually fallout).
+      if (!status.ok() && tct_last_error_.ok()) tct_last_error_ = status;
       tct_busy_ = false;
+      if (journal_ != nullptr && tct_queue_.empty() && tct_last_error_.ok()) {
+        // Every queued export committed — the journal has served its
+        // purpose; restart it so it cannot grow without bound.
+        Status reset = journal_->Reset();
+        if (!reset.ok()) tct_last_error_ = reset;
+      }
     }
     tct_cv_.notify_all();
   }
@@ -559,7 +697,8 @@ Status HeavenDb::FetchSuperTiles(
       inflight_.emplace(id, flight);
       owned.emplace(id, std::move(flight));
       requests.push_back({id, meta_it->second.medium, meta_it->second.offset,
-                          meta_it->second.size_bytes});
+                          meta_it->second.size_bytes,
+                          meta_it->second.crc32c});
       break;
     }
   }
@@ -606,8 +745,9 @@ Status HeavenDb::FetchSuperTiles(
       fetch_span.SetBytes(request.size_bytes);
       const double fetch_before = library_->ElapsedSeconds();
       std::string container;
-      status = library_->ReadAt(request.medium, request.offset,
-                                request.size_bytes, &container);
+      status = ReadContainerVerified(request.id, request.medium,
+                                     request.offset, request.size_bytes,
+                                     request.crc32c, &container);
       if (!status.ok()) break;
       const double fetch_seconds = library_->ElapsedSeconds() - fetch_before;
       if (pool_ != nullptr) {
@@ -633,11 +773,20 @@ Status HeavenDb::FetchSuperTiles(
     }
     // Fulfil this call's promises *before* waiting on foreign futures
     // below: two calls leading fetches while waiting on each other can
-    // then never cycle.
+    // then never cycle. Every request is validated against `owned` first —
+    // a promise must never be set and then hit an error path that would
+    // try to fail it a second time.
+    for (const SuperTileRequest& request : requests) {
+      if (owned.find(request.id) == owned.end()) {
+        status = Status::Internal("fetch leader lost ownership of super-tile " +
+                                  std::to_string(request.id));
+        fail_owned(status);
+        return status;
+      }
+    }
     for (size_t i = 0; i < requests.size(); ++i) {
-      auto owned_it = owned.find(requests[i].id);
-      HEAVEN_CHECK(owned_it != owned.end());
-      owned_it->second->promise.set_value(FetchResult(decoded[i]));
+      owned.find(requests[i].id)->second->promise.set_value(
+          FetchResult(decoded[i]));
     }
     {
       std::lock_guard<std::mutex> fetch_lock(fetch_mu_);
@@ -661,6 +810,61 @@ Status HeavenDb::FetchSuperTiles(
     out->emplace(id, std::move(result).value());
   }
   return Status::Ok();
+}
+
+Status HeavenDb::ReadContainerVerified(SuperTileId id, MediumId medium,
+                                       uint64_t offset, uint64_t size_bytes,
+                                       uint32_t crc32c, std::string* out) {
+  auto where = [&] {
+    return "super-tile " + std::to_string(id) + " (medium " +
+           std::to_string(medium) + " @" + std::to_string(offset) + " +" +
+           std::to_string(size_bytes) + ")";
+  };
+  // One transfer, re-driven through the retry policy on transient tape
+  // errors. The first attempt is the plain legacy read; retries charge
+  // their backoff to the tape clock and count Ticker::kTapeRetries.
+  auto fetch = [&]() -> Status {
+    return RetryTapeOp(options_.tape_retry, library_->clock(), &stats_,
+                       [&]() -> Status {
+                         out->clear();
+                         return library_->ReadAt(medium, offset, size_bytes,
+                                                 out);
+                       });
+  };
+  // CRC verification costs wall time only (recorded for the benchmark),
+  // never simulated time: a real drive verifies while streaming.
+  auto crc_matches = [&]() -> bool {
+    if (crc32c == 0) return true;  // pre-checksum registry entry
+    const auto verify_start = std::chrono::steady_clock::now();
+    const bool match = Crc32c(*out) == crc32c;
+    stats_.RecordHistogram(
+        HistogramKind::kCrcVerifySeconds,
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      verify_start)
+            .count());
+    return match;
+  };
+
+  Status status = fetch();
+  if (!status.ok()) {
+    return Status(status.code(),
+                  "fetch of " + where() + " failed: " + status.message());
+  }
+  if (crc_matches()) return Status::Ok();
+  // A mismatch may be a transient read-channel flip — re-fetch exactly
+  // once. A second mismatch means the stored container itself is damaged.
+  stats_.Record(Ticker::kCrcMismatches);
+  HEAVEN_LOG(Warning) << where()
+                      << " failed CRC verification; re-fetching once";
+  status = fetch();
+  if (!status.ok()) {
+    return Status(status.code(),
+                  "re-fetch of " + where() + " failed: " + status.message());
+  }
+  if (crc_matches()) return Status::Ok();
+  stats_.Record(Ticker::kCrcMismatches);
+  return Status::Corruption("container of " + where() +
+                            " failed CRC verification after re-fetch");
 }
 
 void HeavenDb::MaybePrefetch(MediumId medium, uint64_t last_end_offset) {
@@ -762,7 +966,12 @@ Status HeavenDb::MaterializeTiles(
                                          std::move(payload)));
     } else {
       const auto st_it = supertiles.find(descriptor.super_tile);
-      HEAVEN_CHECK(st_it != supertiles.end());
+      if (st_it == supertiles.end()) {
+        return Status::Internal(
+            "super-tile " + std::to_string(descriptor.super_tile) +
+            " required by tile " + std::to_string(descriptor.tile_id) +
+            " was not fetched");
+      }
       HEAVEN_ASSIGN_OR_RETURN(const Tile* tile,
                               st_it->second->FindTile(descriptor.tile_id));
       out->emplace_back(descriptor, *tile);
@@ -778,10 +987,16 @@ Status HeavenDb::MaterializeTiles(
 Status HeavenDb::ScatterTiles(
     const std::vector<std::pair<TileDescriptor, Tile>>& tiles,
     const MdInterval& region, MddArray* result) {
+  auto no_overlap = [&region](const TileDescriptor& descriptor) {
+    return Status::Internal("collected tile " +
+                           std::to_string(descriptor.tile_id) +
+                           " does not overlap query region " +
+                           region.ToString());
+  };
   if (pool_ == nullptr || tiles.size() < 2) {
     for (const auto& [descriptor, tile] : tiles) {
       auto overlap = tile.domain().Intersection(region);
-      HEAVEN_CHECK(overlap.has_value());
+      if (!overlap.has_value()) return no_overlap(descriptor);
       HEAVEN_RETURN_IF_ERROR(
           result->mutable_tile().CopyRegionFrom(tile, *overlap));
     }
@@ -793,7 +1008,10 @@ Status HeavenDb::ScatterTiles(
   pool_->ParallelFor(tiles.size(), [&](size_t i) {
     const auto& [descriptor, tile] = tiles[i];
     auto overlap = tile.domain().Intersection(region);
-    HEAVEN_CHECK(overlap.has_value());
+    if (!overlap.has_value()) {
+      statuses[i] = no_overlap(descriptor);
+      return;
+    }
     statuses[i] = result->mutable_tile().CopyRegionFrom(tile, *overlap);
   });
   for (const Status& status : statuses) HEAVEN_RETURN_IF_ERROR(status);
@@ -875,7 +1093,12 @@ Result<MddArray> HeavenDb::ReadFrame(ObjectId object_id,
       tile = Tile(descriptor.domain, object.cell_type, std::move(payload));
     } else {
       const auto st_it = supertiles.find(descriptor.super_tile);
-      HEAVEN_CHECK(st_it != supertiles.end());
+      if (st_it == supertiles.end()) {
+        return Status::Internal(
+            "super-tile " + std::to_string(descriptor.super_tile) +
+            " required by tile " + std::to_string(descriptor.tile_id) +
+            " was not fetched");
+      }
       HEAVEN_ASSIGN_OR_RETURN(const Tile* found,
                               st_it->second->FindTile(descriptor.tile_id));
       tile = *found;
@@ -1012,7 +1235,12 @@ Status HeavenDb::ReimportObject(ObjectId object_id) {
   uint64_t disk_bytes = 0;
   for (const TileDescriptor& descriptor : tertiary_tiles) {
     const auto st_it = supertiles.find(descriptor.super_tile);
-    HEAVEN_CHECK(st_it != supertiles.end());
+    if (st_it == supertiles.end()) {
+      return Status::Internal(
+          "super-tile " + std::to_string(descriptor.super_tile) +
+          " required by tile " + std::to_string(descriptor.tile_id) +
+          " was not fetched");
+    }
     HEAVEN_ASSIGN_OR_RETURN(const Tile* tile,
                             st_it->second->FindTile(descriptor.tile_id));
     const BlobId blob_id = engine_->blobs()->NextBlobId();
@@ -1086,14 +1314,24 @@ Status HeavenDb::UpdateRegion(ObjectId object_id, const MddArray& patch) {
       tile = Tile(descriptor.domain, object.cell_type, std::move(payload));
     } else {
       const auto st_it = supertiles.find(descriptor.super_tile);
-      HEAVEN_CHECK(st_it != supertiles.end());
+      if (st_it == supertiles.end()) {
+        return Status::Internal(
+            "super-tile " + std::to_string(descriptor.super_tile) +
+            " required by tile " + std::to_string(descriptor.tile_id) +
+            " was not fetched");
+      }
       HEAVEN_ASSIGN_OR_RETURN(const Tile* found,
                               st_it->second->FindTile(descriptor.tile_id));
       tile = *found;
       ++tiles_leaving[descriptor.super_tile];
     }
     auto overlap = tile.domain().Intersection(patch.domain());
-    HEAVEN_CHECK(overlap.has_value());
+    if (!overlap.has_value()) {
+      return Status::Internal("affected tile " +
+                              std::to_string(descriptor.tile_id) +
+                              " does not overlap update region " +
+                              patch.domain().ToString());
+    }
     HEAVEN_RETURN_IF_ERROR(tile.CopyRegionFrom(patch.tile(), *overlap));
 
     const BlobId blob_id = descriptor.location == TileLocation::kDisk
@@ -1211,8 +1449,12 @@ Result<uint64_t> HeavenDb::ReclaimMedium(MediumId medium) {
             });
   for (SuperTileMeta* meta : live) {
     std::string container;
-    HEAVEN_RETURN_IF_ERROR(library_->ReadAt(meta->medium, meta->offset,
-                                            meta->size_bytes, &container));
+    // Verified read: reorganisation must never copy silent corruption
+    // forward — the source medium is about to be erased.
+    HEAVEN_RETURN_IF_ERROR(ReadContainerVerified(meta->id, meta->medium,
+                                                 meta->offset,
+                                                 meta->size_bytes,
+                                                 meta->crc32c, &container));
     // Emptiest target other than the source.
     MediumId target = medium;
     uint64_t best_free = 0;
@@ -1242,6 +1484,14 @@ Result<uint64_t> HeavenDb::ReclaimMedium(MediumId medium) {
 size_t HeavenDb::RegisteredSuperTiles() const {
   std::shared_lock<RecursiveSharedMutex> lock(db_mu_);
   return registry_.size();
+}
+
+std::vector<SuperTileMeta> HeavenDb::RegistrySnapshot() const {
+  std::shared_lock<RecursiveSharedMutex> lock(db_mu_);
+  std::vector<SuperTileMeta> metas;
+  metas.reserve(registry_.size());
+  for (const auto& [id, meta] : registry_) metas.push_back(meta);
+  return metas;
 }
 
 }  // namespace heaven

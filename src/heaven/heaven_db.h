@@ -16,12 +16,14 @@
 #include "array/ops.h"
 #include "array/rtree.h"
 #include "common/env.h"
+#include "common/fault_injection.h"
 #include "common/rw_mutex.h"
 #include "common/statistics.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "heaven/cache.h"
 #include "heaven/clustering.h"
+#include "heaven/export_journal.h"
 #include "heaven/framing.h"
 #include "heaven/precomputed.h"
 #include "heaven/scheduler.h"
@@ -107,6 +109,16 @@ struct HeavenOptions {
   /// on the client clock: it is background work either way).
   uint64_t migrate_high_watermark_bytes = 0;
   uint64_t migrate_low_watermark_bytes = 0;
+
+  /// Deterministic fault injection (tests and chaos experiments). Disabled
+  /// by default; when disabled the code takes the exact legacy path —
+  /// identical simulated clocks, tickers and trace trees.
+  FaultPolicy fault_policy;
+
+  /// Bounded retry with exponential backoff (charged to the tape clock)
+  /// for super-tile fetches; transient tape errors are re-driven before a
+  /// query sees them. max_attempts = 1 disables retries.
+  RetryPolicy tape_retry;
 };
 
 /// The HEAVEN database: a multidimensional array DBMS whose storage spans
@@ -148,8 +160,17 @@ class HeavenDb {
   /// insertion order with no grouping or clustering (experiment E1).
   Status ExportObjectTileAtATime(ObjectId object_id);
 
-  /// Blocks until the TCT queue is drained.
+  /// Blocks until the TCT queue is drained. Returns the sticky TCT error
+  /// (see TctLastError) if any queued export failed.
   Status DrainExports();
+
+  /// Sticky error of the decoupled-export worker: the first failure of a
+  /// queued export, held until cleared. While set, ExportObject refuses
+  /// new work with the same error so failures cannot pass silently.
+  Status TctLastError() const;
+
+  /// Clears the sticky TCT error (after the caller has handled it).
+  void ClearTctError();
 
   /// Copies a migrated object's tiles back to disk BLOBs (re-import).
   Status ReimportObject(ObjectId object_id);
@@ -218,6 +239,12 @@ class HeavenDb {
   /// Number of super-tiles currently registered on tertiary storage.
   size_t RegisteredSuperTiles() const;
 
+  /// Snapshot of the tertiary-storage registry (for tests and tools).
+  std::vector<SuperTileMeta> RegistrySnapshot() const;
+
+  /// The active fault injector (null unless options.fault_policy.enabled).
+  FaultInjector* fault_injector() { return injector_.get(); }
+
  private:
   HeavenDb(Env* env, std::string dir, HeavenOptions options);
 
@@ -227,7 +254,20 @@ class HeavenDb {
   Status PersistPrecomputed();
 
   /// Synchronous export implementation shared by the client path and TCT.
+  /// On failure every in-memory registry entry the attempt added is rolled
+  /// back (the tape extents become dead data, as after a delete); on
+  /// success the export is marked committed in the journal.
   Status ExportObjectSync(ObjectId object_id);
+
+  /// Export body: partitions, clusters, writes and registers the object's
+  /// disk tiles. Ids of registry entries added (even on failure) are
+  /// appended to `added` so the caller can undo them.
+  Status ExportObjectLocked(ObjectId object_id,
+                            std::vector<SuperTileId>* added);
+
+  /// Replays the export journal on reopen: rolls orphaned (uncommitted)
+  /// tape extents back and re-enqueues unfinished objects for the TCT.
+  Status RecoverExports();
 
   /// Enforces the migration watermarks (see HeavenOptions); called after
   /// inserts.
@@ -270,6 +310,14 @@ class HeavenDb {
       const std::vector<SuperTileId>& ids,
       std::map<SuperTileId, std::shared_ptr<const SuperTile>>* out);
 
+  /// Reads one container with bounded retry and verifies it against
+  /// `crc32c` (when non-zero), re-fetching exactly once on a mismatch. A
+  /// second mismatch is permanent corruption and surfaces a precise
+  /// Status::Corruption — never silently wrong bytes.
+  Status ReadContainerVerified(SuperTileId id, MediumId medium,
+                               uint64_t offset, uint64_t size_bytes,
+                               uint32_t crc32c, std::string* out);
+
   void MaybePrefetch(MediumId medium, uint64_t last_end_offset);
 
   void TctWorker();
@@ -284,6 +332,12 @@ class HeavenDb {
   std::unique_ptr<TapeLibrary> library_;
   std::unique_ptr<SuperTileCache> cache_;
   std::unique_ptr<PrecomputedCatalog> precomputed_;
+  /// Deterministic fault source (null unless fault_policy.enabled).
+  std::unique_ptr<FaultInjector> injector_;
+  /// Crash-safety journal of decoupled exports (null unless
+  /// options_.decoupled_export). Log calls for queue membership happen
+  /// under tct_mu_ so the journal and the queue stay consistent.
+  std::unique_ptr<ExportJournal> journal_;
   /// CPU worker pool (null when options_.num_threads resolves to 1). Pool
   /// tasks never acquire db_mu_: they touch only the cache, statistics and
   /// trace collector (each with its own lock) plus disjoint output slots.
@@ -331,7 +385,7 @@ class HeavenDb {
 
   // TCT (Tertiary-storage Communication Thread) state.
   std::thread tct_thread_;
-  std::mutex tct_mu_;
+  mutable std::mutex tct_mu_;
   std::condition_variable tct_cv_;
   /// Pending exports with their enqueue timestamp on the tape clock, so
   /// the TCT can report queue-wait latency when it picks an entry up.

@@ -16,6 +16,8 @@ struct SuperTileRequest {
   MediumId medium = 0;
   uint64_t offset = 0;
   uint64_t size_bytes = 0;
+  /// Expected container CRC32C (0 = unknown); verified after the transfer.
+  uint32_t crc32c = 0;
 };
 
 /// Ordering policies for a batch of super-tile requests.

@@ -116,8 +116,17 @@ Result<SuperTile> SuperTile::Deserialize(std::string_view data) {
   return st;
 }
 
+namespace {
+// Version 1 images start directly with the meta count; a count can never be
+// UINT64_MAX, so that value tags versioned images (version follows as u32).
+constexpr uint64_t kMetaVersionTag = 0xffffffffffffffffULL;
+constexpr uint32_t kMetaFormatVersion = 2;  // v2 adds the container CRC32C
+}  // namespace
+
 std::string SerializeSuperTileMetas(const std::vector<SuperTileMeta>& metas) {
   std::string out;
+  PutFixed64(&out, kMetaVersionTag);
+  PutFixed32(&out, kMetaFormatVersion);
   PutFixed64(&out, metas.size());
   for (const SuperTileMeta& meta : metas) {
     PutFixed64(&out, meta.id);
@@ -125,6 +134,7 @@ std::string SerializeSuperTileMetas(const std::vector<SuperTileMeta>& metas) {
     PutFixed32(&out, meta.medium);
     PutFixed64(&out, meta.offset);
     PutFixed64(&out, meta.size_bytes);
+    PutFixed32(&out, meta.crc32c);
     EncodeInterval(&out, meta.hull);
     PutFixed32(&out, static_cast<uint32_t>(meta.tile_ids.size()));
     for (TileId tile_id : meta.tile_ids) PutFixed64(&out, tile_id);
@@ -139,6 +149,15 @@ Result<std::vector<SuperTileMeta>> DeserializeSuperTileMetas(
   Decoder dec(image);
   uint64_t count = 0;
   HEAVEN_RETURN_IF_ERROR(dec.GetFixed64(&count));
+  uint32_t version = 1;
+  if (count == kMetaVersionTag) {
+    HEAVEN_RETURN_IF_ERROR(dec.GetFixed32(&version));
+    if (version < 2 || version > kMetaFormatVersion) {
+      return Status::Corruption("unsupported super-tile registry version " +
+                                std::to_string(version));
+    }
+    HEAVEN_RETURN_IF_ERROR(dec.GetFixed64(&count));
+  }
   metas.reserve(count);
   for (uint64_t i = 0; i < count; ++i) {
     SuperTileMeta meta;
@@ -147,6 +166,9 @@ Result<std::vector<SuperTileMeta>> DeserializeSuperTileMetas(
     HEAVEN_RETURN_IF_ERROR(dec.GetFixed32(&meta.medium));
     HEAVEN_RETURN_IF_ERROR(dec.GetFixed64(&meta.offset));
     HEAVEN_RETURN_IF_ERROR(dec.GetFixed64(&meta.size_bytes));
+    if (version >= 2) {
+      HEAVEN_RETURN_IF_ERROR(dec.GetFixed32(&meta.crc32c));
+    }
     HEAVEN_RETURN_IF_ERROR(DecodeInterval(&dec, &meta.hull));
     uint32_t tile_count = 0;
     HEAVEN_RETURN_IF_ERROR(dec.GetFixed32(&tile_count));

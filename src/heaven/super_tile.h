@@ -70,6 +70,10 @@ struct SuperTileMeta {
   uint32_t medium = 0;
   uint64_t offset = 0;       // byte offset of the container on the medium
   uint64_t size_bytes = 0;   // container size
+  /// CRC32C of the whole serialized container, verified against the bytes
+  /// coming back from tape on every fetch (end-to-end bit-rot detection).
+  /// 0 = unknown (registry written before checksums existed).
+  uint32_t crc32c = 0;
   MdInterval hull;
   std::vector<TileId> tile_ids;
 };

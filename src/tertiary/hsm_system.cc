@@ -37,8 +37,12 @@ Status HsmSystem::StageLocked(const std::string& name, const FileMeta& meta) {
   const double stage_start = library_->clock()->Now();
   EvictForLocked(meta.size);
   std::string contents;
-  HEAVEN_RETURN_IF_ERROR(
-      library_->ReadAt(meta.medium, meta.offset, meta.size, &contents));
+  HEAVEN_RETURN_IF_ERROR(RetryTapeOp(
+      options_.retry, library_->clock(), stats_, [&]() -> Status {
+        contents.clear();
+        return library_->ReadAt(meta.medium, meta.offset, meta.size,
+                                &contents);
+      }));
   // Writing the staged copy to the cache disk costs disk time too.
   library_->clock()->Advance(options_.disk.AccessSeconds(meta.size));
   if (stats_ != nullptr) {

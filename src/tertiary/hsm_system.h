@@ -7,6 +7,7 @@
 #include <mutex>
 #include <string>
 
+#include "common/fault_injection.h"
 #include "common/statistics.h"
 #include "common/status.h"
 #include "tertiary/tape_library.h"
@@ -18,6 +19,9 @@ struct HsmOptions {
   uint64_t disk_cache_bytes = 4ull << 30;
   /// Cost model of the staging disk.
   DiskProfile disk;
+  /// Bounded retry (with simulated-time backoff) for the tape reads behind
+  /// file staging; transient errors are re-driven before surfacing.
+  RetryPolicy retry;
 };
 
 /// A hierarchical storage management system of the UniTree/ADSM class the

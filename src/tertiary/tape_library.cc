@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "common/fault_injection.h"
 #include "common/logging.h"
 
 namespace heaven {
@@ -23,7 +24,11 @@ TapeLibrary::TapeLibrary(const TapeLibraryOptions& options, Statistics* stats,
     : TapeLibrary(options, stats) {
   env_ = env;
   dir_ = dir;
-  HEAVEN_CHECK_OK(LoadPersistedMedia());
+}
+
+void TapeLibrary::SetFaultInjector(FaultInjector* injector) {
+  std::lock_guard<std::mutex> lock(mu_);
+  injector_ = injector;
 }
 
 std::string TapeLibrary::MediumPath(MediumId medium) const {
@@ -55,17 +60,24 @@ Result<DriveId> TapeLibrary::EnsureLoadedLocked(MediumId medium_id) {
     return medium.drive;
   }
 
+  if (injector_ != nullptr && injector_->ShouldFail(FaultSite::kExchangeJam)) {
+    return Status::IOError("injected robot jam exchanging medium " +
+                           std::to_string(medium_id));
+  }
+
   // One exchange span covers the whole robot action: unloading the LRU
   // victim (when no drive is free) plus fetching and threading `medium`.
   ScopedSpan exchange_span(stats_ != nullptr ? stats_->trace() : nullptr,
                            "tape.exchange");
   const double exchange_start = clock_.Now();
 
-  // Pick a free drive, else unload the least-recently-used one.
+  // Pick a free online drive, else unload the least-recently-used online
+  // one. Offline (failed) drives never serve again — the batch fails over
+  // to the survivors.
   DriveId drive_id = 0;
   bool found_free = false;
   for (DriveId d = 0; d < drives_.size(); ++d) {
-    if (!drives_[d].occupied) {
+    if (!drives_[d].occupied && !drives_[d].offline) {
       drive_id = d;
       found_free = true;
       break;
@@ -73,11 +85,18 @@ Result<DriveId> TapeLibrary::EnsureLoadedLocked(MediumId medium_id) {
   }
   const TapeDriveProfile& profile = options_.profile;
   if (!found_free) {
-    drive_id = 0;
-    for (DriveId d = 1; d < drives_.size(); ++d) {
-      if (drives_[d].last_used_seq < drives_[drive_id].last_used_seq) {
+    bool found_victim = false;
+    for (DriveId d = 0; d < drives_.size(); ++d) {
+      if (drives_[d].offline) continue;
+      if (!found_victim ||
+          drives_[d].last_used_seq < drives_[drive_id].last_used_seq) {
         drive_id = d;
+        found_victim = true;
       }
+    }
+    if (!found_victim) {
+      return Status::IOError("no online tape drives to load medium " +
+                             std::to_string(medium_id));
     }
     Drive& drive = drives_[drive_id];
     media_[drive.medium].loaded = false;
@@ -145,6 +164,18 @@ Result<uint64_t> TapeLibrary::Append(MediumId medium_id,
                                      " is full");
   }
   HEAVEN_ASSIGN_OR_RETURN(DriveId drive_id, EnsureLoadedLocked(medium_id));
+  if (injector_ != nullptr) {
+    if (injector_->ShouldFail(FaultSite::kDriveFailure)) {
+      TakeDriveOfflineLocked(drive_id);
+      return Status::IOError("injected failure of tape drive " +
+                             std::to_string(drive_id) + " writing medium " +
+                             std::to_string(medium_id));
+    }
+    if (injector_->ShouldFail(FaultSite::kTapeWrite)) {
+      return Status::IOError("injected transient write error on medium " +
+                             std::to_string(medium_id));
+    }
+  }
   const uint64_t offset = medium.data.size();
   SeekLocked(drive_id, offset);
   const double transfer_seconds =
@@ -184,6 +215,18 @@ Status TapeLibrary::ReadAt(MediumId medium_id, uint64_t offset, uint64_t n,
     return Status::OutOfRange("read past end of written extent");
   }
   HEAVEN_ASSIGN_OR_RETURN(DriveId drive_id, EnsureLoadedLocked(medium_id));
+  if (injector_ != nullptr) {
+    if (injector_->ShouldFail(FaultSite::kDriveFailure)) {
+      TakeDriveOfflineLocked(drive_id);
+      return Status::IOError("injected failure of tape drive " +
+                             std::to_string(drive_id) + " reading medium " +
+                             std::to_string(medium_id));
+    }
+    if (injector_->ShouldFail(FaultSite::kTapeRead)) {
+      return Status::IOError("injected transient read error on medium " +
+                             std::to_string(medium_id));
+    }
+  }
   SeekLocked(drive_id, offset);
   const double transfer_seconds = options_.profile.TransferSeconds(n);
   {
@@ -197,6 +240,13 @@ Status TapeLibrary::ReadAt(MediumId medium_id, uint64_t offset, uint64_t n,
                             transfer_seconds);
   }
   out->assign(medium.data, offset, n);
+  if (n > 0 && injector_ != nullptr &&
+      injector_->ShouldFail(FaultSite::kBitRot)) {
+    // Silent read-channel corruption: the medium itself stays intact, so a
+    // re-fetch after CRC detection can succeed.
+    const uint64_t victim = injector_->Draw(FaultSite::kBitRot, n);
+    (*out)[victim] = static_cast<char>((*out)[victim] ^ 0x40);
+  }
   drives_[drive_id].head_position = offset + n;
   if (stats_ != nullptr) {
     stats_->Record(Ticker::kTapeReadRequests);
@@ -227,6 +277,55 @@ Status TapeLibrary::EraseMedium(MediumId medium_id) {
     HEAVEN_RETURN_IF_ERROR(medium.file->Truncate(0));
   }
   medium.data.clear();
+  return Status::Ok();
+}
+
+void TapeLibrary::TakeDriveOfflineLocked(DriveId drive_id) {
+  Drive& drive = drives_[drive_id];
+  drive.offline = true;
+  if (drive.occupied) {
+    media_[drive.medium].loaded = false;
+    drive.occupied = false;
+  }
+  if (stats_ != nullptr) stats_->Record(Ticker::kTapeDriveFailures);
+  HEAVEN_LOG(Warning) << "tape drive " << drive_id
+                      << " failed and is offline";
+}
+
+Status TapeLibrary::FailDriveForTesting(DriveId drive_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (drive_id >= drives_.size()) {
+    return Status::InvalidArgument("bad drive id");
+  }
+  if (drives_[drive_id].offline) return Status::Ok();
+  TakeDriveOfflineLocked(drive_id);
+  return Status::Ok();
+}
+
+uint32_t TapeLibrary::OnlineDrives() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint32_t online = 0;
+  for (const Drive& drive : drives_) {
+    if (!drive.offline) ++online;
+  }
+  return online;
+}
+
+Status TapeLibrary::TruncateMediumForRecovery(MediumId medium_id,
+                                              uint64_t end) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (medium_id >= media_.size()) {
+    return Status::InvalidArgument("bad medium id");
+  }
+  Medium& medium = media_[medium_id];
+  if (medium.data.size() <= end) return Status::Ok();
+  medium.data.resize(end);
+  if (medium.file != nullptr) {
+    HEAVEN_RETURN_IF_ERROR(medium.file->Truncate(end));
+  }
+  if (medium.loaded && drives_[medium.drive].head_position > end) {
+    drives_[medium.drive].head_position = end;
+  }
   return Status::Ok();
 }
 

@@ -16,6 +16,8 @@
 
 namespace heaven {
 
+class FaultInjector;
+
 using MediumId = uint32_t;
 using DriveId = uint32_t;
 
@@ -54,14 +56,18 @@ class TapeLibrary {
   TapeLibrary(const TapeLibraryOptions& options, Statistics* stats);
 
   /// Persistent library: media contents are written through to one file
-  /// per cartridge under `dir` and reloaded on construction, so a
-  /// database reopen finds its archive intact.
+  /// per cartridge under `dir`. Call LoadPersistedMedia() after
+  /// construction to reload the archive — kept out of the constructor so a
+  /// damaged backing store surfaces a Status instead of aborting.
   TapeLibrary(const TapeLibraryOptions& options, Statistics* stats, Env* env,
               const std::string& dir);
 
-  /// Loads persisted media contents (called by the persistent ctor; a
-  /// no-op without an Env).
+  /// Loads persisted media contents (a no-op without an Env).
   Status LoadPersistedMedia();
+
+  /// Installs (or clears, with nullptr) the deterministic fault source
+  /// consulted on every read/write/exchange. Not owned.
+  void SetFaultInjector(FaultInjector* injector);
 
   /// Appends `data` to `medium`, returning the start offset of the extent.
   /// Fails with ResourceExhausted when the cartridge is full.
@@ -108,6 +114,20 @@ class TapeLibrary {
   /// hook to exercise end-to-end corruption detection (media decay).
   Status CorruptByteForTesting(MediumId medium, uint64_t offset);
 
+  /// Marks a drive as failed: it goes offline (no future loads) and its
+  /// medium is unloaded. Subsequent operations fail over to the surviving
+  /// drives; with none left, reads/writes return IOError.
+  Status FailDriveForTesting(DriveId drive);
+
+  /// Drives currently able to serve media.
+  uint32_t OnlineDrives() const;
+
+  /// Crash recovery: discards everything written to `medium` beyond
+  /// `end` — both in memory and in the backing file. Used on reopen to
+  /// drop torn or unjournaled append tails. No cost is charged (the robot
+  /// never moved; the bytes simply never happened).
+  Status TruncateMediumForRecovery(MediumId medium, uint64_t end);
+
   /// Simulated seconds consumed by all operations so far.
   double ElapsedSeconds() const { return clock_.Now(); }
   SimClock* clock() { return &clock_; }
@@ -116,6 +136,7 @@ class TapeLibrary {
  private:
   struct Drive {
     bool occupied = false;
+    bool offline = false;  // failed drive: never picked for loads
     MediumId medium = 0;
     uint64_t head_position = 0;
     uint64_t last_used_seq = 0;  // for LRU drive eviction
@@ -134,6 +155,8 @@ class TapeLibrary {
   /// Ensures `medium` is in a drive; pays exchange/load costs. Returns the
   /// drive index. Must be called with mu_ held.
   Result<DriveId> EnsureLoadedLocked(MediumId medium);
+  /// Takes `drive` offline (unloading its medium) and counts the failure.
+  void TakeDriveOfflineLocked(DriveId drive);
   /// Positions the head of `drive` at `offset`, paying seek cost.
   void SeekLocked(DriveId drive, uint64_t offset);
 
@@ -142,6 +165,7 @@ class TapeLibrary {
   Env* env_ = nullptr;        // null => in-memory only
   std::string dir_;
   SimClock clock_;
+  FaultInjector* injector_ = nullptr;  // null => no fault injection
 
   void RecordTraceLocked(TapeTraceEvent::Kind kind, MediumId medium,
                          uint64_t offset, uint64_t bytes, double seconds);

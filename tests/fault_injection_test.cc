@@ -1,0 +1,647 @@
+#include "common/fault_injection.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "common/env.h"
+#include "common/logging.h"
+#include "heaven/export_journal.h"
+#include "heaven/heaven_db.h"
+#include "tertiary/hsm_system.h"
+
+namespace heaven {
+namespace {
+
+MddArray Ramp(const MdInterval& domain, CellType type = CellType::kFloat) {
+  MddArray data(domain, type);
+  data.Generate([](const MdPoint& p) {
+    double v = 0.0;
+    for (size_t d = 0; d < p.dims(); ++d) {
+      v = v * 100.0 + static_cast<double>(p[d] % 50);
+    }
+    return v;
+  });
+  return data;
+}
+
+// ---------------------------------------------------------------------------
+// FaultInjector unit behaviour.
+// ---------------------------------------------------------------------------
+
+TEST(FaultInjectorTest, SameSeedReplaysIdenticalSchedule) {
+  FaultPolicy policy;
+  policy.enabled = true;
+  policy.seed = 1234;
+  policy.tape_read_error_p = 0.3;
+  policy.bit_rot_p = 0.2;
+  FaultInjector a(policy, nullptr);
+  FaultInjector b(policy, nullptr);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_EQ(a.ShouldFail(FaultSite::kTapeRead),
+              b.ShouldFail(FaultSite::kTapeRead));
+    EXPECT_EQ(a.Draw(FaultSite::kBitRot, 97), b.Draw(FaultSite::kBitRot, 97));
+  }
+  EXPECT_EQ(a.injected(), b.injected());
+  EXPECT_GT(a.injected(), 0u);
+}
+
+TEST(FaultInjectorTest, SitesDrawFromIndependentStreams) {
+  // Consuming one site's stream must not shift another site's schedule.
+  FaultPolicy policy;
+  policy.enabled = true;
+  policy.seed = 99;
+  policy.tape_read_error_p = 0.25;
+  policy.tape_write_error_p = 0.25;
+  FaultInjector plain(policy, nullptr);
+  FaultInjector noisy(policy, nullptr);
+  std::vector<bool> plain_seq, noisy_seq;
+  for (int i = 0; i < 200; ++i) {
+    plain_seq.push_back(plain.ShouldFail(FaultSite::kTapeRead));
+    noisy.ShouldFail(FaultSite::kTapeWrite);  // extra traffic on another site
+    noisy_seq.push_back(noisy.ShouldFail(FaultSite::kTapeRead));
+  }
+  EXPECT_EQ(plain_seq, noisy_seq);
+}
+
+TEST(FaultInjectorTest, MaxFaultsCapsInjection) {
+  FaultPolicy policy;
+  policy.enabled = true;
+  policy.seed = 1;
+  policy.max_faults = 3;
+  policy.tape_read_error_p = 1.0;
+  FaultInjector injector(policy, nullptr);
+  int fired = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (injector.ShouldFail(FaultSite::kTapeRead)) ++fired;
+  }
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(injector.injected(), 3u);
+}
+
+TEST(FaultInjectorTest, ZeroProbabilityNeverConsultsStream) {
+  FaultPolicy policy;
+  policy.enabled = true;
+  policy.seed = 7;
+  FaultInjector injector(policy, nullptr);  // all probabilities zero
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(injector.ShouldFail(FaultSite::kTapeRead));
+  }
+  EXPECT_EQ(injector.injected(), 0u);
+}
+
+TEST(RetryPolicyTest, BackoffChargesSimulatedClock) {
+  SimClock clock;
+  Statistics stats;
+  int calls = 0;
+  Status status = RetryTapeOp(RetryPolicy{}, &clock, &stats, [&] {
+    ++calls;
+    return calls < 3 ? Status::IOError("transient") : Status::Ok();
+  });
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(stats.Get(Ticker::kTapeRetries), 2u);
+  EXPECT_DOUBLE_EQ(clock.Now(), 1.0 + 2.0);  // 1s then 2s backoff
+}
+
+TEST(RetryPolicyTest, NonRetryableErrorSurfacesImmediately) {
+  SimClock clock;
+  Statistics stats;
+  int calls = 0;
+  Status status = RetryTapeOp(RetryPolicy{}, &clock, &stats, [&] {
+    ++calls;
+    return Status::Corruption("bad bytes");
+  });
+  EXPECT_TRUE(status.IsCorruption());
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(stats.Get(Ticker::kTapeRetries), 0u);
+  EXPECT_DOUBLE_EQ(clock.Now(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Export journal framing.
+// ---------------------------------------------------------------------------
+
+TEST(ExportJournalTest, RecordsSurviveReopen) {
+  MemEnv env;
+  {
+    auto journal = ExportJournal::Open(&env, "/j");
+    ASSERT_TRUE(journal.ok());
+    EXPECT_TRUE((*journal)->recovered().empty());
+    ASSERT_TRUE((*journal)->LogPending(7).ok());
+    ASSERT_TRUE((*journal)->LogAppend(7, 42, 3, 128, 999).ok());
+    ASSERT_TRUE((*journal)->LogCommitted(7).ok());
+  }
+  auto journal = ExportJournal::Open(&env, "/j");
+  ASSERT_TRUE(journal.ok());
+  const auto& records = (*journal)->recovered();
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].kind, ExportJournalRecord::Kind::kPending);
+  EXPECT_EQ(records[0].object_id, 7u);
+  EXPECT_EQ(records[1].kind, ExportJournalRecord::Kind::kAppend);
+  EXPECT_EQ(records[1].supertile_id, 42u);
+  EXPECT_EQ(records[1].medium, 3u);
+  EXPECT_EQ(records[1].offset, 128u);
+  EXPECT_EQ(records[1].size_bytes, 999u);
+  EXPECT_EQ(records[2].kind, ExportJournalRecord::Kind::kCommitted);
+}
+
+TEST(ExportJournalTest, TornTailIsDiscardedAndTruncated) {
+  MemEnv env;
+  {
+    auto journal = ExportJournal::Open(&env, "/j");
+    ASSERT_TRUE(journal.ok());
+    ASSERT_TRUE((*journal)->LogPending(1).ok());
+    ASSERT_TRUE((*journal)->LogAppend(1, 2, 0, 0, 64).ok());
+  }
+  auto size = env.GetFileSize("/j");
+  ASSERT_TRUE(size.ok());
+  {
+    // Simulate a crash mid-append: half a frame of garbage at the tail.
+    auto file = env.OpenFile("/j");
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE((*file)->WriteAt(*size, "torn-frame-garbage").ok());
+  }
+  auto journal = ExportJournal::Open(&env, "/j");
+  ASSERT_TRUE(journal.ok());
+  EXPECT_EQ((*journal)->recovered().size(), 2u);  // intact prefix only
+  auto truncated = env.GetFileSize("/j");
+  ASSERT_TRUE(truncated.ok());
+  EXPECT_EQ(*truncated, *size);  // torn bytes removed from the file
+}
+
+TEST(ExportJournalTest, CorruptMiddleRecordStopsTheScan) {
+  MemEnv env;
+  {
+    auto journal = ExportJournal::Open(&env, "/j");
+    ASSERT_TRUE(journal.ok());
+    ASSERT_TRUE((*journal)->LogPending(1).ok());
+    ASSERT_TRUE((*journal)->LogPending(2).ok());
+    ASSERT_TRUE((*journal)->LogPending(3).ok());
+  }
+  auto size = env.GetFileSize("/j");
+  ASSERT_TRUE(size.ok());
+  const uint64_t frame = *size / 3;
+  {
+    auto file = env.OpenFile("/j");
+    ASSERT_TRUE(file.ok());
+    std::string byte;
+    ASSERT_TRUE((*file)->ReadAt(frame + 9, 1, &byte).ok());
+    byte[0] ^= 0x01;  // flip one payload bit of the second record
+    ASSERT_TRUE((*file)->WriteAt(frame + 9, byte).ok());
+  }
+  auto journal = ExportJournal::Open(&env, "/j");
+  ASSERT_TRUE(journal.ok());
+  ASSERT_EQ((*journal)->recovered().size(), 1u);
+  EXPECT_EQ((*journal)->recovered()[0].object_id, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end recovery through HeavenDb.
+// ---------------------------------------------------------------------------
+
+class FaultDbTest : public ::testing::Test {
+ protected:
+  void OpenDb(std::function<void(HeavenOptions*)> tweak = nullptr) {
+    db_.reset();
+    HeavenOptions options;
+    options.library.profile = MidTapeProfile();
+    options.library.num_drives = 2;
+    options.library.num_media = 8;
+    options.disk_tile_bytes = 2048;
+    options.supertile_bytes = 16 << 10;
+    if (tweak) tweak(&options);
+    auto db = HeavenDb::Open(env_.get(), "/db", options);
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    db_ = std::move(db).value();
+  }
+
+  void SetUp() override {
+    env_ = std::make_unique<MemEnv>();
+    OpenDb();
+    auto coll = db_->CreateCollection("c");
+    ASSERT_TRUE(coll.ok());
+    collection_ = coll.value();
+  }
+
+  ObjectId Insert(const std::string& name, const MdInterval& domain) {
+    auto id = db_->InsertObject(collection_, name, Ramp(domain));
+    HEAVEN_CHECK(id.ok()) << id.status().ToString();
+    return id.value();
+  }
+
+  // Installs a fresh injector on the tape library mid-run, so faults start
+  // only after the (clean) export finished.
+  void InstallFaults(const FaultPolicy& policy) {
+    injector_ = std::make_unique<FaultInjector>(policy, db_->stats());
+    db_->library()->SetFaultInjector(injector_.get());
+  }
+
+  std::unique_ptr<MemEnv> env_;
+  std::unique_ptr<HeavenDb> db_;
+  std::unique_ptr<FaultInjector> injector_;
+  CollectionId collection_ = 0;
+};
+
+TEST_F(FaultDbTest, TransientReadErrorIsRetriedTransparently) {
+  const MdInterval domain({0, 0}, {29, 29});
+  ObjectId id = Insert("a", domain);
+  ASSERT_TRUE(db_->ExportObject(id).ok());
+  FaultPolicy policy;
+  policy.enabled = true;
+  policy.seed = 5;
+  policy.max_faults = 1;
+  policy.tape_read_error_p = 1.0;
+  InstallFaults(policy);
+  auto read = db_->ReadObject(id);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_EQ(read.value(), Ramp(domain));
+  EXPECT_EQ(db_->stats()->Get(Ticker::kFaultsInjected), 1u);
+  EXPECT_EQ(db_->stats()->Get(Ticker::kTapeRetries), 1u);
+}
+
+TEST_F(FaultDbTest, RetryExhaustionSurfacesPreciseError) {
+  ObjectId id = Insert("a", MdInterval({0, 0}, {19, 19}));
+  ASSERT_TRUE(db_->ExportObject(id).ok());
+  FaultPolicy policy;
+  policy.enabled = true;
+  policy.seed = 5;
+  policy.tape_read_error_p = 1.0;  // unlimited: every attempt fails
+  InstallFaults(policy);
+  auto read = db_->ReadObject(id);
+  ASSERT_FALSE(read.ok());
+  EXPECT_TRUE(read.status().IsIOError()) << read.status().ToString();
+  EXPECT_NE(read.status().ToString().find("super-tile"), std::string::npos)
+      << read.status().ToString();
+  // Default policy: 3 attempts for the one container -> 2 retries.
+  EXPECT_EQ(db_->stats()->Get(Ticker::kTapeRetries), 2u);
+  EXPECT_EQ(db_->stats()->Get(Ticker::kFaultsInjected), 3u);
+  // The failure is graceful: clearing the injector makes the same query work.
+  db_->library()->SetFaultInjector(nullptr);
+  auto retry = db_->ReadObject(id);
+  ASSERT_TRUE(retry.ok()) << retry.status().ToString();
+}
+
+TEST_F(FaultDbTest, BitRotCausesExactlyOneRefetch) {
+  const MdInterval domain({0, 0}, {19, 19});
+  ObjectId id = Insert("a", domain);
+  ASSERT_TRUE(db_->ExportObject(id).ok());
+  FaultPolicy policy;
+  policy.enabled = true;
+  policy.seed = 11;
+  policy.max_faults = 1;
+  policy.bit_rot_p = 1.0;
+  InstallFaults(policy);
+  auto read = db_->ReadObject(id);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_EQ(read.value(), Ramp(domain));  // re-fetch delivered clean bytes
+  EXPECT_EQ(db_->stats()->Get(Ticker::kCrcMismatches), 1u);
+  EXPECT_EQ(db_->stats()->Get(Ticker::kFaultsInjected), 1u);
+}
+
+TEST_F(FaultDbTest, PersistentCorruptionSurfacesCorruptionStatus) {
+  ObjectId id = Insert("a", MdInterval({0, 0}, {19, 19}));
+  ASSERT_TRUE(db_->ExportObject(id).ok());
+  auto registry = db_->RegistrySnapshot();
+  ASSERT_FALSE(registry.empty());
+  const SuperTileMeta& meta = registry[0];
+  ASSERT_TRUE(db_->library()
+                  ->CorruptByteForTesting(meta.medium,
+                                          meta.offset + meta.size_bytes / 2)
+                  .ok());
+  auto read = db_->ReadObject(id);
+  ASSERT_FALSE(read.ok());
+  EXPECT_TRUE(read.status().IsCorruption()) << read.status().ToString();
+  // First fetch mismatches, the re-fetch sees the same rotten medium.
+  EXPECT_EQ(db_->stats()->Get(Ticker::kCrcMismatches), 2u);
+}
+
+TEST_F(FaultDbTest, ForcedDriveFailureFailsOverToSurvivor) {
+  const MdInterval domain({0, 0}, {29, 29});
+  ObjectId id = Insert("a", domain);
+  ASSERT_TRUE(db_->ExportObject(id).ok());
+  ASSERT_TRUE(db_->library()->FailDriveForTesting(0).ok());
+  EXPECT_EQ(db_->library()->OnlineDrives(), 1u);
+  auto read = db_->ReadObject(id);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_EQ(read.value(), Ramp(domain));
+  EXPECT_EQ(db_->stats()->Get(Ticker::kTapeDriveFailures), 1u);
+}
+
+TEST_F(FaultDbTest, InjectedDriveFailureFailsOverViaRetry) {
+  const MdInterval domain({0, 0}, {29, 29});
+  ObjectId id = Insert("a", domain);
+  ASSERT_TRUE(db_->ExportObject(id).ok());
+  FaultPolicy policy;
+  policy.enabled = true;
+  policy.seed = 21;
+  policy.max_faults = 1;
+  policy.drive_failure_p = 1.0;
+  InstallFaults(policy);
+  auto read = db_->ReadObject(id);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_EQ(read.value(), Ramp(domain));
+  EXPECT_EQ(db_->library()->OnlineDrives(), 1u);
+  EXPECT_EQ(db_->stats()->Get(Ticker::kTapeDriveFailures), 1u);
+  EXPECT_GE(db_->stats()->Get(Ticker::kTapeRetries), 1u);
+}
+
+TEST_F(FaultDbTest, AllDrivesDeadDegradesGracefully) {
+  ObjectId id = Insert("a", MdInterval({0, 0}, {19, 19}));
+  ASSERT_TRUE(db_->ExportObject(id).ok());
+  ASSERT_TRUE(db_->library()->FailDriveForTesting(0).ok());
+  ASSERT_TRUE(db_->library()->FailDriveForTesting(1).ok());
+  EXPECT_EQ(db_->library()->OnlineDrives(), 0u);
+  auto read = db_->ReadObject(id);
+  ASSERT_FALSE(read.ok());
+  EXPECT_NE(read.status().ToString().find("no online tape drives"),
+            std::string::npos)
+      << read.status().ToString();
+  // Still no crash on repeated use; on-disk objects stay readable.
+  const MdInterval disk_domain({0}, {49});
+  ObjectId disk_obj = Insert("disk", disk_domain);
+  auto disk_read = db_->ReadObject(disk_obj);
+  ASSERT_TRUE(disk_read.ok());
+  EXPECT_EQ(disk_read.value(), Ramp(disk_domain));
+}
+
+TEST_F(FaultDbTest, ExchangeJamIsRetriedAtTapeLevel) {
+  // One drive, two cartridges: reading medium 0 after writing medium 1
+  // forces an exchange, which jams once and succeeds on retry.
+  Statistics stats;
+  TapeLibraryOptions options;
+  options.profile = MidTapeProfile();
+  options.num_drives = 1;
+  options.num_media = 2;
+  TapeLibrary library(options, &stats);
+  auto off = library.Append(0, "payload-on-medium-zero");
+  ASSERT_TRUE(off.ok());
+  ASSERT_TRUE(library.Append(1, "evicts-medium-zero").ok());
+  FaultPolicy policy;
+  policy.enabled = true;
+  policy.seed = 3;
+  policy.max_faults = 1;
+  policy.exchange_jam_p = 1.0;
+  FaultInjector injector(policy, &stats);
+  library.SetFaultInjector(&injector);
+  std::string out;
+  Status direct = library.ReadAt(0, *off, 22, &out);
+  EXPECT_TRUE(direct.IsIOError()) << direct.ToString();  // the jam itself
+  Status retried = RetryTapeOp(RetryPolicy{}, library.clock(), &stats, [&] {
+    return library.ReadAt(0, *off, 22, &out);
+  });
+  ASSERT_TRUE(retried.ok()) << retried.ToString();
+  EXPECT_EQ(out, "payload-on-medium-zero");
+  EXPECT_EQ(stats.Get(Ticker::kFaultsInjected), 1u);
+}
+
+TEST_F(FaultDbTest, TctStickyErrorPropagatesAndClears) {
+  const MdInterval domain({0, 0}, {29, 29});
+  ObjectId id = 0;
+  OpenDb([](HeavenOptions* options) {
+    options->decoupled_export = true;
+    options->fault_policy.enabled = true;
+    options->fault_policy.seed = 17;
+    options->fault_policy.max_faults = 1;
+    options->fault_policy.tape_write_error_p = 1.0;
+  });
+  auto coll = db_->CreateCollection("c2");
+  ASSERT_TRUE(coll.ok());
+  auto inserted = db_->InsertObject(*coll, "a", Ramp(domain));
+  ASSERT_TRUE(inserted.ok());
+  id = *inserted;
+  ASSERT_TRUE(db_->ExportObject(id).ok());  // enqueue succeeds
+  Status drained = db_->DrainExports();
+  ASSERT_FALSE(drained.ok());  // the injected write error stuck
+  Status sticky = db_->TctLastError();
+  ASSERT_FALSE(sticky.ok());
+  EXPECT_EQ(sticky.ToString(), drained.ToString());
+  // Further exports are refused with the same diagnosis.
+  Status refused = db_->ExportObject(id);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.ToString(), sticky.ToString());
+  // Acknowledge and resume: the single fault has burned out, so the
+  // re-export succeeds and the data reads back intact.
+  db_->ClearTctError();
+  EXPECT_TRUE(db_->TctLastError().ok());
+  ASSERT_TRUE(db_->ExportObject(id).ok());
+  ASSERT_TRUE(db_->DrainExports().ok());
+  auto read = db_->ReadObject(id);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_EQ(read.value(), Ramp(domain));
+  EXPECT_EQ(db_->stats()->Get(Ticker::kFaultsInjected), 1u);
+}
+
+TEST_F(FaultDbTest, DisabledPolicyTakesTheExactLegacyPath) {
+  // A/B: default options vs. an enabled policy with all-zero probabilities.
+  // Clocks, tickers and the span tree must be bit-identical.
+  struct RunResult {
+    std::vector<uint64_t> tickers;
+    double tape_seconds = 0.0;
+    double client_seconds = 0.0;
+    std::vector<std::tuple<std::string, double, double, uint64_t>> spans;
+  };
+  auto run = [](bool enabled_all_zero) {
+    RunResult result;
+    MemEnv env;
+    HeavenOptions options;
+    options.library.profile = MidTapeProfile();
+    options.library.num_drives = 2;
+    options.library.num_media = 8;
+    options.disk_tile_bytes = 2048;
+    options.supertile_bytes = 16 << 10;
+    options.enable_tracing = true;
+    if (enabled_all_zero) {
+      options.fault_policy.enabled = true;
+      options.fault_policy.seed = 42;
+    }
+    auto db = HeavenDb::Open(&env, "/db", options);
+    HEAVEN_CHECK(db.ok());
+    auto coll = (*db)->CreateCollection("c");
+    HEAVEN_CHECK(coll.ok());
+    auto id = (*db)->InsertObject(*coll, "a", Ramp(MdInterval({0, 0}, {29, 29})));
+    HEAVEN_CHECK(id.ok());
+    HEAVEN_CHECK((*db)->ExportObject(*id).ok());
+    HEAVEN_CHECK((*db)->ReadRegion(*id, MdInterval({0, 0}, {9, 9})).ok());
+    HEAVEN_CHECK((*db)->ReadObject(*id).ok());
+    result.tickers = (*db)->stats()->Snapshot();
+    result.tape_seconds = (*db)->TapeSeconds();
+    result.client_seconds = (*db)->ClientSeconds();
+    for (const Span& span : (*db)->stats()->trace()->Spans()) {
+      result.spans.emplace_back(span.name, span.start, span.end, span.bytes);
+    }
+    // Pool threads may finish decode spans in any order within one run;
+    // compare the span multiset, not the collection order.
+    std::sort(result.spans.begin(), result.spans.end());
+    return result;
+  };
+  RunResult legacy = run(false);
+  RunResult instrumented = run(true);
+  EXPECT_EQ(legacy.tickers, instrumented.tickers);
+  EXPECT_EQ(legacy.tape_seconds, instrumented.tape_seconds);
+  EXPECT_EQ(legacy.client_seconds, instrumented.client_seconds);
+  EXPECT_EQ(legacy.spans, instrumented.spans);
+  ASSERT_FALSE(instrumented.tickers.empty());
+  EXPECT_EQ(instrumented.tickers[static_cast<size_t>(Ticker::kFaultsInjected)],
+            0u);
+}
+
+TEST_F(FaultDbTest, SameSeedReplaysTheSameRun) {
+  auto run = [](uint64_t seed) {
+    MemEnv env;
+    HeavenOptions options;
+    options.library.profile = MidTapeProfile();
+    options.library.num_drives = 2;
+    options.library.num_media = 8;
+    options.disk_tile_bytes = 2048;
+    options.supertile_bytes = 16 << 10;
+    options.fault_policy.enabled = true;
+    options.fault_policy.seed = seed;
+    options.fault_policy.tape_read_error_p = 0.2;
+    options.fault_policy.bit_rot_p = 0.1;
+    options.tape_retry.max_attempts = 5;
+    auto db = HeavenDb::Open(&env, "/db", options);
+    HEAVEN_CHECK(db.ok());
+    auto coll = (*db)->CreateCollection("c");
+    HEAVEN_CHECK(coll.ok());
+    auto id = (*db)->InsertObject(*coll, "a", Ramp(MdInterval({0, 0}, {29, 29})));
+    HEAVEN_CHECK(id.ok());
+    HEAVEN_CHECK((*db)->ExportObject(*id).ok());
+    Status read = (*db)->ReadObject(*id).status();
+    return std::make_tuple((*db)->stats()->Snapshot(), (*db)->TapeSeconds(),
+                           read.ToString());
+  };
+  EXPECT_EQ(run(9), run(9));
+}
+
+TEST_F(FaultDbTest, FaultCountersAppearInJsonStats) {
+  ObjectId id = Insert("a", MdInterval({0, 0}, {19, 19}));
+  ASSERT_TRUE(db_->ExportObject(id).ok());
+  FaultPolicy policy;
+  policy.enabled = true;
+  policy.seed = 5;
+  policy.max_faults = 1;
+  policy.tape_read_error_p = 1.0;
+  InstallFaults(policy);
+  ASSERT_TRUE(db_->ReadObject(id).ok());
+  const std::string json = db_->stats()->ToJson();
+  EXPECT_NE(json.find("\"fault.injected\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"tape.retries\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"supertile.crc_mismatches\""), std::string::npos);
+  EXPECT_NE(json.find("\"tape.drive_failures\""), std::string::npos);
+}
+
+TEST(HsmFaultTest, StagingRetriesTransientTapeErrors) {
+  Statistics stats;
+  TapeLibraryOptions options;
+  options.profile = MidTapeProfile();
+  options.num_drives = 1;
+  options.num_media = 2;
+  TapeLibrary library(options, &stats);
+  HsmOptions hsm_options;
+  hsm_options.disk = DiskProfile{};
+  HsmSystem hsm(&library, hsm_options, &stats);
+  const std::string payload(4096, 'x');
+  ASSERT_TRUE(hsm.StoreFile("f", payload).ok());
+  if (hsm.IsStaged("f")) {
+    ASSERT_TRUE(hsm.PurgeFile("f").ok());
+  }
+  FaultPolicy policy;
+  policy.enabled = true;
+  policy.seed = 13;
+  policy.max_faults = 1;
+  policy.tape_read_error_p = 1.0;
+  FaultInjector injector(policy, &stats);
+  library.SetFaultInjector(&injector);
+  auto read = hsm.ReadFile("f");
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_EQ(*read, payload);
+  EXPECT_EQ(stats.Get(Ticker::kTapeRetries), 1u);
+  EXPECT_EQ(stats.Get(Ticker::kFaultsInjected), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Crash-safe decoupled export: kill the process at every write point of the
+// export and verify the reopened database recovers a consistent archive.
+// ---------------------------------------------------------------------------
+
+TEST(CrashRecoveryTest, KillAndReopenAtEveryWritePoint) {
+  const MdInterval domain({0, 0}, {49, 49});
+  auto make_options = [] {
+    HeavenOptions options;
+    options.library.profile = MidTapeProfile();
+    options.library.num_drives = 2;
+    options.library.num_media = 4;
+    options.disk_tile_bytes = 2048;
+    options.supertile_bytes = 8 << 10;
+    options.decoupled_export = true;
+    return options;
+  };
+
+  // Dry run: count the writes a full decoupled export issues.
+  uint64_t export_writes = 0;
+  {
+    MemEnv base;
+    FaultInjectionEnv env(&base);
+    auto db = HeavenDb::Open(&env, "/db", make_options());
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    auto coll = (*db)->CreateCollection("c");
+    ASSERT_TRUE(coll.ok());
+    auto id = (*db)->InsertObject(*coll, "a", Ramp(domain));
+    ASSERT_TRUE(id.ok());
+    const uint64_t before = env.writes_issued();
+    ASSERT_TRUE((*db)->ExportObject(*id).ok());
+    ASSERT_TRUE((*db)->DrainExports().ok());
+    export_writes = env.writes_issued() - before;
+  }
+  ASSERT_GT(export_writes, 0u);
+  ASSERT_LT(export_writes, 300u) << "sweep would be too slow";
+
+  for (uint64_t limit = 1; limit <= export_writes; ++limit) {
+    SCOPED_TRACE("crash after " + std::to_string(limit) + " writes");
+    MemEnv base;
+    FaultInjectionEnv env(&base);
+    ObjectId id = 0;
+    {
+      auto db = HeavenDb::Open(&env, "/db", make_options());
+      ASSERT_TRUE(db.ok()) << db.status().ToString();
+      auto coll = (*db)->CreateCollection("c");
+      ASSERT_TRUE(coll.ok());
+      auto inserted = (*db)->InsertObject(*coll, "a", Ramp(domain));
+      ASSERT_TRUE(inserted.ok());
+      id = *inserted;
+      env.SetWriteLimit(limit);  // the power cut is armed
+      Status exported = (*db)->ExportObject(id);
+      if (exported.ok()) (void)(*db)->DrainExports();  // may fail: that IS the crash
+      env.ClearWriteLimit();
+      // Destruction = the kill; whatever the limit let through is all that
+      // survives on "disk".
+    }
+    auto db = HeavenDb::Open(&env, "/db", make_options());
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    ASSERT_TRUE((*db)->DrainExports().ok());  // recovery re-drives the export
+    auto read = (*db)->ReadObject(id);
+    ASSERT_TRUE(read.ok()) << read.status().ToString();
+    EXPECT_EQ(read.value(), Ramp(domain));  // no lost committed object
+    // No duplicate or orphaned containers: every byte on tape is referenced
+    // by exactly one registry extent.
+    uint64_t used = 0;
+    for (uint32_t m = 0; m < make_options().library.num_media; ++m) {
+      auto bytes = (*db)->library()->MediumUsedBytes(m);
+      ASSERT_TRUE(bytes.ok());
+      used += *bytes;
+    }
+    uint64_t live = 0;
+    for (const SuperTileMeta& meta : (*db)->RegistrySnapshot()) {
+      live += meta.size_bytes;
+    }
+    EXPECT_EQ(used, live);
+  }
+}
+
+}  // namespace
+}  // namespace heaven

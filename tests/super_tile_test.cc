@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include "common/coding.h"
+#include "storage/serialize.h"
+
 namespace heaven {
 namespace {
 
@@ -99,6 +102,7 @@ TEST(SuperTileMetaTest, RegistrySerializationRoundTrip) {
   metas[0].size_bytes = 4096;
   metas[0].hull = MdInterval({0, 0}, {9, 9});
   metas[0].tile_ids = {10, 11, 12};
+  metas[0].crc32c = 0xdeadbeef;
   metas[1].id = 2;
   metas[1].object_id = 5;
   metas[1].medium = 0;
@@ -113,6 +117,30 @@ TEST(SuperTileMetaTest, RegistrySerializationRoundTrip) {
   EXPECT_EQ((*restored)[0].tile_ids, (std::vector<TileId>{10, 11, 12}));
   EXPECT_EQ((*restored)[1].hull, MdInterval({10, 0}, {19, 9}));
   EXPECT_EQ((*restored)[0].offset, 1024u);
+  EXPECT_EQ((*restored)[0].crc32c, 0xdeadbeefu);
+  EXPECT_EQ((*restored)[1].crc32c, 0u);
+}
+
+TEST(SuperTileMetaTest, LegacyV1RegistryImageStillDecodes) {
+  // A pre-checksum registry image: no version tag, count first, no crc32c
+  // field per entry. Decoding must succeed with crc32c == 0 (unknown).
+  std::string image;
+  PutFixed64(&image, 1);       // count (below the version-tag sentinel)
+  PutFixed64(&image, 7);       // id
+  PutFixed64(&image, 5);       // object_id
+  PutFixed32(&image, 2);       // medium
+  PutFixed64(&image, 512);     // offset
+  PutFixed64(&image, 2048);    // size_bytes
+  EncodeInterval(&image, MdInterval({0}, {9}));
+  PutFixed32(&image, 1);       // tile count
+  PutFixed64(&image, 42);      // tile id
+  auto restored = DeserializeSuperTileMetas(image);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  ASSERT_EQ(restored->size(), 1u);
+  EXPECT_EQ((*restored)[0].id, 7u);
+  EXPECT_EQ((*restored)[0].size_bytes, 2048u);
+  EXPECT_EQ((*restored)[0].crc32c, 0u);
+  EXPECT_EQ((*restored)[0].tile_ids, (std::vector<TileId>{42}));
 }
 
 TEST(SuperTileMetaTest, EmptyImageYieldsEmptyRegistry) {

@@ -212,9 +212,11 @@ TEST(TapeLibraryTest, PersistentMediaSurviveReconstruction) {
   Statistics stats;
   {
     TapeLibrary library(SmallLibrary(), &stats, &env, "/tapes");
+    ASSERT_TRUE(library.LoadPersistedMedia().ok());
     ASSERT_TRUE(library.Append(1, "archived forever").ok());
   }
   TapeLibrary reopened(SmallLibrary(), &stats, &env, "/tapes");
+  ASSERT_TRUE(reopened.LoadPersistedMedia().ok());
   std::string out;
   ASSERT_TRUE(reopened.ReadAt(1, 0, 16, &out).ok());
   EXPECT_EQ(out, "archived forever");
@@ -228,10 +230,12 @@ TEST(TapeLibraryTest, PersistentEraseSurvivesReconstruction) {
   Statistics stats;
   {
     TapeLibrary library(SmallLibrary(), &stats, &env, "/tapes");
+    ASSERT_TRUE(library.LoadPersistedMedia().ok());
     ASSERT_TRUE(library.Append(0, "doomed").ok());
     ASSERT_TRUE(library.EraseMedium(0).ok());
   }
   TapeLibrary reopened(SmallLibrary(), &stats, &env, "/tapes");
+  ASSERT_TRUE(reopened.LoadPersistedMedia().ok());
   auto used = reopened.MediumUsedBytes(0);
   ASSERT_TRUE(used.ok());
   EXPECT_EQ(*used, 0u);
