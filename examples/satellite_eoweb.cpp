@@ -91,8 +91,9 @@ int main() {
   // A 1:8 preview for the catalogue page, computed near the data.
   auto preview = ScaleDown(*order, 8);
   if (!preview.ok()) return 1;
+  auto mean_dn = Condense(*preview, Condenser::kAvg);
+  if (!mean_dn.ok()) return 1;
   std::printf("== preview: %s, mean DN %.1f\n",
-              preview->domain().ToString().c_str(),
-              Condense(*preview, Condenser::kAvg));
+              preview->domain().ToString().c_str(), *mean_dn);
   return 0;
 }

@@ -12,7 +12,18 @@
 # storm (100 seeds instead of the in-tree 50) under ASan+UBSan, so injected
 # failure paths are exercised with memory checking on.
 #
+# --analyze runs the static-enforcement shard: a clang build of all of src/
+# with thread-safety analysis promoted to errors, a two-sided compile check
+# that the analysis has teeth (tests/tsa_negative_check.cc), and clang-tidy
+# over src/ when available. Skipped with a notice when clang++ is not
+# installed (GCC cannot run the analysis).
+#
+# --ubsan builds a standalone UndefinedBehaviorSanitizer shard (distinct
+# from the ASan shard, whose UBSan runs without -fno-sanitize-recover) and
+# runs the concurrency- and arithmetic-heavy tests under it.
+#
 # Usage: scripts/check.sh [--no-asan] [--no-tsan] [--bench-smoke] [--faults]
+#                         [--analyze] [--ubsan]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -21,15 +32,22 @@ RUN_ASAN=1
 RUN_TSAN=1
 RUN_BENCH_SMOKE=0
 RUN_FAULTS=0
+RUN_ANALYZE=0
+RUN_UBSAN=0
 for arg in "$@"; do
   case "$arg" in
     --no-asan) RUN_ASAN=0 ;;
     --no-tsan) RUN_TSAN=0 ;;
     --bench-smoke) RUN_BENCH_SMOKE=1 ;;
     --faults) RUN_FAULTS=1 ;;
+    --analyze) RUN_ANALYZE=1 ;;
+    --ubsan) RUN_UBSAN=1 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
 done
+
+echo "== lint =="
+scripts/lint.sh
 
 echo "== tier-1: build =="
 cmake -B build -S . >/dev/null
@@ -70,6 +88,59 @@ if [[ "$RUN_FAULTS" == 1 ]]; then
   ./build-asan/tests/fault_injection_test
   HEAVEN_FAULT_STORM_SEEDS=100 ./build-asan/tests/concurrency_stress_test \
       --gtest_filter='FaultStormTest.*'
+fi
+
+if [[ "$RUN_ANALYZE" == 1 ]]; then
+  echo "== static analysis shard (clang thread-safety) =="
+  if ! command -v clang++ >/dev/null 2>&1; then
+    echo "-- clang++ not found; skipping the thread-safety analysis shard"
+    echo "   (install clang to run it; CI always does)"
+  else
+    TSA_FLAGS="-Werror=thread-safety -Werror=thread-safety-beta"
+    cmake -B build-analyze -S . -DCMAKE_CXX_COMPILER=clang++ \
+        -DCMAKE_BUILD_TYPE=Debug -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+        -DCMAKE_CXX_FLAGS="$TSA_FLAGS" >/dev/null
+    cmake --build build-analyze -j"$(nproc)" \
+        --target heaven_common heaven_array heaven_storage heaven_tertiary \
+                 heaven_core heaven_rasql
+
+    echo "-- negative compile check (the analysis must have teeth)"
+    TSA_CHECK="clang++ -std=c++20 -Isrc -fsyntax-only \
+        -Wthread-safety -Wthread-safety-beta $TSA_FLAGS \
+        tests/tsa_negative_check.cc"
+    # Positive control: the snippet's correct half compiles cleanly.
+    $TSA_CHECK
+    # Negative control: the misuse half must be rejected.
+    if $TSA_CHECK -DHEAVEN_TSA_NEGATIVE_TEST 2>/dev/null; then
+      echo "FAIL: tsa_negative_check.cc compiled with" \
+           "-DHEAVEN_TSA_NEGATIVE_TEST — thread-safety analysis is not" \
+           "catching violations" >&2
+      exit 1
+    fi
+    echo "-- negative compile check rejected the misuse, as it must"
+
+    if command -v clang-tidy >/dev/null 2>&1; then
+      echo "-- clang-tidy (src/)"
+      find src -name '*.cc' -print0 \
+        | xargs -0 -P "$(nproc)" -n 4 clang-tidy -p build-analyze --quiet
+    else
+      echo "-- clang-tidy not found; skipping"
+    fi
+  fi
+fi
+
+if [[ "$RUN_UBSAN" == 1 ]]; then
+  echo "== sanitizer shard (UBSan, standalone) =="
+  cmake -B build-ubsan -S . -DHEAVEN_UBSAN=ON -DCMAKE_BUILD_TYPE=Debug \
+      >/dev/null
+  cmake --build build-ubsan -j"$(nproc)" \
+      --target thread_annotations_test concurrency_stress_test \
+               heaven_db_test super_tile_test compression_test
+  ./build-ubsan/tests/thread_annotations_test
+  ./build-ubsan/tests/concurrency_stress_test
+  ./build-ubsan/tests/heaven_db_test
+  ./build-ubsan/tests/super_tile_test
+  ./build-ubsan/tests/compression_test
 fi
 
 if [[ "$RUN_BENCH_SMOKE" == 1 ]]; then

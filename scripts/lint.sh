@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Source lints that need no compiler — cheap enough to run on every commit.
+#
+#  1. Raw standard-library lock primitives are banned in src/ outside the
+#     two wrapper headers. Everything must go through heaven::Mutex /
+#     heaven::SharedMutex / RecursiveSharedMutex and the scoped guards in
+#     common/thread_annotations.h, or Clang thread-safety analysis cannot
+#     see the lock discipline.
+#  2. HEAVEN_CHECK on a Status/Result is banned in src/: aborting on a
+#     fallible operation hides recoverable I/O errors. Propagate with
+#     HEAVEN_RETURN_IF_ERROR / HEAVEN_ASSIGN_OR_RETURN instead. (Tests may
+#     still assert on .ok().)
+#  3. Every header under src/ carries an include guard derived from its
+#     path: src/foo/bar.h -> HEAVEN_FOO_BAR_H_.
+#
+# Usage: scripts/lint.sh
+set -uo pipefail
+
+cd "$(dirname "$0")/.."
+
+fail=0
+
+note() {
+  echo "lint: $1" >&2
+  echo "$2" >&2
+  fail=1
+}
+
+# --- 1. raw lock primitives -------------------------------------------------
+allowed='src/common/thread_annotations\.h|src/common/rw_mutex\.h'
+pattern='std::(mutex|shared_mutex|recursive_mutex|condition_variable(_any)?|lock_guard|unique_lock|shared_lock|scoped_lock)\b'
+hits=$(grep -rnE "$pattern" src/ --include='*.h' --include='*.cc' \
+         | grep -vE "^($allowed):" || true)
+if [[ -n "$hits" ]]; then
+  note "raw std lock primitives in src/ (use common/thread_annotations.h wrappers):" "$hits"
+fi
+
+# --- 2. CHECK on fallible operations ---------------------------------------
+hits=$(grep -rnE 'HEAVEN_CHECK\([^)]*\.(ok|status)\(\)' src/ || true)
+if [[ -n "$hits" ]]; then
+  note "HEAVEN_CHECK on a Status/Result in src/ (propagate the error instead):" "$hits"
+fi
+
+# --- 3. header guards match paths -------------------------------------------
+while IFS= read -r header; do
+  guard="HEAVEN_$(echo "${header#src/}" | tr 'a-z/.' 'A-Z__')_"
+  if ! grep -q "#ifndef ${guard}\$" "$header"; then
+    note "header guard mismatch:" "  $header expects #ifndef $guard"
+  fi
+done < <(find src -name '*.h' | sort)
+
+if [[ "$fail" != 0 ]]; then
+  echo "lint: FAILED" >&2
+  exit 1
+fi
+echo "lint: ok"

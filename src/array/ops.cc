@@ -162,10 +162,8 @@ std::string CondenserName(Condenser c) {
   return "unknown";
 }
 
-double Condense(const MddArray& a, Condenser c) {
-  Result<double> result = CondenseRegion(a, c, a.domain());
-  HEAVEN_CHECK(result.ok());
-  return result.value();
+Result<double> Condense(const MddArray& a, Condenser c) {
+  return CondenseRegion(a, c, a.domain());
 }
 
 Result<double> CondenseRegion(const MddArray& a, Condenser c,

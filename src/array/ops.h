@@ -52,7 +52,7 @@ enum class Condenser { kSum, kAvg, kMin, kMax, kCount };
 std::string CondenserName(Condenser c);
 
 /// Aggregates all cells of `a`.
-double Condense(const MddArray& a, Condenser c);
+Result<double> Condense(const MddArray& a, Condenser c);
 
 /// Aggregates the cells of `region` only (region must lie in a.domain()).
 Result<double> CondenseRegion(const MddArray& a, Condenser c,

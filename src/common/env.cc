@@ -131,7 +131,7 @@ class MemFile : public File {
       : data_(std::move(data)) {}
 
   Status ReadAt(uint64_t offset, size_t n, std::string* out) override {
-    std::lock_guard<std::mutex> lock(data_->mu);
+    MutexLock lock(data_->mu);
     if (offset + n > data_->contents.size()) {
       return Status::Corruption("short read past EOF");
     }
@@ -140,7 +140,7 @@ class MemFile : public File {
   }
 
   Status WriteAt(uint64_t offset, std::string_view data) override {
-    std::lock_guard<std::mutex> lock(data_->mu);
+    MutexLock lock(data_->mu);
     if (offset + data.size() > data_->contents.size()) {
       data_->contents.resize(offset + data.size(), '\0');
     }
@@ -149,18 +149,18 @@ class MemFile : public File {
   }
 
   Status Append(std::string_view data) override {
-    std::lock_guard<std::mutex> lock(data_->mu);
+    MutexLock lock(data_->mu);
     data_->contents.append(data);
     return Status::Ok();
   }
 
   Result<uint64_t> Size() override {
-    std::lock_guard<std::mutex> lock(data_->mu);
+    MutexLock lock(data_->mu);
     return static_cast<uint64_t>(data_->contents.size());
   }
 
   Status Truncate(uint64_t size) override {
-    std::lock_guard<std::mutex> lock(data_->mu);
+    MutexLock lock(data_->mu);
     data_->contents.resize(size, '\0');
     return Status::Ok();
   }
@@ -179,7 +179,7 @@ Env* Env::Default() {
 }
 
 Result<std::unique_ptr<File>> MemEnv::OpenFile(const std::string& path) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = files_.find(path);
   if (it == files_.end()) {
     it = files_.emplace(path, std::make_shared<FileData>()).first;
@@ -188,12 +188,12 @@ Result<std::unique_ptr<File>> MemEnv::OpenFile(const std::string& path) {
 }
 
 bool MemEnv::FileExists(const std::string& path) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return files_.count(path) > 0;
 }
 
 Status MemEnv::DeleteFile(const std::string& path) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (files_.erase(path) == 0) return Status::NotFound(path);
   return Status::Ok();
 }
@@ -204,7 +204,7 @@ Status MemEnv::CreateDirIfMissing(const std::string& path) {
 }
 
 Result<std::vector<std::string>> MemEnv::ListDir(const std::string& path) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::string prefix = path;
   if (!prefix.empty() && prefix.back() != '/') prefix.push_back('/');
   std::vector<std::string> names;
@@ -217,10 +217,10 @@ Result<std::vector<std::string>> MemEnv::ListDir(const std::string& path) {
 }
 
 Result<uint64_t> MemEnv::GetFileSize(const std::string& path) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = files_.find(path);
   if (it == files_.end()) return Status::NotFound(path);
-  std::lock_guard<std::mutex> file_lock(it->second->mu);
+  MutexLock file_lock(it->second->mu);
   return static_cast<uint64_t>(it->second->contents.size());
 }
 

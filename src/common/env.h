@@ -4,11 +4,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace heaven {
 
@@ -64,13 +64,13 @@ class MemEnv : public Env {
   /// Shared backing buffer of one in-memory file (public so file handles in
   /// the implementation can reference it).
   struct FileData {
-    std::string contents;
-    std::mutex mu;
+    Mutex mu;
+    std::string contents GUARDED_BY(mu);
   };
 
  private:
-  std::mutex mu_;
-  std::map<std::string, std::shared_ptr<FileData>> files_;
+  Mutex mu_;
+  std::map<std::string, std::shared_ptr<FileData>> files_ GUARDED_BY(mu_);
 };
 
 }  // namespace heaven

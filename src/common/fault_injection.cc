@@ -70,7 +70,7 @@ bool FaultInjector::ShouldFail(FaultSite site) {
   if (!policy_.enabled) return false;
   const double p = SiteProbability(site);
   if (p <= 0.0) return false;  // never touches the stream
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (policy_.max_faults != 0 && injected_ >= policy_.max_faults) return false;
   if (rngs_[static_cast<int>(site)].NextDouble() >= p) return false;
   ++injected_;
@@ -79,12 +79,12 @@ bool FaultInjector::ShouldFail(FaultSite site) {
 }
 
 uint64_t FaultInjector::Draw(FaultSite site, uint64_t bound) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return rngs_[static_cast<int>(site)].Uniform(bound);
 }
 
 uint64_t FaultInjector::injected() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return injected_;
 }
 
@@ -172,26 +172,26 @@ Result<uint64_t> FaultInjectionEnv::GetFileSize(const std::string& path) {
 }
 
 void FaultInjectionEnv::SetWriteLimit(uint64_t remaining_writes) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   has_limit_ = true;
   remaining_writes_ = remaining_writes;
 }
 
 void FaultInjectionEnv::ClearWriteLimit() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   has_limit_ = false;
   remaining_writes_ = 0;
 }
 
 uint64_t FaultInjectionEnv::writes_issued() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return writes_issued_;
 }
 
 Status FaultInjectionEnv::CheckWrite(size_t n, size_t* allowed_prefix) {
   *allowed_prefix = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++writes_issued_;
     if (has_limit_) {
       if (remaining_writes_ == 0) {
@@ -218,7 +218,7 @@ Status FaultInjectionEnv::CheckWrite(size_t n, size_t* allowed_prefix) {
 
 Status FaultInjectionEnv::CheckSync() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (has_limit_ && remaining_writes_ == 0) {
       return Status::IOError("injected crash: sync after write limit");
     }

@@ -3,7 +3,6 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -12,6 +11,7 @@
 #include "common/sim_clock.h"
 #include "common/statistics.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace heaven {
 
@@ -85,9 +85,9 @@ class FaultInjector {
 
   FaultPolicy policy_;
   Statistics* stats_;
-  mutable std::mutex mu_;
-  std::vector<Rng> rngs_;  // one stream per FaultSite
-  uint64_t injected_ = 0;
+  mutable Mutex mu_;
+  std::vector<Rng> rngs_ GUARDED_BY(mu_);  // one stream per FaultSite
+  uint64_t injected_ GUARDED_BY(mu_) = 0;
 };
 
 /// Bounded-retry policy for tertiary-storage operations. The backoff is
@@ -169,10 +169,10 @@ class FaultInjectionEnv : public Env {
  private:
   Env* base_;
   FaultInjector injector_;
-  mutable std::mutex mu_;
-  bool has_limit_ = false;
-  uint64_t remaining_writes_ = 0;
-  uint64_t writes_issued_ = 0;
+  mutable Mutex mu_;
+  bool has_limit_ GUARDED_BY(mu_) = false;
+  uint64_t remaining_writes_ GUARDED_BY(mu_) = 0;
+  uint64_t writes_issued_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace heaven

@@ -69,7 +69,7 @@ double Histogram::BucketHigh(int bucket) {
 void Histogram::Record(double value) {
   if (std::isnan(value)) return;
   if (value < 0.0) value = 0.0;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   buckets_[static_cast<size_t>(BucketFor(value))] += 1;
   if (count_ == 0 || value < min_) min_ = value;
   if (count_ == 0 || value > max_) max_ = value;
@@ -78,7 +78,7 @@ void Histogram::Record(double value) {
 }
 
 void Histogram::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   buckets_.fill(0);
   count_ = 0;
   min_ = 0.0;
@@ -87,27 +87,27 @@ void Histogram::Reset() {
 }
 
 uint64_t Histogram::count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return count_;
 }
 
 double Histogram::min() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return min_;
 }
 
 double Histogram::max() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return max_;
 }
 
 double Histogram::sum() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return sum_;
 }
 
 double Histogram::mean() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
 }
 
@@ -135,12 +135,12 @@ double Histogram::PercentileLocked(double p) const {
 }
 
 double Histogram::Percentile(double p) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return PercentileLocked(p);
 }
 
 HistogramData Histogram::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   HistogramData data;
   data.count = count_;
   data.min = min_;

@@ -3,8 +3,9 @@
 
 #include <array>
 #include <cstdint>
-#include <mutex>
 #include <string>
+
+#include "common/thread_annotations.h"
 
 namespace heaven {
 
@@ -92,14 +93,14 @@ class Histogram {
   static double BucketLow(int bucket);
   static double BucketHigh(int bucket);
 
-  double PercentileLocked(double p) const;
+  double PercentileLocked(double p) const REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::array<uint64_t, kNumBuckets> buckets_ = {};
-  uint64_t count_ = 0;
-  double min_ = 0.0;
-  double max_ = 0.0;
-  double sum_ = 0.0;
+  mutable Mutex mu_;
+  std::array<uint64_t, kNumBuckets> buckets_ GUARDED_BY(mu_) = {};
+  uint64_t count_ GUARDED_BY(mu_) = 0;
+  double min_ GUARDED_BY(mu_) = 0.0;
+  double max_ GUARDED_BY(mu_) = 0.0;
+  double sum_ GUARDED_BY(mu_) = 0.0;
 };
 
 }  // namespace heaven

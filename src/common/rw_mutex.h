@@ -4,6 +4,10 @@
 #include <atomic>
 #include <shared_mutex>
 #include <thread>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "common/thread_annotations.h"
 
 namespace heaven {
 
@@ -16,76 +20,123 @@ namespace heaven {
 /// shared side, while independent queries must be able to proceed
 /// concurrently under shared ownership.
 ///
-/// Constraints (checked by design, not at runtime):
-///  - Shared ownership is NOT recursive across a waiting writer: a thread
-///    holding only shared ownership must not call lock_shared() again.
-///    HeavenDb's read paths never nest (ReadRegion/ReadFrame/ReadRegions
-///    do not call one another).
-///  - No upgrade: a shared holder must not call lock().
-class RecursiveSharedMutex {
+/// Capability-annotated: guard it with ReaderLock / WriterLock and let
+/// clang's thread-safety analysis check GUARDED_BY / REQUIRES discipline.
+/// Two constraints the analysis cannot express (it neither models
+/// recursion nor distinguishes a *second* shared acquisition from a first)
+/// are checked at runtime in debug builds instead:
+///  - Shared ownership is NOT recursive: a thread holding only shared
+///    ownership must not call LockShared() again — a writer waiting
+///    between the two acquisitions deadlocks them. HeavenDb's read paths
+///    never nest (ReadRegion/ReadFrame/ReadRegions do not call one
+///    another).
+///  - No upgrade: a shared holder must not call Lock().
+class CAPABILITY("recursive_shared_mutex") RecursiveSharedMutex {
  public:
   RecursiveSharedMutex() = default;
   RecursiveSharedMutex(const RecursiveSharedMutex&) = delete;
   RecursiveSharedMutex& operator=(const RecursiveSharedMutex&) = delete;
 
-  void lock() {
+  void Lock() ACQUIRE() {
     const std::thread::id me = std::this_thread::get_id();
     if (writer_.load(std::memory_order_relaxed) == me) {
       ++depth_;
       return;
     }
+    HEAVEN_DCHECK(DebugSharedDepth() == 0)
+        << "RecursiveSharedMutex: Lock() while holding shared ownership "
+           "(reader upgrade) deadlocks against a concurrent writer";
     mu_.lock();
     writer_.store(me, std::memory_order_relaxed);
     depth_ = 1;
   }
 
-  bool try_lock() {
+  bool TryLock() TRY_ACQUIRE(true) {
     const std::thread::id me = std::this_thread::get_id();
     if (writer_.load(std::memory_order_relaxed) == me) {
       ++depth_;
       return true;
     }
+    HEAVEN_DCHECK(DebugSharedDepth() == 0)
+        << "RecursiveSharedMutex: TryLock() while holding shared ownership";
     if (!mu_.try_lock()) return false;
     writer_.store(me, std::memory_order_relaxed);
     depth_ = 1;
     return true;
   }
 
-  void unlock() {
+  void Unlock() RELEASE() {
     if (--depth_ == 0) {
       writer_.store(std::thread::id(), std::memory_order_relaxed);
       mu_.unlock();
     }
   }
 
-  void lock_shared() {
+  void LockShared() ACQUIRE_SHARED() {
     if (writer_.load(std::memory_order_relaxed) ==
         std::this_thread::get_id()) {
       ++depth_;  // reader inside writer: exclusive already covers it
       return;
     }
+    HEAVEN_DCHECK(DebugSharedDepth() == 0)
+        << "RecursiveSharedMutex: recursive LockShared() deadlocks against "
+           "a writer waiting between the two shared acquisitions";
     mu_.lock_shared();
+    DebugNoteSharedAcquired();
   }
 
-  bool try_lock_shared() {
+  bool TryLockShared() TRY_ACQUIRE_SHARED(true) {
     if (writer_.load(std::memory_order_relaxed) ==
         std::this_thread::get_id()) {
       ++depth_;
       return true;
     }
-    return mu_.try_lock_shared();
+    HEAVEN_DCHECK(DebugSharedDepth() == 0)
+        << "RecursiveSharedMutex: recursive TryLockShared()";
+    if (!mu_.try_lock_shared()) return false;
+    DebugNoteSharedAcquired();
+    return true;
   }
 
-  void unlock_shared() {
+  void UnlockShared() RELEASE_SHARED() {
     if (writer_.load(std::memory_order_relaxed) ==
         std::this_thread::get_id()) {
       --depth_;
       return;
     }
+    DebugNoteSharedReleased();
     mu_.unlock_shared();
   }
 
  private:
+  /// Debug-only per-(thread, mutex) shared-hold depth, backing the two
+  /// runtime asserts above. Release builds never touch the map.
+#ifndef NDEBUG
+  static std::unordered_map<const RecursiveSharedMutex*, int>&
+  DebugSharedDepths() {
+    static thread_local std::unordered_map<const RecursiveSharedMutex*, int>
+        depths;
+    return depths;
+  }
+  int DebugSharedDepth() const {
+    const auto& depths = DebugSharedDepths();
+    const auto it = depths.find(this);
+    return it == depths.end() ? 0 : it->second;
+  }
+  void DebugNoteSharedAcquired() const { ++DebugSharedDepths()[this]; }
+  void DebugNoteSharedReleased() const {
+    auto& depths = DebugSharedDepths();
+    const auto it = depths.find(this);
+    HEAVEN_DCHECK(it != depths.end() && it->second > 0)
+        << "RecursiveSharedMutex: UnlockShared() without shared ownership";
+    if (it != depths.end() && --it->second == 0) depths.erase(it);
+  }
+#else
+  int DebugSharedDepth() const { return 0; }
+  void DebugNoteSharedAcquired() const {}
+  void DebugNoteSharedReleased() const {}
+#endif
+
   std::shared_mutex mu_;
   /// Id of the thread holding mu_ exclusively (default id = none). Only
   /// the owner stores its own id, and clears it before releasing mu_, so

@@ -1,7 +1,7 @@
 #ifndef HEAVEN_COMMON_SIM_CLOCK_H_
 #define HEAVEN_COMMON_SIM_CLOCK_H_
 
-#include <mutex>
+#include "common/thread_annotations.h"
 
 namespace heaven {
 
@@ -17,23 +17,23 @@ class SimClock {
   SimClock() = default;
 
   void Advance(double seconds) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     now_ += seconds;
   }
 
   double Now() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return now_;
   }
 
   void Reset() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     now_ = 0.0;
   }
 
  private:
-  mutable std::mutex mu_;
-  double now_ = 0.0;
+  mutable Mutex mu_;
+  double now_ GUARDED_BY(mu_) = 0.0;
 };
 
 }  // namespace heaven

@@ -30,7 +30,10 @@ std::string_view StatusCodeToString(StatusCode code);
 /// A Status carries the outcome of an operation: success (`ok()`) or an
 /// error code plus message. HEAVEN does not throw exceptions across public
 /// API boundaries; every fallible operation returns Status or Result<T>.
-class Status {
+/// [[nodiscard]]: silently dropping a Status is a compile error
+/// (-Werror=unused-result); sites that genuinely cannot act on a failure
+/// must say so explicitly with a (void) cast and a comment.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -99,7 +102,7 @@ class Status {
 /// Result<T> is either a value of type T or an error Status.
 /// The paper-era idiom of out-parameters is replaced with value returns.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit from value and from error Status, so functions can
   /// `return value;` or `return Status::NotFound(...)`.

@@ -2,16 +2,15 @@
 #define HEAVEN_COMMON_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "common/trace.h"
 
 namespace heaven {
@@ -67,10 +66,10 @@ class ThreadPool {
   void Enqueue(std::function<void()> task);
 
   TraceCollector* trace_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  bool stop_ = false;
+  Mutex mu_;
+  CondVar cv_{&mu_};
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
+  bool stop_ GUARDED_BY(mu_) = false;
   std::vector<std::thread> workers_;
 };
 

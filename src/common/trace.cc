@@ -8,12 +8,12 @@
 namespace heaven {
 
 void TraceCollector::SetClock(const SimClock* clock) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   clock_ = clock;
 }
 
 SpanId TraceCollector::BeginSpan(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Span span;
   span.id = next_id_++;
   span.name = std::string(name);
@@ -32,7 +32,7 @@ SpanId TraceCollector::BeginSpan(std::string_view name) {
 }
 
 void TraceCollector::EndSpan(SpanId id, uint64_t bytes) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = open_.find(id);
   if (it == open_.end()) return;
   Span span = std::move(it->second);
@@ -56,7 +56,7 @@ void TraceCollector::EndSpan(SpanId id, uint64_t bytes) {
 }
 
 SpanId TraceCollector::CurrentSpanId() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto stack_it = stacks_.find(std::this_thread::get_id());
   if (stack_it != stacks_.end() && !stack_it->second.empty()) {
     return stack_it->second.back();
@@ -66,7 +66,7 @@ SpanId TraceCollector::CurrentSpanId() const {
 }
 
 SpanId TraceCollector::SetAmbientParent(SpanId parent) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const std::thread::id tid = std::this_thread::get_id();
   auto it = ambient_.find(tid);
   const SpanId previous = it != ambient_.end() ? it->second : 0;
@@ -79,7 +79,7 @@ SpanId TraceCollector::SetAmbientParent(SpanId parent) {
 }
 
 std::vector<Span> TraceCollector::Spans() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<Span> spans = finished_;
   std::sort(spans.begin(), spans.end(),
             [](const Span& a, const Span& b) { return a.id < b.id; });
@@ -87,12 +87,12 @@ std::vector<Span> TraceCollector::Spans() const {
 }
 
 uint64_t TraceCollector::dropped() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return dropped_;
 }
 
 void TraceCollector::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   finished_.clear();
   open_.clear();
   stacks_.clear();

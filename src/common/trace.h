@@ -4,13 +4,13 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <thread>
 #include <vector>
 
 #include "common/sim_clock.h"
+#include "common/thread_annotations.h"
 
 namespace heaven {
 
@@ -84,17 +84,17 @@ class TraceCollector {
   /// previous ambient parent for restoration.
   SpanId SetAmbientParent(SpanId parent);
 
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   std::atomic<bool> enabled_{false};
-  const SimClock* clock_ = nullptr;
-  SpanId next_id_ = 1;
-  uint64_t dropped_ = 0;
-  std::map<SpanId, Span> open_;
-  std::map<std::thread::id, std::vector<SpanId>> stacks_;
+  const SimClock* clock_ GUARDED_BY(mu_) = nullptr;
+  SpanId next_id_ GUARDED_BY(mu_) = 1;
+  uint64_t dropped_ GUARDED_BY(mu_) = 0;
+  std::map<SpanId, Span> open_ GUARDED_BY(mu_);
+  std::map<std::thread::id, std::vector<SpanId>> stacks_ GUARDED_BY(mu_);
   /// Cross-thread parent handoff (see SetAmbientParent); entries with
   /// value 0 are erased.
-  std::map<std::thread::id, SpanId> ambient_;
-  std::vector<Span> finished_;
+  std::map<std::thread::id, SpanId> ambient_ GUARDED_BY(mu_);
+  std::vector<Span> finished_ GUARDED_BY(mu_);
 };
 
 /// RAII span: opens on construction (a no-op when the collector is null or

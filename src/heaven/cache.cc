@@ -169,7 +169,7 @@ void SuperTileCache::Insert(SuperTileId id,
   Shard& shard = ShardFor(id);
   if (size_bytes > shard.capacity_bytes) return;  // not admissible
   const auto wait_begin = std::chrono::steady_clock::now();
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   if (stats_ != nullptr) {
     stats_->RecordHistogram(
         HistogramKind::kCacheLockWaitSeconds,
@@ -213,7 +213,7 @@ void SuperTileCache::Insert(SuperTileId id,
 
 std::shared_ptr<const SuperTile> SuperTileCache::Lookup(SuperTileId id) {
   Shard& shard = ShardFor(id);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.entries.find(id);
   if (it == shard.entries.end()) {
     if (stats_ != nullptr) {
@@ -233,13 +233,13 @@ std::shared_ptr<const SuperTile> SuperTileCache::Lookup(SuperTileId id) {
 
 bool SuperTileCache::Contains(SuperTileId id) const {
   const Shard& shard = ShardFor(id);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   return shard.entries.count(id) > 0;
 }
 
 void SuperTileCache::Erase(SuperTileId id) {
   Shard& shard = ShardFor(id);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.entries.find(id);
   if (it == shard.entries.end()) return;
   shard.bytes -= it->second.size_bytes;
@@ -249,7 +249,7 @@ void SuperTileCache::Erase(SuperTileId id) {
 
 void SuperTileCache::Clear() {
   for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     shard->entries.clear();
     shard->order.clear();
     shard->buckets.clear();
@@ -261,7 +261,7 @@ void SuperTileCache::Clear() {
 uint64_t SuperTileCache::size_bytes() const {
   uint64_t total = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     total += shard->bytes;
   }
   return total;
@@ -270,7 +270,7 @@ uint64_t SuperTileCache::size_bytes() const {
 size_t SuperTileCache::entry_count() const {
   size_t total = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     total += shard->entries.size();
   }
   return total;

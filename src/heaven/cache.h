@@ -5,7 +5,6 @@
 #include <list>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 #include <tuple>
@@ -13,6 +12,7 @@
 
 #include "common/statistics.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "heaven/super_tile.h"
 
 namespace heaven {
@@ -108,29 +108,32 @@ class SuperTileCache {
   using SizeOrder = std::set<SizeOrderLess::Key, SizeOrderLess>;
 
   struct Shard {
-    mutable std::mutex mu;
+    mutable Mutex mu;
     uint64_t capacity_bytes = 0;
-    std::map<SuperTileId, Entry> entries;
-    uint64_t bytes = 0;
-    uint64_t seq = 0;
+    std::map<SuperTileId, Entry> entries GUARDED_BY(mu);
+    uint64_t bytes GUARDED_BY(mu) = 0;
+    uint64_t seq GUARDED_BY(mu) = 0;
     /// LRU: front = least recent. FIFO: front = oldest insertion.
-    std::list<SuperTileId> order;
+    std::list<SuperTileId> order GUARDED_BY(mu);
     /// LFU: access_count -> ids in ascending accessed_seq order.
-    std::map<uint64_t, std::list<SuperTileId>> buckets;
-    SizeOrder by_size;
+    std::map<uint64_t, std::list<SuperTileId>> buckets GUARDED_BY(mu);
+    SizeOrder by_size GUARDED_BY(mu);
   };
 
   Shard& ShardFor(SuperTileId id);
   const Shard& ShardFor(SuperTileId id) const;
 
   /// Hooks the entry into the policy structure (entry fields final).
-  void LinkLocked(Shard* shard, SuperTileId id, Entry* entry);
+  void LinkLocked(Shard* shard, SuperTileId id, Entry* entry)
+      REQUIRES(shard->mu);
   /// Unhooks the entry from the policy structure.
-  void UnlinkLocked(Shard* shard, SuperTileId id, const Entry& entry);
+  void UnlinkLocked(Shard* shard, SuperTileId id, const Entry& entry)
+      REQUIRES(shard->mu);
   /// Updates policy bookkeeping for an access (Lookup hit).
-  void TouchLocked(Shard* shard, SuperTileId id, Entry* entry);
+  void TouchLocked(Shard* shard, SuperTileId id, Entry* entry)
+      REQUIRES(shard->mu);
   /// Evicts the policy's victim; precondition: shard not empty.
-  void EvictOneLocked(Shard* shard);
+  void EvictOneLocked(Shard* shard) REQUIRES(shard->mu);
 
   CacheOptions options_;
   Statistics* stats_;

@@ -87,7 +87,7 @@ Status ExportJournal::AppendRecord(const ExportJournalRecord& record) {
   PutFixed32(&frame, static_cast<uint32_t>(payload.size()));
   PutFixed32(&frame, Crc32c(payload));
   frame.append(payload);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   HEAVEN_RETURN_IF_ERROR(file_->WriteAt(end_, frame));
   HEAVEN_RETURN_IF_ERROR(file_->Sync());
   end_ += frame.size();
@@ -122,7 +122,7 @@ Status ExportJournal::LogCommitted(ObjectId object_id) {
 }
 
 Status ExportJournal::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   HEAVEN_RETURN_IF_ERROR(file_->Truncate(0));
   end_ = 0;
   return Status::Ok();

@@ -3,13 +3,13 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "array/mdd.h"
 #include "common/env.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace heaven {
 
@@ -67,11 +67,11 @@ class ExportJournal {
  private:
   explicit ExportJournal(std::unique_ptr<File> file);
 
-  Status AppendRecord(const ExportJournalRecord& record);
+  Status AppendRecord(const ExportJournalRecord& record) EXCLUDES(mu_);
 
-  std::mutex mu_;
+  Mutex mu_;
   std::unique_ptr<File> file_;
-  uint64_t end_ = 0;  // append position
+  uint64_t end_ GUARDED_BY(mu_) = 0;  // append position
   std::vector<ExportJournalRecord> recovered_;
 };
 

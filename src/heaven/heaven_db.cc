@@ -64,6 +64,9 @@ Status HeavenDb::Init() {
 }
 
 Status HeavenDb::RecoverExports() {
+  // Runs during Init (no concurrency yet), but the registry reads below
+  // still take the shared side so the lock discipline holds everywhere.
+  ReaderLock lock(db_mu_);
   const std::vector<ExportJournalRecord>& records = journal_->recovered();
   if (records.empty()) return Status::Ok();
   std::set<ObjectId> pending;
@@ -118,7 +121,7 @@ Status HeavenDb::RecoverExports() {
   for (ObjectId object_id : unfinished) {
     if (!engine_->catalog()->GetObject(object_id).ok()) continue;  // deleted
     HEAVEN_RETURN_IF_ERROR(journal_->LogPending(object_id));
-    std::lock_guard<std::mutex> lock(tct_mu_);
+    MutexLock lock(tct_mu_);
     tct_queue_.emplace_back(object_id, library_->ElapsedSeconds());
   }
   return Status::Ok();
@@ -127,10 +130,10 @@ Status HeavenDb::RecoverExports() {
 HeavenDb::~HeavenDb() {
   if (tct_thread_.joinable()) {
     {
-      std::lock_guard<std::mutex> lock(tct_mu_);
+      MutexLock lock(tct_mu_);
       tct_stop_ = true;
     }
-    tct_cv_.notify_all();
+    tct_cv_.NotifyAll();
     tct_thread_.join();
   }
 }
@@ -139,7 +142,7 @@ Status HeavenDb::LoadRegistry() {
   const std::string image = engine_->catalog()->GetSection(kRegistrySection);
   HEAVEN_ASSIGN_OR_RETURN(std::vector<SuperTileMeta> metas,
                           DeserializeSuperTileMetas(image));
-  std::lock_guard<RecursiveSharedMutex> lock(db_mu_);
+  WriterLock lock(db_mu_);
   registry_.clear();
   for (SuperTileMeta& meta : metas) {
     next_supertile_id_ = std::max(next_supertile_id_, meta.id + 1);
@@ -151,7 +154,7 @@ Status HeavenDb::LoadRegistry() {
 Status HeavenDb::PersistRegistry() {
   std::vector<SuperTileMeta> metas;
   {
-    std::shared_lock<RecursiveSharedMutex> lock(db_mu_);
+    ReaderLock lock(db_mu_);
     metas.reserve(registry_.size());
     for (const auto& [id, meta] : registry_) metas.push_back(meta);
   }
@@ -186,7 +189,7 @@ Result<CollectionId> HeavenDb::CreateCollection(const std::string& name) {
 }
 
 Status HeavenDb::DropCollection(const std::string& name) {
-  std::lock_guard<RecursiveSharedMutex> lock(db_mu_);
+  WriterLock lock(db_mu_);
   auto collection = engine_->catalog()->FindCollection(name);
   if (!collection.has_value()) {
     return Status::NotFound("collection " + name);
@@ -204,7 +207,7 @@ Result<ObjectId> HeavenDb::InsertObject(CollectionId collection,
                                         const std::string& name,
                                         const MddArray& data,
                                         std::vector<int64_t> tile_extents) {
-  std::lock_guard<RecursiveSharedMutex> lock(db_mu_);
+  WriterLock lock(db_mu_);
   if (engine_->catalog()->FindObject(name).ok()) {
     return Status::AlreadyExists("object " + name);
   }
@@ -280,12 +283,12 @@ Status HeavenDb::RunMigrationPolicy() {
   for (ObjectId object_id : candidates) {
     if (engine_->blobs()->TotalBytes() <= low_watermark) break;
     if (options_.decoupled_export) {
-      std::lock_guard<std::mutex> lock(tct_mu_);
+      MutexLock lock(tct_mu_);
       if (journal_ != nullptr) {
         HEAVEN_RETURN_IF_ERROR(journal_->LogPending(object_id));
       }
       tct_queue_.emplace_back(object_id, library_->ElapsedSeconds());
-      tct_cv_.notify_one();
+      tct_cv_.NotifyOne();
     } else {
       HEAVEN_RETURN_IF_ERROR(ExportObjectSync(object_id));
     }
@@ -298,7 +301,7 @@ Status HeavenDb::RunMigrationPolicy() {
 Status HeavenDb::ExportObject(ObjectId object_id) {
   if (options_.decoupled_export) {
     // Hand the object over to the TCT; the client does not wait for tape.
-    std::lock_guard<std::mutex> lock(tct_mu_);
+    MutexLock lock(tct_mu_);
     // A failed queued export must not pass silently: while the sticky
     // error stands, new exports are refused with it (see TctLastError).
     if (!tct_last_error_.ok()) return tct_last_error_;
@@ -306,7 +309,7 @@ Status HeavenDb::ExportObject(ObjectId object_id) {
       HEAVEN_RETURN_IF_ERROR(journal_->LogPending(object_id));
     }
     tct_queue_.emplace_back(object_id, library_->ElapsedSeconds());
-    tct_cv_.notify_one();
+    tct_cv_.NotifyOne();
     return Status::Ok();
   }
   const double tape_before = library_->ElapsedSeconds();
@@ -316,7 +319,7 @@ Status HeavenDb::ExportObject(ObjectId object_id) {
 }
 
 Status HeavenDb::ExportObjectSync(ObjectId object_id) {
-  std::lock_guard<RecursiveSharedMutex> lock(db_mu_);
+  WriterLock lock(db_mu_);
   std::vector<SuperTileId> added;
   Status status = ExportObjectLocked(object_id, &added);
   if (!status.ok()) {
@@ -407,72 +410,21 @@ Status HeavenDb::ExportObjectLocked(ObjectId object_id,
   // way, so placement and the tape clock are unchanged.
   std::unique_ptr<Transaction> txn = engine_->Begin();
 
-  auto build_super_tile = [&](size_t idx) -> Result<SuperTile> {
-    const SuperTileGroup& group = groups[idx];
-    SuperTile st(next_supertile_id_++, object_id, object.cell_type);
-    for (TileId tile_id : group.tiles) {
-      const TileDescriptor* descriptor = by_id.at(tile_id);
-      HEAVEN_ASSIGN_OR_RETURN(std::string payload,
-                              engine_->blobs()->Get(descriptor->blob_id));
-      HEAVEN_RETURN_IF_ERROR(st.AddTile(
-          tile_id, Tile(descriptor->domain, object.cell_type,
-                        std::move(payload))));
-    }
-    return st;
-  };
-  auto append_and_register = [&](const SuperTile& st,
-                                 const std::string& container,
-                                 size_t idx) -> Status {
-    const SuperTileGroup& group = groups[idx];
-    HEAVEN_ASSIGN_OR_RETURN(uint64_t offset,
-                            library_->Append(plan.medium[idx], container));
-    stats_.Record(Ticker::kSuperTilesWritten);
-    stats_.Record(Ticker::kSuperTileBytesWritten, container.size());
-
-    SuperTileMeta meta;
-    meta.id = st.id();
-    meta.object_id = object_id;
-    meta.medium = plan.medium[idx];
-    meta.offset = offset;
-    meta.size_bytes = container.size();
-    meta.crc32c = Crc32c(container);
-    HEAVEN_ASSIGN_OR_RETURN(meta.hull, st.Hull());
-    meta.tile_ids = group.tiles;
-    registry_.emplace(meta.id, meta);
-    added->push_back(meta.id);
-    if (journal_ != nullptr) {
-      // Journal the landed extent before the catalog commits so a crash
-      // in between leaves enough to roll the orphan back on reopen.
-      HEAVEN_RETURN_IF_ERROR(journal_->LogAppend(
-          object_id, meta.id, meta.medium, meta.offset, meta.size_bytes));
-    }
-
-    for (TileId tile_id : group.tiles) {
-      const TileDescriptor* descriptor = by_id.at(tile_id);
-      txn->DeleteBlob(descriptor->blob_id);
-      CatalogDelta update;
-      update.op = CatalogOp::kUpdateTileLocation;
-      update.object_id = object_id;
-      update.tile = *descriptor;
-      update.tile.location = TileLocation::kTertiary;
-      update.tile.blob_id = 0;
-      update.tile.super_tile = meta.id;
-      txn->UpdateCatalog(update);
-    }
-    return Status::Ok();
-  };
-
   if (pool_ == nullptr) {
     for (size_t idx : plan.write_order) {
-      HEAVEN_ASSIGN_OR_RETURN(SuperTile st, build_super_tile(idx));
+      HEAVEN_ASSIGN_OR_RETURN(
+          SuperTile st, BuildSuperTile(object_id, object, groups[idx], by_id));
       const std::string container = st.Serialize(options_.compression);
-      HEAVEN_RETURN_IF_ERROR(append_and_register(st, container, idx));
+      HEAVEN_RETURN_IF_ERROR(AppendAndRegister(st, container, object_id,
+                                               groups[idx], plan.medium[idx],
+                                               by_id, txn.get(), added));
     }
   } else {
     std::vector<SuperTile> sts;
     sts.reserve(plan.write_order.size());
     for (size_t idx : plan.write_order) {
-      HEAVEN_ASSIGN_OR_RETURN(SuperTile st, build_super_tile(idx));
+      HEAVEN_ASSIGN_OR_RETURN(
+          SuperTile st, BuildSuperTile(object_id, object, groups[idx], by_id));
       sts.push_back(std::move(st));
     }
     std::vector<std::string> containers(sts.size());
@@ -480,8 +432,11 @@ Status HeavenDb::ExportObjectLocked(ObjectId object_id,
       containers[k] = sts[k].Serialize(options_.compression);
     });
     for (size_t k = 0; k < sts.size(); ++k) {
-      HEAVEN_RETURN_IF_ERROR(
-          append_and_register(sts[k], containers[k], plan.write_order[k]));
+      const size_t idx = plan.write_order[k];
+      HEAVEN_RETURN_IF_ERROR(AppendAndRegister(sts[k], containers[k],
+                                               object_id, groups[idx],
+                                               plan.medium[idx], by_id,
+                                               txn.get(), added));
     }
   }
 
@@ -498,8 +453,67 @@ Status HeavenDb::ExportObjectLocked(ObjectId object_id,
   return txn->Commit();
 }
 
+Result<SuperTile> HeavenDb::BuildSuperTile(
+    ObjectId object_id, const ObjectDescriptor& object,
+    const SuperTileGroup& group,
+    const std::map<TileId, const TileDescriptor*>& by_id) {
+  SuperTile st(next_supertile_id_++, object_id, object.cell_type);
+  for (TileId tile_id : group.tiles) {
+    const TileDescriptor* descriptor = by_id.at(tile_id);
+    HEAVEN_ASSIGN_OR_RETURN(std::string payload,
+                            engine_->blobs()->Get(descriptor->blob_id));
+    HEAVEN_RETURN_IF_ERROR(st.AddTile(
+        tile_id, Tile(descriptor->domain, object.cell_type,
+                      std::move(payload))));
+  }
+  return st;
+}
+
+Status HeavenDb::AppendAndRegister(
+    const SuperTile& st, const std::string& container, ObjectId object_id,
+    const SuperTileGroup& group, MediumId medium,
+    const std::map<TileId, const TileDescriptor*>& by_id, Transaction* txn,
+    std::vector<SuperTileId>* added) {
+  HEAVEN_ASSIGN_OR_RETURN(uint64_t offset,
+                          library_->Append(medium, container));
+  stats_.Record(Ticker::kSuperTilesWritten);
+  stats_.Record(Ticker::kSuperTileBytesWritten, container.size());
+
+  SuperTileMeta meta;
+  meta.id = st.id();
+  meta.object_id = object_id;
+  meta.medium = medium;
+  meta.offset = offset;
+  meta.size_bytes = container.size();
+  meta.crc32c = Crc32c(container);
+  HEAVEN_ASSIGN_OR_RETURN(meta.hull, st.Hull());
+  meta.tile_ids = group.tiles;
+  registry_.emplace(meta.id, meta);
+  added->push_back(meta.id);
+  if (journal_ != nullptr) {
+    // Journal the landed extent before the catalog commits so a crash
+    // in between leaves enough to roll the orphan back on reopen.
+    HEAVEN_RETURN_IF_ERROR(journal_->LogAppend(
+        object_id, meta.id, meta.medium, meta.offset, meta.size_bytes));
+  }
+
+  for (TileId tile_id : group.tiles) {
+    const TileDescriptor* descriptor = by_id.at(tile_id);
+    txn->DeleteBlob(descriptor->blob_id);
+    CatalogDelta update;
+    update.op = CatalogOp::kUpdateTileLocation;
+    update.object_id = object_id;
+    update.tile = *descriptor;
+    update.tile.location = TileLocation::kTertiary;
+    update.tile.blob_id = 0;
+    update.tile.super_tile = meta.id;
+    txn->UpdateCatalog(update);
+  }
+  return Status::Ok();
+}
+
 Status HeavenDb::ExportObjectTileAtATime(ObjectId object_id) {
-  std::lock_guard<RecursiveSharedMutex> lock(db_mu_);
+  WriterLock lock(db_mu_);
   const double tape_before = library_->ElapsedSeconds();
   HEAVEN_ASSIGN_OR_RETURN(ObjectDescriptor object,
                           engine_->catalog()->GetObject(object_id));
@@ -575,18 +589,18 @@ Status HeavenDb::ExportObjectTileAtATime(ObjectId object_id) {
 
 Status HeavenDb::DrainExports() {
   if (!options_.decoupled_export) return Status::Ok();
-  std::unique_lock<std::mutex> lock(tct_mu_);
-  tct_cv_.wait(lock, [this] { return tct_queue_.empty() && !tct_busy_; });
+  MutexLock lock(tct_mu_);
+  while (!tct_queue_.empty() || tct_busy_) tct_cv_.Wait(lock);
   return tct_last_error_;
 }
 
 Status HeavenDb::TctLastError() const {
-  std::lock_guard<std::mutex> lock(tct_mu_);
+  MutexLock lock(tct_mu_);
   return tct_last_error_;
 }
 
 void HeavenDb::ClearTctError() {
-  std::lock_guard<std::mutex> lock(tct_mu_);
+  MutexLock lock(tct_mu_);
   tct_last_error_ = Status::Ok();
 }
 
@@ -595,8 +609,8 @@ void HeavenDb::TctWorker() {
     ObjectId object_id = 0;
     double enqueued_at = 0.0;
     {
-      std::unique_lock<std::mutex> lock(tct_mu_);
-      tct_cv_.wait(lock, [this] { return tct_stop_ || !tct_queue_.empty(); });
+      MutexLock lock(tct_mu_);
+      while (!tct_stop_ && tct_queue_.empty()) tct_cv_.Wait(lock);
       if (tct_stop_ && tct_queue_.empty()) return;
       object_id = tct_queue_.front().first;
       enqueued_at = tct_queue_.front().second;
@@ -609,7 +623,7 @@ void HeavenDb::TctWorker() {
     ScopedSpan span(stats_.trace(), "tct.export");
     Status status = ExportObjectSync(object_id);
     {
-      std::lock_guard<std::mutex> lock(tct_mu_);
+      MutexLock lock(tct_mu_);
       // Sticky: keep the *first* failure (later ones are usually fallout).
       if (!status.ok() && tct_last_error_.ok()) tct_last_error_ = status;
       tct_busy_ = false;
@@ -620,7 +634,7 @@ void HeavenDb::TctWorker() {
         if (!reset.ok()) tct_last_error_ = reset;
       }
     }
-    tct_cv_.notify_all();
+    tct_cv_.NotifyAll();
   }
 }
 
@@ -639,37 +653,16 @@ Status HeavenDb::FetchSuperTiles(
   std::map<SuperTileId, std::shared_ptr<InflightFetch>> owned;
   std::vector<std::pair<SuperTileId, std::shared_future<FetchResult>>> waits;
 
-  auto note_prefetch_hit = [this](SuperTileId id) {
-    std::lock_guard<std::mutex> prefetch_lock(prefetch_mu_);
-    auto it = std::find(prefetched_.begin(), prefetched_.end(), id);
-    if (it != prefetched_.end()) {
-      stats_.Record(Ticker::kPrefetchUseful);
-      prefetched_.erase(it);
-    }
-  };
-  // On any error the promises this call registered must still be
-  // fulfilled, or coalesced waiters would block forever.
-  auto fail_owned = [this, &owned](const Status& status) {
-    if (owned.empty()) return;
-    {
-      std::lock_guard<std::mutex> fetch_lock(fetch_mu_);
-      for (auto& [id, flight] : owned) inflight_.erase(id);
-    }
-    for (auto& [id, flight] : owned) {
-      flight->promise.set_value(FetchResult(status));
-    }
-  };
-
   for (SuperTileId id : ids) {
     if (out->count(id) > 0) continue;
     for (;;) {
       std::shared_ptr<const SuperTile> cached = cache_->Lookup(id);
       if (cached != nullptr) {
-        note_prefetch_hit(id);  // account prefetch usefulness
+        NotePrefetchHit(id);  // account prefetch usefulness
         out->emplace(id, std::move(cached));
         break;
       }
-      std::unique_lock<std::mutex> fetch_lock(fetch_mu_);
+      MutexLock fetch_lock(fetch_mu_);
       auto flight_it = inflight_.find(id);
       if (flight_it != inflight_.end()) {
         // Single-flight: a concurrent fetch of this super-tile is already
@@ -686,10 +679,10 @@ Status HeavenDb::FetchSuperTiles(
       }
       auto meta_it = registry_.find(id);
       if (meta_it == registry_.end()) {
-        fetch_lock.unlock();
+        fetch_lock.Unlock();
         Status status = Status::NotFound("super-tile " + std::to_string(id) +
                                          " not registered");
-        fail_owned(status);
+        FailOwnedFetches(&owned, status);
         return status;
       }
       auto flight = std::make_shared<InflightFetch>();
@@ -710,33 +703,12 @@ Status HeavenDb::FetchSuperTiles(
     MediumId last_medium = requests.back().medium;
     uint64_t last_end = requests.back().offset + requests.back().size_bytes;
 
-    // Decode + cache admission of one transferred container. With a pool
-    // the closure runs on a worker while the drive transfers the next
-    // container (the transfer loop below stays serial in schedule order,
-    // so the tape clock and seek pattern are untouched); without one it
-    // runs inline, reproducing the legacy sequence exactly.
-    // `fetch_seconds` is the tape-clock cost of this container's transfer,
-    // measured by the loop — decode consumes no simulated time.
+    // Decode + cache admission (DecodeAndAdmit) of one transferred
+    // container. With a pool it runs on a worker while the drive transfers
+    // the next container (the transfer loop below stays serial in schedule
+    // order, so the tape clock and seek pattern are untouched); without
+    // one it runs inline, reproducing the legacy sequence exactly.
     std::vector<std::shared_ptr<const SuperTile>> decoded(requests.size());
-    auto decode_and_admit = [this, &decoded, &requests](
-                                size_t i, std::string container,
-                                double fetch_seconds) -> Status {
-      const SuperTileRequest& request = requests[i];
-      Result<SuperTile> st = [&] {
-        ScopedSpan decode_span(stats_.trace(), "supertile.decode");
-        return SuperTile::Deserialize(container);
-      }();
-      HEAVEN_RETURN_IF_ERROR(st.status());
-      auto shared = std::make_shared<const SuperTile>(std::move(st).value());
-      cache_->Insert(request.id, shared, request.size_bytes);
-      stats_.Record(Ticker::kSuperTilesRead);
-      stats_.Record(Ticker::kSuperTileBytesRead, request.size_bytes);
-      stats_.RecordHistogram(HistogramKind::kSuperTileFetchSeconds,
-                             fetch_seconds);
-      decoded[i] = std::move(shared);
-      return Status::Ok();
-    };
-
     std::vector<std::future<Status>> pending;
     Status status = Status::Ok();
     for (size_t i = 0; i < requests.size(); ++i) {
@@ -752,12 +724,14 @@ Status HeavenDb::FetchSuperTiles(
       const double fetch_seconds = library_->ElapsedSeconds() - fetch_before;
       if (pool_ != nullptr) {
         pending.push_back(pool_->Submit(
-            [&decode_and_admit, i, fetch_seconds,
+            [this, request, fetch_seconds, slot = &decoded[i],
              c = std::move(container)]() mutable {
-              return decode_and_admit(i, std::move(c), fetch_seconds);
+              return DecodeAndAdmitTask(request, std::move(c), fetch_seconds,
+                                        slot);
             }));
       } else {
-        status = decode_and_admit(i, std::move(container), fetch_seconds);
+        status = DecodeAndAdmit(request, std::move(container), fetch_seconds,
+                                &decoded[i]);
         if (!status.ok()) break;
       }
     }
@@ -768,7 +742,7 @@ Status HeavenDb::FetchSuperTiles(
       if (status.ok() && !s.ok()) status = s;
     }
     if (!status.ok()) {
-      fail_owned(status);
+      FailOwnedFetches(&owned, status);
       return status;
     }
     // Fulfil this call's promises *before* waiting on foreign futures
@@ -780,7 +754,7 @@ Status HeavenDb::FetchSuperTiles(
       if (owned.find(request.id) == owned.end()) {
         status = Status::Internal("fetch leader lost ownership of super-tile " +
                                   std::to_string(request.id));
-        fail_owned(status);
+        FailOwnedFetches(&owned, status);
         return status;
       }
     }
@@ -789,7 +763,7 @@ Status HeavenDb::FetchSuperTiles(
           FetchResult(decoded[i]));
     }
     {
-      std::lock_guard<std::mutex> fetch_lock(fetch_mu_);
+      MutexLock fetch_lock(fetch_mu_);
       for (auto& [id, flight] : owned) inflight_.erase(id);
     }
     for (size_t i = 0; i < requests.size(); ++i) {
@@ -810,6 +784,57 @@ Status HeavenDb::FetchSuperTiles(
     out->emplace(id, std::move(result).value());
   }
   return Status::Ok();
+}
+
+void HeavenDb::NotePrefetchHit(SuperTileId id) {
+  MutexLock prefetch_lock(prefetch_mu_);
+  auto it = std::find(prefetched_.begin(), prefetched_.end(), id);
+  if (it != prefetched_.end()) {
+    stats_.Record(Ticker::kPrefetchUseful);
+    prefetched_.erase(it);
+  }
+}
+
+// On any error the promises a fetch call registered must still be
+// fulfilled, or coalesced waiters would block forever.
+void HeavenDb::FailOwnedFetches(
+    std::map<SuperTileId, std::shared_ptr<InflightFetch>>* owned,
+    const Status& status) {
+  if (owned->empty()) return;
+  {
+    MutexLock fetch_lock(fetch_mu_);
+    for (auto& [id, flight] : *owned) inflight_.erase(id);
+  }
+  for (auto& [id, flight] : *owned) {
+    flight->promise.set_value(FetchResult(status));
+  }
+}
+
+// `fetch_seconds` is the tape-clock cost of this container's transfer,
+// measured by the transfer loop — decode consumes no simulated time.
+Status HeavenDb::DecodeAndAdmit(const SuperTileRequest& request,
+                                std::string container, double fetch_seconds,
+                                std::shared_ptr<const SuperTile>* slot) {
+  Result<SuperTile> st = [&] {
+    ScopedSpan decode_span(stats_.trace(), "supertile.decode");
+    return SuperTile::Deserialize(container);
+  }();
+  HEAVEN_RETURN_IF_ERROR(st.status());
+  auto shared = std::make_shared<const SuperTile>(std::move(st).value());
+  cache_->Insert(request.id, shared, request.size_bytes);
+  stats_.Record(Ticker::kSuperTilesRead);
+  stats_.Record(Ticker::kSuperTileBytesRead, request.size_bytes);
+  stats_.RecordHistogram(HistogramKind::kSuperTileFetchSeconds,
+                         fetch_seconds);
+  *slot = std::move(shared);
+  return Status::Ok();
+}
+
+Status HeavenDb::DecodeAndAdmitTask(SuperTileRequest request,
+                                    std::string container,
+                                    double fetch_seconds,
+                                    std::shared_ptr<const SuperTile>* slot) {
+  return DecodeAndAdmit(request, std::move(container), fetch_seconds, slot);
 }
 
 Status HeavenDb::ReadContainerVerified(SuperTileId id, MediumId medium,
@@ -899,7 +924,7 @@ void HeavenDb::MaybePrefetch(MediumId medium, uint64_t last_end_offset) {
     cache_->Insert(id, std::make_shared<const SuperTile>(std::move(st).value()),
                    meta.size_bytes);
     {
-      std::lock_guard<std::mutex> prefetch_lock(prefetch_mu_);
+      MutexLock prefetch_lock(prefetch_mu_);
       prefetched_.push_back(id);
     }
     stats_.Record(Ticker::kPrefetchIssued);
@@ -908,7 +933,7 @@ void HeavenDb::MaybePrefetch(MediumId medium, uint64_t last_end_offset) {
 
 Result<std::vector<TileDescriptor>> HeavenDb::TilesIntersecting(
     ObjectId object_id, const MdInterval& region) {
-  std::lock_guard<std::mutex> index_lock(index_mu_);
+  MutexLock index_lock(index_mu_);
   auto index_it = tile_index_.find(object_id);
   if (index_it == tile_index_.end()) {
     auto tree = std::make_unique<RTree>();
@@ -927,7 +952,7 @@ Result<std::vector<TileDescriptor>> HeavenDb::TilesIntersecting(
 }
 
 void HeavenDb::InvalidateTileIndex(ObjectId object_id) {
-  std::lock_guard<std::mutex> index_lock(index_mu_);
+  MutexLock index_lock(index_mu_);
   tile_index_.erase(object_id);
 }
 
@@ -1020,7 +1045,7 @@ Status HeavenDb::ScatterTiles(
 
 Result<MddArray> HeavenDb::ReadRegion(ObjectId object_id,
                                       const MdInterval& region) {
-  std::shared_lock<RecursiveSharedMutex> lock(db_mu_);
+  ReaderLock lock(db_mu_);
   ScopedSpan span(stats_.trace(), "query.read_region");
   const double client_before = client_clock_.Now();
   HEAVEN_ASSIGN_OR_RETURN(ObjectDescriptor object,
@@ -1053,7 +1078,7 @@ Result<MddArray> HeavenDb::ReadObject(ObjectId object_id) {
 
 Result<MddArray> HeavenDb::ReadFrame(ObjectId object_id,
                                      const ObjectFrame& frame) {
-  std::shared_lock<RecursiveSharedMutex> lock(db_mu_);
+  ReaderLock lock(db_mu_);
   ScopedSpan span(stats_.trace(), "query.read_frame");
   const double client_before = client_clock_.Now();
   HEAVEN_ASSIGN_OR_RETURN(ObjectDescriptor object,
@@ -1155,7 +1180,7 @@ Result<double> HeavenDb::Aggregate(ObjectId object_id, Condenser condenser,
 
 Result<std::vector<MddArray>> HeavenDb::ReadRegions(
     const std::vector<std::pair<ObjectId, MdInterval>>& queries) {
-  std::shared_lock<RecursiveSharedMutex> lock(db_mu_);
+  ReaderLock lock(db_mu_);
   ScopedSpan span(stats_.trace(), "query.read_regions");
   // Phase 1: collect each query's tile descriptors once and gather every
   // tertiary super-tile needed by any query so the scheduler sees the
@@ -1213,7 +1238,7 @@ Result<std::vector<MddArray>> HeavenDb::ReadRegions(
 // ------------------------------------------------------- delete / import --
 
 Status HeavenDb::ReimportObject(ObjectId object_id) {
-  std::lock_guard<RecursiveSharedMutex> lock(db_mu_);
+  WriterLock lock(db_mu_);
   HEAVEN_ASSIGN_OR_RETURN(ObjectDescriptor object,
                           engine_->catalog()->GetObject(object_id));
   std::vector<TileDescriptor> tertiary_tiles;
@@ -1276,7 +1301,7 @@ Status HeavenDb::ReimportObject(ObjectId object_id) {
 }
 
 Status HeavenDb::UpdateRegion(ObjectId object_id, const MddArray& patch) {
-  std::lock_guard<RecursiveSharedMutex> lock(db_mu_);
+  WriterLock lock(db_mu_);
   HEAVEN_ASSIGN_OR_RETURN(ObjectDescriptor object,
                           engine_->catalog()->GetObject(object_id));
   if (!object.domain.Contains(patch.domain())) {
@@ -1392,7 +1417,7 @@ Status HeavenDb::UpdateRegion(ObjectId object_id, const MddArray& patch) {
 }
 
 Status HeavenDb::DeleteObject(ObjectId object_id) {
-  std::lock_guard<RecursiveSharedMutex> lock(db_mu_);
+  WriterLock lock(db_mu_);
   HEAVEN_ASSIGN_OR_RETURN(ObjectDescriptor object,
                           engine_->catalog()->GetObject(object_id));
   (void)object;
@@ -1430,7 +1455,7 @@ Status HeavenDb::DeleteObject(ObjectId object_id) {
 }
 
 Result<uint64_t> HeavenDb::ReclaimMedium(MediumId medium) {
-  std::lock_guard<RecursiveSharedMutex> lock(db_mu_);
+  WriterLock lock(db_mu_);
   HEAVEN_ASSIGN_OR_RETURN(uint64_t used_bytes,
                           library_->MediumUsedBytes(medium));
   // Live super-tiles on the medium.
@@ -1482,12 +1507,12 @@ Result<uint64_t> HeavenDb::ReclaimMedium(MediumId medium) {
 }
 
 size_t HeavenDb::RegisteredSuperTiles() const {
-  std::shared_lock<RecursiveSharedMutex> lock(db_mu_);
+  ReaderLock lock(db_mu_);
   return registry_.size();
 }
 
 std::vector<SuperTileMeta> HeavenDb::RegistrySnapshot() const {
-  std::shared_lock<RecursiveSharedMutex> lock(db_mu_);
+  ReaderLock lock(db_mu_);
   std::vector<SuperTileMeta> metas;
   metas.reserve(registry_.size());
   for (const auto& [id, meta] : registry_) metas.push_back(meta);

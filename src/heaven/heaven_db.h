@@ -1,13 +1,10 @@
 #ifndef HEAVEN_HEAVEN_HEAVEN_DB_H_
 #define HEAVEN_HEAVEN_HEAVEN_DB_H_
 
-#include <condition_variable>
 #include <deque>
 #include <future>
 #include <map>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -20,6 +17,7 @@
 #include "common/rw_mutex.h"
 #include "common/statistics.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "heaven/cache.h"
 #include "heaven/clustering.h"
@@ -161,8 +159,9 @@ class HeavenDb {
   Status ExportObjectTileAtATime(ObjectId object_id);
 
   /// Blocks until the TCT queue is drained. Returns the sticky TCT error
-  /// (see TctLastError) if any queued export failed.
-  Status DrainExports();
+  /// (see TctLastError) if any queued export failed. Must not be called
+  /// under db_mu_: the TCT needs it to make progress.
+  Status DrainExports() EXCLUDES(db_mu_);
 
   /// Sticky error of the decoupled-export worker: the first failure of a
   /// queued export, held until cleared. While set, ExportObject refuses
@@ -263,20 +262,38 @@ class HeavenDb {
   /// disk tiles. Ids of registry entries added (even on failure) are
   /// appended to `added` so the caller can undo them.
   Status ExportObjectLocked(ObjectId object_id,
-                            std::vector<SuperTileId>* added);
+                            std::vector<SuperTileId>* added)
+      REQUIRES(db_mu_);
+
+  /// Builds one super-tile from the group's disk tiles (export step 5).
+  Result<SuperTile> BuildSuperTile(
+      ObjectId object_id, const ObjectDescriptor& object,
+      const SuperTileGroup& group,
+      const std::map<TileId, const TileDescriptor*>& by_id)
+      REQUIRES(db_mu_);
+
+  /// Appends the serialized container to tape, registers the super-tile
+  /// (journaling the landed extent) and stages the tile moves on `txn`.
+  Status AppendAndRegister(
+      const SuperTile& st, const std::string& container, ObjectId object_id,
+      const SuperTileGroup& group, MediumId medium,
+      const std::map<TileId, const TileDescriptor*>& by_id, Transaction* txn,
+      std::vector<SuperTileId>* added) REQUIRES(db_mu_);
 
   /// Replays the export journal on reopen: rolls orphaned (uncommitted)
   /// tape extents back and re-enqueues unfinished objects for the TCT.
   Status RecoverExports();
 
   /// Enforces the migration watermarks (see HeavenOptions); called after
-  /// inserts.
-  Status RunMigrationPolicy();
+  /// inserts, under the exclusive db_mu_ the insert already holds (the
+  /// synchronous export path re-enters db_mu_ — see RecursiveSharedMutex).
+  Status RunMigrationPolicy() REQUIRES(db_mu_);
 
   /// Reads the tiles intersecting `region`, from disk or tape, returning
   /// (descriptor, tile data) pairs. Core of every query path.
   Status CollectTiles(ObjectId object_id, const MdInterval& region,
-                      std::vector<std::pair<TileDescriptor, Tile>>* out);
+                      std::vector<std::pair<TileDescriptor, Tile>>* out)
+      REQUIRES_SHARED(db_mu_);
 
   /// Materializes `needed` tiles from disk blobs or the supplied
   /// super-tiles (every tertiary tile's super-tile must be present),
@@ -287,28 +304,67 @@ class HeavenDb {
       const std::vector<TileDescriptor>& needed,
       const std::map<SuperTileId, std::shared_ptr<const SuperTile>>&
           supertiles,
-      std::vector<std::pair<TileDescriptor, Tile>>* out);
+      std::vector<std::pair<TileDescriptor, Tile>>* out)
+      REQUIRES_SHARED(db_mu_);
 
   /// Copies each collected tile's overlap with `region` into `result`.
   /// Destination regions are disjoint (tiles partition the object), so the
   /// copies fan out on the pool when one is configured.
   Status ScatterTiles(const std::vector<std::pair<TileDescriptor, Tile>>& tiles,
-                      const MdInterval& region, MddArray* result);
+                      const MdInterval& region, MddArray* result)
+      REQUIRES_SHARED(db_mu_);
 
   /// Descriptors of the object's tiles whose domains intersect `region`,
   /// answered from the per-object R-tree tile index (built lazily from the
   /// catalog, dropped when the object's tile set changes).
   Result<std::vector<TileDescriptor>> TilesIntersecting(
-      ObjectId object_id, const MdInterval& region);
+      ObjectId object_id, const MdInterval& region) EXCLUDES(index_mu_);
 
   /// Drops the cached tile index of an object (tile set changed).
-  void InvalidateTileIndex(ObjectId object_id);
+  void InvalidateTileIndex(ObjectId object_id) EXCLUDES(index_mu_);
+
+  /// Single-flight fetch coalescing: at most one tape fetch per super-tile
+  /// is in flight at a time. A miss registers a promise here (the leader);
+  /// concurrent misses on the same id find the entry, count
+  /// Ticker::kFetchCoalesced and wait on the shared future instead of
+  /// touching the tape. Leaders always fulfil their own promises before
+  /// waiting on foreign ones, so cross-leader waits cannot cycle.
+  using FetchResult = Result<std::shared_ptr<const SuperTile>>;
+  struct InflightFetch {
+    std::promise<FetchResult> promise;
+    std::shared_future<FetchResult> future;
+  };
 
   /// Fetches the given super-tiles from tape (scheduled), populating the
   /// cache; returns them keyed by id.
   Status FetchSuperTiles(
       const std::vector<SuperTileId>& ids,
-      std::map<SuperTileId, std::shared_ptr<const SuperTile>>* out);
+      std::map<SuperTileId, std::shared_ptr<const SuperTile>>* out)
+      REQUIRES_SHARED(db_mu_);
+
+  /// Counts a cache hit on a prefetched super-tile (prefetch usefulness).
+  void NotePrefetchHit(SuperTileId id) EXCLUDES(prefetch_mu_);
+
+  /// Fails every single-flight promise this fetch call registered —
+  /// coalesced waiters must never block forever on an abandoned leader.
+  void FailOwnedFetches(
+      std::map<SuperTileId, std::shared_ptr<InflightFetch>>* owned,
+      const Status& status) EXCLUDES(fetch_mu_);
+
+  /// Decode + cache admission of one transferred container (see
+  /// FetchSuperTiles); shared by the serial path (which runs it inline
+  /// under shared db_mu_) and the pool path (DecodeAndAdmitTask).
+  Status DecodeAndAdmit(const SuperTileRequest& request,
+                        std::string container, double fetch_seconds,
+                        std::shared_ptr<const SuperTile>* slot);
+
+  /// Pool-task entry around DecodeAndAdmit. Pool tasks must never run
+  /// under db_mu_: the submitting thread holds it while joining the
+  /// futures, so a task acquiring it would deadlock the pipeline.
+  Status DecodeAndAdmitTask(SuperTileRequest request, std::string container,
+                            double fetch_seconds,
+                            std::shared_ptr<const SuperTile>* slot)
+      EXCLUDES(db_mu_);
 
   /// Reads one container with bounded retry and verifies it against
   /// `crc32c` (when non-zero), re-fetching exactly once on a mismatch. A
@@ -318,9 +374,12 @@ class HeavenDb {
                                uint64_t offset, uint64_t size_bytes,
                                uint32_t crc32c, std::string* out);
 
-  void MaybePrefetch(MediumId medium, uint64_t last_end_offset);
+  void MaybePrefetch(MediumId medium, uint64_t last_end_offset)
+      REQUIRES_SHARED(db_mu_);
 
-  void TctWorker();
+  /// TCT thread body. Runs exports via ExportObjectSync, which takes
+  /// db_mu_ itself — the worker must enter with no capability held.
+  void TctWorker() EXCLUDES(db_mu_, tct_mu_);
 
   Env* env_;
   std::string dir_;
@@ -353,46 +412,37 @@ class HeavenDb {
   mutable RecursiveSharedMutex db_mu_;
   /// registry_ and next_supertile_id_ are written only under exclusive
   /// db_mu_ and read under shared ownership.
-  std::map<SuperTileId, SuperTileMeta> registry_;
-  SuperTileId next_supertile_id_ = 1;
+  std::map<SuperTileId, SuperTileMeta> registry_ GUARDED_BY(db_mu_);
+  SuperTileId next_supertile_id_ GUARDED_BY(db_mu_) = 1;
   /// Guards the lazy per-object spatial tile index (shared-mode readers
   /// build entries concurrently). Acquired under db_mu_, never the
   /// reverse.
-  std::mutex index_mu_;
-  std::map<ObjectId, std::unique_ptr<RTree>> tile_index_;
+  Mutex index_mu_ ACQUIRED_AFTER(db_mu_);
+  std::map<ObjectId, std::unique_ptr<RTree>> tile_index_
+      GUARDED_BY(index_mu_);
   /// Guards against re-entrant migration while an export is in flight
   /// (overview materialization inserts an object mid-export). Only touched
   /// under exclusive db_mu_.
-  bool exporting_ = false;
+  bool exporting_ GUARDED_BY(db_mu_) = false;
   /// Guards prefetched_ (prefetch usefulness accounting), which cache-hit
   /// readers mutate under shared db_mu_.
-  std::mutex prefetch_mu_;
-  std::vector<SuperTileId> prefetched_;
+  Mutex prefetch_mu_ ACQUIRED_AFTER(db_mu_);
+  std::vector<SuperTileId> prefetched_ GUARDED_BY(prefetch_mu_);
 
-  /// Single-flight fetch coalescing: at most one tape fetch per super-tile
-  /// is in flight at a time. A miss registers a promise here (the leader);
-  /// concurrent misses on the same id find the entry, count
-  /// Ticker::kFetchCoalesced and wait on the shared future instead of
-  /// touching the tape. Leaders always fulfil their own promises before
-  /// waiting on foreign ones, so cross-leader waits cannot cycle.
-  using FetchResult = Result<std::shared_ptr<const SuperTile>>;
-  struct InflightFetch {
-    std::promise<FetchResult> promise;
-    std::shared_future<FetchResult> future;
-  };
-  std::mutex fetch_mu_;
-  std::map<SuperTileId, std::shared_ptr<InflightFetch>> inflight_;
+  Mutex fetch_mu_ ACQUIRED_AFTER(db_mu_);
+  std::map<SuperTileId, std::shared_ptr<InflightFetch>> inflight_
+      GUARDED_BY(fetch_mu_);
 
   // TCT (Tertiary-storage Communication Thread) state.
   std::thread tct_thread_;
-  mutable std::mutex tct_mu_;
-  std::condition_variable tct_cv_;
+  mutable Mutex tct_mu_;
+  CondVar tct_cv_{&tct_mu_};
   /// Pending exports with their enqueue timestamp on the tape clock, so
   /// the TCT can report queue-wait latency when it picks an entry up.
-  std::deque<std::pair<ObjectId, double>> tct_queue_;
-  bool tct_stop_ = false;
-  bool tct_busy_ = false;
-  Status tct_last_error_;
+  std::deque<std::pair<ObjectId, double>> tct_queue_ GUARDED_BY(tct_mu_);
+  bool tct_stop_ GUARDED_BY(tct_mu_) = false;
+  bool tct_busy_ GUARDED_BY(tct_mu_) = false;
+  Status tct_last_error_ GUARDED_BY(tct_mu_);
 };
 
 }  // namespace heaven

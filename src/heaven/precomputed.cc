@@ -8,7 +8,7 @@ namespace heaven {
 
 void PrecomputedCatalog::Insert(ObjectId object_id, Condenser condenser,
                                 const MdInterval& region, double value) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   entries_[{object_id, static_cast<int>(condenser), region.ToString()}] =
       value;
 }
@@ -16,7 +16,7 @@ void PrecomputedCatalog::Insert(ObjectId object_id, Condenser condenser,
 std::optional<double> PrecomputedCatalog::Lookup(ObjectId object_id,
                                                  Condenser condenser,
                                                  const MdInterval& region) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = entries_.find(
       {object_id, static_cast<int>(condenser), region.ToString()});
   if (it == entries_.end()) {
@@ -28,7 +28,7 @@ std::optional<double> PrecomputedCatalog::Lookup(ObjectId object_id,
 }
 
 void PrecomputedCatalog::InvalidateObject(ObjectId object_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto it = entries_.begin(); it != entries_.end();) {
     if (std::get<0>(it->first) == object_id) {
       it = entries_.erase(it);
@@ -39,12 +39,12 @@ void PrecomputedCatalog::InvalidateObject(ObjectId object_id) {
 }
 
 size_t PrecomputedCatalog::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return entries_.size();
 }
 
 std::string PrecomputedCatalog::Serialize() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::string out;
   PutFixed64(&out, entries_.size());
   for (const auto& [key, value] : entries_) {
@@ -60,7 +60,7 @@ std::string PrecomputedCatalog::Serialize() const {
 }
 
 Status PrecomputedCatalog::Restore(std::string_view image) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   entries_.clear();
   if (image.empty()) return Status::Ok();
   Decoder dec(image);

@@ -2,7 +2,6 @@
 #define HEAVEN_HEAVEN_PRECOMPUTED_H_
 
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <tuple>
@@ -11,6 +10,7 @@
 #include "array/ops.h"
 #include "common/statistics.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace heaven {
 
@@ -45,8 +45,8 @@ class PrecomputedCatalog {
   using Key = std::tuple<ObjectId, int, std::string>;
 
   Statistics* stats_;
-  mutable std::mutex mu_;
-  std::map<Key, double> entries_;
+  mutable Mutex mu_;
+  std::map<Key, double> entries_ GUARDED_BY(mu_);
 };
 
 }  // namespace heaven

@@ -186,7 +186,9 @@ class Evaluator {
     if (child_value.is_scalar()) {
       return Status::InvalidArgument("cannot condense a scalar");
     }
-    return QueryResult{Condense(child_value.array(), expr.condenser)};
+    HEAVEN_ASSIGN_OR_RETURN(double condensed,
+                            Condense(child_value.array(), expr.condenser));
+    return QueryResult{condensed};
   }
 
   Result<QueryResult> EvalFrame(const Expr& expr) {

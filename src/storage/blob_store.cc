@@ -11,7 +11,7 @@ BlobStore::BlobStore(DiskManager* disk, BufferPool* pool)
     : disk_(disk), pool_(pool) {}
 
 Status BlobStore::Put(BlobId blob_id, std::string_view data) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return PutLocked(blob_id, data);
 }
 
@@ -39,7 +39,7 @@ Status BlobStore::PutLocked(BlobId blob_id, std::string_view data) {
 }
 
 Result<std::string> BlobStore::Get(BlobId blob_id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = blobs_.find(blob_id);
   if (it == blobs_.end()) {
     return Status::NotFound("blob " + std::to_string(blob_id));
@@ -56,7 +56,7 @@ Result<std::string> BlobStore::Get(BlobId blob_id) const {
 }
 
 Status BlobStore::Delete(BlobId blob_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return DeleteLocked(blob_id);
 }
 
@@ -74,17 +74,17 @@ Status BlobStore::DeleteLocked(BlobId blob_id) {
 }
 
 bool BlobStore::Exists(BlobId blob_id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return blobs_.count(blob_id) > 0;
 }
 
 BlobId BlobStore::NextBlobId() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return next_blob_id_++;
 }
 
 Result<uint64_t> BlobStore::BlobSize(BlobId blob_id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = blobs_.find(blob_id);
   if (it == blobs_.end()) {
     return Status::NotFound("blob " + std::to_string(blob_id));
@@ -93,19 +93,19 @@ Result<uint64_t> BlobStore::BlobSize(BlobId blob_id) const {
 }
 
 size_t BlobStore::NumBlobs() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return blobs_.size();
 }
 
 uint64_t BlobStore::TotalBytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   uint64_t total = 0;
   for (const auto& [blob_id, meta] : blobs_) total += meta.size;
   return total;
 }
 
 std::string BlobStore::SerializeDirectory() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::string out;
   PutFixed64(&out, next_blob_id_);
   PutFixed64(&out, blobs_.size());
@@ -119,7 +119,7 @@ std::string BlobStore::SerializeDirectory() const {
 }
 
 Status BlobStore::RestoreDirectory(std::string_view image) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Decoder dec(image);
   uint64_t next_id = 0;
   uint64_t count = 0;

@@ -3,11 +3,11 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "storage/buffer_pool.h"
 #include "storage/disk_manager.h"
 
@@ -55,15 +55,15 @@ class BlobStore {
     std::vector<PageId> pages;
   };
 
-  Status PutLocked(BlobId blob_id, std::string_view data);
-  Status DeleteLocked(BlobId blob_id);
+  Status PutLocked(BlobId blob_id, std::string_view data) REQUIRES(mu_);
+  Status DeleteLocked(BlobId blob_id) REQUIRES(mu_);
 
   DiskManager* disk_;
   BufferPool* pool_;
 
-  mutable std::mutex mu_;
-  std::map<BlobId, BlobMeta> blobs_;
-  BlobId next_blob_id_ = 1;
+  mutable Mutex mu_;
+  std::map<BlobId, BlobMeta> blobs_ GUARDED_BY(mu_);
+  BlobId next_blob_id_ GUARDED_BY(mu_) = 1;
 };
 
 }  // namespace heaven

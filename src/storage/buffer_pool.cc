@@ -75,7 +75,7 @@ BufferPool::~BufferPool() {
 
 Result<PageHandle> BufferPool::Fetch(PageId page_id) {
   Stripe& stripe = StripeFor(page_id);
-  std::unique_lock<std::mutex> lock(stripe.mu);
+  MutexLock lock(stripe.mu);
   auto it = stripe.frames.find(page_id);
   if (it != stripe.frames.end()) {
     Frame* frame = it->second.get();
@@ -126,7 +126,7 @@ Status BufferPool::EvictOneLocked(Stripe* stripe) {
 
 void BufferPool::Unpin(PageId page_id, void* frame_ptr) {
   Stripe& stripe = StripeFor(page_id);
-  std::lock_guard<std::mutex> lock(stripe.mu);
+  MutexLock lock(stripe.mu);
   Frame* frame = static_cast<Frame*>(frame_ptr);
   HEAVEN_CHECK(frame->pin_count > 0);
   if (--frame->pin_count == 0) {
@@ -139,13 +139,13 @@ void BufferPool::Unpin(PageId page_id, void* frame_ptr) {
 void BufferPool::MarkDirtyInternal(void* frame_ptr) {
   Frame* frame = static_cast<Frame*>(frame_ptr);
   Stripe& stripe = StripeFor(frame->page_id);
-  std::lock_guard<std::mutex> lock(stripe.mu);
+  MutexLock lock(stripe.mu);
   frame->dirty = true;
 }
 
 Status BufferPool::FlushAll() {
   for (auto& stripe : stripes_) {
-    std::lock_guard<std::mutex> lock(stripe->mu);
+    MutexLock lock(stripe->mu);
     for (auto& [page_id, frame] : stripe->frames) {
       if (frame->dirty) {
         HEAVEN_RETURN_IF_ERROR(disk_->WritePage(page_id, frame->data));
@@ -158,7 +158,7 @@ Status BufferPool::FlushAll() {
 
 void BufferPool::Evict(PageId page_id) {
   Stripe& stripe = StripeFor(page_id);
-  std::lock_guard<std::mutex> lock(stripe.mu);
+  MutexLock lock(stripe.mu);
   auto it = stripe.frames.find(page_id);
   if (it == stripe.frames.end()) return;
   Frame* frame = it->second.get();
@@ -170,7 +170,7 @@ void BufferPool::Evict(PageId page_id) {
 size_t BufferPool::cached_pages() const {
   size_t total = 0;
   for (const auto& stripe : stripes_) {
-    std::lock_guard<std::mutex> lock(stripe->mu);
+    MutexLock lock(stripe->mu);
     total += stripe->frames.size();
   }
   return total;

@@ -3,13 +3,13 @@
 
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/statistics.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "storage/disk_manager.h"
 #include "storage/page.h"
 
@@ -90,10 +90,10 @@ class BufferPool {
   };
 
   struct Stripe {
-    mutable std::mutex mu;
+    mutable Mutex mu;
     size_t capacity = 0;
-    std::unordered_map<PageId, std::unique_ptr<Frame>> frames;
-    std::list<PageId> lru;  // front = most recent
+    std::unordered_map<PageId, std::unique_ptr<Frame>> frames GUARDED_BY(mu);
+    std::list<PageId> lru GUARDED_BY(mu);  // front = most recent
   };
 
   Stripe& StripeFor(PageId page_id) {
@@ -103,7 +103,7 @@ class BufferPool {
   void Unpin(PageId page_id, void* frame);
   void MarkDirtyInternal(void* frame);
   /// Evicts one unpinned frame (stripe LRU); Status error if none.
-  Status EvictOneLocked(Stripe* stripe);
+  Status EvictOneLocked(Stripe* stripe) REQUIRES(stripe->mu);
 
   DiskManager* disk_;
   size_t capacity_;

@@ -38,7 +38,7 @@ Result<CatalogDelta> CatalogDelta::Decode(std::string_view data) {
 }
 
 Status Catalog::Apply(const CatalogDelta& delta) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   switch (delta.op) {
     case CatalogOp::kAddCollection:
       collections_[delta.collection_id] = delta.name;
@@ -88,7 +88,7 @@ Status Catalog::Apply(const CatalogDelta& delta) {
 
 std::optional<CollectionId> Catalog::FindCollection(
     const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (const auto& [id, coll_name] : collections_) {
     if (coll_name == name) return id;
   }
@@ -97,14 +97,14 @@ std::optional<CollectionId> Catalog::FindCollection(
 
 std::vector<std::pair<CollectionId, std::string>> Catalog::ListCollections()
     const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::pair<CollectionId, std::string>> out(collections_.begin(),
                                                         collections_.end());
   return out;
 }
 
 Result<ObjectDescriptor> Catalog::GetObject(ObjectId object_id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = objects_.find(object_id);
   if (it == objects_.end()) {
     return Status::NotFound("object " + std::to_string(object_id));
@@ -113,7 +113,7 @@ Result<ObjectDescriptor> Catalog::GetObject(ObjectId object_id) const {
 }
 
 Result<ObjectDescriptor> Catalog::FindObject(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (const auto& [id, obj] : objects_) {
     if (obj.name == name) return obj;
   }
@@ -122,7 +122,7 @@ Result<ObjectDescriptor> Catalog::FindObject(const std::string& name) const {
 
 std::vector<ObjectDescriptor> Catalog::ListObjects(
     CollectionId collection_id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<ObjectDescriptor> out;
   for (const auto& [id, obj] : objects_) {
     if (obj.collection_id == collection_id) out.push_back(obj);
@@ -132,7 +132,7 @@ std::vector<ObjectDescriptor> Catalog::ListObjects(
 
 Result<TileDescriptor> Catalog::GetTile(ObjectId object_id,
                                         TileId tile_id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto obj_it = tiles_.find(object_id);
   if (obj_it == tiles_.end()) {
     return Status::NotFound("object has no tiles");
@@ -145,7 +145,7 @@ Result<TileDescriptor> Catalog::GetTile(ObjectId object_id,
 }
 
 std::vector<TileDescriptor> Catalog::ListTiles(ObjectId object_id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<TileDescriptor> out;
   auto obj_it = tiles_.find(object_id);
   if (obj_it == tiles_.end()) return out;
@@ -155,28 +155,28 @@ std::vector<TileDescriptor> Catalog::ListTiles(ObjectId object_id) const {
 }
 
 std::string Catalog::GetSection(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = sections_.find(name);
   return it == sections_.end() ? std::string() : it->second;
 }
 
 CollectionId Catalog::NextCollectionId() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return next_collection_id_++;
 }
 
 ObjectId Catalog::NextObjectId() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return next_object_id_++;
 }
 
 TileId Catalog::NextTileId() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return next_tile_id_++;
 }
 
 std::string Catalog::Serialize() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::string out;
   PutFixed64(&out, collections_.size());
   for (const auto& [id, name] : collections_) {
@@ -204,7 +204,7 @@ std::string Catalog::Serialize() const {
 }
 
 Status Catalog::Restore(std::string_view image) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Decoder dec(image);
   uint64_t count = 0;
 

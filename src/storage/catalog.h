@@ -3,13 +3,13 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "array/mdd.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace heaven {
 
@@ -80,16 +80,16 @@ class Catalog {
   Status Restore(std::string_view image);
 
  private:
-  void ReseedIdsLocked();
+  void ReseedIdsLocked() REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::map<CollectionId, std::string> collections_;
-  std::map<ObjectId, ObjectDescriptor> objects_;
-  std::map<ObjectId, std::map<TileId, TileDescriptor>> tiles_;
-  std::map<std::string, std::string> sections_;
-  CollectionId next_collection_id_ = 1;
-  ObjectId next_object_id_ = 1;
-  TileId next_tile_id_ = 1;
+  mutable Mutex mu_;
+  std::map<CollectionId, std::string> collections_ GUARDED_BY(mu_);
+  std::map<ObjectId, ObjectDescriptor> objects_ GUARDED_BY(mu_);
+  std::map<ObjectId, std::map<TileId, TileDescriptor>> tiles_ GUARDED_BY(mu_);
+  std::map<std::string, std::string> sections_ GUARDED_BY(mu_);
+  CollectionId next_collection_id_ GUARDED_BY(mu_) = 1;
+  ObjectId next_object_id_ GUARDED_BY(mu_) = 1;
+  TileId next_tile_id_ GUARDED_BY(mu_) = 1;
 };
 
 }  // namespace heaven

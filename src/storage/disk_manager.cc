@@ -65,7 +65,7 @@ Status DiskManager::StoreHeader() {
 }
 
 Result<PageId> DiskManager::AllocatePage() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   PageId page_id;
   if (!free_list_.empty()) {
     page_id = free_list_.back();
@@ -81,7 +81,7 @@ Result<PageId> DiskManager::AllocatePage() {
 }
 
 Status DiskManager::FreePage(PageId page_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (page_id == 0 || page_id > num_pages_) {
     return Status::InvalidArgument("FreePage: bad page id");
   }
@@ -91,7 +91,7 @@ Status DiskManager::FreePage(PageId page_id) {
 
 Status DiskManager::ReadPage(PageId page_id, std::string* out) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (page_id == 0 || page_id > num_pages_) {
       return Status::InvalidArgument("ReadPage: bad page id " +
                                      std::to_string(page_id));
@@ -110,7 +110,7 @@ Status DiskManager::WritePage(PageId page_id, std::string_view data) {
     return Status::InvalidArgument("WritePage: data must be one page");
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (page_id == 0 || page_id > num_pages_) {
       return Status::InvalidArgument("WritePage: bad page id");
     }
@@ -126,7 +126,7 @@ Status DiskManager::WritePage(PageId page_id, std::string_view data) {
 Status DiskManager::Sync() { return file_->Sync(); }
 
 uint64_t DiskManager::NumPages() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return num_pages_;
 }
 

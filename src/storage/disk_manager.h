@@ -2,13 +2,13 @@
 #define HEAVEN_STORAGE_DISK_MANAGER_H_
 
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/env.h"
 #include "common/statistics.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "storage/page.h"
 
 namespace heaven {
@@ -43,15 +43,15 @@ class DiskManager {
  private:
   DiskManager(std::unique_ptr<File> file, Statistics* stats);
 
-  Status LoadHeader();
-  Status StoreHeader();
+  Status LoadHeader() REQUIRES(mu_);
+  Status StoreHeader() REQUIRES(mu_);
 
   std::unique_ptr<File> file_;
   Statistics* stats_;
 
-  mutable std::mutex mu_;
-  uint64_t num_pages_ = 0;  // data pages, ids 1..num_pages_
-  std::vector<PageId> free_list_;
+  mutable Mutex mu_;
+  uint64_t num_pages_ GUARDED_BY(mu_) = 0;  // data pages, ids 1..num_pages_
+  std::vector<PageId> free_list_ GUARDED_BY(mu_);
 };
 
 }  // namespace heaven

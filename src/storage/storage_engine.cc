@@ -181,7 +181,7 @@ Status StorageEngine::CommitTransaction(Transaction* txn) {
   uint64_t commit_end = 0;
   uint64_t epoch = 0;
   {
-    std::lock_guard<std::mutex> lock(commit_mu_);
+    MutexLock lock(commit_mu_);
     epoch = wal_->Epoch();
     // WAL first (redo rule), then apply.
     for (const WalRecord& record : txn->records_) {

@@ -3,13 +3,13 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/env.h"
 #include "common/statistics.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "storage/blob_store.h"
 #include "storage/buffer_pool.h"
 #include "storage/catalog.h"
@@ -122,7 +122,9 @@ class StorageEngine {
   std::unique_ptr<Wal> wal_;
   Catalog catalog_;
 
-  std::mutex commit_mu_;
+  /// Serializes commit application and checkpoints (WAL append order =
+  /// apply order).
+  Mutex commit_mu_;
   std::atomic<uint64_t> next_txn_id_{1};
 };
 

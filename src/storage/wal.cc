@@ -24,7 +24,7 @@ Status Wal::Append(const WalRecord& record, uint64_t* end_offset) {
   PutFixed32(&framed, Crc32c(payload));
   framed.append(payload);
 
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   HEAVEN_RETURN_IF_ERROR(file_->WriteAt(append_offset_, framed));
   append_offset_ += framed.size();
   if (end_offset != nullptr) *end_offset = append_offset_;
@@ -32,12 +32,12 @@ Status Wal::Append(const WalRecord& record, uint64_t* end_offset) {
 }
 
 Status Wal::Sync() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return file_->Sync();
 }
 
 Status Wal::SyncTo(uint64_t target_offset, uint64_t epoch) {
-  std::unique_lock<std::mutex> lock(sync_mu_);
+  MutexLock lock(sync_mu_);
   for (;;) {
     if (epoch_ != epoch) {
       // The log was reset since the bytes were appended: the checkpoint
@@ -51,32 +51,32 @@ Status Wal::SyncTo(uint64_t target_offset, uint64_t epoch) {
       return Status::Ok();
     }
     if (!sync_active_) break;
-    sync_cv_.wait(lock);
+    sync_cv_.Wait(lock);
   }
   // Become the sync leader: one fsync covers everything appended so far,
   // including records of committers that will arrive at SyncTo after us.
   sync_active_ = true;
   uint64_t flush_to = 0;
   {
-    std::lock_guard<std::mutex> append_lock(mu_);
+    MutexLock append_lock(mu_);
     flush_to = append_offset_;
   }
-  lock.unlock();
+  lock.Unlock();
   Status status = file_->Sync();
-  lock.lock();
+  lock.Lock();
   sync_active_ = false;
   if (status.ok() && epoch_ == epoch) {
     synced_offset_ = std::max(synced_offset_, flush_to);
   }
   if (stats_ != nullptr) stats_->Record(Ticker::kWalSyncs);
-  sync_cv_.notify_all();
+  sync_cv_.NotifyAll();
   return status;
 }
 
 Result<std::vector<WalRecord>> Wal::ReadAll() {
   std::string contents;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (append_offset_ == 0) return std::vector<WalRecord>{};
     HEAVEN_RETURN_IF_ERROR(file_->ReadAt(0, append_offset_, &contents));
   }
@@ -105,8 +105,8 @@ Result<std::vector<WalRecord>> Wal::ReadAll() {
 Status Wal::Reset() {
   // Take both locks: no append may interleave with the truncate, and the
   // epoch bump must be visible to any SyncTo still holding a target.
-  std::lock_guard<std::mutex> sync_lock(sync_mu_);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock sync_lock(sync_mu_);
+  MutexLock lock(mu_);
   HEAVEN_RETURN_IF_ERROR(file_->Truncate(0));
   append_offset_ = 0;
   synced_offset_ = 0;
@@ -115,12 +115,12 @@ Status Wal::Reset() {
 }
 
 uint64_t Wal::SizeBytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return append_offset_;
 }
 
 uint64_t Wal::Epoch() const {
-  std::lock_guard<std::mutex> lock(sync_mu_);
+  MutexLock lock(sync_mu_);
   return epoch_;
 }
 

@@ -1,16 +1,15 @@
 #ifndef HEAVEN_STORAGE_WAL_H_
 #define HEAVEN_STORAGE_WAL_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/env.h"
 #include "common/statistics.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace heaven {
 
@@ -85,15 +84,15 @@ class Wal {
   Statistics* stats_;  // may be null
 
   /// Guards append_offset_ and the file's append tail.
-  mutable std::mutex mu_;
-  uint64_t append_offset_;
+  mutable Mutex mu_ ACQUIRED_AFTER(sync_mu_);
+  uint64_t append_offset_ GUARDED_BY(mu_);
 
   /// Group-commit state. sync_mu_ is never held across the fsync itself.
-  mutable std::mutex sync_mu_;
-  std::condition_variable sync_cv_;
-  bool sync_active_ = false;
-  uint64_t synced_offset_ = 0;
-  uint64_t epoch_ = 0;
+  mutable Mutex sync_mu_;
+  CondVar sync_cv_{&sync_mu_};
+  bool sync_active_ GUARDED_BY(sync_mu_) = false;
+  uint64_t synced_offset_ GUARDED_BY(sync_mu_) = 0;
+  uint64_t epoch_ GUARDED_BY(sync_mu_) = 0;
 };
 
 }  // namespace heaven

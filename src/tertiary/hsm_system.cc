@@ -11,7 +11,7 @@ HsmSystem::HsmSystem(TapeLibrary* library, const HsmOptions& options,
     : library_(library), options_(options), stats_(stats) {}
 
 Status HsmSystem::StoreFile(const std::string& name, std::string_view data) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (files_.count(name) > 0) {
     return Status::AlreadyExists("HSM file " + name);
   }
@@ -75,7 +75,7 @@ void HsmSystem::EvictForLocked(uint64_t needed_bytes) {
 
 Status HsmSystem::ReadFileRange(const std::string& name, uint64_t offset,
                                 uint64_t n, std::string* out) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = files_.find(name);
   if (it == files_.end()) return Status::NotFound("HSM file " + name);
   if (offset + n > it->second.size) {
@@ -92,7 +92,7 @@ Result<std::string> HsmSystem::ReadFile(const std::string& name) {
   std::string out;
   uint64_t size = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = files_.find(name);
     if (it == files_.end()) return Status::NotFound("HSM file " + name);
     size = it->second.size;
@@ -102,7 +102,7 @@ Result<std::string> HsmSystem::ReadFile(const std::string& name) {
 }
 
 Status HsmSystem::PurgeFile(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = staged_.find(name);
   if (it == staged_.end()) return Status::NotFound("not staged: " + name);
   staged_bytes_ -= it->second.size();
@@ -113,24 +113,24 @@ Status HsmSystem::PurgeFile(const std::string& name) {
 }
 
 bool HsmSystem::IsStaged(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return staged_.count(name) > 0;
 }
 
 bool HsmSystem::FileExists(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return files_.count(name) > 0;
 }
 
 Result<uint64_t> HsmSystem::FileSize(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = files_.find(name);
   if (it == files_.end()) return Status::NotFound("HSM file " + name);
   return it->second.size;
 }
 
 uint64_t HsmSystem::StagedBytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return staged_bytes_;
 }
 

@@ -4,12 +4,12 @@
 #include <cstdint>
 #include <list>
 #include <map>
-#include <mutex>
 #include <string>
 
 #include "common/fault_injection.h"
 #include "common/statistics.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "tertiary/tape_library.h"
 
 namespace heaven {
@@ -62,18 +62,19 @@ class HsmSystem {
   };
 
   /// Ensures the file is in the disk cache; pays tape + disk write costs.
-  Status StageLocked(const std::string& name, const FileMeta& meta);
-  void EvictForLocked(uint64_t needed_bytes);
+  Status StageLocked(const std::string& name, const FileMeta& meta)
+      REQUIRES(mu_);
+  void EvictForLocked(uint64_t needed_bytes) REQUIRES(mu_);
 
   TapeLibrary* library_;
   HsmOptions options_;
   Statistics* stats_;
 
-  mutable std::mutex mu_;
-  std::map<std::string, FileMeta> files_;
-  std::map<std::string, std::string> staged_;   // name -> contents
-  std::list<std::string> stage_lru_;            // front = most recent
-  uint64_t staged_bytes_ = 0;
+  mutable Mutex mu_;
+  std::map<std::string, FileMeta> files_ GUARDED_BY(mu_);
+  std::map<std::string, std::string> staged_ GUARDED_BY(mu_);  // contents
+  std::list<std::string> stage_lru_ GUARDED_BY(mu_);  // front = most recent
+  uint64_t staged_bytes_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace heaven

@@ -27,7 +27,7 @@ TapeLibrary::TapeLibrary(const TapeLibraryOptions& options, Statistics* stats,
 }
 
 void TapeLibrary::SetFaultInjector(FaultInjector* injector) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   injector_ = injector;
 }
 
@@ -38,7 +38,7 @@ std::string TapeLibrary::MediumPath(MediumId medium) const {
 Status TapeLibrary::LoadPersistedMedia() {
   if (env_ == nullptr) return Status::Ok();
   HEAVEN_RETURN_IF_ERROR(env_->CreateDirIfMissing(dir_));
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (MediumId m = 0; m < media_.size(); ++m) {
     HEAVEN_ASSIGN_OR_RETURN(media_[m].file, env_->OpenFile(MediumPath(m)));
     HEAVEN_ASSIGN_OR_RETURN(uint64_t size, media_[m].file->Size());
@@ -154,7 +154,7 @@ void TapeLibrary::SeekLocked(DriveId drive_id, uint64_t offset) {
 
 Result<uint64_t> TapeLibrary::Append(MediumId medium_id,
                                      std::string_view data) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (medium_id >= media_.size()) {
     return Status::InvalidArgument("bad medium id");
   }
@@ -206,7 +206,7 @@ Result<uint64_t> TapeLibrary::Append(MediumId medium_id,
 
 Status TapeLibrary::ReadAt(MediumId medium_id, uint64_t offset, uint64_t n,
                            std::string* out) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (medium_id >= media_.size()) {
     return Status::InvalidArgument("bad medium id");
   }
@@ -258,7 +258,7 @@ Status TapeLibrary::ReadAt(MediumId medium_id, uint64_t offset, uint64_t n,
 }
 
 Status TapeLibrary::EraseMedium(MediumId medium_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (medium_id >= media_.size()) {
     return Status::InvalidArgument("bad medium id");
   }
@@ -293,7 +293,7 @@ void TapeLibrary::TakeDriveOfflineLocked(DriveId drive_id) {
 }
 
 Status TapeLibrary::FailDriveForTesting(DriveId drive_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (drive_id >= drives_.size()) {
     return Status::InvalidArgument("bad drive id");
   }
@@ -303,7 +303,7 @@ Status TapeLibrary::FailDriveForTesting(DriveId drive_id) {
 }
 
 uint32_t TapeLibrary::OnlineDrives() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   uint32_t online = 0;
   for (const Drive& drive : drives_) {
     if (!drive.offline) ++online;
@@ -313,7 +313,7 @@ uint32_t TapeLibrary::OnlineDrives() const {
 
 Status TapeLibrary::TruncateMediumForRecovery(MediumId medium_id,
                                               uint64_t end) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (medium_id >= media_.size()) {
     return Status::InvalidArgument("bad medium id");
   }
@@ -331,7 +331,7 @@ Status TapeLibrary::TruncateMediumForRecovery(MediumId medium_id,
 
 Status TapeLibrary::CorruptByteForTesting(MediumId medium_id,
                                           uint64_t offset) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (medium_id >= media_.size()) {
     return Status::InvalidArgument("bad medium id");
   }
@@ -348,7 +348,7 @@ Status TapeLibrary::CorruptByteForTesting(MediumId medium_id,
 }
 
 Result<uint64_t> TapeLibrary::MediumUsedBytes(MediumId medium_id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (medium_id >= media_.size()) {
     return Status::InvalidArgument("bad medium id");
   }
@@ -356,7 +356,7 @@ Result<uint64_t> TapeLibrary::MediumUsedBytes(MediumId medium_id) const {
 }
 
 Result<uint64_t> TapeLibrary::MediumFreeBytes(MediumId medium_id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (medium_id >= media_.size()) {
     return Status::InvalidArgument("bad medium id");
   }
@@ -364,7 +364,7 @@ Result<uint64_t> TapeLibrary::MediumFreeBytes(MediumId medium_id) const {
 }
 
 MediumId TapeLibrary::MediumWithMostFreeSpace() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   MediumId best = 0;
   size_t best_used = media_[0].data.size();
   for (MediumId m = 1; m < media_.size(); ++m) {
@@ -377,13 +377,13 @@ MediumId TapeLibrary::MediumWithMostFreeSpace() const {
 }
 
 bool TapeLibrary::IsLoaded(MediumId medium_id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (medium_id >= media_.size()) return false;
   return media_[medium_id].loaded;
 }
 
 Result<uint64_t> TapeLibrary::HeadPosition(MediumId medium_id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (medium_id >= media_.size()) {
     return Status::InvalidArgument("bad medium id");
   }
@@ -407,22 +407,22 @@ void TapeLibrary::RecordTraceLocked(TapeTraceEvent::Kind kind,
 }
 
 void TapeLibrary::EnableTrace(bool enabled) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   trace_enabled_ = enabled;
 }
 
 bool TapeLibrary::trace_enabled() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return trace_enabled_;
 }
 
 std::vector<TapeTraceEvent> TapeLibrary::Trace() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return trace_;
 }
 
 void TapeLibrary::ClearTrace() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   trace_.clear();
 }
 

@@ -4,13 +4,12 @@
 #include <cstdint>
 #include <memory>
 #include <string>
-#include <mutex>
-#include <string>
 #include <vector>
 
 #include "common/env.h"
 #include "common/statistics.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "tertiary/drive_profile.h"
 #include "tertiary/sim_clock.h"
 
@@ -153,12 +152,12 @@ class TapeLibrary {
   std::string MediumPath(MediumId medium) const;
 
   /// Ensures `medium` is in a drive; pays exchange/load costs. Returns the
-  /// drive index. Must be called with mu_ held.
-  Result<DriveId> EnsureLoadedLocked(MediumId medium);
+  /// drive index.
+  Result<DriveId> EnsureLoadedLocked(MediumId medium) REQUIRES(mu_);
   /// Takes `drive` offline (unloading its medium) and counts the failure.
-  void TakeDriveOfflineLocked(DriveId drive);
+  void TakeDriveOfflineLocked(DriveId drive) REQUIRES(mu_);
   /// Positions the head of `drive` at `offset`, paying seek cost.
-  void SeekLocked(DriveId drive, uint64_t offset);
+  void SeekLocked(DriveId drive, uint64_t offset) REQUIRES(mu_);
 
   TapeLibraryOptions options_;
   Statistics* stats_;
@@ -168,14 +167,15 @@ class TapeLibrary {
   FaultInjector* injector_ = nullptr;  // null => no fault injection
 
   void RecordTraceLocked(TapeTraceEvent::Kind kind, MediumId medium,
-                         uint64_t offset, uint64_t bytes, double seconds);
+                         uint64_t offset, uint64_t bytes, double seconds)
+      REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::vector<Drive> drives_;
-  std::vector<Medium> media_;
-  uint64_t use_seq_ = 0;
-  bool trace_enabled_ = false;
-  std::vector<TapeTraceEvent> trace_;
+  mutable Mutex mu_;
+  std::vector<Drive> drives_ GUARDED_BY(mu_);
+  std::vector<Medium> media_ GUARDED_BY(mu_);
+  uint64_t use_seq_ GUARDED_BY(mu_) = 0;
+  bool trace_enabled_ GUARDED_BY(mu_) = false;
+  std::vector<TapeTraceEvent> trace_ GUARDED_BY(mu_);
 };
 
 }  // namespace heaven

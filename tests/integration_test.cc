@@ -107,7 +107,7 @@ TEST_F(IntegrationTest, RasqlTrimSliceAndCondense) {
 
   auto avg = rasql::ExecuteString(db_.get(), "select avg_cells(grid) from climate");
   ASSERT_TRUE(avg.ok()) << avg.status().ToString();
-  EXPECT_NEAR(avg->scalar(), Condense(data, Condenser::kAvg), 1e-9);
+  EXPECT_NEAR(avg->scalar(), Condense(data, Condenser::kAvg).value(), 1e-9);
 }
 
 TEST_F(IntegrationTest, FramingReturnsOnlyFrameCells) {

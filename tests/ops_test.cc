@@ -126,11 +126,11 @@ TEST(InducedBinaryTest, TypeMismatchFails) {
 TEST(CondenseTest, AllKinds) {
   MddArray a(MdInterval({0}, {4}), CellType::kDouble);
   a.Generate([](const MdPoint& p) { return static_cast<double>(p[0]); });
-  EXPECT_EQ(Condense(a, Condenser::kSum), 10.0);
-  EXPECT_EQ(Condense(a, Condenser::kAvg), 2.0);
-  EXPECT_EQ(Condense(a, Condenser::kMin), 0.0);
-  EXPECT_EQ(Condense(a, Condenser::kMax), 4.0);
-  EXPECT_EQ(Condense(a, Condenser::kCount), 5.0);
+  EXPECT_EQ(Condense(a, Condenser::kSum).value(), 10.0);
+  EXPECT_EQ(Condense(a, Condenser::kAvg).value(), 2.0);
+  EXPECT_EQ(Condense(a, Condenser::kMin).value(), 0.0);
+  EXPECT_EQ(Condense(a, Condenser::kMax).value(), 4.0);
+  EXPECT_EQ(Condense(a, Condenser::kCount).value(), 5.0);
 }
 
 TEST(CondenseTest, RegionRestricted) {
@@ -223,7 +223,7 @@ TEST(QuantifierTest, MaskPipelineMatchesCounting) {
   });
   auto mask = CompareScalar(a, CompareOp::kGe, 90.0);
   ASSERT_TRUE(mask.ok());
-  EXPECT_EQ(Condense(*mask, Condenser::kSum), 10.0);  // the last row
+  EXPECT_EQ(Condense(*mask, Condenser::kSum).value(), 10.0);  // the last row
 }
 
 class OpsPropertyTest : public ::testing::TestWithParam<uint64_t> {};
@@ -245,7 +245,7 @@ TEST_P(OpsPropertyTest, TrimThenCondenseEqualsCondenseRegion) {
                         Condenser::kMax, Condenser::kCount}) {
       auto direct = CondenseRegion(a, c, region);
       ASSERT_TRUE(direct.ok());
-      EXPECT_DOUBLE_EQ(Condense(*trimmed, c), *direct);
+      EXPECT_DOUBLE_EQ(Condense(*trimmed, c).value(), *direct);
     }
   }
 }

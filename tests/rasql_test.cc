@@ -217,7 +217,7 @@ TEST_F(ExecutorTest, CondenserScalar) {
   auto result = ExecuteString(db_.get(), "select avg_cells(m) from coll");
   ASSERT_TRUE(result.ok());
   EXPECT_TRUE(result->is_scalar());
-  EXPECT_NEAR(result->scalar(), Condense(data_, Condenser::kAvg), 1e-9);
+  EXPECT_NEAR(result->scalar(), Condense(data_, Condenser::kAvg).value(), 1e-9);
 }
 
 TEST_F(ExecutorTest, CondenserOverTrim) {

@@ -1,0 +1,214 @@
+// Runtime semantics of the annotated lock wrappers in
+// common/thread_annotations.h and common/rw_mutex.h: the guards must
+// actually lock/unlock what the annotations claim they do, CondVar must
+// wake waiters with the mutex re-held, and RecursiveSharedMutex must
+// allow writer re-entrancy and reader-inside-writer degradation while its
+// debug asserts reject shared recursion and reader upgrade.
+//
+// The *static* side — that misuse fails to compile under clang
+// -Wthread-safety — is checked by scripts/check.sh --analyze via the
+// HEAVEN_TSA_NEGATIVE_TEST snippet in tests/tsa_negative_check.cc.
+
+#include "common/thread_annotations.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rw_mutex.h"
+
+namespace heaven {
+namespace {
+
+TEST(MutexLockTest, GuardsCriticalSection) {
+  Mutex mu;
+  int counter = 0;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 1000; ++i) {
+        MutexLock lock(mu);
+        ++counter;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter, 8000);
+}
+
+TEST(MutexLockTest, ReleasesOnDestruction) {
+  Mutex mu;
+  { MutexLock lock(mu); }
+  EXPECT_TRUE(mu.TryLock());
+  mu.Unlock();
+}
+
+TEST(MutexLockTest, RelockableAcrossUnlock) {
+  Mutex mu;
+  MutexLock lock(mu);
+  EXPECT_TRUE(lock.held());
+  lock.Unlock();
+  EXPECT_FALSE(lock.held());
+  // The mutex really is free while the guard is in the unlocked state.
+  EXPECT_TRUE(mu.TryLock());
+  mu.Unlock();
+  lock.Lock();
+  EXPECT_TRUE(lock.held());
+  EXPECT_FALSE(mu.TryLock());
+}
+
+TEST(MutexLockTest, AdoptTakesOverHeldMutex) {
+  Mutex mu;
+  mu.Lock();
+  {
+    MutexLock lock(mu, kAdoptLock);
+    EXPECT_TRUE(lock.held());
+  }
+  // The adopting guard released it on destruction.
+  EXPECT_TRUE(mu.TryLock());
+  mu.Unlock();
+}
+
+TEST(CondVarTest, WakesWaiterWithMutexHeld) {
+  Mutex mu;
+  CondVar cv(&mu);
+  bool ready = false;
+  int observed = -1;
+  std::thread waiter([&] {
+    MutexLock lock(mu);
+    while (!ready) cv.Wait(lock);
+    // The mutex is held again here, so this read is race-free.
+    observed = ready ? 1 : 0;
+  });
+  {
+    MutexLock lock(mu);
+    ready = true;
+  }
+  cv.NotifyOne();
+  waiter.join();
+  EXPECT_EQ(observed, 1);
+}
+
+TEST(CondVarTest, NotifyAllWakesEveryWaiter) {
+  Mutex mu;
+  CondVar cv(&mu);
+  bool go = false;
+  int woke = 0;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      MutexLock lock(mu);
+      while (!go) cv.Wait(lock);
+      ++woke;
+    });
+  }
+  {
+    MutexLock lock(mu);
+    go = true;
+  }
+  cv.NotifyAll();
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(woke, 4);
+}
+
+TEST(SharedMutexTest, ReadersShareWritersExclude) {
+  SharedMutex mu;
+  {
+    ReaderLock<SharedMutex> r1(mu);
+    // A second reader gets in alongside the first...
+    EXPECT_TRUE(mu.TryLockShared());
+    mu.UnlockShared();
+    // ...but a writer does not.
+    EXPECT_FALSE(mu.TryLock());
+  }
+  {
+    WriterLock<SharedMutex> w(mu);
+    EXPECT_FALSE(mu.TryLockShared());
+  }
+  EXPECT_TRUE(mu.TryLock());
+  mu.Unlock();
+}
+
+TEST(RecursiveSharedMutexTest, WriterReentry) {
+  RecursiveSharedMutex mu;
+  WriterLock<RecursiveSharedMutex> outer(mu);
+  {
+    // ExportObjectSync -> InsertObject(overview) -> ExportObjectSync shape.
+    WriterLock<RecursiveSharedMutex> inner(mu);
+    WriterLock<RecursiveSharedMutex> innermost(mu);
+  }
+  // Still exclusively held by this thread after the inner guards unwind.
+  std::thread other([&] { EXPECT_FALSE(mu.TryLock()); });
+  other.join();
+}
+
+TEST(RecursiveSharedMutexTest, SharedDegradesInsideWriter) {
+  RecursiveSharedMutex mu;
+  WriterLock<RecursiveSharedMutex> writer(mu);
+  {
+    // Mutator calling a read path: the shared acquisition must neither
+    // deadlock nor release exclusivity when it unwinds.
+    ReaderLock<RecursiveSharedMutex> reader(mu);
+  }
+  std::thread other([&] {
+    EXPECT_FALSE(mu.TryLock());
+    EXPECT_FALSE(mu.TryLockShared());
+  });
+  other.join();
+}
+
+TEST(RecursiveSharedMutexTest, IndependentReadersShare) {
+  RecursiveSharedMutex mu;
+  ReaderLock<RecursiveSharedMutex> reader(mu);
+  std::thread other([&] {
+    EXPECT_TRUE(mu.TryLockShared());
+    mu.UnlockShared();
+    EXPECT_FALSE(mu.TryLock());
+  });
+  other.join();
+}
+
+TEST(RecursiveSharedMutexTest, WriterExcludesAfterReaderInWriterUnwinds) {
+  RecursiveSharedMutex mu;
+  {
+    WriterLock<RecursiveSharedMutex> writer(mu);
+    { ReaderLock<RecursiveSharedMutex> reader(mu); }
+  }
+  // Fully released: anyone can take it exclusively now.
+  std::thread other([&] {
+    EXPECT_TRUE(mu.TryLock());
+    mu.Unlock();
+  });
+  other.join();
+}
+
+#if !defined(NDEBUG) && defined(GTEST_HAS_DEATH_TEST)
+
+// The two constraints the static analysis cannot express are enforced by
+// debug asserts instead; both must abort loudly rather than deadlock.
+
+TEST(RecursiveSharedMutexDeathTest, SharedRecursionAsserts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  RecursiveSharedMutex mu;
+  ReaderLock<RecursiveSharedMutex> reader(mu);
+  EXPECT_DEATH(mu.LockShared(), "recursive LockShared");
+}
+
+TEST(RecursiveSharedMutexDeathTest, ReaderUpgradeAsserts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  RecursiveSharedMutex mu;
+  ReaderLock<RecursiveSharedMutex> reader(mu);
+  EXPECT_DEATH(mu.Lock(), "reader upgrade");
+}
+
+TEST(RecursiveSharedMutexDeathTest, UnpairedUnlockSharedAsserts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  RecursiveSharedMutex mu;
+  EXPECT_DEATH(mu.UnlockShared(), "without shared ownership");
+}
+
+#endif  // !NDEBUG && GTEST_HAS_DEATH_TEST
+
+}  // namespace
+}  // namespace heaven

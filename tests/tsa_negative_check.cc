@@ -1,0 +1,64 @@
+// Compile-only smoke check that the thread-safety annotations actually
+// have teeth. Not registered with CMake — scripts/check.sh --analyze
+// compiles this file twice with clang:
+//
+//   1. without defines: must compile cleanly under -Werror=thread-safety
+//      (the positive control — proves the includes and wrappers are clean);
+//   2. with -DHEAVEN_TSA_NEGATIVE_TEST: must FAIL to compile (the negative
+//      control — proves -Wthread-safety is live and promoted to an error,
+//      i.e. the gate cannot silently rot into a no-op).
+
+#include "common/rw_mutex.h"
+#include "common/thread_annotations.h"
+
+namespace heaven {
+namespace {
+
+class Annotated {
+ public:
+  void Correct() {
+    MutexLock lock(mu_);
+    ++counter_;
+  }
+
+  int CorrectShared() {
+    ReaderLock<RecursiveSharedMutex> lock(rw_mu_);
+    return shared_counter_;
+  }
+
+#ifdef HEAVEN_TSA_NEGATIVE_TEST
+  // Each of these is a distinct analysis rule; any one diagnostic makes
+  // the TU fail under -Werror=thread-safety, but we want all three shapes
+  // covered so a regression in one check is still caught by the others.
+  void WriteWithoutLock() {
+    ++counter_;  // GUARDED_BY violated: no mu_ held
+  }
+
+  void RequiresCalledUnlocked() {
+    Locked();  // REQUIRES(mu_) violated
+  }
+
+  int SharedWriteUnderReader() {
+    ReaderLock<RecursiveSharedMutex> lock(rw_mu_);
+    return ++shared_counter_;  // write needs exclusive, only shared held
+  }
+#endif
+
+ private:
+  void Locked() REQUIRES(mu_) { ++counter_; }
+
+  Mutex mu_;
+  int counter_ GUARDED_BY(mu_) = 0;
+  RecursiveSharedMutex rw_mu_;
+  int shared_counter_ GUARDED_BY(rw_mu_) = 0;
+};
+
+// Anchor so the class is ODR-used and fully instantiated.
+void Use() {
+  Annotated a;
+  a.Correct();
+  (void)a.CorrectShared();
+}
+
+}  // namespace
+}  // namespace heaven
