@@ -2,9 +2,15 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
 #include <mutex>
+#include <string_view>
 #include <vector>
 
+#include "benchmark/benchmark.h"
+#include "common/bench_report.h"
 #include "common/coding.h"
 #include "common/logging.h"
 
@@ -14,24 +20,57 @@ namespace {
 
 std::mutex report_mu;
 
-/// Pre-rendered JSON objects, one per recorded run (never freed: the
+/// Structured run records for this binary's report (never freed: the
 /// report is emitted at process exit).
-std::vector<std::string>& ReportRuns() {
-  static auto* runs = new std::vector<std::string>();
+std::vector<BenchRunRecord>& ReportRuns() {
+  static auto* runs = new std::vector<BenchRunRecord>();
   return *runs;
+}
+
+/// Writes the persisted trajectory point DIR/BENCH_<bench_name>.json.
+Status WriteBenchReportFile(const std::string& bench_name,
+                            const std::string& out_dir) {
+  BenchReport report = MakeBenchReport(bench_name);
+  {
+    std::lock_guard<std::mutex> lock(report_mu);
+    report.runs = ReportRuns();
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(out_dir, ec);
+  const std::string path = out_dir + "/BENCH_" + bench_name + ".json";
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return Status::IOError("cannot open " + path + " for writing");
+  }
+  const std::string text = report.RenderJson();
+  const size_t written = std::fwrite(text.data(), 1, text.size(), file);
+  const bool closed = std::fclose(file) == 0;
+  if (written != text.size() || !closed) {
+    return Status::IOError("short write to " + path);
+  }
+  return Status::Ok();
 }
 
 }  // namespace
 
 void RecordRunForReport(const std::string& label, const Statistics& stats,
                         double tape_seconds, double client_seconds) {
-  std::string run = "{\"label\":";
-  AppendJsonString(&run, label);
-  run += ",\"tape_seconds\":" + FormatJsonDouble(tape_seconds);
-  run += ",\"client_seconds\":" + FormatJsonDouble(client_seconds);
-  run += ",\"stats\":" + stats.ToJson() + "}";
+  BenchRunRecord record;
+  record.label = label;
+  record.tape_seconds = tape_seconds;
+  record.client_seconds = client_seconds;
+  record.stats_json = stats.ToJson();
   std::lock_guard<std::mutex> lock(report_mu);
-  ReportRuns().push_back(std::move(run));
+  // Benchmarks that record once per iteration over a fresh database
+  // produce identical records; keep the last so the report (and the
+  // trajectory gate keyed on label) is independent of iteration count.
+  for (BenchRunRecord& existing : ReportRuns()) {
+    if (existing.label == record.label) {
+      existing = std::move(record);
+      return;
+    }
+  }
+  ReportRuns().push_back(std::move(record));
 }
 
 void RecordRunForReport(const std::string& label, HeavenDb* db) {
@@ -47,12 +86,47 @@ void EmitJsonReport(const std::string& bench_name) {
     std::lock_guard<std::mutex> lock(report_mu);
     for (size_t i = 0; i < ReportRuns().size(); ++i) {
       if (i > 0) out += ",";
-      out += ReportRuns()[i];
+      out += ReportRuns()[i].RenderJson();
     }
   }
   out += "]}";
   std::printf("%s\n", out.c_str());
   std::fflush(stdout);
+}
+
+int RunBenchMain(int argc, char** argv, const std::string& bench_name) {
+  std::string out_dir;
+  if (const char* env = std::getenv("HEAVEN_BENCH_OUT_DIR")) out_dir = env;
+  // Strip the HEAVEN-specific flag before benchmark::Initialize sees it —
+  // ReportUnrecognizedArguments would otherwise reject the run.
+  std::vector<char*> args;
+  args.reserve(static_cast<size_t>(argc) + 1);
+  for (int i = 0; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    constexpr std::string_view kOutDirFlag = "--out_dir=";
+    if (arg.rfind(kOutDirFlag, 0) == 0) {
+      out_dir = std::string(arg.substr(kOutDirFlag.size()));
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  int pruned_argc = static_cast<int>(args.size());
+  args.push_back(nullptr);
+  ::benchmark::Initialize(&pruned_argc, args.data());
+  if (::benchmark::ReportUnrecognizedArguments(pruned_argc, args.data())) {
+    return 1;
+  }
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  EmitJsonReport(bench_name);
+  if (!out_dir.empty()) {
+    const Status status = WriteBenchReportFile(bench_name, out_dir);
+    if (!status.ok()) {
+      std::fprintf(stderr, "bench report: %s\n", status.ToString().c_str());
+      return 1;
+    }
+  }
+  return 0;
 }
 
 DbHandle MakeDb(const HeavenOptions& options) {

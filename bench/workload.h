@@ -54,18 +54,23 @@ void RecordRunForReport(const std::string& label, const Statistics& stats,
 /// "client_seconds":..,"stats":{...}},...]}.
 void EmitJsonReport(const std::string& bench_name);
 
+/// Full bench main: strips the HEAVEN-specific `--out_dir=DIR` flag (the
+/// benchmark library rejects unknown arguments), runs the registered
+/// benchmarks, emits the stdout JSON report, and — when an out dir was
+/// given via flag or the HEAVEN_BENCH_OUT_DIR environment variable —
+/// persists the trajectory point `DIR/BENCH_<bench_name>.json`
+/// (see common/bench_report.h and scripts/bench_compare.py).
+int RunBenchMain(int argc, char** argv, const std::string& bench_name);
+
 }  // namespace heaven::benchutil
 
 /// Drop-in replacement for BENCHMARK_MAIN(): runs the registered
-/// benchmarks, then emits the JSON report recorded via RecordRunForReport.
-#define HEAVEN_BENCH_MAIN(bench_name)                                   \
-  int main(int argc, char** argv) {                                     \
-    ::benchmark::Initialize(&argc, argv);                               \
-    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
-    ::benchmark::RunSpecifiedBenchmarks();                              \
-    ::benchmark::Shutdown();                                            \
-    ::heaven::benchutil::EmitJsonReport(bench_name);                    \
-    return 0;                                                           \
+/// benchmarks, emits the JSON report recorded via RecordRunForReport and
+/// persists the BENCH_<name>.json trajectory point when --out_dir (or
+/// HEAVEN_BENCH_OUT_DIR) is set.
+#define HEAVEN_BENCH_MAIN(bench_name)                                  \
+  int main(int argc, char** argv) {                                    \
+    return ::heaven::benchutil::RunBenchMain(argc, argv, bench_name);  \
   }
 
 #endif  // HEAVEN_BENCH_WORKLOAD_H_

@@ -12,6 +12,12 @@
 //   \drop <name>                   delete an object
 //   \ls                            list collections and objects
 //   \stats [json]                  statistics + clocks (json: machine-readable)
+//   \metrics [json]                live metric registry: tickers, histograms
+//                                  and freshly sampled gauges (Prometheus
+//                                  text, or the JSON export)
+//   \profile [on|off|last|json]    per-query execution profiles: stage table
+//                                  of the most recent query (last), or the
+//                                  recent profiles as JSON
 //   \trace [on|off|json|tape]      hierarchy span trace / legacy tape op trace
 //   \quit                          exit
 //   anything else                  executed as a RasQL statement, e.g.
@@ -41,7 +47,8 @@ void PrintHelp() {
       "commands: \\create <coll> | \\gen <coll> <name> <domain> <type> "
       "[ramp|zero|checker|noise] | \\export <name> | \\reimport <name> | "
       "\\drop <name> | \\ls | \\reclaim <m> | \\trace [on|off|json|tape] | "
-      "\\stats [json] | \\quit | <rasql statement>\n");
+      "\\stats [json] | \\metrics [json] | \\profile [on|off|last|json] | "
+      "\\quit | <rasql statement>\n");
 }
 
 Status Generate(HeavenDb* db, std::istringstream* args) {
@@ -171,6 +178,44 @@ Status RunCommand(HeavenDb* db, const std::string& line) {
       std::printf("%s", FormatTapeTrace(db->library()->Trace()).c_str());
     } else {
       std::printf("%s", db->stats()->trace()->ToString().c_str());
+    }
+    return Status::Ok();
+  }
+  if (command == "\\metrics") {
+    std::string mode;
+    args >> mode;
+    std::printf("%s", db->ExportMetrics(mode == "json").c_str());
+    if (mode == "json") std::printf("\n");
+    return Status::Ok();
+  }
+  if (command == "\\profile") {
+    std::string mode;
+    args >> mode;
+    if (mode == "on") {
+      db->profiler()->SetEnabled(true);
+      std::printf("query profiling enabled\n");
+    } else if (mode == "off") {
+      db->profiler()->SetEnabled(false);
+      std::printf("query profiling disabled\n");
+    } else if (mode == "json") {
+      std::string out = "[";
+      bool first = true;
+      for (const QueryProfile& profile : db->profiler()->Recent()) {
+        if (!first) out += ",";
+        first = false;
+        out += profile.ToJson();
+      }
+      out += "]";
+      std::printf("%s\n", out.c_str());
+    } else {  // default / "last": the most recent profile, human-readable
+      QueryProfile profile;
+      if (db->profiler()->Last(&profile)) {
+        std::printf("%s", profile.ToString().c_str());
+      } else if (!db->profiler()->enabled()) {
+        std::printf("profiling is off — enable with \\profile on\n");
+      } else {
+        std::printf("no profiles recorded yet\n");
+      }
     }
     return Status::Ok();
   }

@@ -1,0 +1,267 @@
+#!/usr/bin/env python3
+"""Compare persisted bench trajectory points and gate on regressions.
+
+Each benchmark binary writes BENCH_<name>.json (see common/bench_report.h)
+when run with --out_dir=DIR or HEAVEN_BENCH_OUT_DIR. This script diffs a
+baseline set against a current set and exits non-zero when any gated
+metric regressed by more than the threshold.
+
+Only the deterministic simulation metrics are gated by default
+(tape_seconds, client_seconds): they come off the virtual SimClock, so
+they are bit-identical across machines and runs — any change is a real
+behavioural change, not noise. Wall-clock numbers from the benchmark
+library are intentionally NOT gated.
+
+Usage:
+  bench_compare.py BASELINE CURRENT [--threshold 0.10]
+                   [--metrics tape_seconds,client_seconds]
+  bench_compare.py --self-test
+
+BASELINE and CURRENT are each either a single BENCH_*.json file or a
+directory; directories are matched up by file name. Runs are matched by
+(bench, label). Runs present on only one side are reported but do not
+fail the comparison (benchmarks come and go); metric regressions do.
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+import tempfile
+
+GATED_DEFAULT = "tape_seconds,client_seconds"
+
+
+def load_report(path):
+    with open(path, "r", encoding="utf-8") as f:
+        report = json.load(f)
+    if not isinstance(report, dict):
+        raise ValueError(f"{path}: report is not a JSON object")
+    if report.get("schema_version") != 1:
+        raise ValueError(
+            f"{path}: unsupported schema_version {report.get('schema_version')!r}"
+        )
+    if not isinstance(report.get("bench"), str):
+        raise ValueError(f"{path}: missing bench name")
+    if not isinstance(report.get("runs"), list):
+        raise ValueError(f"{path}: missing runs array")
+    return report
+
+
+def collect(path):
+    """Returns {file_name: report} for a file or a directory of BENCH_*.json."""
+    if os.path.isdir(path):
+        files = sorted(glob.glob(os.path.join(path, "BENCH_*.json")))
+        if not files:
+            raise ValueError(f"{path}: no BENCH_*.json files")
+        return {os.path.basename(f): load_report(f) for f in files}
+    return {os.path.basename(path): load_report(path)}
+
+
+def index_runs(report):
+    runs = {}
+    for run in report["runs"]:
+        key = (report["bench"], run["label"])
+        if key in runs:
+            raise ValueError(f"duplicate run {key} in bench {report['bench']}")
+        runs[key] = run
+    return runs
+
+
+def compare(baseline, current, metrics, threshold, out=sys.stdout):
+    """Returns the number of regressions; prints a delta table to `out`."""
+    regressions = 0
+    rows = []
+    base_runs = {}
+    cur_runs = {}
+    for report in baseline.values():
+        base_runs.update(index_runs(report))
+    for report in current.values():
+        cur_runs.update(index_runs(report))
+
+    for key in sorted(base_runs.keys() | cur_runs.keys()):
+        bench, label = key
+        base = base_runs.get(key)
+        cur = cur_runs.get(key)
+        if base is None:
+            rows.append((bench, label, "-", "(new run)", "", ""))
+            continue
+        if cur is None:
+            rows.append((bench, label, "-", "(run disappeared)", "", ""))
+            continue
+        for metric in metrics:
+            if metric not in base or metric not in cur:
+                continue
+            b, c = float(base[metric]), float(cur[metric])
+            if b == 0.0 and c == 0.0:
+                continue
+            delta = (c - b) / b if b != 0.0 else float("inf")
+            verdict = ""
+            if delta > threshold:
+                verdict = "REGRESSION"
+                regressions += 1
+            elif delta < -threshold:
+                verdict = "improved"
+            rows.append(
+                (bench, label, metric, f"{b:.6g}", f"{c:.6g}",
+                 f"{delta:+.1%} {verdict}".rstrip())
+            )
+
+    if rows:
+        widths = [max(len(str(row[i])) for row in rows) for i in range(6)]
+        header = ("bench", "label", "metric", "baseline", "current", "delta")
+        widths = [max(w, len(h)) for w, h in zip(widths, header)]
+        fmt = "  ".join("{:<%d}" % w for w in widths)
+        print(fmt.format(*header), file=out)
+        for row in rows:
+            print(fmt.format(*row), file=out)
+    else:
+        print("no comparable runs", file=out)
+    return regressions
+
+
+def run_compare(args):
+    baseline = collect(args.baseline)
+    current = collect(args.current)
+    # A baseline file with no counterpart on the current side (or vice
+    # versa) is only informational at file granularity; run matching below
+    # covers the details.
+    only_base = sorted(set(baseline) - set(current))
+    only_cur = sorted(set(current) - set(baseline))
+    for name in only_base:
+        print(f"note: {name} present only in baseline", file=sys.stderr)
+    for name in only_cur:
+        print(f"note: {name} present only in current", file=sys.stderr)
+
+    metrics = [m.strip() for m in args.metrics.split(",") if m.strip()]
+    regressions = compare(baseline, current, metrics, args.threshold)
+    if regressions:
+        print(
+            f"\nFAIL: {regressions} metric(s) regressed more than "
+            f"{args.threshold:.0%}",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"\nok: no regression beyond {args.threshold:.0%}")
+    return 0
+
+
+def make_report(bench, labelled_metrics):
+    return {
+        "schema_version": 1,
+        "bench": bench,
+        "build": {"compiler": "self-test", "build_type": "release"},
+        "runs": [
+            {"label": label, **metrics}
+            for label, metrics in labelled_metrics.items()
+        ],
+    }
+
+
+def self_test():
+    """Exercises the gate with synthetic trajectory points."""
+    failures = []
+
+    def check(name, condition):
+        print(f"self-test: {name}: {'ok' if condition else 'FAIL'}")
+        if not condition:
+            failures.append(name)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        base_dir = os.path.join(tmp, "base")
+        cur_dir = os.path.join(tmp, "cur")
+        os.makedirs(base_dir)
+        os.makedirs(cur_dir)
+
+        base = make_report(
+            "retrieval", {"cold": {"tape_seconds": 100.0, "client_seconds": 5.0}}
+        )
+        with open(os.path.join(base_dir, "BENCH_retrieval.json"), "w") as f:
+            json.dump(base, f)
+
+        def run_against(current_report):
+            with open(os.path.join(cur_dir, "BENCH_retrieval.json"), "w") as f:
+                json.dump(current_report, f)
+            args = argparse.Namespace(
+                baseline=base_dir,
+                current=cur_dir,
+                threshold=0.10,
+                metrics=GATED_DEFAULT,
+            )
+            return run_compare(args)
+
+        check("identical trajectories pass", run_against(base) == 0)
+
+        worse = make_report(
+            "retrieval", {"cold": {"tape_seconds": 150.0, "client_seconds": 5.0}}
+        )
+        check("a 50% tape_seconds regression fails", run_against(worse) == 1)
+
+        better = make_report(
+            "retrieval", {"cold": {"tape_seconds": 60.0, "client_seconds": 5.0}}
+        )
+        check("a large improvement passes", run_against(better) == 0)
+
+        jitter = make_report(
+            "retrieval", {"cold": {"tape_seconds": 104.0, "client_seconds": 5.2}}
+        )
+        check("sub-threshold jitter passes", run_against(jitter) == 0)
+
+        renamed = make_report(
+            "retrieval", {"warm": {"tape_seconds": 1.0, "client_seconds": 1.0}}
+        )
+        check("renamed runs warn but pass", run_against(renamed) == 0)
+
+        bad = dict(base)
+        bad["schema_version"] = 2
+        with open(os.path.join(cur_dir, "BENCH_retrieval.json"), "w") as f:
+            json.dump(bad, f)
+        try:
+            collect(cur_dir)
+            check("unknown schema_version is rejected", False)
+        except ValueError:
+            check("unknown schema_version is rejected", True)
+
+    if failures:
+        print(f"self-test: FAILED ({', '.join(failures)})", file=sys.stderr)
+        return 1
+    print("self-test: all ok")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", nargs="?", help="baseline file or directory")
+    parser.add_argument("current", nargs="?", help="current file or directory")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.10,
+        help="relative regression tolerance (default 0.10 = 10%%)",
+    )
+    parser.add_argument(
+        "--metrics",
+        default=GATED_DEFAULT,
+        help=f"comma-separated run metrics to gate (default {GATED_DEFAULT})",
+    )
+    parser.add_argument(
+        "--self-test",
+        action="store_true",
+        help="run the built-in synthetic regression scenarios and exit",
+    )
+    args = parser.parse_args()
+
+    if args.self_test:
+        sys.exit(self_test())
+    if not args.baseline or not args.current:
+        parser.error("baseline and current are required (or use --self-test)")
+    try:
+        sys.exit(run_compare(args))
+    except (OSError, ValueError, json.JSONDecodeError) as error:
+        print(f"bench_compare: {error}", file=sys.stderr)
+        sys.exit(2)
+
+
+if __name__ == "__main__":
+    main()

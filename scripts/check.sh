@@ -6,7 +6,11 @@
 #
 # --bench-smoke additionally runs one tiny iteration of every benchmark
 # binary — not for numbers, just to prove the harnesses still execute
-# (CI keeps them from bit-rotting between perf sessions).
+# (CI keeps them from bit-rotting between perf sessions). Each run writes
+# its BENCH_<name>.json trajectory point to build/bench-out/; when
+# bench/baselines/ holds checked-in points the smoke also runs
+# scripts/bench_compare.py against them, gating the deterministic
+# sim-clock metrics, plus the comparer's own --self-test.
 #
 # --faults additionally runs the fault-injection suite and a widened fault
 # storm (100 seeds instead of the in-tree 50) under ASan+UBSan, so injected
@@ -61,9 +65,10 @@ if [[ "$RUN_ASAN" == 1 ]]; then
   cmake -B build-asan -S . -DHEAVEN_ASAN=ON -DCMAKE_BUILD_TYPE=Debug \
       >/dev/null
   cmake --build build-asan -j"$(nproc)" \
-      --target observability_test heaven_db_test tape_library_test \
-               concurrency_stress_test
+      --target observability_test metrics_test heaven_db_test \
+               tape_library_test concurrency_stress_test
   ./build-asan/tests/observability_test
+  ./build-asan/tests/metrics_test
   ./build-asan/tests/heaven_db_test
   ./build-asan/tests/tape_library_test
   ./build-asan/tests/concurrency_stress_test
@@ -145,12 +150,25 @@ fi
 
 if [[ "$RUN_BENCH_SMOKE" == 1 ]]; then
   echo "== bench smoke =="
+  BENCH_OUT=build/bench-out
+  rm -rf "$BENCH_OUT"
+  mkdir -p "$BENCH_OUT"
   for bench in build/bench/bench_*; do
     [[ -x "$bench" ]] || continue
     echo "-- $(basename "$bench")"
     "$bench" --benchmark_min_time=0.01 --benchmark_repetitions=1 \
-        >/dev/null
+        --out_dir="$BENCH_OUT" >/dev/null
   done
+
+  echo "-- bench_compare self-test"
+  python3 scripts/bench_compare.py --self-test >/dev/null
+
+  if compgen -G "bench/baselines/BENCH_*.json" >/dev/null; then
+    echo "-- bench trajectory vs bench/baselines/"
+    python3 scripts/bench_compare.py bench/baselines "$BENCH_OUT"
+  else
+    echo "-- no bench/baselines/ yet; skipping trajectory gate"
+  fi
 fi
 
 echo "== all checks passed =="

@@ -12,6 +12,12 @@
 #     still assert on .ok().)
 #  3. Every header under src/ carries an include guard derived from its
 #     path: src/foo/bar.h -> HEAVEN_FOO_BAR_H_.
+#  4. Ad-hoc metric plumbing is banned outside src/common/: new Ticker /
+#     HistogramKind enums and privately constructed Statistics objects
+#     fragment the observability surface. New counters extend the enums
+#     in common/statistics.h; gauges register with the MetricsRegistry
+#     (common/metrics.h) owned by HeavenDb, so every number shows up in
+#     \metrics, ExportMetrics and the bench reports.
 #
 # Usage: scripts/lint.sh
 set -uo pipefail
@@ -48,6 +54,18 @@ while IFS= read -r header; do
     note "header guard mismatch:" "  $header expects #ifndef $guard"
   fi
 done < <(find src -name '*.h' | sort)
+
+# --- 4. metric plumbing stays in common/ -------------------------------------
+# One Statistics per database: HeavenDb owns it (allowlisted); everyone
+# else takes a Statistics* / the MetricsRegistry. New counter kinds extend
+# the enums in common/statistics.h rather than defining parallel ones.
+allowed='src/heaven/heaven_db\.h'
+pattern='enum class (Ticker|HistogramKind)\b|\bStatistics +[a-z_]+ *[;{=]'
+hits=$(grep -rnE "$pattern" src/ --include='*.h' --include='*.cc' \
+         | grep -v '^src/common/' | grep -vE "^($allowed):" || true)
+if [[ -n "$hits" ]]; then
+  note "ad-hoc metric plumbing outside src/common/ (extend common/statistics.h enums; register gauges with the MetricsRegistry in common/metrics.h):" "$hits"
+fi
 
 if [[ "$fail" != 0 ]]; then
   echo "lint: FAILED" >&2

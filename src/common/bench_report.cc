@@ -1,0 +1,99 @@
+#include "common/bench_report.h"
+
+#include "common/coding.h"
+#include "common/json.h"
+
+namespace heaven {
+
+std::string BenchRunRecord::RenderJson() const {
+  std::string out = "{\"label\":";
+  AppendJsonString(&out, label);
+  out += ",\"tape_seconds\":" + FormatJsonDouble(tape_seconds);
+  out += ",\"client_seconds\":" + FormatJsonDouble(client_seconds);
+  out += ",\"stats\":";
+  out += stats_json.empty() ? std::string("null") : stats_json;
+  out.push_back('}');
+  return out;
+}
+
+std::string BenchReport::RenderJson() const {
+  std::string out = "{\"schema_version\":" + std::to_string(schema_version);
+  out += ",\"bench\":";
+  AppendJsonString(&out, bench);
+  out += ",\"build\":{\"compiler\":";
+  AppendJsonString(&out, compiler);
+  out += ",\"build_type\":";
+  AppendJsonString(&out, build_type);
+  out += "},\"runs\":[";
+  for (size_t i = 0; i < runs.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    out += runs[i].RenderJson();
+  }
+  out += "]}";
+  return out;
+}
+
+Result<BenchReport> BenchReport::Parse(std::string_view text) {
+  HEAVEN_ASSIGN_OR_RETURN(JsonValue root, ParseJson(text));
+  if (!root.is_object()) {
+    return Status::InvalidArgument("bench report: root is not an object");
+  }
+  BenchReport report;
+  if (!root.has("schema_version") ||
+      root.at("schema_version").kind != JsonValue::kNumber) {
+    return Status::InvalidArgument("bench report: missing schema_version");
+  }
+  report.schema_version = static_cast<int>(root.at("schema_version").number);
+  if (report.schema_version != 1) {
+    return Status::InvalidArgument(
+        "bench report: unsupported schema_version " +
+        std::to_string(report.schema_version));
+  }
+  if (!root.has("bench") || root.at("bench").kind != JsonValue::kString) {
+    return Status::InvalidArgument("bench report: missing bench name");
+  }
+  report.bench = root.at("bench").str;
+  if (root.has("build") && root.at("build").is_object()) {
+    const JsonValue& build = root.at("build");
+    if (build.has("compiler")) report.compiler = build.at("compiler").str;
+    if (build.has("build_type")) {
+      report.build_type = build.at("build_type").str;
+    }
+  }
+  if (!root.has("runs") || !root.at("runs").is_array()) {
+    return Status::InvalidArgument("bench report: missing runs array");
+  }
+  for (const JsonValue& run : root.at("runs").array) {
+    if (!run.is_object() || !run.has("label") || !run.has("tape_seconds") ||
+        !run.has("client_seconds")) {
+      return Status::InvalidArgument("bench report: malformed run record");
+    }
+    BenchRunRecord record;
+    record.label = run.at("label").str;
+    record.tape_seconds = run.at("tape_seconds").number;
+    record.client_seconds = run.at("client_seconds").number;
+    if (run.has("stats") && run.at("stats").kind != JsonValue::kNull) {
+      record.stats_json = DumpJson(run.at("stats"));
+    }
+    report.runs.push_back(std::move(record));
+  }
+  return report;
+}
+
+BenchReport MakeBenchReport(const std::string& bench_name) {
+  BenchReport report;
+  report.bench = bench_name;
+#if defined(__VERSION__)
+  report.compiler = __VERSION__;
+#else
+  report.compiler = "unknown";
+#endif
+#if defined(NDEBUG)
+  report.build_type = "release";
+#else
+  report.build_type = "debug";
+#endif
+  return report;
+}
+
+}  // namespace heaven

@@ -1,0 +1,50 @@
+#ifndef HEAVEN_COMMON_BENCH_REPORT_H_
+#define HEAVEN_COMMON_BENCH_REPORT_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace heaven {
+
+/// One labeled benchmark configuration's result: the two simulated-clock
+/// totals the regression gate compares (deterministic across machines —
+/// all tertiary costs accrue on the virtual clock) plus the full
+/// statistics snapshot for drill-down.
+struct BenchRunRecord {
+  std::string label;
+  double tape_seconds = 0.0;
+  double client_seconds = 0.0;
+  /// Rendered Statistics::ToJson() object ("" renders as null).
+  std::string stats_json;
+
+  /// {"label":..,"tape_seconds":..,"client_seconds":..,"stats":{..}}
+  std::string RenderJson() const;
+};
+
+/// The persisted trajectory point one bench binary writes per run
+/// (BENCH_<name>.json). scripts/bench_compare.py diffs two of these — or
+/// two directories of them — and gates CI on simulated-metric regressions.
+struct BenchReport {
+  /// Bumped when the layout changes; bench_compare.py refuses mismatches.
+  int schema_version = 1;
+  std::string bench;
+  std::string compiler;    // e.g. the __VERSION__ string
+  std::string build_type;  // "release" or "debug" (NDEBUG)
+  std::vector<BenchRunRecord> runs;
+
+  std::string RenderJson() const;
+
+  /// Parses a rendered report. Stats objects are re-serialized into
+  /// `stats_json` (key-sorted, so not byte-identical to the input).
+  static Result<BenchReport> Parse(std::string_view text);
+};
+
+/// Report skeleton with schema version and build metadata filled in.
+BenchReport MakeBenchReport(const std::string& bench_name);
+
+}  // namespace heaven
+
+#endif  // HEAVEN_COMMON_BENCH_REPORT_H_

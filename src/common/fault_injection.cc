@@ -34,6 +34,7 @@ FaultInjector::FaultInjector(const FaultPolicy& policy, Statistics* stats)
     : policy_(policy), stats_(stats) {
   const int num_sites = static_cast<int>(FaultSite::kNumSites);
   rngs_.reserve(num_sites);
+  injected_by_site_.assign(num_sites, 0);
   for (int site = 0; site < num_sites; ++site) {
     // One independent stream per site: SplitMix64 seeding in Rng decorrelates
     // the nearby seeds.
@@ -74,6 +75,7 @@ bool FaultInjector::ShouldFail(FaultSite site) {
   if (policy_.max_faults != 0 && injected_ >= policy_.max_faults) return false;
   if (rngs_[static_cast<int>(site)].NextDouble() >= p) return false;
   ++injected_;
+  ++injected_by_site_[static_cast<int>(site)];
   if (stats_ != nullptr) stats_->Record(Ticker::kFaultsInjected);
   return true;
 }
@@ -86,6 +88,12 @@ uint64_t FaultInjector::Draw(FaultSite site, uint64_t bound) {
 uint64_t FaultInjector::injected() const {
   MutexLock lock(mu_);
   return injected_;
+}
+
+uint64_t FaultInjector::injected_at(FaultSite site) const {
+  MutexLock lock(mu_);
+  const size_t index = static_cast<size_t>(site);
+  return index < injected_by_site_.size() ? injected_by_site_[index] : 0;
 }
 
 // ---------------------------------------------------- FaultInjectionEnv --

@@ -78,6 +78,9 @@ class FaultInjector {
   /// Faults fired so far.
   uint64_t injected() const;
 
+  /// Faults fired at one site (labeled metric `fault.injected{site=...}`).
+  uint64_t injected_at(FaultSite site) const;
+
   const FaultPolicy& policy() const { return policy_; }
 
  private:
@@ -88,6 +91,7 @@ class FaultInjector {
   mutable Mutex mu_;
   std::vector<Rng> rngs_ GUARDED_BY(mu_);  // one stream per FaultSite
   uint64_t injected_ GUARDED_BY(mu_) = 0;
+  std::vector<uint64_t> injected_by_site_ GUARDED_BY(mu_);
 };
 
 /// Bounded-retry policy for tertiary-storage operations. The backoff is

@@ -1,0 +1,206 @@
+#include "common/json.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "common/coding.h"
+#include "common/logging.h"
+
+namespace heaven {
+
+const JsonValue& JsonValue::at(const std::string& key) const {
+  HEAVEN_CHECK(kind == kObject) << "JsonValue::at on a non-object";
+  auto it = object.find(key);
+  HEAVEN_CHECK(it != object.end()) << "missing JSON key: " << key;
+  return it->second;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    JsonValue root;
+    HEAVEN_RETURN_IF_ERROR(Value(&root));
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Status::InvalidArgument("trailing JSON content at offset " +
+                                     std::to_string(pos_));
+    }
+    return root;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(
+                                      text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Error(const std::string& what) const {
+    return Status::InvalidArgument("JSON parse error at offset " +
+                                   std::to_string(pos_) + ": " + what);
+  }
+
+  Status String(std::string* out) {
+    SkipSpace();
+    if (pos_ >= text_.size() || text_[pos_] != '"') {
+      return Error("expected string");
+    }
+    ++pos_;
+    out->clear();
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\' && pos_ + 1 < text_.size()) {
+        ++pos_;
+        switch (text_[pos_]) {
+          case 'n': out->push_back('\n'); break;
+          case 't': out->push_back('\t'); break;
+          case 'r': out->push_back('\r'); break;
+          default: out->push_back(text_[pos_]);
+        }
+      } else {
+        out->push_back(text_[pos_]);
+      }
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) return Error("unterminated string");
+    ++pos_;  // closing quote
+    return Status::Ok();
+  }
+
+  Status Value(JsonValue* out) {
+    SkipSpace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') {
+      ++pos_;
+      out->kind = JsonValue::kObject;
+      if (Consume('}')) return Status::Ok();
+      do {
+        std::string key;
+        HEAVEN_RETURN_IF_ERROR(String(&key));
+        if (!Consume(':')) return Error("expected ':' after object key");
+        HEAVEN_RETURN_IF_ERROR(Value(&out->object[key]));
+      } while (Consume(','));
+      if (!Consume('}')) return Error("expected '}' or ','");
+      return Status::Ok();
+    }
+    if (c == '[') {
+      ++pos_;
+      out->kind = JsonValue::kArray;
+      if (Consume(']')) return Status::Ok();
+      do {
+        out->array.emplace_back();
+        HEAVEN_RETURN_IF_ERROR(Value(&out->array.back()));
+      } while (Consume(','));
+      if (!Consume(']')) return Error("expected ']' or ','");
+      return Status::Ok();
+    }
+    if (c == '"') {
+      out->kind = JsonValue::kString;
+      return String(&out->str);
+    }
+    if (text_.compare(pos_, 4, "true") == 0) {
+      out->kind = JsonValue::kBool;
+      out->b = true;
+      pos_ += 4;
+      return Status::Ok();
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      out->kind = JsonValue::kBool;
+      out->b = false;
+      pos_ += 5;
+      return Status::Ok();
+    }
+    if (text_.compare(pos_, 4, "null") == 0) {
+      out->kind = JsonValue::kNull;
+      pos_ += 4;
+      return Status::Ok();
+    }
+    size_t end = pos_;
+    while (end < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[end])) ||
+            text_[end] == '-' || text_[end] == '+' || text_[end] == '.' ||
+            text_[end] == 'e' || text_[end] == 'E')) {
+      ++end;
+    }
+    if (end == pos_) return Error("unexpected character");
+    out->kind = JsonValue::kNumber;
+    out->number = std::strtod(std::string(text_.substr(pos_, end - pos_)).c_str(),
+                              nullptr);
+    pos_ = end;
+    return Status::Ok();
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<JsonValue> ParseJson(std::string_view text) {
+  return Parser(text).Parse();
+}
+
+namespace {
+
+void DumpTo(const JsonValue& value, std::string* out) {
+  switch (value.kind) {
+    case JsonValue::kNull:
+      out->append("null");
+      return;
+    case JsonValue::kBool:
+      out->append(value.b ? "true" : "false");
+      return;
+    case JsonValue::kNumber:
+      out->append(FormatJsonDouble(value.number));
+      return;
+    case JsonValue::kString:
+      AppendJsonString(out, value.str);
+      return;
+    case JsonValue::kArray: {
+      out->push_back('[');
+      for (size_t i = 0; i < value.array.size(); ++i) {
+        if (i > 0) out->push_back(',');
+        DumpTo(value.array[i], out);
+      }
+      out->push_back(']');
+      return;
+    }
+    case JsonValue::kObject: {
+      out->push_back('{');
+      bool first = true;
+      for (const auto& [key, member] : value.object) {
+        if (!first) out->push_back(',');
+        first = false;
+        AppendJsonString(out, key);
+        out->push_back(':');
+        DumpTo(member, out);
+      }
+      out->push_back('}');
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+std::string DumpJson(const JsonValue& value) {
+  std::string out;
+  DumpTo(value, &out);
+  return out;
+}
+
+}  // namespace heaven

@@ -1,0 +1,50 @@
+#ifndef HEAVEN_COMMON_JSON_H_
+#define HEAVEN_COMMON_JSON_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace heaven {
+
+/// Minimal JSON document model for the observability surfaces that need to
+/// read JSON back: bench-trajectory files (BENCH_<name>.json), metric
+/// exports and tests. Writing stays string-based (AppendJsonString /
+/// FormatJsonDouble in common/coding.h); this is the matching reader.
+struct JsonValue {
+  enum Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = kNull;
+  bool b = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  bool is_object() const { return kind == kObject; }
+  bool is_array() const { return kind == kArray; }
+
+  /// Object member access; dies on a missing key or non-object (tests and
+  /// trusted self-produced documents — validate with has() first for
+  /// untrusted input).
+  const JsonValue& at(const std::string& key) const;
+  bool has(const std::string& key) const {
+    return kind == kObject && object.count(key) > 0;
+  }
+};
+
+/// Parses one JSON document. Numbers are doubles (the precision every
+/// producer in this codebase emits); strings support the escapes
+/// AppendJsonString writes (\" \\ \n \t \r and pass-through for the rest).
+Result<JsonValue> ParseJson(std::string_view text);
+
+/// Compact (no whitespace) serialization of a document. Object keys come
+/// out sorted (std::map order), so Parse→Dump canonicalizes key order.
+std::string DumpJson(const JsonValue& value);
+
+}  // namespace heaven
+
+#endif  // HEAVEN_COMMON_JSON_H_

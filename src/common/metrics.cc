@@ -1,0 +1,447 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+#include "common/coding.h"
+#include "common/thread_pool.h"
+
+namespace heaven {
+
+namespace {
+
+/// "cache.shard_bytes" -> "heaven_cache_shard_bytes".
+std::string PromName(std::string_view name) {
+  std::string out = "heaven_";
+  for (char c : name) out.push_back((c == '.' || c == '-') ? '_' : c);
+  return out;
+}
+
+void AppendPromLabelValue(std::string* out, std::string_view value) {
+  out->push_back('"');
+  for (char c : value) {
+    if (c == '\\' || c == '"') out->push_back('\\');
+    if (c == '\n') {
+      out->append("\\n");
+      continue;
+    }
+    out->push_back(c);
+  }
+  out->push_back('"');
+}
+
+std::string PromLabels(const MetricLabels& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    out += labels[i].first;
+    out.push_back('=');
+    AppendPromLabelValue(&out, labels[i].second);
+  }
+  out.push_back('}');
+  return out;
+}
+
+}  // namespace
+
+MetricsRegistry::MetricsRegistry(Statistics* stats) : stats_(stats) {}
+
+MetricsRegistry::~MetricsRegistry() { StopSampler(); }
+
+void MetricsRegistry::SetStatistics(Statistics* stats) { stats_.store(stats); }
+
+void MetricsRegistry::RegisterGauge(const std::string& name,
+                                    const std::string& help,
+                                    MetricLabels labels,
+                                    std::function<double()> fn) {
+  MutexLock lock(mu_);
+  for (Gauge& gauge : gauges_) {
+    if (gauge.name == name && gauge.labels == labels) {
+      gauge.help = help;
+      gauge.fn = std::move(fn);
+      gauge.sampled = false;
+      gauge.value = 0.0;
+      return;
+    }
+  }
+  Gauge gauge;
+  gauge.name = name;
+  gauge.help = help;
+  gauge.labels = std::move(labels);
+  gauge.fn = std::move(fn);
+  gauges_.push_back(std::move(gauge));
+}
+
+size_t MetricsRegistry::SampleOnce() {
+  // Copy the callbacks out, evaluate them with no registry lock held (they
+  // take component-internal locks), then write the values back.
+  std::vector<std::function<double()>> fns;
+  {
+    MutexLock lock(mu_);
+    fns.reserve(gauges_.size());
+    for (const Gauge& gauge : gauges_) fns.push_back(gauge.fn);
+  }
+  std::vector<double> values;
+  values.reserve(fns.size());
+  for (const std::function<double()>& fn : fns) values.push_back(fn());
+  MutexLock lock(mu_);
+  const size_t n = std::min(values.size(), gauges_.size());
+  for (size_t i = 0; i < n; ++i) {
+    gauges_[i].value = values[i];
+    gauges_[i].sampled = true;
+  }
+  ++samples_taken_;
+  return n;
+}
+
+uint64_t MetricsRegistry::samples_taken() const {
+  MutexLock lock(mu_);
+  return samples_taken_;
+}
+
+void MetricsRegistry::StartSampler(double interval_seconds, ThreadPool* pool) {
+  interval_seconds = std::max(interval_seconds, 1e-3);
+  {
+    MutexLock lock(mu_);
+    if (sampler_running_) return;
+    sampler_running_ = true;
+    sampler_stop_ = false;
+  }
+  sampler_ = std::thread(
+      [this, interval_seconds, pool] { SamplerLoop(interval_seconds, pool); });
+}
+
+void MetricsRegistry::StopSampler() {
+  // Start/Stop are called from the owning thread (HeavenDb init/teardown,
+  // tests), so the joinable() check does not race a concurrent start.
+  if (!sampler_.joinable()) return;
+  {
+    MutexLock lock(mu_);
+    sampler_stop_ = true;
+  }
+  sampler_cv_.NotifyAll();
+  sampler_.join();
+  sampler_ = std::thread();
+  MutexLock lock(mu_);
+  sampler_running_ = false;
+  sampler_stop_ = false;
+}
+
+bool MetricsRegistry::sampler_running() const {
+  MutexLock lock(mu_);
+  return sampler_running_;
+}
+
+void MetricsRegistry::SamplerLoop(double interval_seconds, ThreadPool* pool) {
+  MutexLock lock(mu_);
+  while (!sampler_stop_) {
+    lock.Unlock();
+    if (pool != nullptr) {
+      // Route the sampling work through the pool so it contends like any
+      // other task; block so at most one tick is ever in flight.
+      pool->Submit([this] { SampleOnce(); }).get();
+    } else {
+      SampleOnce();
+    }
+    lock.Lock();
+    if (sampler_stop_) break;
+    sampler_cv_.WaitFor(lock, interval_seconds);
+  }
+}
+
+std::vector<GaugeSample> MetricsRegistry::LatestSamples() const {
+  MutexLock lock(mu_);
+  std::vector<GaugeSample> out;
+  out.reserve(gauges_.size());
+  for (const Gauge& gauge : gauges_) {
+    GaugeSample sample;
+    sample.name = gauge.name;
+    sample.help = gauge.help;
+    sample.labels = gauge.labels;
+    sample.value = gauge.value;
+    sample.sampled = gauge.sampled;
+    out.push_back(std::move(sample));
+  }
+  return out;
+}
+
+std::string MetricsRegistry::ToPrometheusText() const {
+  std::string out;
+  const Statistics* stats = stats_.load();
+  if (stats != nullptr) {
+    for (int i = 0; i < static_cast<int>(Ticker::kNumTickers); ++i) {
+      const Ticker ticker = static_cast<Ticker>(i);
+      const std::string name = PromName(TickerName(ticker));
+      out += "# TYPE " + name + " counter\n";
+      out += name + " " + std::to_string(stats->Get(ticker)) + "\n";
+    }
+    for (int i = 0; i < static_cast<int>(HistogramKind::kNumHistograms);
+         ++i) {
+      const HistogramKind kind = static_cast<HistogramKind>(i);
+      const HistogramData data = stats->HistogramSnapshot(kind);
+      const std::string name = PromName(HistogramName(kind));
+      out += "# TYPE " + name + " summary\n";
+      out += name + "{quantile=\"0.5\"} " + FormatJsonDouble(data.p50) + "\n";
+      out += name + "{quantile=\"0.95\"} " + FormatJsonDouble(data.p95) + "\n";
+      out += name + "{quantile=\"0.99\"} " + FormatJsonDouble(data.p99) + "\n";
+      out += name + "_sum " + FormatJsonDouble(data.sum) + "\n";
+      out += name + "_count " + std::to_string(data.count) + "\n";
+    }
+  }
+  MutexLock lock(mu_);
+  // The text format wants each metric family contiguous with one TYPE
+  // line; a stable sort keeps label order (registration order) inside a
+  // family.
+  std::vector<size_t> order(gauges_.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [this](size_t a, size_t b)
+                       NO_THREAD_SAFETY_ANALYSIS {
+                         return gauges_[a].name < gauges_[b].name;
+                       });
+  std::string previous_name;
+  for (size_t i : order) {
+    const Gauge& gauge = gauges_[i];
+    const std::string name = PromName(gauge.name);
+    if (gauge.name != previous_name) {
+      if (!gauge.help.empty()) {
+        out += "# HELP " + name + " " + gauge.help + "\n";
+      }
+      out += "# TYPE " + name + " gauge\n";
+      previous_name = gauge.name;
+    }
+    out += name + PromLabels(gauge.labels) + " " +
+           FormatJsonDouble(gauge.value) + "\n";
+  }
+  return out;
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::string out = "{";
+  {
+    MutexLock lock(mu_);
+    out += "\"samples_taken\":" + std::to_string(samples_taken_);
+    out += ",\"gauges\":[";
+    bool first = true;
+    for (const Gauge& gauge : gauges_) {
+      if (!first) out.push_back(',');
+      first = false;
+      out += "{\"name\":";
+      AppendJsonString(&out, gauge.name);
+      out += ",\"labels\":{";
+      for (size_t i = 0; i < gauge.labels.size(); ++i) {
+        if (i > 0) out.push_back(',');
+        AppendJsonString(&out, gauge.labels[i].first);
+        out.push_back(':');
+        AppendJsonString(&out, gauge.labels[i].second);
+      }
+      out += "},\"value\":" + FormatJsonDouble(gauge.value);
+      out += ",\"sampled\":";
+      out += gauge.sampled ? "true" : "false";
+      out.push_back('}');
+    }
+    out += "]";
+  }
+  const Statistics* stats = stats_.load();
+  out += ",\"stats\":";
+  out += stats != nullptr ? stats->ToJson() : std::string("null");
+  out.push_back('}');
+  return out;
+}
+
+// ------------------------------------------------------------------------
+// QueryProfiler.
+// ------------------------------------------------------------------------
+
+std::string ProfileStageName(ProfileStage stage) {
+  switch (stage) {
+    case ProfileStage::kParsePlan:
+      return "parse_plan";
+    case ProfileStage::kIndexLookup:
+      return "index_lookup";
+    case ProfileStage::kSchedule:
+      return "schedule";
+    case ProfileStage::kTapeFetch:
+      return "tape_fetch";
+    case ProfileStage::kDecode:
+      return "decode";
+    case ProfileStage::kScatter:
+      return "scatter";
+    case ProfileStage::kNumStages:
+      break;
+  }
+  return "unknown";
+}
+
+std::string QueryProfile::ToString() const {
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "query %llu [%s] sim=%.6fs wall=%.6fs hits=%llu misses=%llu "
+                "coalesced=%llu\n",
+                static_cast<unsigned long long>(query_id), label.c_str(),
+                total_sim_seconds, total_wall_seconds,
+                static_cast<unsigned long long>(cache_hits),
+                static_cast<unsigned long long>(cache_misses),
+                static_cast<unsigned long long>(fetches_coalesced));
+  std::string out = line;
+  std::snprintf(line, sizeof(line), "  %-12s %8s %14s %14s %12s\n", "stage",
+                "count", "sim_s", "wall_s", "bytes");
+  out += line;
+  for (size_t i = 0; i < stages.size(); ++i) {
+    const ProfileStageData& data = stages[i];
+    std::snprintf(line, sizeof(line), "  %-12s %8llu %14.6f %14.6f %12llu\n",
+                  ProfileStageName(static_cast<ProfileStage>(i)).c_str(),
+                  static_cast<unsigned long long>(data.count),
+                  data.sim_seconds, data.wall_seconds,
+                  static_cast<unsigned long long>(data.bytes));
+    out += line;
+  }
+  return out;
+}
+
+std::string QueryProfile::ToJson() const {
+  std::string out = "{\"query_id\":" + std::to_string(query_id);
+  out += ",\"label\":";
+  AppendJsonString(&out, label);
+  out += ",\"total_sim_seconds\":" + FormatJsonDouble(total_sim_seconds);
+  out += ",\"total_wall_seconds\":" + FormatJsonDouble(total_wall_seconds);
+  out += ",\"cache_hits\":" + std::to_string(cache_hits);
+  out += ",\"cache_misses\":" + std::to_string(cache_misses);
+  out += ",\"fetches_coalesced\":" + std::to_string(fetches_coalesced);
+  out += ",\"stages\":{";
+  for (size_t i = 0; i < stages.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    const ProfileStageData& data = stages[i];
+    AppendJsonString(&out, ProfileStageName(static_cast<ProfileStage>(i)));
+    out += ":{\"sim_seconds\":" + FormatJsonDouble(data.sim_seconds);
+    out += ",\"wall_seconds\":" + FormatJsonDouble(data.wall_seconds);
+    out += ",\"bytes\":" + std::to_string(data.bytes);
+    out += ",\"count\":" + std::to_string(data.count);
+    out.push_back('}');
+  }
+  out += "}}";
+  return out;
+}
+
+namespace {
+
+/// The query profile the calling thread is currently populating, if any,
+/// together with the profiler that owns it (multiple HeavenDb instances —
+/// hence profilers — coexist in tests).
+struct TlsProfile {
+  QueryProfiler* owner = nullptr;
+  QueryProfile profile;
+};
+
+TlsProfile& Tls() {
+  static thread_local TlsProfile tls;
+  return tls;
+}
+
+}  // namespace
+
+QueryProfiler::~QueryProfiler() = default;
+
+double QueryProfiler::WallNow() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+double QueryProfiler::SimNow() const {
+  const SimClock* clock = clock_.load(std::memory_order_relaxed);
+  return clock != nullptr ? clock->Now() : 0.0;
+}
+
+bool QueryProfiler::Last(QueryProfile* out) const {
+  MutexLock lock(mu_);
+  if (recent_.empty()) return false;
+  *out = recent_.back();
+  return true;
+}
+
+std::vector<QueryProfile> QueryProfiler::Recent() const {
+  MutexLock lock(mu_);
+  return std::vector<QueryProfile>(recent_.begin(), recent_.end());
+}
+
+uint64_t QueryProfiler::profiles_recorded() const {
+  MutexLock lock(mu_);
+  return recorded_;
+}
+
+void QueryProfiler::Clear() {
+  MutexLock lock(mu_);
+  recent_.clear();
+  recorded_ = 0;
+}
+
+void QueryProfiler::Publish(QueryProfile profile) {
+  MutexLock lock(mu_);
+  recent_.push_back(std::move(profile));
+  while (recent_.size() > kMaxRecent) recent_.pop_front();
+  ++recorded_;
+}
+
+QueryProfiler::Scope::Scope(QueryProfiler* profiler, std::string label)
+    : profiler_(profiler) {
+  if (profiler_ == nullptr || !profiler_->enabled()) return;
+  TlsProfile& tls = Tls();
+  if (tls.owner != nullptr) return;  // nested: the outer query keeps it
+  tls.owner = profiler_;
+  tls.profile = QueryProfile{};
+  tls.profile.query_id = profiler_->next_query_id_.fetch_add(1);
+  tls.profile.label = std::move(label);
+  sim_begin_ = profiler_->SimNow();
+  wall_begin_ = WallNow();
+  const Statistics* stats = profiler_->stats_.load();
+  if (stats != nullptr) {
+    hits_begin_ = stats->Get(Ticker::kCacheHits);
+    misses_begin_ = stats->Get(Ticker::kCacheMisses);
+    coalesced_begin_ = stats->Get(Ticker::kFetchCoalesced);
+  }
+  owner_ = true;
+}
+
+QueryProfiler::Scope::~Scope() {
+  if (!owner_) return;
+  TlsProfile& tls = Tls();
+  QueryProfile profile = std::move(tls.profile);
+  tls.owner = nullptr;
+  tls.profile = QueryProfile{};
+  profile.total_sim_seconds = profiler_->SimNow() - sim_begin_;
+  profile.total_wall_seconds = WallNow() - wall_begin_;
+  const Statistics* stats = profiler_->stats_.load();
+  if (stats != nullptr) {
+    profile.cache_hits = stats->Get(Ticker::kCacheHits) - hits_begin_;
+    profile.cache_misses = stats->Get(Ticker::kCacheMisses) - misses_begin_;
+    profile.fetches_coalesced =
+        stats->Get(Ticker::kFetchCoalesced) - coalesced_begin_;
+  }
+  profiler_->Publish(std::move(profile));
+}
+
+QueryProfiler::StageTimer::StageTimer(QueryProfiler* profiler,
+                                      ProfileStage stage)
+    : profiler_(profiler), stage_(stage) {
+  if (profiler_ == nullptr || !profiler_->enabled()) return;
+  if (Tls().owner != profiler_) return;  // no active profile on this thread
+  active_ = true;
+  sim_begin_ = profiler_->SimNow();
+  wall_begin_ = WallNow();
+}
+
+QueryProfiler::StageTimer::~StageTimer() {
+  if (!active_) return;
+  TlsProfile& tls = Tls();
+  if (tls.owner != profiler_) return;  // scope ended before the timer
+  ProfileStageData& data =
+      tls.profile.stages[static_cast<size_t>(stage_)];
+  data.sim_seconds += profiler_->SimNow() - sim_begin_;
+  data.wall_seconds += WallNow() - wall_begin_;
+  data.bytes += bytes_;
+  data.count += 1;
+}
+
+}  // namespace heaven

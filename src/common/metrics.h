@@ -1,0 +1,283 @@
+#ifndef HEAVEN_COMMON_METRICS_H_
+#define HEAVEN_COMMON_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/sim_clock.h"
+#include "common/statistics.h"
+#include "common/thread_annotations.h"
+
+namespace heaven {
+
+class ThreadPool;
+
+/// One "key=value" dimension attached to a gauge (medium, shard, policy,
+/// drive, site, ...). Kept as an ordered vector so exposition output is
+/// stable across runs.
+using MetricLabel = std::pair<std::string, std::string>;
+using MetricLabels = std::vector<MetricLabel>;
+
+/// Last sampled value of one registered gauge.
+struct GaugeSample {
+  std::string name;
+  std::string help;
+  MetricLabels labels;
+  double value = 0.0;
+  /// False until the first SampleOnce() evaluated the callback.
+  bool sampled = false;
+};
+
+/// Typed metric registry over one HeavenDb instance. Wraps the lock-free
+/// Statistics tickers and histograms (every Ticker / HistogramKind is
+/// exported automatically — new counters are added there, never as ad-hoc
+/// side registries; scripts/lint.sh enforces this) and adds *sampled
+/// gauges*: named callbacks into live components (cache shard occupancy,
+/// buffer-pool residency, tape drive states, thread-pool queue depth, ...)
+/// evaluated by SampleOnce() or by a background sampler thread.
+///
+/// Callbacks are evaluated OUTSIDE the registry mutex — they take internal
+/// component locks and must never call back into the registry. A gauge
+/// callback must stay valid until StopSampler() (or the registry's
+/// destructor) returns; HeavenDb therefore stops its sampler before any
+/// member the callbacks read is destroyed.
+class MetricsRegistry {
+ public:
+  explicit MetricsRegistry(Statistics* stats = nullptr);
+  ~MetricsRegistry();  // stops the sampler if still running
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  void SetStatistics(Statistics* stats);
+
+  /// Registers a sampled gauge. `name` uses the dotted metric namespace
+  /// ("cache.shard_bytes"); `labels` distinguish instances of the same
+  /// name ({{"shard","3"}}). Duplicate (name, labels) pairs overwrite.
+  void RegisterGauge(const std::string& name, const std::string& help,
+                     MetricLabels labels, std::function<double()> fn);
+
+  /// Evaluates every gauge callback once and stores the values; returns
+  /// the number of gauges sampled. Deterministic: no time source involved.
+  size_t SampleOnce();
+
+  /// Samples taken so far (each SampleOnce call counts one, whether run
+  /// inline, from the sampler thread, or via the pool).
+  uint64_t samples_taken() const;
+
+  /// Starts a background thread sampling every `interval_seconds` (wall
+  /// clock; clamped to >= 1ms). When `pool` is non-null each tick submits
+  /// SampleOnce to the pool instead of running it on the sampler thread,
+  /// so sampling latency shows up as pool load like any other task.
+  /// No-op if already running.
+  void StartSampler(double interval_seconds, ThreadPool* pool = nullptr);
+
+  /// Stops and joins the sampler thread. Safe to call when not running.
+  void StopSampler();
+
+  bool sampler_running() const;
+
+  /// Copy of every gauge with its last sampled value.
+  std::vector<GaugeSample> LatestSamples() const;
+
+  /// Prometheus text exposition: tickers as `heaven_<name> value` counter
+  /// families, histograms as summaries (`_count`, `_sum`, quantile series)
+  /// and gauges with their labels. Dots in metric names become
+  /// underscores. Does NOT sample — call SampleOnce() first for fresh
+  /// gauge values.
+  std::string ToPrometheusText() const;
+
+  /// JSON export: {"counters":{...},"histograms":{...},
+  /// "gauges":[{"name":..,"labels":{..},"value":..}],"samples_taken":N}.
+  std::string ToJson() const;
+
+ private:
+  struct Gauge {
+    std::string name;
+    std::string help;
+    MetricLabels labels;
+    std::function<double()> fn;
+    double value = 0.0;
+    bool sampled = false;
+  };
+
+  void SamplerLoop(double interval_seconds, ThreadPool* pool);
+
+  std::atomic<Statistics*> stats_;
+  mutable Mutex mu_;
+  CondVar sampler_cv_{&mu_};
+  std::vector<Gauge> gauges_ GUARDED_BY(mu_);
+  uint64_t samples_taken_ GUARDED_BY(mu_) = 0;
+  bool sampler_stop_ GUARDED_BY(mu_) = false;
+  bool sampler_running_ GUARDED_BY(mu_) = false;
+  std::thread sampler_;  // joined under no lock; guarded by running flag
+};
+
+// ------------------------------------------------------------------------
+// Per-query execution profiles.
+// ------------------------------------------------------------------------
+
+/// The stages a retrieval decomposes into along the ReadRegion / RasQL
+/// path. Matches the span names of the trace tree so a profile reconciles
+/// with the spans it summarizes.
+enum class ProfileStage : int {
+  kParsePlan = 0,  // RasQL parse + plan
+  kIndexLookup,    // R+-tree / index probe for intersecting tiles
+  kSchedule,       // tape scheduler batch construction
+  kTapeFetch,      // simulated tape transfer incl. retries (sim seconds)
+  kDecode,         // container decode + cache admission (wall seconds)
+  kScatter,        // copying tile bytes into the result region
+  kNumStages,      // must be last
+};
+
+std::string ProfileStageName(ProfileStage stage);
+
+/// Accumulated cost of one stage within one query.
+struct ProfileStageData {
+  double sim_seconds = 0.0;   // simulated tape-clock time
+  double wall_seconds = 0.0;  // host wall-clock time
+  uint64_t bytes = 0;         // payload bytes moved by this stage
+  uint64_t count = 0;         // number of timed sections
+};
+
+/// Execution profile of one query. Totals are measured against the same
+/// clocks as the stages, so `sum(stage sim_seconds) <= total_sim_seconds`
+/// and in the serial path (num_threads == 1, all sim costs inside the
+/// fetch loop) the tape-fetch stage equals the query's trace-span
+/// duration.
+struct QueryProfile {
+  uint64_t query_id = 0;
+  std::string label;  // e.g. "read_region", "rasql"
+  double total_sim_seconds = 0.0;
+  double total_wall_seconds = 0.0;
+  uint64_t cache_hits = 0;       // delta of Ticker::kCacheHits
+  uint64_t cache_misses = 0;     // delta of Ticker::kCacheMisses
+  uint64_t fetches_coalesced = 0;  // delta of Ticker::kFetchCoalesced
+  std::array<ProfileStageData, static_cast<size_t>(ProfileStage::kNumStages)>
+      stages = {};
+
+  const ProfileStageData& stage(ProfileStage s) const {
+    return stages[static_cast<size_t>(s)];
+  }
+
+  /// Multi-line human-readable table.
+  std::string ToString() const;
+  /// One JSON object.
+  std::string ToJson() const;
+};
+
+/// Collects QueryProfiles along the query path. Disabled by default: every
+/// hook first checks an atomic flag, so the instrumented fast path costs
+/// one relaxed load. The active profile is thread-local — stage timers on
+/// the query thread attribute to the query that opened the Scope; pool
+/// workers (no active profile) attribute nothing, which is correct for
+/// simulated time because decode work consumes none by design.
+///
+/// Ticker deltas (cache hits/misses, coalesced fetches) are read from the
+/// shared Statistics at scope begin/end; they are exact when one query
+/// runs at a time and approximate under concurrency.
+class QueryProfiler {
+ public:
+  QueryProfiler() = default;
+  ~QueryProfiler();
+
+  QueryProfiler(const QueryProfiler&) = delete;
+  QueryProfiler& operator=(const QueryProfiler&) = delete;
+
+  /// The simulated clock stage timers read (the tape-library clock, the
+  /// same one trace spans are stamped against). May be null: sim times
+  /// then record as zero.
+  void SetClock(const SimClock* clock) { clock_.store(clock); }
+  /// Source of the per-query ticker deltas. May be null.
+  void SetStatistics(const Statistics* stats) { stats_.store(stats); }
+
+  void SetEnabled(bool enabled) { enabled_.store(enabled); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Most recent completed profile; false if none recorded yet.
+  bool Last(QueryProfile* out) const;
+  /// Up to kMaxRecent most recent profiles, oldest first.
+  std::vector<QueryProfile> Recent() const;
+  uint64_t profiles_recorded() const;
+  void Clear();
+
+  /// RAII over one query. Begins a profile only when the profiler is
+  /// enabled and the calling thread has no active profile — nested scopes
+  /// (ReadRegion inside a RasQL statement) keep accumulating into the
+  /// outermost query. The profile is published on destruction.
+  class Scope {
+   public:
+    Scope(QueryProfiler* profiler, std::string label);
+    ~Scope();
+
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+    /// True when this scope owns the thread's active profile.
+    bool active() const { return owner_; }
+
+   private:
+    QueryProfiler* profiler_;
+    bool owner_ = false;
+    double sim_begin_ = 0.0;
+    double wall_begin_ = 0.0;
+    uint64_t hits_begin_ = 0;
+    uint64_t misses_begin_ = 0;
+    uint64_t coalesced_begin_ = 0;
+  };
+
+  /// RAII over one stage section. Measures sim + wall time between
+  /// construction and destruction and adds them (plus AddBytes totals) to
+  /// the thread's active profile. No-op when the thread has no active
+  /// profile owned by `profiler`.
+  class StageTimer {
+   public:
+    StageTimer(QueryProfiler* profiler, ProfileStage stage);
+    ~StageTimer();
+
+    StageTimer(const StageTimer&) = delete;
+    StageTimer& operator=(const StageTimer&) = delete;
+
+    void AddBytes(uint64_t bytes) { bytes_ += bytes; }
+    bool active() const { return active_; }
+
+   private:
+    QueryProfiler* profiler_;
+    ProfileStage stage_;
+    bool active_ = false;
+    double sim_begin_ = 0.0;
+    double wall_begin_ = 0.0;
+    uint64_t bytes_ = 0;
+  };
+
+  static constexpr size_t kMaxRecent = 32;
+
+ private:
+  friend class Scope;
+  friend class StageTimer;
+
+  /// Host wall clock in seconds (steady).
+  static double WallNow();
+  double SimNow() const;
+
+  void Publish(QueryProfile profile);
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<const SimClock*> clock_{nullptr};
+  std::atomic<const Statistics*> stats_{nullptr};
+  std::atomic<uint64_t> next_query_id_{1};
+  mutable Mutex mu_;
+  std::deque<QueryProfile> recent_ GUARDED_BY(mu_);
+  uint64_t recorded_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace heaven
+
+#endif  // HEAVEN_COMMON_METRICS_H_

@@ -1,6 +1,7 @@
 #ifndef HEAVEN_COMMON_THREAD_ANNOTATIONS_H_
 #define HEAVEN_COMMON_THREAD_ANNOTATIONS_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 #include <shared_mutex>
@@ -240,6 +241,19 @@ class CondVar {
     std::unique_lock<std::mutex> waiter(mu_->mu_, std::adopt_lock);
     cv_.wait(waiter);
     waiter.release();
+  }
+
+  /// Timed variant of Wait: returns false when `seconds` elapsed without a
+  /// notification, true when notified (possibly spuriously — callers keep
+  /// the usual predicate loop). The mutex is held again either way.
+  bool WaitFor(MutexLock& lock, double seconds) {
+    HEAVEN_DCHECK(lock.mu_ == mu_) << "CondVar waited with a foreign mutex";
+    HEAVEN_DCHECK(lock.held());
+    std::unique_lock<std::mutex> waiter(mu_->mu_, std::adopt_lock);
+    const std::cv_status status =
+        cv_.wait_for(waiter, std::chrono::duration<double>(seconds));
+    waiter.release();
+    return status == std::cv_status::no_timeout;
   }
 
   void NotifyOne() { cv_.notify_one(); }

@@ -48,9 +48,30 @@ void ThreadPool::WorkerLoop() {
       if (queue_.empty()) return;  // stop_ set and nothing left to drain
       task = std::move(queue_.front());
       queue_.pop_front();
+      ++active_;
     }
     task();
+    {
+      MutexLock lock(mu_);
+      --active_;
+      ++completed_;
+    }
   }
+}
+
+size_t ThreadPool::QueueDepth() const {
+  MutexLock lock(mu_);
+  return queue_.size();
+}
+
+size_t ThreadPool::ActiveWorkers() const {
+  MutexLock lock(mu_);
+  return active_;
+}
+
+uint64_t ThreadPool::TasksCompleted() const {
+  MutexLock lock(mu_);
+  return completed_;
 }
 
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {

@@ -40,6 +40,15 @@ class ThreadPool {
 
   size_t num_threads() const { return workers_.size(); }
 
+  /// Tasks enqueued but not yet picked up by a worker (sampled gauge
+  /// `pool.queue_depth`).
+  size_t QueueDepth() const;
+  /// Workers currently executing a task (sampled gauge `pool.active`;
+  /// utilization = active / num_threads).
+  size_t ActiveWorkers() const;
+  /// Tasks completed since construction.
+  uint64_t TasksCompleted() const;
+
   /// Enqueues `fn` and returns a future for its result. `fn` must not
   /// acquire locks held by threads that wait on the returned future.
   template <typename F>
@@ -66,10 +75,12 @@ class ThreadPool {
   void Enqueue(std::function<void()> task);
 
   TraceCollector* trace_;
-  Mutex mu_;
+  mutable Mutex mu_;
   CondVar cv_{&mu_};
   std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
   bool stop_ GUARDED_BY(mu_) = false;
+  size_t active_ GUARDED_BY(mu_) = 0;
+  uint64_t completed_ GUARDED_BY(mu_) = 0;
   std::vector<std::thread> workers_;
 };
 

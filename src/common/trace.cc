@@ -48,11 +48,25 @@ void TraceCollector::EndSpan(SpanId id, uint64_t bytes) {
     if (stack.empty()) stacks_.erase(stack_it);
   }
 
-  if (finished_.size() >= kMaxSpans) {
-    ++dropped_;
-    return;
-  }
   finished_.push_back(std::move(span));
+  while (finished_.size() > capacity_) {
+    finished_.pop_front();
+    ++dropped_;
+  }
+}
+
+void TraceCollector::SetCapacity(size_t capacity) {
+  MutexLock lock(mu_);
+  capacity_ = std::max<size_t>(capacity, 1);
+  while (finished_.size() > capacity_) {
+    finished_.pop_front();
+    ++dropped_;
+  }
+}
+
+size_t TraceCollector::capacity() const {
+  MutexLock lock(mu_);
+  return capacity_;
 }
 
 SpanId TraceCollector::CurrentSpanId() const {
@@ -80,7 +94,7 @@ SpanId TraceCollector::SetAmbientParent(SpanId parent) {
 
 std::vector<Span> TraceCollector::Spans() const {
   MutexLock lock(mu_);
-  std::vector<Span> spans = finished_;
+  std::vector<Span> spans(finished_.begin(), finished_.end());
   std::sort(spans.begin(), spans.end(),
             [](const Span& a, const Span& b) { return a.id < b.id; });
   return spans;

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <string>
 #include <string_view>
@@ -56,7 +57,16 @@ class TraceCollector {
   /// to hand a parent across threads when enqueuing pool work.
   SpanId CurrentSpanId() const;
 
-  /// Spans recorded but discarded because the buffer hit kMaxSpans.
+  /// Bounds the finished-span ring buffer. When a span finishes with the
+  /// buffer full, the *oldest* finished span is evicted (and counted in
+  /// dropped()), so a long-running trace always retains the most recent
+  /// activity. Shrinking below the current size evicts (and counts) the
+  /// oldest spans immediately. Clamped to at least 1.
+  void SetCapacity(size_t capacity);
+  size_t capacity() const;
+
+  /// Finished spans evicted from the ring buffer (the `trace.spans_dropped`
+  /// metric). 0 until the buffer wraps.
   uint64_t dropped() const;
 
   void Clear();
@@ -72,9 +82,8 @@ class TraceCollector {
   friend class ScopedSpan;
   friend class ScopedSpanParent;
 
-  /// Caps memory for long-running processes; spans beyond it are counted
-  /// in dropped() instead of stored.
-  static constexpr size_t kMaxSpans = 1 << 20;
+  /// Default ring-buffer capacity; caps memory for long-running processes.
+  static constexpr size_t kDefaultMaxSpans = 1 << 20;
 
   SpanId BeginSpan(std::string_view name);
   void EndSpan(SpanId id, uint64_t bytes);
@@ -94,7 +103,9 @@ class TraceCollector {
   /// Cross-thread parent handoff (see SetAmbientParent); entries with
   /// value 0 are erased.
   std::map<std::thread::id, SpanId> ambient_ GUARDED_BY(mu_);
-  std::vector<Span> finished_ GUARDED_BY(mu_);
+  size_t capacity_ GUARDED_BY(mu_) = kDefaultMaxSpans;
+  /// Ring buffer of finished spans (front = oldest, evicted first).
+  std::deque<Span> finished_ GUARDED_BY(mu_);
 };
 
 /// RAII span: opens on construction (a no-op when the collector is null or

@@ -276,4 +276,30 @@ size_t SuperTileCache::entry_count() const {
   return total;
 }
 
+SuperTileCache::ShardStats SuperTileCache::ShardStatsAt(size_t shard) const {
+  ShardStats stats;
+  if (shard >= shards_.size()) return stats;
+  const Shard& s = *shards_[shard];
+  MutexLock lock(s.mu);
+  stats.bytes = s.bytes;
+  stats.capacity_bytes = s.capacity_bytes;
+  stats.entries = s.entries.size();
+  return stats;
+}
+
+std::vector<SuperTileCache::ShardStats> SuperTileCache::ShardStatsSnapshot()
+    const {
+  std::vector<ShardStats> out;
+  out.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    MutexLock lock(shard->mu);
+    ShardStats stats;
+    stats.bytes = shard->bytes;
+    stats.capacity_bytes = shard->capacity_bytes;
+    stats.entries = shard->entries.size();
+    out.push_back(stats);
+  }
+  return out;
+}
+
 }  // namespace heaven

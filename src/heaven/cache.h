@@ -76,6 +76,19 @@ class SuperTileCache {
   const CacheOptions& options() const { return options_; }
   size_t num_shards() const { return shards_.size(); }
 
+  /// Live occupancy of one shard, for the sampled gauges
+  /// `cache.shard_bytes` / `cache.shard_entries` (labeled by shard index).
+  struct ShardStats {
+    uint64_t bytes = 0;
+    uint64_t capacity_bytes = 0;
+    size_t entries = 0;
+  };
+  /// Per-shard occupancy snapshot (one shard lock at a time, so the
+  /// snapshot is per-shard consistent, not globally atomic).
+  std::vector<ShardStats> ShardStatsSnapshot() const;
+  /// Occupancy of one shard (`shard` < num_shards()).
+  ShardStats ShardStatsAt(size_t shard) const;
+
   /// Minimum per-shard capacity the automatic shard count preserves.
   static constexpr uint64_t kMinShardBytes = 4ull << 20;
 

@@ -47,6 +47,9 @@ Status HeavenDb::Init() {
   HEAVEN_RETURN_IF_ERROR(
       precomputed_->Restore(engine_->catalog()->GetSection(kPrecomputedSection)));
   if (options_.enable_tracing) stats_.trace()->Enable(true);
+  stats_.trace()->SetCapacity(options_.trace_span_capacity);
+  profiler_.SetClock(library_->clock());
+  profiler_.SetStatistics(&stats_);
   size_t num_threads = options_.num_threads;
   if (num_threads == 0) {
     num_threads = std::max<size_t>(std::thread::hardware_concurrency(), 1);
@@ -60,7 +63,117 @@ Status HeavenDb::Init() {
     HEAVEN_RETURN_IF_ERROR(RecoverExports());
     tct_thread_ = std::thread([this] { TctWorker(); });
   }
+  RegisterStandardGauges();
+  if (options_.metrics_sampler_interval_s > 0.0) {
+    metrics_.StartSampler(options_.metrics_sampler_interval_s, pool_.get());
+  }
   return Status::Ok();
+}
+
+void HeavenDb::RegisterStandardGauges() {
+  for (size_t s = 0; s < cache_->num_shards(); ++s) {
+    const MetricLabels labels = {{"shard", std::to_string(s)}};
+    metrics_.RegisterGauge(
+        "cache.shard_bytes", "bytes resident in one super-tile cache shard",
+        labels, [this, s] {
+          return static_cast<double>(cache_->ShardStatsAt(s).bytes);
+        });
+    metrics_.RegisterGauge(
+        "cache.shard_entries", "super-tiles resident in one cache shard",
+        labels, [this, s] {
+          return static_cast<double>(cache_->ShardStatsAt(s).entries);
+        });
+  }
+  metrics_.RegisterGauge("cache.bytes", "total bytes in the super-tile cache",
+                         {}, [this] {
+                           return static_cast<double>(cache_->size_bytes());
+                         });
+  metrics_.RegisterGauge(
+      "buffer_pool.pages", "pages resident in the buffer pool", {}, [this] {
+        return static_cast<double>(engine_->buffer_pool()->cached_pages());
+      });
+  metrics_.RegisterGauge(
+      "buffer_pool.capacity", "buffer pool capacity in pages", {}, [this] {
+        return static_cast<double>(engine_->buffer_pool()->capacity());
+      });
+  const uint32_t num_drives = library_->num_drives();
+  for (uint32_t d = 0; d < num_drives; ++d) {
+    const MetricLabels labels = {{"drive", std::to_string(d)}};
+    metrics_.RegisterGauge(
+        "tape.drive_online", "1 while the drive can serve media", labels,
+        [this, d] {
+          const std::vector<TapeDriveState> states = library_->DriveStates();
+          return d < states.size() && states[d].online ? 1.0 : 0.0;
+        });
+    metrics_.RegisterGauge(
+        "tape.drive_occupied", "1 while a medium sits in the drive", labels,
+        [this, d] {
+          const std::vector<TapeDriveState> states = library_->DriveStates();
+          return d < states.size() && states[d].occupied ? 1.0 : 0.0;
+        });
+    metrics_.RegisterGauge(
+        "tape.drive_head_position", "byte position of the drive head", labels,
+        [this, d] {
+          const std::vector<TapeDriveState> states = library_->DriveStates();
+          return d < states.size()
+                     ? static_cast<double>(states[d].head_position)
+                     : 0.0;
+        });
+  }
+  metrics_.RegisterGauge("tct.queue_depth",
+                         "exports waiting for the tertiary communication "
+                         "thread",
+                         {}, [this] {
+                           return static_cast<double>(TctQueueDepth());
+                         });
+  metrics_.RegisterGauge("fetch.inflight",
+                         "single-flight tape fetches currently in flight", {},
+                         [this] {
+                           return static_cast<double>(InflightFetches());
+                         });
+  metrics_.RegisterGauge("pool.queue_depth",
+                         "tasks queued for the CPU worker pool", {}, [this] {
+                           return pool_ == nullptr
+                                      ? 0.0
+                                      : static_cast<double>(
+                                            pool_->QueueDepth());
+                         });
+  metrics_.RegisterGauge(
+      "pool.active", "workers currently executing a task", {}, [this] {
+        return pool_ == nullptr
+                   ? 0.0
+                   : static_cast<double>(pool_->ActiveWorkers());
+      });
+  metrics_.RegisterGauge(
+      "pool.utilization", "active workers / pool size", {}, [this] {
+        return pool_ == nullptr ? 0.0
+                                : static_cast<double>(pool_->ActiveWorkers()) /
+                                      static_cast<double>(
+                                          pool_->num_threads());
+      });
+  metrics_.RegisterGauge("trace.spans_dropped",
+                         "finished spans evicted from the trace ring buffer",
+                         {}, [this] {
+                           return static_cast<double>(
+                               stats_.trace()->dropped());
+                         });
+  if (injector_ != nullptr) {
+    for (int site = 0; site < static_cast<int>(FaultSite::kNumSites);
+         ++site) {
+      const FaultSite fault_site = static_cast<FaultSite>(site);
+      metrics_.RegisterGauge(
+          "fault.injected", "faults fired by the deterministic injector",
+          {{"site", FaultSiteName(fault_site)}}, [this, fault_site] {
+            return static_cast<double>(injector_->injected_at(fault_site));
+          });
+    }
+    metrics_.RegisterGauge("fault.retries",
+                           "re-attempts of failed tape operations", {},
+                           [this] {
+                             return static_cast<double>(
+                                 stats_.Get(Ticker::kTapeRetries));
+                           });
+  }
 }
 
 Status HeavenDb::RecoverExports() {
@@ -128,6 +241,9 @@ Status HeavenDb::RecoverExports() {
 }
 
 HeavenDb::~HeavenDb() {
+  // Gauge callbacks read cache_/library_/pool_/...; stop the sampler before
+  // member destruction can pull those out from under a running tick.
+  metrics_.StopSampler();
   if (tct_thread_.joinable()) {
     {
       MutexLock lock(tct_mu_);
@@ -136,6 +252,21 @@ HeavenDb::~HeavenDb() {
     tct_cv_.NotifyAll();
     tct_thread_.join();
   }
+}
+
+std::string HeavenDb::ExportMetrics(bool as_json) {
+  metrics_.SampleOnce();
+  return as_json ? metrics_.ToJson() : metrics_.ToPrometheusText();
+}
+
+size_t HeavenDb::TctQueueDepth() const {
+  MutexLock lock(tct_mu_);
+  return tct_queue_.size();
+}
+
+size_t HeavenDb::InflightFetches() const {
+  MutexLock lock(fetch_mu_);
+  return inflight_.size();
 }
 
 Status HeavenDb::LoadRegistry() {
@@ -697,8 +828,12 @@ Status HeavenDb::FetchSuperTiles(
   }
 
   if (!requests.empty()) {
-    requests = ScheduleRequests(std::move(requests), *library_,
-                                options_.schedule_policy);
+    {
+      QueryProfiler::StageTimer schedule_timer(&profiler_,
+                                               ProfileStage::kSchedule);
+      requests = ScheduleRequests(std::move(requests), *library_,
+                                  options_.schedule_policy);
+    }
     const double tape_before = library_->ElapsedSeconds();
     MediumId last_medium = requests.back().medium;
     uint64_t last_end = requests.back().offset + requests.back().size_bytes;
@@ -717,9 +852,14 @@ Status HeavenDb::FetchSuperTiles(
       fetch_span.SetBytes(request.size_bytes);
       const double fetch_before = library_->ElapsedSeconds();
       std::string container;
-      status = ReadContainerVerified(request.id, request.medium,
-                                     request.offset, request.size_bytes,
-                                     request.crc32c, &container);
+      {
+        QueryProfiler::StageTimer fetch_timer(&profiler_,
+                                              ProfileStage::kTapeFetch);
+        fetch_timer.AddBytes(request.size_bytes);
+        status = ReadContainerVerified(request.id, request.medium,
+                                       request.offset, request.size_bytes,
+                                       request.crc32c, &container);
+      }
       if (!status.ok()) break;
       const double fetch_seconds = library_->ElapsedSeconds() - fetch_before;
       if (pool_ != nullptr) {
@@ -730,16 +870,25 @@ Status HeavenDb::FetchSuperTiles(
                                         slot);
             }));
       } else {
+        QueryProfiler::StageTimer decode_timer(&profiler_,
+                                               ProfileStage::kDecode);
+        decode_timer.AddBytes(request.size_bytes);
         status = DecodeAndAdmit(request, std::move(container), fetch_seconds,
                                 &decoded[i]);
         if (!status.ok()) break;
       }
     }
     // Join the pipeline before touching results or returning an error —
-    // the tasks reference this frame's locals.
-    for (std::future<Status>& pending_status : pending) {
-      Status s = pending_status.get();
-      if (status.ok() && !s.ok()) status = s;
+    // the tasks reference this frame's locals. Decode runs on workers (no
+    // active profile there), so the pool path attributes the join wait to
+    // the decode stage instead; it consumes no simulated time by design.
+    if (!pending.empty()) {
+      QueryProfiler::StageTimer decode_timer(&profiler_,
+                                             ProfileStage::kDecode);
+      for (std::future<Status>& pending_status : pending) {
+        Status s = pending_status.get();
+        if (status.ok() && !s.ok()) status = s;
+      }
     }
     if (!status.ok()) {
       FailOwnedFetches(&owned, status);
@@ -961,8 +1110,13 @@ Status HeavenDb::CollectTiles(
     std::vector<std::pair<TileDescriptor, Tile>>* out) {
   HEAVEN_ASSIGN_OR_RETURN(ObjectDescriptor object,
                           engine_->catalog()->GetObject(object_id));
+  Result<std::vector<TileDescriptor>> lookup = [&] {
+    QueryProfiler::StageTimer index_timer(&profiler_,
+                                          ProfileStage::kIndexLookup);
+    return TilesIntersecting(object_id, region);
+  }();
   HEAVEN_ASSIGN_OR_RETURN(std::vector<TileDescriptor> needed,
-                          TilesIntersecting(object_id, region));
+                          std::move(lookup));
   std::vector<SuperTileId> needed_sts;
   for (const TileDescriptor& tile : needed) {
     if (tile.location == TileLocation::kTertiary &&
@@ -1046,6 +1200,7 @@ Status HeavenDb::ScatterTiles(
 Result<MddArray> HeavenDb::ReadRegion(ObjectId object_id,
                                       const MdInterval& region) {
   ReaderLock lock(db_mu_);
+  QueryProfiler::Scope profile(&profiler_, "read_region");
   ScopedSpan span(stats_.trace(), "query.read_region");
   const double client_before = client_clock_.Now();
   HEAVEN_ASSIGN_OR_RETURN(ObjectDescriptor object,
@@ -1059,7 +1214,12 @@ Result<MddArray> HeavenDb::ReadRegion(ObjectId object_id,
   HEAVEN_RETURN_IF_ERROR(CollectTiles(object_id, region, &tiles));
 
   MddArray result(region, object.cell_type);
-  HEAVEN_RETURN_IF_ERROR(ScatterTiles(tiles, region, &result));
+  {
+    QueryProfiler::StageTimer scatter_timer(&profiler_,
+                                            ProfileStage::kScatter);
+    scatter_timer.AddBytes(result.tile().size_bytes());
+    HEAVEN_RETURN_IF_ERROR(ScatterTiles(tiles, region, &result));
+  }
   stats_.Record(Ticker::kQueriesExecuted);
   stats_.Record(Ticker::kCellsReturned, region.CellCount());
   span.SetBytes(result.tile().size_bytes());
@@ -1079,6 +1239,7 @@ Result<MddArray> HeavenDb::ReadObject(ObjectId object_id) {
 Result<MddArray> HeavenDb::ReadFrame(ObjectId object_id,
                                      const ObjectFrame& frame) {
   ReaderLock lock(db_mu_);
+  QueryProfiler::Scope profile(&profiler_, "read_frame");
   ScopedSpan span(stats_.trace(), "query.read_frame");
   const double client_before = client_clock_.Now();
   HEAVEN_ASSIGN_OR_RETURN(ObjectDescriptor object,
@@ -1091,8 +1252,13 @@ Result<MddArray> HeavenDb::ReadFrame(ObjectId object_id,
 
   // Only tiles intersecting the frame itself (not just the hull) are
   // touched — this is the whole point of object framing.
+  Result<std::vector<TileDescriptor>> lookup = [&] {
+    QueryProfiler::StageTimer index_timer(&profiler_,
+                                          ProfileStage::kIndexLookup);
+    return TilesIntersecting(object_id, bbox);
+  }();
   HEAVEN_ASSIGN_OR_RETURN(std::vector<TileDescriptor> candidates,
-                          TilesIntersecting(object_id, bbox));
+                          std::move(lookup));
   std::vector<TileDescriptor> needed;
   std::vector<SuperTileId> needed_sts;
   for (TileDescriptor& tile : candidates) {
@@ -1108,36 +1274,41 @@ Result<MddArray> HeavenDb::ReadFrame(ObjectId object_id,
   HEAVEN_RETURN_IF_ERROR(FetchSuperTiles(needed_sts, &supertiles));
 
   MddArray result(bbox, object.cell_type);  // zero-initialized
-  uint64_t disk_bytes = 0;
-  for (const TileDescriptor& descriptor : needed) {
-    Tile tile;
-    if (descriptor.location == TileLocation::kDisk) {
-      HEAVEN_ASSIGN_OR_RETURN(std::string payload,
-                              engine_->blobs()->Get(descriptor.blob_id));
-      disk_bytes += payload.size();
-      tile = Tile(descriptor.domain, object.cell_type, std::move(payload));
-    } else {
-      const auto st_it = supertiles.find(descriptor.super_tile);
-      if (st_it == supertiles.end()) {
-        return Status::Internal(
-            "super-tile " + std::to_string(descriptor.super_tile) +
-            " required by tile " + std::to_string(descriptor.tile_id) +
-            " was not fetched");
+  {
+    QueryProfiler::StageTimer scatter_timer(&profiler_,
+                                            ProfileStage::kScatter);
+    uint64_t disk_bytes = 0;
+    for (const TileDescriptor& descriptor : needed) {
+      Tile tile;
+      if (descriptor.location == TileLocation::kDisk) {
+        HEAVEN_ASSIGN_OR_RETURN(std::string payload,
+                                engine_->blobs()->Get(descriptor.blob_id));
+        disk_bytes += payload.size();
+        tile = Tile(descriptor.domain, object.cell_type, std::move(payload));
+      } else {
+        const auto st_it = supertiles.find(descriptor.super_tile);
+        if (st_it == supertiles.end()) {
+          return Status::Internal(
+              "super-tile " + std::to_string(descriptor.super_tile) +
+              " required by tile " + std::to_string(descriptor.tile_id) +
+              " was not fetched");
+        }
+        HEAVEN_ASSIGN_OR_RETURN(const Tile* found,
+                                st_it->second->FindTile(descriptor.tile_id));
+        tile = *found;
       }
-      HEAVEN_ASSIGN_OR_RETURN(const Tile* found,
-                              st_it->second->FindTile(descriptor.tile_id));
-      tile = *found;
+      stats_.Record(Ticker::kTilesTouched);
+      for (const MdInterval& piece : frame.ClipBox(descriptor.domain)) {
+        auto overlap = piece.Intersection(bbox);
+        if (!overlap.has_value()) continue;
+        HEAVEN_RETURN_IF_ERROR(
+            result.mutable_tile().CopyRegionFrom(tile, *overlap));
+      }
     }
-    stats_.Record(Ticker::kTilesTouched);
-    for (const MdInterval& piece : frame.ClipBox(descriptor.domain)) {
-      auto overlap = piece.Intersection(bbox);
-      if (!overlap.has_value()) continue;
-      HEAVEN_RETURN_IF_ERROR(
-          result.mutable_tile().CopyRegionFrom(tile, *overlap));
+    if (disk_bytes > 0) {
+      client_clock_.Advance(options_.disk.AccessSeconds(disk_bytes));
     }
-  }
-  if (disk_bytes > 0) {
-    client_clock_.Advance(options_.disk.AccessSeconds(disk_bytes));
+    scatter_timer.AddBytes(result.tile().size_bytes());
   }
   stats_.Record(Ticker::kQueriesExecuted);
   stats_.Record(Ticker::kCellsReturned, frame.CellCount());
@@ -1154,6 +1325,7 @@ Result<double> HeavenDb::Aggregate(ObjectId object_id, Condenser condenser,
   // No db_mu_ here: the precomputed catalog is internally locked and
   // ReadRegion takes the shared side itself (shared ownership must not be
   // taken recursively — see RecursiveSharedMutex).
+  QueryProfiler::Scope profile(&profiler_, "aggregate");
   ScopedSpan span(stats_.trace(), "query.aggregate");
   const double client_before = client_clock_.Now();
   if (options_.enable_precomputed) {
@@ -1181,21 +1353,26 @@ Result<double> HeavenDb::Aggregate(ObjectId object_id, Condenser condenser,
 Result<std::vector<MddArray>> HeavenDb::ReadRegions(
     const std::vector<std::pair<ObjectId, MdInterval>>& queries) {
   ReaderLock lock(db_mu_);
+  QueryProfiler::Scope profile(&profiler_, "read_regions");
   ScopedSpan span(stats_.trace(), "query.read_regions");
   // Phase 1: collect each query's tile descriptors once and gather every
   // tertiary super-tile needed by any query so the scheduler sees the
   // whole batch at once.
   std::vector<std::vector<TileDescriptor>> per_query(queries.size());
   std::vector<SuperTileId> needed_sts;
-  for (size_t q = 0; q < queries.size(); ++q) {
-    const auto& [object_id, region] = queries[q];
-    HEAVEN_ASSIGN_OR_RETURN(per_query[q],
-                            TilesIntersecting(object_id, region));
-    for (const TileDescriptor& tile : per_query[q]) {
-      if (tile.location != TileLocation::kTertiary) continue;
-      if (std::find(needed_sts.begin(), needed_sts.end(), tile.super_tile) ==
-          needed_sts.end()) {
-        needed_sts.push_back(tile.super_tile);
+  {
+    QueryProfiler::StageTimer index_timer(&profiler_,
+                                          ProfileStage::kIndexLookup);
+    for (size_t q = 0; q < queries.size(); ++q) {
+      const auto& [object_id, region] = queries[q];
+      HEAVEN_ASSIGN_OR_RETURN(per_query[q],
+                              TilesIntersecting(object_id, region));
+      for (const TileDescriptor& tile : per_query[q]) {
+        if (tile.location != TileLocation::kTertiary) continue;
+        if (std::find(needed_sts.begin(), needed_sts.end(),
+                      tile.super_tile) == needed_sts.end()) {
+          needed_sts.push_back(tile.super_tile);
+        }
       }
     }
   }
@@ -1222,7 +1399,12 @@ Result<std::vector<MddArray>> HeavenDb::ReadRegions(
     HEAVEN_RETURN_IF_ERROR(
         MaterializeTiles(object, per_query[q], supertiles, &tiles));
     MddArray result(region, object.cell_type);
-    HEAVEN_RETURN_IF_ERROR(ScatterTiles(tiles, region, &result));
+    {
+      QueryProfiler::StageTimer scatter_timer(&profiler_,
+                                              ProfileStage::kScatter);
+      scatter_timer.AddBytes(result.tile().size_bytes());
+      HEAVEN_RETURN_IF_ERROR(ScatterTiles(tiles, region, &result));
+    }
     stats_.Record(Ticker::kQueriesExecuted);
     stats_.Record(Ticker::kCellsReturned, region.CellCount());
     query_span.SetBytes(result.tile().size_bytes());

@@ -14,6 +14,7 @@
 #include "array/rtree.h"
 #include "common/env.h"
 #include "common/fault_injection.h"
+#include "common/metrics.h"
 #include "common/rw_mutex.h"
 #include "common/statistics.h"
 #include "common/status.h"
@@ -78,6 +79,17 @@ struct HeavenOptions {
   /// Collect hierarchical trace spans (stats()->trace()) from the start.
   /// Tracing can also be toggled at runtime via stats()->trace()->Enable().
   bool enable_tracing = false;
+
+  /// Capacity of the finished-span ring buffer. When a long workload
+  /// overflows it the oldest spans are evicted (counted by the
+  /// `trace.spans_dropped` gauge / TraceCollector::dropped()).
+  size_t trace_span_capacity = 1 << 20;
+
+  /// Wall-clock period of the background metrics sampler that refreshes
+  /// the registry's gauges (cache occupancy, drive states, pool load,
+  /// ...). 0 disables the sampler; gauges are then refreshed on demand by
+  /// ExportMetrics / metrics()->SampleOnce().
+  double metrics_sampler_interval_s = 0.0;
 
   /// Worker threads for the CPU-bound hot paths: super-tile decode is
   /// pipelined against the (tape-ordered) transfer loop, tile scatter into
@@ -222,6 +234,14 @@ class HeavenDb {
   // ---- Introspection ---------------------------------------------------
 
   Statistics* stats() { return &stats_; }
+  /// The typed metric registry over this instance (tickers, histograms and
+  /// the sampled gauges registered in Init).
+  MetricsRegistry* metrics() { return &metrics_; }
+  /// Per-query profiler along the read paths (disabled by default).
+  QueryProfiler* profiler() { return &profiler_; }
+  /// Samples every gauge once, then renders the registry: Prometheus text
+  /// exposition, or the JSON export with `as_json`.
+  std::string ExportMetrics(bool as_json = false);
   TapeLibrary* library() { return library_.get(); }
   SuperTileCache* cache() { return cache_.get(); }
   StorageEngine* engine() { return engine_.get(); }
@@ -244,10 +264,20 @@ class HeavenDb {
   /// The active fault injector (null unless options.fault_policy.enabled).
   FaultInjector* fault_injector() { return injector_.get(); }
 
+  /// Exports waiting in the TCT queue (sampled gauge `tct.queue_depth`).
+  size_t TctQueueDepth() const EXCLUDES(tct_mu_);
+  /// Single-flight tape fetches currently in flight (sampled gauge
+  /// `fetch.inflight`).
+  size_t InflightFetches() const EXCLUDES(fetch_mu_);
+
  private:
   HeavenDb(Env* env, std::string dir, HeavenOptions options);
 
   Status Init();
+  /// Registers the standard sampled gauges (cache shards, buffer pool,
+  /// drives, pool load, TCT queue, in-flight fetches, fault sites) on
+  /// metrics_. Called once from Init after every component exists.
+  void RegisterStandardGauges();
   Status LoadRegistry();
   Status PersistRegistry();
   Status PersistPrecomputed();
@@ -385,6 +415,10 @@ class HeavenDb {
   std::string dir_;
   HeavenOptions options_;
   Statistics stats_;
+  /// Gauge callbacks registered here read the members below; the
+  /// destructor stops the sampler before any of them die.
+  MetricsRegistry metrics_{&stats_};
+  QueryProfiler profiler_;
   SimClock client_clock_;
 
   std::unique_ptr<StorageEngine> engine_;
@@ -429,7 +463,7 @@ class HeavenDb {
   Mutex prefetch_mu_ ACQUIRED_AFTER(db_mu_);
   std::vector<SuperTileId> prefetched_ GUARDED_BY(prefetch_mu_);
 
-  Mutex fetch_mu_ ACQUIRED_AFTER(db_mu_);
+  mutable Mutex fetch_mu_ ACQUIRED_AFTER(db_mu_);
   std::map<SuperTileId, std::shared_ptr<InflightFetch>> inflight_
       GUARDED_BY(fetch_mu_);
 

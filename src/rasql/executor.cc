@@ -269,6 +269,7 @@ Result<QueryResult> Execute(HeavenDb* db, const Query& query) {
   if (!db->engine()->catalog()->FindCollection(query.from).has_value()) {
     return Status::NotFound("collection " + query.from);
   }
+  QueryProfiler::Scope profile(db->profiler(), "rasql");
   ScopedSpan span(db->stats()->trace(), "rasql.execute");
   const double client_before = db->ClientSeconds();
   db->stats()->Record(Ticker::kRasqlStatements);
@@ -280,8 +281,16 @@ Result<QueryResult> Execute(HeavenDb* db, const Query& query) {
 }
 
 Result<QueryResult> ExecuteString(HeavenDb* db, const std::string& text) {
-  HEAVEN_ASSIGN_OR_RETURN(Query query, Parse(text));
-  return Execute(db, query);
+  // The statement's profile opens here so parse/plan time is part of it;
+  // Execute's nested Scope then folds into this one (same thread).
+  QueryProfiler::Scope profile(db->profiler(), "rasql");
+  Result<Query> query = [&] {
+    QueryProfiler::StageTimer parse_timer(db->profiler(),
+                                          ProfileStage::kParsePlan);
+    return Parse(text);
+  }();
+  HEAVEN_RETURN_IF_ERROR(query.status());
+  return Execute(db, query.value());
 }
 
 }  // namespace heaven::rasql

@@ -95,6 +95,9 @@ class StorageEngine {
   Catalog* catalog() { return &catalog_; }
   BlobStore* blobs() { return blob_store_.get(); }
   Statistics* stats() { return stats_; }
+  /// Live residency source for the sampled gauges `buffer_pool.pages` /
+  /// `buffer_pool.capacity`.
+  const BufferPool* buffer_pool() const { return pool_.get(); }
 
   /// Flushes pages, snapshots blob directory + catalog, resets the WAL.
   Status Checkpoint();

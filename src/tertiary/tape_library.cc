@@ -311,6 +311,21 @@ uint32_t TapeLibrary::OnlineDrives() const {
   return online;
 }
 
+std::vector<TapeDriveState> TapeLibrary::DriveStates() const {
+  MutexLock lock(mu_);
+  std::vector<TapeDriveState> out;
+  out.reserve(drives_.size());
+  for (const Drive& drive : drives_) {
+    TapeDriveState state;
+    state.online = !drive.offline;
+    state.occupied = drive.occupied;
+    state.medium = drive.medium;
+    state.head_position = drive.head_position;
+    out.push_back(state);
+  }
+  return out;
+}
+
 Status TapeLibrary::TruncateMediumForRecovery(MediumId medium_id,
                                               uint64_t end) {
   MutexLock lock(mu_);

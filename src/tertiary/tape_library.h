@@ -34,6 +34,15 @@ struct TapeTraceEvent {
 /// Formats a trace as one line per event ("R m2 @4096 +8192 1.2s ...").
 std::string FormatTapeTrace(const std::vector<TapeTraceEvent>& trace);
 
+/// Live state of one drive, for the sampled gauges `tape.drive_online` /
+/// `tape.drive_occupied` / `tape.drive_head_position` (labeled by drive).
+struct TapeDriveState {
+  bool online = false;
+  bool occupied = false;
+  MediumId medium = 0;
+  uint64_t head_position = 0;
+};
+
 /// Configuration of a robotic tape library.
 struct TapeLibraryOptions {
   TapeDriveProfile profile;  // uniform drive/media class
@@ -120,6 +129,9 @@ class TapeLibrary {
 
   /// Drives currently able to serve media.
   uint32_t OnlineDrives() const;
+
+  /// Snapshot of every drive's live state, indexed by DriveId.
+  std::vector<TapeDriveState> DriveStates() const;
 
   /// Crash recovery: discards everything written to `medium` beyond
   /// `end` — both in memory and in the backing file. Used on reopen to
