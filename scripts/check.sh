@@ -66,12 +66,13 @@ if [[ "$RUN_ASAN" == 1 ]]; then
       >/dev/null
   cmake --build build-asan -j"$(nproc)" \
       --target observability_test metrics_test heaven_db_test \
-               tape_library_test concurrency_stress_test
+               tape_library_test concurrency_stress_test snapshot_test
   ./build-asan/tests/observability_test
   ./build-asan/tests/metrics_test
   ./build-asan/tests/heaven_db_test
   ./build-asan/tests/tape_library_test
   ./build-asan/tests/concurrency_stress_test
+  ./build-asan/tests/snapshot_test
 fi
 
 if [[ "$RUN_TSAN" == 1 ]]; then
@@ -79,9 +80,10 @@ if [[ "$RUN_TSAN" == 1 ]]; then
   cmake -B build-tsan -S . -DHEAVEN_TSAN=ON -DCMAKE_BUILD_TYPE=Debug \
       >/dev/null
   cmake --build build-tsan -j"$(nproc)" \
-      --target concurrency_stress_test heaven_db_test
+      --target concurrency_stress_test heaven_db_test snapshot_test
   ./build-tsan/tests/concurrency_stress_test
   ./build-tsan/tests/heaven_db_test
+  ./build-tsan/tests/snapshot_test
 fi
 
 if [[ "$RUN_FAULTS" == 1 ]]; then

@@ -18,6 +18,13 @@
 #     in common/statistics.h; gauges register with the MetricsRegistry
 #     (common/metrics.h) owned by HeavenDb, so every number shows up in
 #     \metrics, ExportMetrics and the bench reports.
+#  5. Shared acquisition of the database hierarchy lock (ReaderLock on
+#     db_mu_) is banned in src/: the query path reads through pinned
+#     DbSnapshots (HeavenDb::AcquireReadSnapshot), never by blocking
+#     mutators out. A reader holding db_mu_ shared serializes against
+#     every mutator and resurrects the scalability collapse the
+#     snapshot-isolated read path removed. Mutators keep exclusive
+#     WriterLock(db_mu_).
 #
 # Usage: scripts/lint.sh
 set -uo pipefail
@@ -65,6 +72,15 @@ hits=$(grep -rnE "$pattern" src/ --include='*.h' --include='*.cc' \
          | grep -v '^src/common/' | grep -vE "^($allowed):" || true)
 if [[ -n "$hits" ]]; then
   note "ad-hoc metric plumbing outside src/common/ (extend common/statistics.h enums; register gauges with the MetricsRegistry in common/metrics.h):" "$hits"
+fi
+
+# --- 5. no shared db_mu_ on the query path -----------------------------------
+# Queries pin a DbSnapshot (lock-free) instead of holding db_mu_ shared;
+# see "Snapshot reads & epoch reclamation" in DESIGN.md.
+hits=$(grep -rnE 'ReaderLock[^(]*\(\s*db_mu_' src/ \
+         --include='*.h' --include='*.cc' || true)
+if [[ -n "$hits" ]]; then
+  note "ReaderLock on db_mu_ in src/ (query path must read through AcquireReadSnapshot; mutators use WriterLock):" "$hits"
 fi
 
 if [[ "$fail" != 0 ]]; then

@@ -268,6 +268,8 @@ std::string ProfileStageName(ProfileStage stage) {
       return "decode";
     case ProfileStage::kScatter:
       return "scatter";
+    case ProfileStage::kSnapshotAcquire:
+      return "snapshot_acquire";
     case ProfileStage::kNumStages:
       break;
   }

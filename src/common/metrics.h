@@ -134,6 +134,7 @@ enum class ProfileStage : int {
   kTapeFetch,      // simulated tape transfer incl. retries (sim seconds)
   kDecode,         // container decode + cache admission (wall seconds)
   kScatter,        // copying tile bytes into the result region
+  kSnapshotAcquire,  // pinning the metadata snapshot (near-zero by design)
   kNumStages,      // must be last
 };
 

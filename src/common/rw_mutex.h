@@ -98,6 +98,12 @@ class CAPABILITY("recursive_shared_mutex") RecursiveSharedMutex {
     return true;
   }
 
+  /// Debug-build check backing HeavenDb's snapshot-read invariant: true
+  /// while the calling thread holds this mutex *shared* (exclusive
+  /// ownership does not count). Always false in release builds — use only
+  /// inside HEAVEN_DCHECK-style assertions.
+  bool ThisThreadHoldsShared() const { return DebugSharedDepth() > 0; }
+
   void UnlockShared() RELEASE_SHARED() {
     if (writer_.load(std::memory_order_relaxed) ==
         std::this_thread::get_id()) {

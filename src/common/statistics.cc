@@ -103,6 +103,10 @@ std::string TickerName(Ticker ticker) {
       return "supertile.crc_mismatches";
     case Ticker::kTapeDriveFailures:
       return "tape.drive_failures";
+    case Ticker::kSnapshotsPublished:
+      return "snapshot.published";
+    case Ticker::kSnapshotConflicts:
+      return "snapshot.conflicts";
     case Ticker::kNumTickers:
       break;
   }

@@ -71,6 +71,9 @@ enum class Ticker : int {
   kTapeRetries,        // re-attempts of failed tape operations
   kCrcMismatches,      // fetched containers failing CRC verification
   kTapeDriveFailures,  // drives taken offline (injected or forced)
+  // Snapshot-isolated read path.
+  kSnapshotsPublished,  // metadata versions installed by mutators
+  kSnapshotConflicts,   // read retries after racing a concurrent mutator
   kNumTickers,  // must be last
 };
 

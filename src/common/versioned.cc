@@ -1,0 +1,47 @@
+#include "common/versioned.h"
+
+namespace heaven {
+
+void RetiredVersions::Retire(std::shared_ptr<const void> version,
+                             uint64_t number) {
+  MutexLock lock(mu_);
+  retired_.emplace_back(std::move(version), number);
+}
+
+size_t RetiredVersions::ReclaimQuiescent() {
+  MutexLock lock(mu_);
+  size_t reclaimed = 0;
+  for (auto it = retired_.begin(); it != retired_.end();) {
+    // This list's entry is the last reference: no reader pinned this
+    // version (or the last one has since dropped out) — free it.
+    if (it->first.use_count() == 1) {
+      it = retired_.erase(it);
+      ++reclaimed;
+    } else {
+      ++it;
+    }
+  }
+  reclaimed_total_ += reclaimed;
+  return reclaimed;
+}
+
+size_t RetiredVersions::pending() const {
+  MutexLock lock(mu_);
+  return retired_.size();
+}
+
+uint64_t RetiredVersions::oldest_pending() const {
+  MutexLock lock(mu_);
+  uint64_t oldest = 0;
+  for (const auto& [version, number] : retired_) {
+    if (oldest == 0 || number < oldest) oldest = number;
+  }
+  return oldest;
+}
+
+uint64_t RetiredVersions::reclaimed_total() const {
+  MutexLock lock(mu_);
+  return reclaimed_total_;
+}
+
+}  // namespace heaven

@@ -15,6 +15,23 @@ namespace heaven {
 namespace {
 constexpr char kRegistrySection[] = "heaven.supertiles";
 constexpr char kPrecomputedSection[] = "heaven.precomputed";
+
+/// Marks a mutator in progress for the snapshot conflict-retry gate (see
+/// ReadWithSnapshotRetry): a conflict-shaped read error is retried only
+/// while a mutator runs or after a version advanced, so serial workloads
+/// keep the exact legacy error surface and never retry.
+class ScopedMutator {
+ public:
+  explicit ScopedMutator(std::atomic<int>* counter) : counter_(counter) {
+    counter_->fetch_add(1, std::memory_order_acq_rel);
+  }
+  ~ScopedMutator() { counter_->fetch_sub(1, std::memory_order_acq_rel); }
+  ScopedMutator(const ScopedMutator&) = delete;
+  ScopedMutator& operator=(const ScopedMutator&) = delete;
+
+ private:
+  std::atomic<int>* counter_;
+};
 }  // namespace
 
 HeavenDb::HeavenDb(Env* env, std::string dir, HeavenOptions options)
@@ -44,6 +61,13 @@ Status HeavenDb::Init() {
   cache_ = std::make_unique<SuperTileCache>(options_.cache, &stats_);
   precomputed_ = std::make_unique<PrecomputedCatalog>(&stats_);
   HEAVEN_RETURN_IF_ERROR(LoadRegistry());
+  {
+    // Version 1: the first snapshot, built from the freshly loaded catalog
+    // and registry. Published before any worker thread (TCT, sampler)
+    // starts, so a snapshot always exists.
+    WriterLock lock(db_mu_);
+    PublishSnapshot({});
+  }
   HEAVEN_RETURN_IF_ERROR(
       precomputed_->Restore(engine_->catalog()->GetSection(kPrecomputedSection)));
   if (options_.enable_tracing) stats_.trace()->Enable(true);
@@ -151,6 +175,17 @@ void HeavenDb::RegisterStandardGauges() {
                                       static_cast<double>(
                                           pool_->num_threads());
       });
+  metrics_.RegisterGauge(
+      "snapshot.version", "number of the published metadata version", {},
+      [this] { return static_cast<double>(snapshot_.version()); });
+  metrics_.RegisterGauge(
+      "snapshot.retired_pending",
+      "retired metadata versions still pinned by readers", {},
+      [this] { return static_cast<double>(snapshot_.retired_pending()); });
+  metrics_.RegisterGauge(
+      "snapshot.age_versions",
+      "versions the oldest still-pinned snapshot lags the current one", {},
+      [this] { return static_cast<double>(snapshot_.age_versions()); });
   metrics_.RegisterGauge("trace.spans_dropped",
                          "finished spans evicted from the trace ring buffer",
                          {}, [this] {
@@ -178,8 +213,8 @@ void HeavenDb::RegisterStandardGauges() {
 
 Status HeavenDb::RecoverExports() {
   // Runs during Init (no concurrency yet), but the registry reads below
-  // still take the shared side so the lock discipline holds everywhere.
-  ReaderLock lock(db_mu_);
+  // still take the lock so the capability discipline holds everywhere.
+  WriterLock lock(db_mu_);
   const std::vector<ExportJournalRecord>& records = journal_->recovered();
   if (records.empty()) return Status::Ok();
   std::set<ObjectId> pending;
@@ -196,7 +231,7 @@ Status HeavenDb::RecoverExports() {
       case ExportJournalRecord::Kind::kAppend:
         // An append whose super-tile never made it into the committed
         // registry is an orphaned tape extent from an interrupted export.
-        if (registry_.find(record.supertile_id) == registry_.end()) {
+        if (registry_.Find(record.supertile_id) == nullptr) {
           orphaned_appends = true;
         }
         break;
@@ -214,10 +249,10 @@ Status HeavenDb::RecoverExports() {
     // the TCT exports one object at a time), so truncating each medium
     // back to its live end removes exactly the garbage the crash left.
     std::map<MediumId, uint64_t> live_end;
-    for (const auto& [id, meta] : registry_) {
+    registry_.ForEach([&](SuperTileId, const SuperTileMeta& meta) {
       live_end[meta.medium] =
           std::max(live_end[meta.medium], meta.offset + meta.size_bytes);
-    }
+    });
     for (MediumId m = 0; m < library_->num_media(); ++m) {
       const auto it = live_end.find(m);
       HEAVEN_RETURN_IF_ERROR(library_->TruncateMediumForRecovery(
@@ -274,26 +309,84 @@ Status HeavenDb::LoadRegistry() {
   HEAVEN_ASSIGN_OR_RETURN(std::vector<SuperTileMeta> metas,
                           DeserializeSuperTileMetas(image));
   WriterLock lock(db_mu_);
-  registry_.clear();
+  registry_.Clear();
   for (SuperTileMeta& meta : metas) {
     next_supertile_id_ = std::max(next_supertile_id_, meta.id + 1);
-    registry_.emplace(meta.id, std::move(meta));
+    const SuperTileId id = meta.id;
+    registry_.InsertOrAssign(id, std::move(meta));
   }
   return Status::Ok();
 }
 
 Status HeavenDb::PersistRegistry() {
-  std::vector<SuperTileMeta> metas;
-  {
-    ReaderLock lock(db_mu_);
-    metas.reserve(registry_.size());
-    for (const auto& [id, meta] : registry_) metas.push_back(meta);
-  }
   CatalogDelta delta;
   delta.op = CatalogOp::kSetSection;
   delta.name = kRegistrySection;
-  delta.payload = SerializeSuperTileMetas(metas);
+  delta.payload = SerializeRegistryLocked();
   return engine_->ApplyCatalogAtomic(delta);
+}
+
+std::string HeavenDb::SerializeRegistryLocked() const {
+  // Entries sorted by id: the COW shards iterate shard-major, but the
+  // persisted section must keep the exact byte image the id-ordered
+  // std::map registry used to produce.
+  std::vector<SuperTileMeta> metas;
+  metas.reserve(registry_.size());
+  registry_.ForEach(
+      [&](SuperTileId, const SuperTileMeta& meta) { metas.push_back(meta); });
+  std::sort(metas.begin(), metas.end(),
+            [](const SuperTileMeta& a, const SuperTileMeta& b) {
+              return a.id < b.id;
+            });
+  return SerializeSuperTileMetas(metas);
+}
+
+void HeavenDb::PublishSnapshot(const std::vector<ObjectId>& touched) {
+  auto next = std::make_shared<DbSnapshot>();
+  next->registry = registry_.Snapshot();
+  DbSnapshotPtr prev = snapshot_.Acquire();
+  // Objects this mutation did not touch share their SnapshotObject (and
+  // its lazily built tile index) with the previous version.
+  for (const auto& [collection_id, collection_name] :
+       engine_->catalog()->ListCollections()) {
+    (void)collection_name;
+    for (const ObjectDescriptor& object :
+         engine_->catalog()->ListObjects(collection_id)) {
+      std::shared_ptr<const SnapshotObject> snap_object;
+      if (prev != nullptr && std::find(touched.begin(), touched.end(),
+                                       object.object_id) == touched.end()) {
+        const auto it = prev->objects.find(object.object_id);
+        if (it != prev->objects.end()) snap_object = it->second;
+      }
+      if (snap_object == nullptr) {
+        snap_object = std::make_shared<SnapshotObject>(
+            object, engine_->catalog()->ListTiles(object.object_id));
+      }
+      next->objects_by_name.emplace(object.name, object.object_id);
+      next->objects.emplace(object.object_id, std::move(snap_object));
+    }
+  }
+  // Publishers are serialized under exclusive db_mu_, so the number the
+  // swap will assign is known before it happens. Drop our own pin on the
+  // previous version first: otherwise this very reference keeps it
+  // non-quiescent through the publication's reclamation sweep, and an
+  // idle database would always report one retired version pending.
+  prev.reset();
+  next->version = snapshot_.version() + 1;
+  snapshot_.Publish(std::move(next));
+  stats_.Record(Ticker::kSnapshotsPublished);
+}
+
+DbSnapshotPtr HeavenDb::AcquireReadSnapshot() const {
+  QueryProfiler::StageTimer timer(&profiler_, ProfileStage::kSnapshotAcquire);
+  // The read path must never touch the hierarchy lock: a reader blocked
+  // behind a mutator would defeat the whole point of snapshot isolation.
+  // (Exclusive ownership — a mutator reading its own state — is fine.)
+  HEAVEN_DCHECK(!db_mu_.ThisThreadHoldsShared())
+      << "snapshot acquired while holding db_mu_ shared";
+  DbSnapshotPtr snap = snapshot_.Acquire();
+  HEAVEN_DCHECK(snap != nullptr) << "no snapshot published before Init done";
+  return snap;
 }
 
 Status HeavenDb::PersistPrecomputed() {
@@ -339,6 +432,7 @@ Result<ObjectId> HeavenDb::InsertObject(CollectionId collection,
                                         const MddArray& data,
                                         std::vector<int64_t> tile_extents) {
   WriterLock lock(db_mu_);
+  ScopedMutator mutator(&active_mutators_);
   if (engine_->catalog()->FindObject(name).ok()) {
     return Status::AlreadyExists("object " + name);
   }
@@ -385,7 +479,9 @@ Result<ObjectId> HeavenDb::InsertObject(CollectionId collection,
     txn->UpdateCatalog(add_tile);
   }
   HEAVEN_RETURN_IF_ERROR(txn->Commit());
-  InvalidateTileIndex(object.object_id);
+  // Publish before the migration policy so a nested export reads the
+  // fresh object through its own snapshot.
+  PublishSnapshot({object.object_id});
   client_clock_.Advance(options_.disk.AccessSeconds(bytes_written));
   HEAVEN_RETURN_IF_ERROR(RunMigrationPolicy());
   return object.object_id;
@@ -451,18 +547,21 @@ Status HeavenDb::ExportObject(ObjectId object_id) {
 
 Status HeavenDb::ExportObjectSync(ObjectId object_id) {
   WriterLock lock(db_mu_);
+  ScopedMutator mutator(&active_mutators_);
   std::vector<SuperTileId> added;
   Status status = ExportObjectLocked(object_id, &added);
   if (!status.ok()) {
     // Roll the in-memory registry back: the catalog transaction never
     // committed, so the appended containers are dead tape extents (exactly
-    // as after a delete) and must not be referenced.
+    // as after a delete) and must not be referenced. Nothing was published
+    // mid-flight, so readers never saw the rolled-back entries.
     for (SuperTileId id : added) {
-      registry_.erase(id);
+      registry_.Erase(id);
       cache_->Erase(id);
     }
     return status;
   }
+  PublishSnapshot({object_id});
   if (journal_ != nullptr) {
     HEAVEN_RETURN_IF_ERROR(journal_->LogCommitted(object_id));
   }
@@ -491,8 +590,13 @@ Status HeavenDb::ExportObjectLocked(ObjectId object_id,
   if (options_.overview_scale_factor > 1 &&
       object.name.find("__overview") == std::string::npos &&
       !engine_->catalog()->FindObject(object.name + "__overview").ok()) {
+    // Read through a snapshot like any query: at a mutator's start (no
+    // registry or catalog change yet in this export) the published
+    // snapshot is identical to the live state.
+    const DbSnapshotPtr snap = AcquireReadSnapshot();
     HEAVEN_ASSIGN_OR_RETURN(MddArray full,
-                            ReadRegion(object_id, object.domain));
+                            ReadRegionAtSnapshot(*snap, object_id,
+                                                 object.domain));
     HEAVEN_ASSIGN_OR_RETURN(MddArray overview,
                             ScaleDown(full, options_.overview_scale_factor));
     HEAVEN_RETURN_IF_ERROR(InsertObject(object.collection_id,
@@ -572,13 +676,10 @@ Status HeavenDb::ExportObjectLocked(ObjectId object_id,
   }
 
   // Persist the registry in the same transaction as the tile moves.
-  std::vector<SuperTileMeta> metas;
-  metas.reserve(registry_.size());
-  for (const auto& [id, meta] : registry_) metas.push_back(meta);
   CatalogDelta registry_delta;
   registry_delta.op = CatalogOp::kSetSection;
   registry_delta.name = kRegistrySection;
-  registry_delta.payload = SerializeSuperTileMetas(metas);
+  registry_delta.payload = SerializeRegistryLocked();
   txn->UpdateCatalog(registry_delta);
 
   return txn->Commit();
@@ -619,7 +720,7 @@ Status HeavenDb::AppendAndRegister(
   meta.crc32c = Crc32c(container);
   HEAVEN_ASSIGN_OR_RETURN(meta.hull, st.Hull());
   meta.tile_ids = group.tiles;
-  registry_.emplace(meta.id, meta);
+  registry_.InsertOrAssign(meta.id, meta);
   added->push_back(meta.id);
   if (journal_ != nullptr) {
     // Journal the landed extent before the catalog commits so a crash
@@ -645,6 +746,7 @@ Status HeavenDb::AppendAndRegister(
 
 Status HeavenDb::ExportObjectTileAtATime(ObjectId object_id) {
   WriterLock lock(db_mu_);
+  ScopedMutator mutator(&active_mutators_);
   const double tape_before = library_->ElapsedSeconds();
   HEAVEN_ASSIGN_OR_RETURN(ObjectDescriptor object,
                           engine_->catalog()->GetObject(object_id));
@@ -700,20 +802,20 @@ Status HeavenDb::ExportObjectTileAtATime(ObjectId object_id) {
     update.tile.super_tile = meta.id;
     txn->UpdateCatalog(update);
   }
-  for (const SuperTileMeta& meta : new_metas) registry_.emplace(meta.id, meta);
-  std::vector<SuperTileMeta> metas;
-  metas.reserve(registry_.size());
-  for (const auto& [id, meta] : registry_) metas.push_back(meta);
+  for (const SuperTileMeta& meta : new_metas) {
+    registry_.InsertOrAssign(meta.id, meta);
+  }
   CatalogDelta registry_delta;
   registry_delta.op = CatalogOp::kSetSection;
   registry_delta.name = kRegistrySection;
-  registry_delta.payload = SerializeSuperTileMetas(metas);
+  registry_delta.payload = SerializeRegistryLocked();
   txn->UpdateCatalog(registry_delta);
   Status status = txn->Commit();
   if (!status.ok()) {
-    for (const SuperTileMeta& meta : new_metas) registry_.erase(meta.id);
+    for (const SuperTileMeta& meta : new_metas) registry_.Erase(meta.id);
     return status;
   }
+  PublishSnapshot({object_id});
   client_clock_.Advance(library_->ElapsedSeconds() - tape_before);
   return Status::Ok();
 }
@@ -772,11 +874,54 @@ void HeavenDb::TctWorker() {
 // ----------------------------------------------------------------- query --
 
 Result<ObjectDescriptor> HeavenDb::FindObject(const std::string& name) {
-  return engine_->catalog()->FindObject(name);
+  return AcquireReadSnapshot()->FindObject(name);
+}
+
+bool HeavenDb::IsSnapshotConflict(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kNotFound:      // object/super-tile deleted under us
+    case StatusCode::kOutOfRange:    // tape extent truncated/reorganised
+    case StatusCode::kCorruption:    // CRC caught bytes of a reused extent
+    case StatusCode::kInternal:      // snapshot/cache cross-checks
+      return true;
+    default:
+      return false;
+  }
+}
+
+template <typename Fn>
+auto HeavenDb::ReadWithSnapshotRetry(Fn&& fn)
+    -> decltype(fn(std::declval<const DbSnapshot&>())) {
+  // Bounded re-pins; each retry requires evidence of a racing mutator, so
+  // serial workloads run the body exactly once and surface the exact
+  // legacy error, clocks and tickers.
+  constexpr int kMaxAttempts = 8;
+  for (int attempt = 1;; ++attempt) {
+    const DbSnapshotPtr snap = AcquireReadSnapshot();
+    auto result = fn(*snap);
+    if (result.ok() || attempt >= kMaxAttempts ||
+        !IsSnapshotConflict(result.status())) {
+      return result;
+    }
+    if (snapshot_.version() == snap->version &&
+        active_mutators_.load(std::memory_order_acquire) == 0) {
+      // No mutator ran or runs: the error is genuine (missing object, real
+      // corruption, ...), not a stale-snapshot artifact.
+      return result;
+    }
+    stats_.Record(Ticker::kSnapshotConflicts);
+    // Give the racing mutator a chance to publish its successor version
+    // before re-pinning (it may also fail and roll back, dropping the
+    // mutator count without a new version — that ends the wait too).
+    while (snapshot_.version() == snap->version &&
+           active_mutators_.load(std::memory_order_acquire) > 0) {
+      std::this_thread::yield();
+    }
+  }
 }
 
 Status HeavenDb::FetchSuperTiles(
-    const std::vector<SuperTileId>& ids,
+    const DbSnapshot& snap, const std::vector<SuperTileId>& ids,
     std::map<SuperTileId, std::shared_ptr<const SuperTile>>* out) {
   std::vector<SuperTileRequest> requests;
   // Fetches this call leads (its promises to fulfil) and fetches led by a
@@ -808,8 +953,8 @@ Status HeavenDb::FetchSuperTiles(
         // so the serial ticker sequence is unchanged).
         continue;
       }
-      auto meta_it = registry_.find(id);
-      if (meta_it == registry_.end()) {
+      const SuperTileMeta* meta = snap.FindSuperTile(id);
+      if (meta == nullptr) {
         fetch_lock.Unlock();
         Status status = Status::NotFound("super-tile " + std::to_string(id) +
                                          " not registered");
@@ -820,9 +965,8 @@ Status HeavenDb::FetchSuperTiles(
       flight->future = flight->promise.get_future().share();
       inflight_.emplace(id, flight);
       owned.emplace(id, std::move(flight));
-      requests.push_back({id, meta_it->second.medium, meta_it->second.offset,
-                          meta_it->second.size_bytes,
-                          meta_it->second.crc32c});
+      requests.push_back({id, meta->medium, meta->offset, meta->size_bytes,
+                          meta->crc32c});
       break;
     }
   }
@@ -919,7 +1063,7 @@ Status HeavenDb::FetchSuperTiles(
       out->emplace(requests[i].id, std::move(decoded[i]));
     }
     client_clock_.Advance(library_->ElapsedSeconds() - tape_before);
-    MaybePrefetch(last_medium, last_end);
+    MaybePrefetch(snap, last_medium, last_end);
   }
 
   // Collect coalesced results. Only the leader paid tape time onto the
@@ -928,19 +1072,24 @@ Status HeavenDb::FetchSuperTiles(
     ScopedSpan span(stats_.trace(), "supertile.fetch.coalesced");
     FetchResult result = future.get();
     HEAVEN_RETURN_IF_ERROR(result.status());
-    auto meta_it = registry_.find(id);
-    if (meta_it != registry_.end()) span.SetBytes(meta_it->second.size_bytes);
+    const SuperTileMeta* meta = snap.FindSuperTile(id);
+    if (meta != nullptr) span.SetBytes(meta->size_bytes);
     out->emplace(id, std::move(result).value());
   }
   return Status::Ok();
 }
 
 void HeavenDb::NotePrefetchHit(SuperTileId id) {
+  // Fast path for the cache-hit storm: with no prefetch outstanding (the
+  // common case, and always when prefetch is disabled) readers must not
+  // serialize on prefetch_mu_ just to find an empty list.
+  if (prefetched_count_.load(std::memory_order_acquire) == 0) return;
   MutexLock prefetch_lock(prefetch_mu_);
   auto it = std::find(prefetched_.begin(), prefetched_.end(), id);
   if (it != prefetched_.end()) {
     stats_.Record(Ticker::kPrefetchUseful);
     prefetched_.erase(it);
+    prefetched_count_.store(prefetched_.size(), std::memory_order_release);
   }
 }
 
@@ -1041,18 +1190,19 @@ Status HeavenDb::ReadContainerVerified(SuperTileId id, MediumId medium,
                             " failed CRC verification after re-fetch");
 }
 
-void HeavenDb::MaybePrefetch(MediumId medium, uint64_t last_end_offset) {
+void HeavenDb::MaybePrefetch(const DbSnapshot& snap, MediumId medium,
+                             uint64_t last_end_offset) {
   if (!options_.enable_prefetch || options_.prefetch_depth == 0) return;
   ScopedSpan span(stats_.trace(), "prefetch");
   std::vector<SuperTileId> cached;
-  for (const auto& [id, meta] : registry_) {
+  snap.registry.ForEach([&](SuperTileId id, const SuperTileMeta&) {
     if (cache_->Contains(id)) cached.push_back(id);
-  }
+  });
   const std::vector<SuperTileId> targets =
-      ChoosePrefetchTargets(registry_, medium, last_end_offset,
+      ChoosePrefetchTargets(snap.registry, medium, last_end_offset,
                             options_.prefetch_depth, cached, &stats_);
   for (SuperTileId id : targets) {
-    const SuperTileMeta& meta = registry_.at(id);
+    const SuperTileMeta& meta = *snap.FindSuperTile(id);
     std::string container;
     // Background read: charges tape time but not the client clock.
     Status status =
@@ -1075,48 +1225,23 @@ void HeavenDb::MaybePrefetch(MediumId medium, uint64_t last_end_offset) {
     {
       MutexLock prefetch_lock(prefetch_mu_);
       prefetched_.push_back(id);
+      prefetched_count_.store(prefetched_.size(), std::memory_order_release);
     }
     stats_.Record(Ticker::kPrefetchIssued);
   }
 }
 
-Result<std::vector<TileDescriptor>> HeavenDb::TilesIntersecting(
-    ObjectId object_id, const MdInterval& region) {
-  MutexLock index_lock(index_mu_);
-  auto index_it = tile_index_.find(object_id);
-  if (index_it == tile_index_.end()) {
-    auto tree = std::make_unique<RTree>();
-    for (const TileDescriptor& tile : engine_->catalog()->ListTiles(object_id)) {
-      tree->Insert(tile.domain, tile.tile_id);
-    }
-    index_it = tile_index_.emplace(object_id, std::move(tree)).first;
-  }
-  std::vector<TileDescriptor> tiles;
-  for (TileId tile_id : index_it->second->Search(region)) {
-    HEAVEN_ASSIGN_OR_RETURN(TileDescriptor tile,
-                            engine_->catalog()->GetTile(object_id, tile_id));
-    tiles.push_back(std::move(tile));
-  }
-  return tiles;
-}
-
-void HeavenDb::InvalidateTileIndex(ObjectId object_id) {
-  MutexLock index_lock(index_mu_);
-  tile_index_.erase(object_id);
-}
-
 Status HeavenDb::CollectTiles(
-    ObjectId object_id, const MdInterval& region,
+    const DbSnapshot& snap, ObjectId object_id, const MdInterval& region,
     std::vector<std::pair<TileDescriptor, Tile>>* out) {
-  HEAVEN_ASSIGN_OR_RETURN(ObjectDescriptor object,
-                          engine_->catalog()->GetObject(object_id));
-  Result<std::vector<TileDescriptor>> lookup = [&] {
+  HEAVEN_ASSIGN_OR_RETURN(std::shared_ptr<const SnapshotObject> object,
+                          snap.GetObject(object_id));
+  std::vector<TileDescriptor> needed;
+  {
     QueryProfiler::StageTimer index_timer(&profiler_,
                                           ProfileStage::kIndexLookup);
-    return TilesIntersecting(object_id, region);
-  }();
-  HEAVEN_ASSIGN_OR_RETURN(std::vector<TileDescriptor> needed,
-                          std::move(lookup));
+    needed = object->TilesIntersecting(region);
+  }
   std::vector<SuperTileId> needed_sts;
   for (const TileDescriptor& tile : needed) {
     if (tile.location == TileLocation::kTertiary &&
@@ -1127,8 +1252,8 @@ Status HeavenDb::CollectTiles(
   }
 
   std::map<SuperTileId, std::shared_ptr<const SuperTile>> supertiles;
-  HEAVEN_RETURN_IF_ERROR(FetchSuperTiles(needed_sts, &supertiles));
-  return MaterializeTiles(object, needed, supertiles, out);
+  HEAVEN_RETURN_IF_ERROR(FetchSuperTiles(snap, needed_sts, &supertiles));
+  return MaterializeTiles(object->descriptor(), needed, supertiles, out);
 }
 
 Status HeavenDb::MaterializeTiles(
@@ -1199,21 +1324,28 @@ Status HeavenDb::ScatterTiles(
 
 Result<MddArray> HeavenDb::ReadRegion(ObjectId object_id,
                                       const MdInterval& region) {
-  ReaderLock lock(db_mu_);
+  return ReadWithSnapshotRetry([&](const DbSnapshot& snap) {
+    return ReadRegionAtSnapshot(snap, object_id, region);
+  });
+}
+
+Result<MddArray> HeavenDb::ReadRegionAtSnapshot(const DbSnapshot& snap,
+                                                ObjectId object_id,
+                                                const MdInterval& region) {
   QueryProfiler::Scope profile(&profiler_, "read_region");
   ScopedSpan span(stats_.trace(), "query.read_region");
   const double client_before = client_clock_.Now();
-  HEAVEN_ASSIGN_OR_RETURN(ObjectDescriptor object,
-                          engine_->catalog()->GetObject(object_id));
-  if (!object.domain.Contains(region)) {
+  HEAVEN_ASSIGN_OR_RETURN(std::shared_ptr<const SnapshotObject> object,
+                          snap.GetObject(object_id));
+  if (!object->descriptor().domain.Contains(region)) {
     return Status::OutOfRange("query region " + region.ToString() +
                               " outside object domain " +
-                              object.domain.ToString());
+                              object->descriptor().domain.ToString());
   }
   std::vector<std::pair<TileDescriptor, Tile>> tiles;
-  HEAVEN_RETURN_IF_ERROR(CollectTiles(object_id, region, &tiles));
+  HEAVEN_RETURN_IF_ERROR(CollectTiles(snap, object_id, region, &tiles));
 
-  MddArray result(region, object.cell_type);
+  MddArray result(region, object->descriptor().cell_type);
   {
     QueryProfiler::StageTimer scatter_timer(&profiler_,
                                             ProfileStage::kScatter);
@@ -1231,19 +1363,31 @@ Result<MddArray> HeavenDb::ReadRegion(ObjectId object_id,
 }
 
 Result<MddArray> HeavenDb::ReadObject(ObjectId object_id) {
-  HEAVEN_ASSIGN_OR_RETURN(ObjectDescriptor object,
-                          engine_->catalog()->GetObject(object_id));
-  return ReadRegion(object_id, object.domain);
+  return ReadWithSnapshotRetry([&](const DbSnapshot& snap)
+                                   -> Result<MddArray> {
+    HEAVEN_ASSIGN_OR_RETURN(std::shared_ptr<const SnapshotObject> object,
+                            snap.GetObject(object_id));
+    return ReadRegionAtSnapshot(snap, object_id,
+                                object->descriptor().domain);
+  });
 }
 
 Result<MddArray> HeavenDb::ReadFrame(ObjectId object_id,
                                      const ObjectFrame& frame) {
-  ReaderLock lock(db_mu_);
+  return ReadWithSnapshotRetry([&](const DbSnapshot& snap) {
+    return ReadFrameAtSnapshot(snap, object_id, frame);
+  });
+}
+
+Result<MddArray> HeavenDb::ReadFrameAtSnapshot(const DbSnapshot& snap,
+                                               ObjectId object_id,
+                                               const ObjectFrame& frame) {
   QueryProfiler::Scope profile(&profiler_, "read_frame");
   ScopedSpan span(stats_.trace(), "query.read_frame");
   const double client_before = client_clock_.Now();
-  HEAVEN_ASSIGN_OR_RETURN(ObjectDescriptor object,
-                          engine_->catalog()->GetObject(object_id));
+  HEAVEN_ASSIGN_OR_RETURN(std::shared_ptr<const SnapshotObject> snap_object,
+                          snap.GetObject(object_id));
+  const ObjectDescriptor& object = snap_object->descriptor();
   HEAVEN_ASSIGN_OR_RETURN(MdInterval bbox, frame.BoundingBox());
   if (!object.domain.Contains(bbox)) {
     return Status::OutOfRange("frame " + frame.ToString() +
@@ -1252,13 +1396,12 @@ Result<MddArray> HeavenDb::ReadFrame(ObjectId object_id,
 
   // Only tiles intersecting the frame itself (not just the hull) are
   // touched — this is the whole point of object framing.
-  Result<std::vector<TileDescriptor>> lookup = [&] {
+  std::vector<TileDescriptor> candidates;
+  {
     QueryProfiler::StageTimer index_timer(&profiler_,
                                           ProfileStage::kIndexLookup);
-    return TilesIntersecting(object_id, bbox);
-  }();
-  HEAVEN_ASSIGN_OR_RETURN(std::vector<TileDescriptor> candidates,
-                          std::move(lookup));
+    candidates = snap_object->TilesIntersecting(bbox);
+  }
   std::vector<TileDescriptor> needed;
   std::vector<SuperTileId> needed_sts;
   for (TileDescriptor& tile : candidates) {
@@ -1271,7 +1414,7 @@ Result<MddArray> HeavenDb::ReadFrame(ObjectId object_id,
     needed.push_back(std::move(tile));
   }
   std::map<SuperTileId, std::shared_ptr<const SuperTile>> supertiles;
-  HEAVEN_RETURN_IF_ERROR(FetchSuperTiles(needed_sts, &supertiles));
+  HEAVEN_RETURN_IF_ERROR(FetchSuperTiles(snap, needed_sts, &supertiles));
 
   MddArray result(bbox, object.cell_type);  // zero-initialized
   {
@@ -1323,8 +1466,7 @@ Result<MddArray> HeavenDb::ReadFrame(ObjectId object_id,
 Result<double> HeavenDb::Aggregate(ObjectId object_id, Condenser condenser,
                                    const MdInterval& region) {
   // No db_mu_ here: the precomputed catalog is internally locked and
-  // ReadRegion takes the shared side itself (shared ownership must not be
-  // taken recursively — see RecursiveSharedMutex).
+  // ReadRegion pins its own snapshot.
   QueryProfiler::Scope profile(&profiler_, "aggregate");
   ScopedSpan span(stats_.trace(), "query.aggregate");
   const double client_before = client_clock_.Now();
@@ -1352,7 +1494,14 @@ Result<double> HeavenDb::Aggregate(ObjectId object_id, Condenser condenser,
 
 Result<std::vector<MddArray>> HeavenDb::ReadRegions(
     const std::vector<std::pair<ObjectId, MdInterval>>& queries) {
-  ReaderLock lock(db_mu_);
+  return ReadWithSnapshotRetry([&](const DbSnapshot& snap) {
+    return ReadRegionsAtSnapshot(snap, queries);
+  });
+}
+
+Result<std::vector<MddArray>> HeavenDb::ReadRegionsAtSnapshot(
+    const DbSnapshot& snap,
+    const std::vector<std::pair<ObjectId, MdInterval>>& queries) {
   QueryProfiler::Scope profile(&profiler_, "read_regions");
   ScopedSpan span(stats_.trace(), "query.read_regions");
   // Phase 1: collect each query's tile descriptors once and gather every
@@ -1365,8 +1514,9 @@ Result<std::vector<MddArray>> HeavenDb::ReadRegions(
                                           ProfileStage::kIndexLookup);
     for (size_t q = 0; q < queries.size(); ++q) {
       const auto& [object_id, region] = queries[q];
-      HEAVEN_ASSIGN_OR_RETURN(per_query[q],
-                              TilesIntersecting(object_id, region));
+      HEAVEN_ASSIGN_OR_RETURN(std::shared_ptr<const SnapshotObject> object,
+                              snap.GetObject(object_id));
+      per_query[q] = object->TilesIntersecting(region);
       for (const TileDescriptor& tile : per_query[q]) {
         if (tile.location != TileLocation::kTertiary) continue;
         if (std::find(needed_sts.begin(), needed_sts.end(),
@@ -1377,7 +1527,7 @@ Result<std::vector<MddArray>> HeavenDb::ReadRegions(
     }
   }
   std::map<SuperTileId, std::shared_ptr<const SuperTile>> supertiles;
-  HEAVEN_RETURN_IF_ERROR(FetchSuperTiles(needed_sts, &supertiles));
+  HEAVEN_RETURN_IF_ERROR(FetchSuperTiles(snap, needed_sts, &supertiles));
 
   // Phase 2: answer each query from the descriptors collected in phase 1
   // and the batch-fetched super-tiles — no second index lookup or cache
@@ -1388,8 +1538,9 @@ Result<std::vector<MddArray>> HeavenDb::ReadRegions(
     const auto& [object_id, region] = queries[q];
     ScopedSpan query_span(stats_.trace(), "query.read_region");
     const double client_before = client_clock_.Now();
-    HEAVEN_ASSIGN_OR_RETURN(ObjectDescriptor object,
-                            engine_->catalog()->GetObject(object_id));
+    HEAVEN_ASSIGN_OR_RETURN(std::shared_ptr<const SnapshotObject> snap_object,
+                            snap.GetObject(object_id));
+    const ObjectDescriptor& object = snap_object->descriptor();
     if (!object.domain.Contains(region)) {
       return Status::OutOfRange("query region " + region.ToString() +
                                 " outside object domain " +
@@ -1421,6 +1572,7 @@ Result<std::vector<MddArray>> HeavenDb::ReadRegions(
 
 Status HeavenDb::ReimportObject(ObjectId object_id) {
   WriterLock lock(db_mu_);
+  ScopedMutator mutator(&active_mutators_);
   HEAVEN_ASSIGN_OR_RETURN(ObjectDescriptor object,
                           engine_->catalog()->GetObject(object_id));
   std::vector<TileDescriptor> tertiary_tiles;
@@ -1435,8 +1587,11 @@ Status HeavenDb::ReimportObject(ObjectId object_id) {
   }
   if (tertiary_tiles.empty()) return Status::Ok();
 
+  // At a mutator's start the published snapshot equals the live state, so
+  // the snapshot-parameterized fetch path serves the mutator too.
+  const DbSnapshotPtr snap = AcquireReadSnapshot();
   std::map<SuperTileId, std::shared_ptr<const SuperTile>> supertiles;
-  HEAVEN_RETURN_IF_ERROR(FetchSuperTiles(needed_sts, &supertiles));
+  HEAVEN_RETURN_IF_ERROR(FetchSuperTiles(*snap, needed_sts, &supertiles));
 
   std::unique_ptr<Transaction> txn = engine_->Begin();
   uint64_t disk_bytes = 0;
@@ -1465,18 +1620,16 @@ Status HeavenDb::ReimportObject(ObjectId object_id) {
   // The object's super-tiles become unreferenced; drop them from the
   // registry and the cache (the tape extents are dead append-only data).
   for (SuperTileId id : needed_sts) {
-    registry_.erase(id);
+    registry_.Erase(id);
     cache_->Erase(id);
   }
-  std::vector<SuperTileMeta> metas;
-  metas.reserve(registry_.size());
-  for (const auto& [id, meta] : registry_) metas.push_back(meta);
   CatalogDelta registry_delta;
   registry_delta.op = CatalogOp::kSetSection;
   registry_delta.name = kRegistrySection;
-  registry_delta.payload = SerializeSuperTileMetas(metas);
+  registry_delta.payload = SerializeRegistryLocked();
   txn->UpdateCatalog(registry_delta);
   HEAVEN_RETURN_IF_ERROR(txn->Commit());
+  PublishSnapshot({object_id});
   client_clock_.Advance(options_.disk.AccessSeconds(disk_bytes));
   precomputed_->InvalidateObject(object_id);
   return PersistPrecomputed();
@@ -1484,6 +1637,7 @@ Status HeavenDb::ReimportObject(ObjectId object_id) {
 
 Status HeavenDb::UpdateRegion(ObjectId object_id, const MddArray& patch) {
   WriterLock lock(db_mu_);
+  ScopedMutator mutator(&active_mutators_);
   HEAVEN_ASSIGN_OR_RETURN(ObjectDescriptor object,
                           engine_->catalog()->GetObject(object_id));
   if (!object.domain.Contains(patch.domain())) {
@@ -1495,9 +1649,14 @@ Status HeavenDb::UpdateRegion(ObjectId object_id, const MddArray& patch) {
     return Status::InvalidArgument("update cell type mismatch");
   }
 
-  // Partition the affected tiles by current location.
-  HEAVEN_ASSIGN_OR_RETURN(std::vector<TileDescriptor> affected,
-                          TilesIntersecting(object_id, patch.domain()));
+  // Partition the affected tiles by current location. The snapshot equals
+  // the live state at a mutator's start, so its per-object index answers
+  // the intersection query.
+  const DbSnapshotPtr snap = AcquireReadSnapshot();
+  HEAVEN_ASSIGN_OR_RETURN(std::shared_ptr<const SnapshotObject> snap_object,
+                          snap->GetObject(object_id));
+  std::vector<TileDescriptor> affected =
+      snap_object->TilesIntersecting(patch.domain());
   std::vector<SuperTileId> needed_sts;
   for (const TileDescriptor& tile : affected) {
     if (tile.location == TileLocation::kTertiary &&
@@ -1507,7 +1666,7 @@ Status HeavenDb::UpdateRegion(ObjectId object_id, const MddArray& patch) {
     }
   }
   std::map<SuperTileId, std::shared_ptr<const SuperTile>> supertiles;
-  HEAVEN_RETURN_IF_ERROR(FetchSuperTiles(needed_sts, &supertiles));
+  HEAVEN_RETURN_IF_ERROR(FetchSuperTiles(*snap, needed_sts, &supertiles));
 
   std::unique_ptr<Transaction> txn = engine_->Begin();
   uint64_t disk_bytes = 0;
@@ -1561,16 +1720,17 @@ Status HeavenDb::UpdateRegion(ObjectId object_id, const MddArray& patch) {
   // Drop super-tiles whose every member moved back to disk.
   bool registry_changed = false;
   for (const auto& [st_id, leaving] : tiles_leaving) {
-    auto it = registry_.find(st_id);
-    if (it == registry_.end()) continue;
-    if (leaving >= it->second.tile_ids.size()) {
+    const SuperTileMeta* existing = registry_.Find(st_id);
+    if (existing == nullptr) continue;
+    if (leaving >= existing->tile_ids.size()) {
       cache_->Erase(st_id);
-      registry_.erase(it);
+      registry_.Erase(st_id);
       registry_changed = true;
     } else {
       // Partially updated super-tile: remove the migrated tiles from its
-      // member list so re-reads do not resurrect stale cells.
-      std::vector<TileId>& members = it->second.tile_ids;
+      // member list so re-reads do not resurrect stale cells. FindMutable
+      // clones the COW shard, leaving pinned snapshots untouched.
+      std::vector<TileId>& members = registry_.FindMutable(st_id)->tile_ids;
       for (const TileDescriptor& descriptor : affected) {
         if (descriptor.location == TileLocation::kTertiary &&
             descriptor.super_tile == st_id) {
@@ -1583,16 +1743,14 @@ Status HeavenDb::UpdateRegion(ObjectId object_id, const MddArray& patch) {
     }
   }
   if (registry_changed) {
-    std::vector<SuperTileMeta> metas;
-    metas.reserve(registry_.size());
-    for (const auto& [id, meta] : registry_) metas.push_back(meta);
     CatalogDelta registry_delta;
     registry_delta.op = CatalogOp::kSetSection;
     registry_delta.name = kRegistrySection;
-    registry_delta.payload = SerializeSuperTileMetas(metas);
+    registry_delta.payload = SerializeRegistryLocked();
     txn->UpdateCatalog(registry_delta);
   }
   HEAVEN_RETURN_IF_ERROR(txn->Commit());
+  PublishSnapshot({object_id});
   client_clock_.Advance(options_.disk.AccessSeconds(disk_bytes));
   precomputed_->InvalidateObject(object_id);
   return PersistPrecomputed();
@@ -1600,6 +1758,7 @@ Status HeavenDb::UpdateRegion(ObjectId object_id, const MddArray& patch) {
 
 Status HeavenDb::DeleteObject(ObjectId object_id) {
   WriterLock lock(db_mu_);
+  ScopedMutator mutator(&active_mutators_);
   HEAVEN_ASSIGN_OR_RETURN(ObjectDescriptor object,
                           engine_->catalog()->GetObject(object_id));
   (void)object;
@@ -1614,54 +1773,53 @@ Status HeavenDb::DeleteObject(ObjectId object_id) {
   remove.object_id = object_id;
   txn->UpdateCatalog(remove);
 
-  for (auto it = registry_.begin(); it != registry_.end();) {
-    if (it->second.object_id == object_id) {
-      cache_->Erase(it->first);
-      it = registry_.erase(it);
-    } else {
-      ++it;
-    }
+  std::vector<SuperTileId> doomed;
+  registry_.ForEach([&](SuperTileId id, const SuperTileMeta& meta) {
+    if (meta.object_id == object_id) doomed.push_back(id);
+  });
+  for (SuperTileId id : doomed) {
+    cache_->Erase(id);
+    registry_.Erase(id);
   }
-  std::vector<SuperTileMeta> metas;
-  metas.reserve(registry_.size());
-  for (const auto& [id, meta] : registry_) metas.push_back(meta);
   CatalogDelta registry_delta;
   registry_delta.op = CatalogOp::kSetSection;
   registry_delta.name = kRegistrySection;
-  registry_delta.payload = SerializeSuperTileMetas(metas);
+  registry_delta.payload = SerializeRegistryLocked();
   txn->UpdateCatalog(registry_delta);
   HEAVEN_RETURN_IF_ERROR(txn->Commit());
-  InvalidateTileIndex(object_id);
+  PublishSnapshot({object_id});
   precomputed_->InvalidateObject(object_id);
   return PersistPrecomputed();
 }
 
 Result<uint64_t> HeavenDb::ReclaimMedium(MediumId medium) {
   WriterLock lock(db_mu_);
+  ScopedMutator mutator(&active_mutators_);
   HEAVEN_ASSIGN_OR_RETURN(uint64_t used_bytes,
                           library_->MediumUsedBytes(medium));
-  // Live super-tiles on the medium.
-  std::vector<SuperTileMeta*> live;
+  // Live super-tiles on the medium, as copies: writes go back through
+  // FindMutable so the COW shards clone away from pinned snapshots.
+  std::vector<SuperTileMeta> live;
   uint64_t live_bytes = 0;
-  for (auto& [id, meta] : registry_) {
+  registry_.ForEach([&](SuperTileId, const SuperTileMeta& meta) {
     if (meta.medium == medium) {
-      live.push_back(&meta);
+      live.push_back(meta);
       live_bytes += meta.size_bytes;
     }
-  }
+  });
   // Copy them away — ascending offsets, one forward sweep of the source.
   std::sort(live.begin(), live.end(),
-            [](const SuperTileMeta* a, const SuperTileMeta* b) {
-              return a->offset < b->offset;
+            [](const SuperTileMeta& a, const SuperTileMeta& b) {
+              return a.offset < b.offset;
             });
-  for (SuperTileMeta* meta : live) {
+  for (SuperTileMeta& meta : live) {
     std::string container;
     // Verified read: reorganisation must never copy silent corruption
     // forward — the source medium is about to be erased.
-    HEAVEN_RETURN_IF_ERROR(ReadContainerVerified(meta->id, meta->medium,
-                                                 meta->offset,
-                                                 meta->size_bytes,
-                                                 meta->crc32c, &container));
+    HEAVEN_RETURN_IF_ERROR(ReadContainerVerified(meta.id, meta.medium,
+                                                 meta.offset,
+                                                 meta.size_bytes,
+                                                 meta.crc32c, &container));
     // Emptiest target other than the source.
     MediumId target = medium;
     uint64_t best_free = 0;
@@ -1680,25 +1838,30 @@ Result<uint64_t> HeavenDb::ReclaimMedium(MediumId medium) {
     }
     HEAVEN_ASSIGN_OR_RETURN(uint64_t offset,
                             library_->Append(target, container));
-    meta->medium = target;
-    meta->offset = offset;
+    SuperTileMeta* stored = registry_.FindMutable(meta.id);
+    if (stored == nullptr) {
+      return Status::Internal("super-tile " + std::to_string(meta.id) +
+                              " vanished during reclamation");
+    }
+    stored->medium = target;
+    stored->offset = offset;
   }
   HEAVEN_RETURN_IF_ERROR(PersistRegistry());
   HEAVEN_RETURN_IF_ERROR(library_->EraseMedium(medium));
+  // Tile descriptors did not change — only registry extents moved — so
+  // every SnapshotObject is reused; readers still pinning the old version
+  // may read reused extents, which the CRC check turns into a retried
+  // conflict instead of silent corruption.
+  PublishSnapshot({});
   return used_bytes - live_bytes;
 }
 
 size_t HeavenDb::RegisteredSuperTiles() const {
-  ReaderLock lock(db_mu_);
-  return registry_.size();
+  return AcquireReadSnapshot()->registry.size();
 }
 
 std::vector<SuperTileMeta> HeavenDb::RegistrySnapshot() const {
-  ReaderLock lock(db_mu_);
-  std::vector<SuperTileMeta> metas;
-  metas.reserve(registry_.size());
-  for (const auto& [id, meta] : registry_) metas.push_back(meta);
-  return metas;
+  return AcquireReadSnapshot()->SortedRegistry();
 }
 
 }  // namespace heaven

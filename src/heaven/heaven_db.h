@@ -11,7 +11,6 @@
 
 #include "array/mdd.h"
 #include "array/ops.h"
-#include "array/rtree.h"
 #include "common/env.h"
 #include "common/fault_injection.h"
 #include "common/metrics.h"
@@ -22,6 +21,7 @@
 #include "common/thread_pool.h"
 #include "heaven/cache.h"
 #include "heaven/clustering.h"
+#include "heaven/db_snapshot.h"
 #include "heaven/export_journal.h"
 #include "heaven/framing.h"
 #include "heaven/precomputed.h"
@@ -207,29 +207,43 @@ class HeavenDb {
   Result<uint64_t> ReclaimMedium(MediumId medium);
 
   // ---- Queries ---------------------------------------------------------
+  //
+  // Every query runs against a pinned DbSnapshot instead of holding
+  // db_mu_ shared: readers never block on (or even touch) the hierarchy
+  // lock, so cache-hot reads scale with cores. EXCLUDES(db_mu_) makes the
+  // no-lock-on-the-read-path invariant compiler-checked.
 
-  Result<ObjectDescriptor> FindObject(const std::string& name);
+  /// Pins the current metadata snapshot: one lock-free shared_ptr
+  /// acquire. The snapshot stays valid (and its retired version
+  /// unreclaimed) for as long as the returned pointer lives.
+  DbSnapshotPtr AcquireReadSnapshot() const;
+
+  Result<ObjectDescriptor> FindObject(const std::string& name)
+      EXCLUDES(db_mu_);
 
   /// Box (trim) query across the storage hierarchy.
-  Result<MddArray> ReadRegion(ObjectId object_id, const MdInterval& region);
+  Result<MddArray> ReadRegion(ObjectId object_id, const MdInterval& region)
+      EXCLUDES(db_mu_);
 
   /// Whole-object read.
-  Result<MddArray> ReadObject(ObjectId object_id);
+  Result<MddArray> ReadObject(ObjectId object_id) EXCLUDES(db_mu_);
 
   /// Object-framing query: only cells inside the frame are retrieved; the
   /// result covers the frame's bounding box with cells outside the frame
   /// zero-filled.
-  Result<MddArray> ReadFrame(ObjectId object_id, const ObjectFrame& frame);
+  Result<MddArray> ReadFrame(ObjectId object_id, const ObjectFrame& frame)
+      EXCLUDES(db_mu_);
 
   /// Condenser over a region, served from the precomputed catalog when
   /// possible; computed results are added to the catalog.
   Result<double> Aggregate(ObjectId object_id, Condenser condenser,
-                           const MdInterval& region);
+                           const MdInterval& region) EXCLUDES(db_mu_);
 
   /// Batch of box queries executed under one scheduling pass — the
   /// query-scheduling experiment path (E7).
   Result<std::vector<MddArray>> ReadRegions(
-      const std::vector<std::pair<ObjectId, MdInterval>>& queries);
+      const std::vector<std::pair<ObjectId, MdInterval>>& queries)
+      EXCLUDES(db_mu_);
 
   // ---- Introspection ---------------------------------------------------
 
@@ -275,12 +289,25 @@ class HeavenDb {
 
   Status Init();
   /// Registers the standard sampled gauges (cache shards, buffer pool,
-  /// drives, pool load, TCT queue, in-flight fetches, fault sites) on
-  /// metrics_. Called once from Init after every component exists.
+  /// drives, pool load, TCT queue, in-flight fetches, snapshot epoch
+  /// state, fault sites) on metrics_. Called once from Init after every
+  /// component exists.
   void RegisterStandardGauges();
   Status LoadRegistry();
-  Status PersistRegistry();
+  Status PersistRegistry() REQUIRES(db_mu_);
   Status PersistPrecomputed();
+
+  /// Builds and installs a new DbSnapshot from the committed catalog and
+  /// registry state. Called by every mutator after its transaction
+  /// commits, still under the exclusive db_mu_ that serializes version
+  /// installation. Objects not in `touched` share their SnapshotObject
+  /// (and its lazily built tile index) with the previous version.
+  void PublishSnapshot(const std::vector<ObjectId>& touched)
+      REQUIRES(db_mu_);
+
+  /// The registry serialized for persistence: entries sorted by id, the
+  /// same byte image the pre-snapshot std::map registry produced.
+  std::string SerializeRegistryLocked() const REQUIRES(db_mu_);
 
   /// Synchronous export implementation shared by the client path and TCT.
   /// On failure every in-memory registry entry the attempt added is rolled
@@ -319,11 +346,40 @@ class HeavenDb {
   /// synchronous export path re-enters db_mu_ — see RecursiveSharedMutex).
   Status RunMigrationPolicy() REQUIRES(db_mu_);
 
+  /// Snapshot-parameterized query bodies. Public readers pin a snapshot
+  /// and delegate here through ReadWithSnapshotRetry; the export overview
+  /// path calls them directly with a snapshot acquired under exclusive
+  /// db_mu_ (which at a mutator's start is identical to the live state).
+  Result<MddArray> ReadRegionAtSnapshot(const DbSnapshot& snap,
+                                        ObjectId object_id,
+                                        const MdInterval& region);
+  Result<MddArray> ReadFrameAtSnapshot(const DbSnapshot& snap,
+                                       ObjectId object_id,
+                                       const ObjectFrame& frame);
+  Result<std::vector<MddArray>> ReadRegionsAtSnapshot(
+      const DbSnapshot& snap,
+      const std::vector<std::pair<ObjectId, MdInterval>>& queries);
+
+  /// Runs `fn(const DbSnapshot&)` against a freshly pinned snapshot,
+  /// re-pinning and retrying (bounded) when a conflict-shaped error was
+  /// caused by a concurrent mutator — see IsSnapshotConflict. Serial-mode
+  /// reads never retry, keeping clocks and tickers bit-identical to the
+  /// locked path.
+  template <typename Fn>
+  auto ReadWithSnapshotRetry(Fn&& fn)
+      -> decltype(fn(std::declval<const DbSnapshot&>()));
+
+  /// Whether `status` can be the wake of a mutator committing between our
+  /// snapshot pin and a storage access (blob deleted after an export,
+  /// medium reorganised under a stale registry entry, ...). Such errors
+  /// are retried against a fresh snapshot; everything else surfaces.
+  static bool IsSnapshotConflict(const Status& status);
+
   /// Reads the tiles intersecting `region`, from disk or tape, returning
   /// (descriptor, tile data) pairs. Core of every query path.
-  Status CollectTiles(ObjectId object_id, const MdInterval& region,
-                      std::vector<std::pair<TileDescriptor, Tile>>* out)
-      REQUIRES_SHARED(db_mu_);
+  Status CollectTiles(const DbSnapshot& snap, ObjectId object_id,
+                      const MdInterval& region,
+                      std::vector<std::pair<TileDescriptor, Tile>>* out);
 
   /// Materializes `needed` tiles from disk blobs or the supplied
   /// super-tiles (every tertiary tile's super-tile must be present),
@@ -334,24 +390,13 @@ class HeavenDb {
       const std::vector<TileDescriptor>& needed,
       const std::map<SuperTileId, std::shared_ptr<const SuperTile>>&
           supertiles,
-      std::vector<std::pair<TileDescriptor, Tile>>* out)
-      REQUIRES_SHARED(db_mu_);
+      std::vector<std::pair<TileDescriptor, Tile>>* out);
 
   /// Copies each collected tile's overlap with `region` into `result`.
   /// Destination regions are disjoint (tiles partition the object), so the
   /// copies fan out on the pool when one is configured.
   Status ScatterTiles(const std::vector<std::pair<TileDescriptor, Tile>>& tiles,
-                      const MdInterval& region, MddArray* result)
-      REQUIRES_SHARED(db_mu_);
-
-  /// Descriptors of the object's tiles whose domains intersect `region`,
-  /// answered from the per-object R-tree tile index (built lazily from the
-  /// catalog, dropped when the object's tile set changes).
-  Result<std::vector<TileDescriptor>> TilesIntersecting(
-      ObjectId object_id, const MdInterval& region) EXCLUDES(index_mu_);
-
-  /// Drops the cached tile index of an object (tile set changed).
-  void InvalidateTileIndex(ObjectId object_id) EXCLUDES(index_mu_);
+                      const MdInterval& region, MddArray* result);
 
   /// Single-flight fetch coalescing: at most one tape fetch per super-tile
   /// is in flight at a time. A miss registers a promise here (the leader);
@@ -366,11 +411,11 @@ class HeavenDb {
   };
 
   /// Fetches the given super-tiles from tape (scheduled), populating the
-  /// cache; returns them keyed by id.
+  /// cache; returns them keyed by id. Metadata comes from `snap`, never
+  /// from the live registry — the call runs lock-free on the read path.
   Status FetchSuperTiles(
-      const std::vector<SuperTileId>& ids,
-      std::map<SuperTileId, std::shared_ptr<const SuperTile>>* out)
-      REQUIRES_SHARED(db_mu_);
+      const DbSnapshot& snap, const std::vector<SuperTileId>& ids,
+      std::map<SuperTileId, std::shared_ptr<const SuperTile>>* out);
 
   /// Counts a cache hit on a prefetched super-tile (prefetch usefulness).
   void NotePrefetchHit(SuperTileId id) EXCLUDES(prefetch_mu_);
@@ -404,8 +449,8 @@ class HeavenDb {
                                uint64_t offset, uint64_t size_bytes,
                                uint32_t crc32c, std::string* out);
 
-  void MaybePrefetch(MediumId medium, uint64_t last_end_offset)
-      REQUIRES_SHARED(db_mu_);
+  void MaybePrefetch(const DbSnapshot& snap, MediumId medium,
+                     uint64_t last_end_offset);
 
   /// TCT thread body. Runs exports via ExportObjectSync, which takes
   /// db_mu_ itself — the worker must enter with no capability held.
@@ -418,7 +463,9 @@ class HeavenDb {
   /// Gauge callbacks registered here read the members below; the
   /// destructor stops the sampler before any of them die.
   MetricsRegistry metrics_{&stats_};
-  QueryProfiler profiler_;
+  /// mutable: AcquireReadSnapshot() const times its pin on the profiler
+  /// (the profiler is internally synchronized).
+  mutable QueryProfiler profiler_;
   SimClock client_clock_;
 
   std::unique_ptr<StorageEngine> engine_;
@@ -436,32 +483,38 @@ class HeavenDb {
   /// trace collector (each with its own lock) plus disjoint output slots.
   std::unique_ptr<ThreadPool> pool_;
 
-  /// Top-level reader/writer lock. Mutators (insert, export, update,
-  /// delete, reclaim) hold it exclusively; query paths hold it shared and
-  /// run concurrently — every component they touch (catalog, blob store,
-  /// tape library, cache, clocks, statistics) is internally locked.
-  /// Exclusive ownership is recursive and covers nested shared takes (see
-  /// RecursiveSharedMutex) because exports re-enter the read and insert
-  /// paths.
+  /// Top-level mutator lock. Mutators (insert, export, update, delete,
+  /// reclaim) hold it exclusively; query paths do NOT take it at all —
+  /// they run against a pinned DbSnapshot, and every component they touch
+  /// (blob store, tape library, cache, clocks, statistics) is internally
+  /// locked. Exclusive ownership is recursive and covers nested shared
+  /// takes (see RecursiveSharedMutex) because exports re-enter the insert
+  /// path.
   mutable RecursiveSharedMutex db_mu_;
-  /// registry_ and next_supertile_id_ are written only under exclusive
-  /// db_mu_ and read under shared ownership.
-  std::map<SuperTileId, SuperTileMeta> registry_ GUARDED_BY(db_mu_);
+  /// Live registry, written only under exclusive db_mu_. Copy-on-write
+  /// shards: PublishSnapshot captures a View in O(#shards), sharing every
+  /// shard a mutation did not touch with older versions.
+  SnapshotRegistry registry_ GUARDED_BY(db_mu_);
   SuperTileId next_supertile_id_ GUARDED_BY(db_mu_) = 1;
-  /// Guards the lazy per-object spatial tile index (shared-mode readers
-  /// build entries concurrently). Acquired under db_mu_, never the
-  /// reverse.
-  Mutex index_mu_ ACQUIRED_AFTER(db_mu_);
-  std::map<ObjectId, std::unique_ptr<RTree>> tile_index_
-      GUARDED_BY(index_mu_);
+  /// The published metadata versions (RCU). Readers pin with Acquire();
+  /// mutators install successors under db_mu_ via PublishSnapshot; retired
+  /// versions are reclaimed once no reader can still hold them.
+  VersionedState<DbSnapshot> snapshot_;
+  /// Mutators in progress (ScopedMutator). A conflict-shaped read error is
+  /// only retried when this is non-zero or the version advanced — serial
+  /// workloads keep the exact legacy error surface, clocks and tickers.
+  std::atomic<int> active_mutators_{0};
   /// Guards against re-entrant migration while an export is in flight
   /// (overview materialization inserts an object mid-export). Only touched
   /// under exclusive db_mu_.
   bool exporting_ GUARDED_BY(db_mu_) = false;
   /// Guards prefetched_ (prefetch usefulness accounting), which cache-hit
-  /// readers mutate under shared db_mu_.
+  /// readers mutate lock-free on the snapshot read path. prefetched_count_
+  /// mirrors prefetched_.size() so the hot hit path can skip the mutex
+  /// when no prefetch is outstanding.
   Mutex prefetch_mu_ ACQUIRED_AFTER(db_mu_);
   std::vector<SuperTileId> prefetched_ GUARDED_BY(prefetch_mu_);
+  std::atomic<size_t> prefetched_count_{0};
 
   mutable Mutex fetch_mu_ ACQUIRED_AFTER(db_mu_);
   std::map<SuperTileId, std::shared_ptr<InflightFetch>> inflight_

@@ -5,7 +5,7 @@
 namespace heaven {
 
 std::vector<SuperTileId> ChoosePrefetchTargets(
-    const std::map<SuperTileId, SuperTileMeta>& registry, MediumId medium,
+    const SnapshotRegistryView& registry, MediumId medium,
     uint64_t last_end_offset, size_t max_count,
     const std::vector<SuperTileId>& already_cached, Statistics* stats) {
   struct Candidate {
@@ -13,15 +13,15 @@ std::vector<SuperTileId> ChoosePrefetchTargets(
     SuperTileId id;
   };
   std::vector<Candidate> candidates;
-  for (const auto& [id, meta] : registry) {
-    if (meta.medium != medium) continue;
-    if (meta.offset < last_end_offset) continue;
+  registry.ForEach([&](SuperTileId id, const SuperTileMeta& meta) {
+    if (meta.medium != medium) return;
+    if (meta.offset < last_end_offset) return;
     if (std::find(already_cached.begin(), already_cached.end(), id) !=
         already_cached.end()) {
-      continue;
+      return;
     }
     candidates.push_back({meta.offset, id});
-  }
+  });
   if (stats != nullptr && !candidates.empty()) {
     stats->Record(Ticker::kPrefetchCandidates, candidates.size());
   }

@@ -2,9 +2,9 @@
 #define HEAVEN_HEAVEN_PREFETCH_H_
 
 #include <cstdint>
-#include <map>
 #include <vector>
 
+#include "heaven/db_snapshot.h"
 #include "heaven/super_tile.h"
 #include "tertiary/tape_library.h"
 
@@ -21,7 +21,7 @@ namespace heaven {
 /// `already_cached`. When `stats` is given, the number of candidates
 /// considered is counted under Ticker::kPrefetchCandidates.
 std::vector<SuperTileId> ChoosePrefetchTargets(
-    const std::map<SuperTileId, SuperTileMeta>& registry, MediumId medium,
+    const SnapshotRegistryView& registry, MediumId medium,
     uint64_t last_end_offset, size_t max_count,
     const std::vector<SuperTileId>& already_cached,
     Statistics* stats = nullptr);

@@ -64,7 +64,11 @@ Result<MddArray> ApplySlices(MddArray array,
 
 class Evaluator {
  public:
-  explicit Evaluator(HeavenDb* db) : db_(db) {}
+  /// `snap` pins one metadata version for the whole statement: every
+  /// object name in the query resolves against the same consistent view,
+  /// even while mutators commit concurrently.
+  Evaluator(HeavenDb* db, DbSnapshotPtr snap)
+      : db_(db), snap_(std::move(snap)) {}
 
   Result<QueryResult> Eval(const Expr& expr) {
     switch (expr.kind) {
@@ -72,7 +76,7 @@ class Evaluator {
         return QueryResult{expr.number};
       case ExprKind::kObjectRef: {
         HEAVEN_ASSIGN_OR_RETURN(ObjectDescriptor object,
-                                db_->FindObject(expr.object_name));
+                                snap_->FindObject(expr.object_name));
         HEAVEN_ASSIGN_OR_RETURN(MddArray array,
                                 db_->ReadObject(object.object_id));
         return QueryResult{std::move(array)};
@@ -135,7 +139,7 @@ class Evaluator {
     // region read across the storage hierarchy.
     if (expr.child->kind == ExprKind::kObjectRef) {
       HEAVEN_ASSIGN_OR_RETURN(ObjectDescriptor object,
-                              db_->FindObject(expr.child->object_name));
+                              snap_->FindObject(expr.child->object_name));
       HEAVEN_ASSIGN_OR_RETURN(SubscriptPlan plan,
                               PlanSubscript(expr.axes, object.domain));
       HEAVEN_ASSIGN_OR_RETURN(MddArray array,
@@ -163,7 +167,7 @@ class Evaluator {
     const Expr* child = expr.child.get();
     if (child->kind == ExprKind::kObjectRef) {
       HEAVEN_ASSIGN_OR_RETURN(ObjectDescriptor object,
-                              db_->FindObject(child->object_name));
+                              snap_->FindObject(child->object_name));
       HEAVEN_ASSIGN_OR_RETURN(
           double value,
           db_->Aggregate(object.object_id, expr.condenser, object.domain));
@@ -172,7 +176,7 @@ class Evaluator {
     if (child->kind == ExprKind::kSubscript &&
         child->child->kind == ExprKind::kObjectRef) {
       HEAVEN_ASSIGN_OR_RETURN(ObjectDescriptor object,
-                              db_->FindObject(child->child->object_name));
+                              snap_->FindObject(child->child->object_name));
       HEAVEN_ASSIGN_OR_RETURN(SubscriptPlan plan,
                               PlanSubscript(child->axes, object.domain));
       if (plan.slice_dims.empty()) {
@@ -197,7 +201,7 @@ class Evaluator {
           "frame() must be applied directly to a stored object");
     }
     HEAVEN_ASSIGN_OR_RETURN(ObjectDescriptor object,
-                            db_->FindObject(expr.child->object_name));
+                            snap_->FindObject(expr.child->object_name));
     HEAVEN_ASSIGN_OR_RETURN(ObjectFrame frame,
                             ObjectFrame::FromBoxes(expr.frame_boxes));
     HEAVEN_ASSIGN_OR_RETURN(MddArray array,
@@ -246,6 +250,7 @@ class Evaluator {
   }
 
   HeavenDb* db_;
+  DbSnapshotPtr snap_;
 };
 
 }  // namespace
@@ -273,7 +278,7 @@ Result<QueryResult> Execute(HeavenDb* db, const Query& query) {
   ScopedSpan span(db->stats()->trace(), "rasql.execute");
   const double client_before = db->ClientSeconds();
   db->stats()->Record(Ticker::kRasqlStatements);
-  Evaluator evaluator(db);
+  Evaluator evaluator(db, db->AcquireReadSnapshot());
   Result<QueryResult> result = evaluator.Eval(*query.select);
   db->stats()->RecordHistogram(HistogramKind::kRasqlStatementSeconds,
                                db->ClientSeconds() - client_before);

@@ -88,8 +88,8 @@ TEST(PrecomputedTest, RestoreRejectsTruncation) {
 
 // --------------------------------------------------------------- Prefetch --
 
-std::map<SuperTileId, SuperTileMeta> MakeRegistry() {
-  std::map<SuperTileId, SuperTileMeta> registry;
+SnapshotRegistryView MakeRegistry() {
+  SnapshotRegistry registry;
   auto add = [&](SuperTileId id, MediumId medium, uint64_t offset) {
     SuperTileMeta meta;
     meta.id = id;
@@ -97,14 +97,14 @@ std::map<SuperTileId, SuperTileMeta> MakeRegistry() {
     meta.offset = offset;
     meta.size_bytes = 100;
     meta.hull = MdInterval({0}, {9});
-    registry[id] = meta;
+    registry.InsertOrAssign(id, meta);
   };
   add(1, 0, 0);
   add(2, 0, 100);
   add(3, 0, 200);
   add(4, 1, 0);
   add(5, 0, 300);
-  return registry;
+  return registry.Snapshot();
 }
 
 TEST(PrefetchTest, PicksNextOffsetsOnSameMedium) {
@@ -136,8 +136,8 @@ TEST(PrefetchTest, RespectsMaxCount) {
 }
 
 TEST(PrefetchTest, EmptyRegistry) {
-  std::map<SuperTileId, SuperTileMeta> registry;
-  EXPECT_TRUE(ChoosePrefetchTargets(registry, 0, 0, 5, {}).empty());
+  SnapshotRegistry registry;
+  EXPECT_TRUE(ChoosePrefetchTargets(registry.Snapshot(), 0, 0, 5, {}).empty());
 }
 
 }  // namespace
